@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench figures fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# One testing.B benchmark per paper figure + ablations.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Full paper-style tables (about 15 minutes at the small scale).
+figures:
+	$(GO) run ./cmd/midas-bench -scale small
+
+fuzz:
+	$(GO) test ./graph -fuzz FuzzRead -fuzztime 30s
+	$(GO) test ./graph -fuzz FuzzJSON -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,311 @@
+package midas
+
+// Benchmark harness: one testing.B benchmark per figure of the paper's
+// §7 performance study (run the cmd/midas-bench binary for full
+// paper-style tables at larger scales), plus ablation benchmarks for
+// the design choices called out in DESIGN.md. Key shape numbers are
+// surfaced with b.ReportMetric so `go test -bench` output records the
+// reproduction outcome alongside the timings.
+
+import (
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/catapult"
+	"github.com/midas-graph/midas/internal/cluster"
+	"github.com/midas-graph/midas/internal/core"
+	"github.com/midas-graph/midas/internal/dataset"
+	"github.com/midas-graph/midas/internal/experiments"
+	"github.com/midas-graph/midas/internal/graphlet"
+	"github.com/midas-graph/midas/internal/index"
+	"github.com/midas-graph/midas/internal/tree"
+)
+
+func benchScale() experiments.Scale { return experiments.Tiny() }
+
+func Benchmark_Fig09_UserStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig9UserStudy(benchScale())
+		m := res.Row("Qs3", experiments.MIDAS)
+		n := res.Row("Qs3", experiments.NoMaintain)
+		b.ReportMetric(m.QFT, "midas-qft-s")
+		b.ReportMetric(n.QFT, "nomaint-qft-s")
+		b.ReportMetric(m.Steps, "midas-steps")
+	}
+}
+
+func Benchmark_Fig10_UserQueries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig10UserQueries(benchScale())
+		m := res.Row("PubChem", experiments.MIDAS)
+		b.ReportMetric(m.QFT, "midas-qft-s")
+		b.ReportMetric(m.VMT, "midas-vmt-s")
+	}
+}
+
+func Benchmark_Fig11_Thresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig11Thresholds(benchScale())
+		row := res.EpsilonRows[1] // the default ε
+		b.ReportMetric(float64(row.PMT.Milliseconds()), "midas-pmt-ms")
+		b.ReportMetric(float64(row.ScratchPMT.Milliseconds()), "scratch-pmt-ms")
+		if row.PMT > 0 {
+			b.ReportMetric(float64(row.ScratchPMT)/float64(row.PMT), "speedup-x")
+		}
+	}
+}
+
+func Benchmark_Fig12_IndexCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig12IndexCost(benchScale())
+		last := res.DeltaRows[len(res.DeltaRows)-1]
+		b.ReportMetric(float64(last.FCTMaintain.Microseconds()), "fct-maintain-us")
+		b.ReportMetric(float64(last.FCTRemine.Microseconds()), "fct-remine-us")
+	}
+}
+
+func Benchmark_Fig13_NoMaintain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig13NoMaintain(benchScale())
+		var mpM, mpN float64
+		for _, c := range res.Comparisons {
+			mpM += c.Outcomes[experiments.MIDAS].MP
+			mpN += c.Outcomes[experiments.NoMaintain].MP
+		}
+		k := float64(len(res.Comparisons))
+		b.ReportMetric(mpM/k, "midas-mp-pct")
+		b.ReportMetric(mpN/k, "nomaint-mp-pct")
+	}
+}
+
+func Benchmark_Fig14_Baselines_AIDS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig14BaselinesAIDS(benchScale())
+		c := res.Comparisons[2] // the +20% batch (major)
+		b.ReportMetric(float64(c.Outcomes[experiments.MIDAS].Time.Milliseconds()), "midas-ms")
+		b.ReportMetric(float64(c.Outcomes[experiments.CATAPULT].Time.Milliseconds()), "catapult-ms")
+		b.ReportMetric(c.Outcomes[experiments.CATAPULT].Mu, "mu-catapult")
+	}
+}
+
+func Benchmark_Fig15_Baselines_PubChem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig15BaselinesPubChem(benchScale())
+		c := res.Comparisons[2]
+		b.ReportMetric(float64(c.Outcomes[experiments.MIDAS].Time.Milliseconds()), "midas-ms")
+		b.ReportMetric(float64(c.Outcomes[experiments.CATAPULTPP].Time.Milliseconds()), "catapultpp-ms")
+	}
+}
+
+func Benchmark_Fig16_Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig16Scalability(benchScale())
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(float64(last.PMT.Milliseconds()), "pmt-ms")
+		if last.ClusterMaintain > 0 {
+			b.ReportMetric(float64(last.ClusterScratch)/float64(last.ClusterMaintain), "cluster-speedup-x")
+		}
+	}
+}
+
+func Benchmark_Example11_Boronic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Example11Boronic(benchScale())
+		b.ReportMetric(float64(res.EdgeSteps), "edge-steps")
+		b.ReportMetric(float64(res.FreshSteps), "fresh-steps")
+	}
+}
+
+func Benchmark_Extra_SupMinSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.SupMinSweep(benchScale())
+		b.ReportMetric(float64(res.Rows[0].FCTCount), "fct-at-0.2")
+		b.ReportMetric(float64(res.Rows[len(res.Rows)-1].FCTCount), "fct-at-0.7")
+	}
+}
+
+func Benchmark_Extra_GammaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.GammaSweep(benchScale())
+		first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+		b.ReportMetric(first.MP, "mp-small-gamma")
+		b.ReportMetric(last.MP, "mp-large-gamma")
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// benchEngineDB builds a deterministic evolved-database workload.
+func benchEngineDB() (*graph.Database, []*graph.Graph) {
+	db := dataset.PubChemLike().GenerateDB(80, 3)
+	ins := dataset.BoronicEsters().Generate(30, db.NextID(), 4)
+	return db, ins
+}
+
+func ablationConfig() core.Config {
+	return core.Config{
+		Budget:  catapult.Budget{MinSize: 3, MaxSize: 5, Count: 8},
+		SupMin:  0.4,
+		Epsilon: 0.01,
+		Walks:   40,
+		Seed:    1,
+		Cluster: cluster.Config{MaxSize: 12},
+	}
+}
+
+// Benchmark_Ablation_Pruning compares maintenance with Equation 2's
+// coverage-based candidate pruning on (MIDAS) and off.
+func Benchmark_Ablation_Pruning(b *testing.B) {
+	run := func(b *testing.B, noPruning bool) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			db, ins := benchEngineDB()
+			cfg := ablationConfig()
+			cfg.NoPruning = noPruning
+			eng := core.NewEngine(db, cfg)
+			b.StartTimer()
+			rep, err := eng.Maintain(graph.Update{Insert: ins})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rep.Candidates), "candidates")
+		}
+	}
+	b.Run("pruned", func(b *testing.B) { run(b, false) })
+	b.Run("unpruned", func(b *testing.B) { run(b, true) })
+}
+
+// Benchmark_Ablation_FCTvsFS compares the closed-tree feature family
+// (CATAPULT++/MIDAS) against all frequent subtrees (CATAPULT): feature
+// count and bootstrap cost.
+func Benchmark_Ablation_FCTvsFS(b *testing.B) {
+	run := func(b *testing.B, closed bool) {
+		for i := 0; i < b.N; i++ {
+			db, _ := benchEngineDB()
+			cfg := ablationConfig()
+			cfg.UseClosedFeatures = closed
+			cfg.UseIndices = closed
+			eng := core.NewEngineWith(db, cfg)
+			set := eng.TreeSet()
+			if closed {
+				b.ReportMetric(float64(len(set.FrequentClosed())), "features")
+			} else {
+				b.ReportMetric(float64(len(set.FrequentAll())), "features")
+			}
+		}
+	}
+	b.Run("closed-FCT", func(b *testing.B) { run(b, true) })
+	b.Run("all-FS", func(b *testing.B) { run(b, false) })
+}
+
+// Benchmark_Ablation_Index compares scov computation with the
+// FCT/IFE-Index candidate filter against raw VF2 scans.
+func Benchmark_Ablation_Index(b *testing.B) {
+	db, _ := benchEngineDB()
+	set := tree.Mine(db, 0.4, 3)
+	ix := index.Build(set, db, nil)
+	patterns := dataset.Queries(db.Graphs(), 10, 3, 6, 9)
+	b.Run("indexed", func(b *testing.B) {
+		m := catapult.NewMetrics(db, set, ix, 0, 1)
+		for i := 0; i < b.N; i++ {
+			m.InvalidateSample()
+			for _, p := range patterns {
+				_ = m.Scov(p)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		m := catapult.NewMetrics(db, set, nil, 0, 1)
+		for i := 0; i < b.N; i++ {
+			m.InvalidateSample()
+			for _, p := range patterns {
+				_ = m.Scov(p)
+			}
+		}
+	})
+}
+
+// Benchmark_Ablation_TighterGED compares diversity computation with the
+// PF-matrix tighter lower bound GED'_l (Lemma 6.1) pruning exact GED
+// computations versus plain evaluation.
+func Benchmark_Ablation_TighterGED(b *testing.B) {
+	db, _ := benchEngineDB()
+	set := tree.Mine(db, 0.4, 3)
+	ix := index.Build(set, db, nil)
+	patterns := dataset.Queries(db.Graphs(), 12, 4, 7, 11)
+	b.Run("tighter-bound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := catapult.NewMetrics(db, set, ix, 0, 1)
+			_ = m.SetDiv(patterns)
+		}
+	})
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := catapult.NewMetrics(db, set, nil, 0, 1)
+			_ = m.SetDiv(patterns)
+		}
+	})
+}
+
+// Benchmark_Ablation_DistanceMeasure compares modification typing under
+// the three distribution distances (§3.4's technical-report claim that
+// the measure barely matters): each sub-bench runs one maintenance and
+// reports the measured drift.
+func Benchmark_Ablation_DistanceMeasure(b *testing.B) {
+	run := func(b *testing.B, m graphlet.Measure, eps float64) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			db, ins := benchEngineDB()
+			cfg := ablationConfig()
+			cfg.Distance = m
+			cfg.Epsilon = eps
+			eng := core.NewEngine(db, cfg)
+			b.StartTimer()
+			rep, err := eng.Maintain(graph.Update{Insert: ins})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rep.GraphletDistance, "drift")
+			if rep.Major {
+				b.ReportMetric(1, "major")
+			} else {
+				b.ReportMetric(0, "major")
+			}
+		}
+	}
+	b.Run("l2", func(b *testing.B) { run(b, graphlet.L2, 0.01) })
+	b.Run("l1", func(b *testing.B) { run(b, graphlet.L1, 0.02) })
+	b.Run("hellinger", func(b *testing.B) { run(b, graphlet.Hellinger, 0.01) })
+}
+
+// Benchmark_Maintain_vs_Scratch is the headline micro-benchmark: one
+// MIDAS maintenance invocation versus a full CATAPULT++ rebuild on the
+// evolved database.
+func Benchmark_Maintain_vs_Scratch(b *testing.B) {
+	b.Run("midas-maintain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			db, ins := benchEngineDB()
+			eng := core.NewEngine(db, ablationConfig())
+			b.StartTimer()
+			if _, err := eng.Maintain(graph.Update{Insert: ins}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("catapultpp-scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			db, ins := benchEngineDB()
+			after, err := db.ApplyToCopy(graph.Update{Insert: ins})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := ablationConfig()
+			cfg.UseClosedFeatures = true
+			cfg.UseIndices = true
+			b.StartTimer()
+			_ = core.NewEngineWith(after, cfg)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+// Command midas-gen generates synthetic molecule-like graph databases,
+// batch updates, and query workloads in the line-oriented text format
+// (see package graph), substituting for the chemical repositories of
+// the paper's evaluation.
+//
+// Usage:
+//
+//	midas-gen -profile pubchem -n 1000 -seed 1 -out db.graphs
+//	midas-gen -profile boronic-esters -n 200 -from 1000 -out delta.graphs
+//	midas-gen -queries 500 -min 4 -max 40 -in db.graphs -out queries.graphs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/dataset"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "pubchem", "dataset profile: aids | pubchem | emol | boronic-esters")
+		n       = flag.Int("n", 100, "number of graphs to generate")
+		from    = flag.Int("from", 0, "first graph ID")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output file (default stdout)")
+		queries = flag.Int("queries", 0, "instead of molecules, generate this many queries from -in")
+		in      = flag.String("in", "", "input database for -queries")
+		minSize = flag.Int("min", 4, "minimum query size (edges)")
+		maxSize = flag.Int("max", 40, "maximum query size (edges)")
+		stats   = flag.Bool("stats", false, "print summary statistics of -in (or of the generated graphs) and exit")
+	)
+	flag.Parse()
+
+	if *stats && *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err.Error())
+		}
+		src, err := graph.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err.Error())
+		}
+		db := graph.NewDatabase()
+		for _, g := range src {
+			if err := db.Add(g); err != nil {
+				fatal(err.Error())
+			}
+		}
+		fmt.Print(graph.Stats(db))
+		return
+	}
+
+	var graphs []*graph.Graph
+	if *queries > 0 {
+		if *in == "" {
+			fatal("-queries requires -in <database file>")
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err.Error())
+		}
+		src, err := graph.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err.Error())
+		}
+		graphs = dataset.Queries(src, *queries, *minSize, *maxSize, *seed)
+	} else {
+		p, ok := dataset.Profiles(*profile)
+		if !ok {
+			fatal(fmt.Sprintf("unknown profile %q", *profile))
+		}
+		graphs = p.Generate(*n, *from, *seed)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err.Error())
+		}
+		defer f.Close()
+		w = f
+	}
+	if *stats {
+		db := graph.NewDatabase()
+		for _, g := range graphs {
+			if err := db.Add(g); err != nil {
+				fatal(err.Error())
+			}
+		}
+		fmt.Print(graph.Stats(db))
+		return
+	}
+	if err := graph.Write(w, graphs); err != nil {
+		fatal(err.Error())
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d graphs\n", len(graphs))
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "midas-gen:", msg)
+	os.Exit(1)
+}

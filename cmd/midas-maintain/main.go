@@ -1,0 +1,184 @@
+// Command midas-maintain selects a canned pattern set over a graph
+// database, applies a batch update, and maintains the set with the
+// chosen strategy, printing the selected patterns and quality metrics
+// before and after.
+//
+// Usage:
+//
+//	midas-maintain -db db.graphs -insert delta.graphs -gamma 30
+//	midas-maintain -db db.graphs -delete 5,17,230 -strategy random
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/midas-graph/midas"
+	"github.com/midas-graph/midas/graph"
+)
+
+func main() {
+	var (
+		dbPath    = flag.String("db", "", "database file (text format), required")
+		insPath   = flag.String("insert", "", "Δ+ file of graphs to insert")
+		delList   = flag.String("delete", "", "Δ- comma-separated graph IDs to delete")
+		gamma     = flag.Int("gamma", 30, "number of displayed patterns γ")
+		minSize   = flag.Int("min", 3, "minimum pattern size η_min")
+		maxSize   = flag.Int("max", 12, "maximum pattern size η_max")
+		supMin    = flag.Float64("supmin", 0.5, "FCT support threshold")
+		epsilon   = flag.Float64("epsilon", 0.01, "evolution ratio threshold ε (calibrate to your data's graphlet drift)")
+		kappa     = flag.Float64("kappa", 0.1, "swapping threshold κ (λ is set equal)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		sample    = flag.Int("sample", 200, "scov sample size (0 = exact)")
+		strategy  = flag.String("strategy", "multiscan", "swap strategy: multiscan | random")
+		dump      = flag.Bool("patterns", false, "print the maintained pattern set in text format")
+		statePath = flag.String("state", "", "restore engine state from this bundle instead of bootstrapping")
+		savePath  = flag.String("save", "", "write the engine state bundle here before exiting")
+	)
+	flag.Parse()
+	if *dbPath == "" && *statePath == "" {
+		fatal("one of -db or -state is required")
+	}
+
+	opts := midas.Options{
+		Budget:     midas.Budget{MinSize: *minSize, MaxSize: *maxSize, Count: *gamma},
+		SupMin:     *supMin,
+		Epsilon:    *epsilon,
+		Kappa:      *kappa,
+		Lambda:     *kappa,
+		Seed:       *seed,
+		SampleSize: *sample,
+		Strategy:   midas.Strategy(*strategy),
+	}
+
+	var eng *midas.Engine
+	if *statePath != "" {
+		f, err := os.Open(*statePath)
+		if err != nil {
+			fatal(err.Error())
+		}
+		eng, err = midas.LoadState(f)
+		f.Close()
+		if err != nil {
+			fatal(err.Error())
+		}
+		fmt.Printf("restored %d graphs, %d patterns in %v\n",
+			eng.DB().Len(), len(eng.Patterns()), eng.BootstrapTime().Round(timeUnit))
+	} else {
+		db := readDB(*dbPath)
+		fmt.Printf("bootstrapping over %d graphs...\n", db.Len())
+		eng = midas.New(db, opts)
+		fmt.Printf("selected %d patterns in %v\n", len(eng.Patterns()), eng.BootstrapTime().Round(timeUnit))
+	}
+	printQuality("initial", eng.Quality())
+
+	u := buildUpdate(eng, *insPath, *delList)
+	if len(u.Insert) == 0 && len(u.Delete) == 0 {
+		if *dump {
+			_ = graph.Write(os.Stdout, eng.Patterns())
+		}
+		saveIfAsked(eng, opts, *savePath)
+		return
+	}
+
+	rep, err := eng.Maintain(u)
+	if err != nil {
+		fatal(err.Error())
+	}
+	fmt.Printf("\nmaintenance: Δ+=%d Δ-=%d graphlet-dist=%.4f major=%v\n",
+		len(u.Insert), len(u.Delete), rep.GraphletDistance, rep.Major)
+	fmt.Printf("PMT=%v PGT=%v (cluster=%v fct=%v csg=%v index=%v) swaps=%d candidates=%d\n",
+		rep.PMT.Round(timeUnit), rep.PGT.Round(timeUnit),
+		rep.ClusterTime.Round(timeUnit), rep.FCTTime.Round(timeUnit),
+		rep.CSGTime.Round(timeUnit), rep.IndexTime.Round(timeUnit),
+		rep.Swaps, rep.Candidates)
+	printQuality("maintained", eng.Quality())
+
+	if *dump {
+		_ = graph.Write(os.Stdout, eng.Patterns())
+	}
+	saveIfAsked(eng, opts, *savePath)
+}
+
+func saveIfAsked(eng *midas.Engine, opts midas.Options, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err.Error())
+	}
+	defer f.Close()
+	if err := midas.SaveState(f, eng, opts); err != nil {
+		fatal(err.Error())
+	}
+	fmt.Fprintf(os.Stderr, "state saved to %s\n", path)
+}
+
+const timeUnit = 1000 * 1000 // microsecond rounding
+
+func readDB(path string) *graph.Database {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err.Error())
+	}
+	defer f.Close()
+	graphs, err := graph.Read(f)
+	if err != nil {
+		fatal(err.Error())
+	}
+	db := graph.NewDatabase()
+	for _, g := range graphs {
+		if err := db.Add(g); err != nil {
+			fatal(err.Error())
+		}
+	}
+	return db
+}
+
+func buildUpdate(eng *midas.Engine, insPath, delList string) graph.Update {
+	var u graph.Update
+	if insPath != "" {
+		f, err := os.Open(insPath)
+		if err != nil {
+			fatal(err.Error())
+		}
+		ins, err := graph.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err.Error())
+		}
+		// Remap colliding IDs past the current range.
+		next := eng.DB().NextID()
+		for _, g := range ins {
+			if eng.DB().Has(g.ID) {
+				g.ID = next
+				next++
+			}
+		}
+		u.Insert = ins
+	}
+	if delList != "" {
+		for _, tok := range strings.Split(delList, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				fatal("bad -delete id: " + tok)
+			}
+			u.Delete = append(u.Delete, id)
+		}
+	}
+	return u
+}
+
+func printQuality(label string, q midas.Quality) {
+	fmt.Printf("%s quality: scov=%.3f lcov=%.3f div=%.2f cog=%.2f score=%.4f\n",
+		label, q.Scov, q.Lcov, q.Div, q.Cog, q.Score())
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "midas-maintain:", msg)
+	os.Exit(1)
+}

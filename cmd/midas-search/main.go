@@ -1,0 +1,94 @@
+// Command midas-search executes subgraph queries against a graph
+// database using the MIDAS indices as a filter–verify accelerator.
+//
+// Usage:
+//
+//	midas-search -db db.graphs -queries queries.graphs
+//	midas-search -db db.graphs -queries queries.graphs -limit 5 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/midas-graph/midas"
+	"github.com/midas-graph/midas/graph"
+)
+
+func main() {
+	var (
+		dbPath  = flag.String("db", "", "database file (text format), required")
+		qPath   = flag.String("queries", "", "query graphs file (text format), required")
+		limit   = flag.Int("limit", 0, "max results per query (0 = all)")
+		supMin  = flag.Float64("supmin", 0.5, "feature support threshold for index mining")
+		stats   = flag.Bool("stats", false, "print filter-verify funnel per query")
+		verbose = flag.Bool("v", false, "print matching graph IDs")
+	)
+	flag.Parse()
+	if *dbPath == "" || *qPath == "" {
+		fatal("-db and -queries are required")
+	}
+
+	db := readDB(*dbPath)
+	queries := readGraphs(*qPath)
+	fmt.Printf("database: %d graphs; %d queries\n", db.Len(), len(queries))
+
+	s := midas.NewSearcher(db, *supMin)
+	totalMatches, totalCand, totalPruned := 0, 0, 0
+	for _, q := range queries {
+		rs, st := s.Query(q, *limit)
+		totalMatches += st.Verified
+		totalCand += st.Candidates
+		totalPruned += st.Pruned
+		if *stats {
+			fmt.Printf("query %d (%dv/%de): %d candidates, %d matches, %d pruned\n",
+				q.ID, q.Order(), q.Size(), st.Candidates, st.Verified, st.Pruned)
+		}
+		if *verbose {
+			fmt.Printf("query %d matches:", q.ID)
+			for _, r := range rs {
+				fmt.Printf(" %d", r.GraphID)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("total: %d matches; index pruned %d of %d containment checks (%.1f%%)\n",
+		totalMatches, totalPruned, totalPruned+totalCand,
+		100*float64(totalPruned)/float64(max(1, totalPruned+totalCand)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func readDB(path string) *graph.Database {
+	db := graph.NewDatabase()
+	for _, g := range readGraphs(path) {
+		if err := db.Add(g); err != nil {
+			fatal(err.Error())
+		}
+	}
+	return db
+}
+
+func readGraphs(path string) []*graph.Graph {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err.Error())
+	}
+	defer f.Close()
+	gs, err := graph.Read(f)
+	if err != nil {
+		fatal(err.Error())
+	}
+	return gs
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "midas-search:", msg)
+	os.Exit(1)
+}

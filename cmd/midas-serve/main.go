@@ -1,0 +1,156 @@
+// Command midas-serve hosts a canned-pattern panel over HTTP: an HTML
+// page with the current patterns drawn as SVG, JSON endpoints for a GUI
+// front end, a maintenance endpoint accepting batch updates, and a
+// subgraph-query endpoint.
+//
+// Usage:
+//
+//	midas-serve -db db.graphs -addr :8080
+//	midas-serve -state panel.state -addr :8080 -save panel.state
+//
+// Endpoints:
+//
+//	GET  /               HTML panel
+//	GET  /patterns?svg=1 pattern set as JSON (optionally with SVG)
+//	GET  /quality        pattern-set quality metrics
+//	POST /maintain       body: Δ+ graphs (text format); ?delete=1,2 for Δ-
+//	POST /query?limit=N  body: one query graph (text format)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/midas-graph/midas"
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/panel"
+)
+
+func main() {
+	var (
+		dbPath    = flag.String("db", "", "database file to bootstrap from (text format)")
+		statePath = flag.String("state", "", "state bundle to restore instead of bootstrapping")
+		savePath  = flag.String("save", "", "write the state bundle here on SIGTERM-free exit paths (after each maintenance)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		gamma     = flag.Int("gamma", 20, "number of displayed patterns γ")
+		minSize   = flag.Int("min", 3, "minimum pattern size")
+		maxSize   = flag.Int("max", 8, "maximum pattern size")
+		supMin    = flag.Float64("supmin", 0.4, "FCT support threshold")
+		epsilon   = flag.Float64("epsilon", 0.01, "evolution ratio threshold ε")
+		seed      = flag.Int64("seed", 1, "random seed")
+		watchDir  = flag.String("watch", "", "spool directory: apply *.graphs / *.delete files as periodic batches")
+		watchIvl  = flag.Duration("interval", time.Minute, "spool polling interval")
+	)
+	flag.Parse()
+
+	opts := midas.Options{
+		Budget:  midas.Budget{MinSize: *minSize, MaxSize: *maxSize, Count: *gamma},
+		SupMin:  *supMin,
+		Epsilon: *epsilon,
+		Seed:    *seed,
+	}
+
+	var eng *midas.Engine
+	switch {
+	case *statePath != "":
+		f, err := os.Open(*statePath)
+		if err != nil {
+			log.Fatalf("midas-serve: %v", err)
+		}
+		eng, err = midas.LoadState(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("midas-serve: %v", err)
+		}
+		log.Printf("restored state: %d graphs, %d patterns", eng.DB().Len(), len(eng.Patterns()))
+	case *dbPath != "":
+		f, err := os.Open(*dbPath)
+		if err != nil {
+			log.Fatalf("midas-serve: %v", err)
+		}
+		graphs, err := graph.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("midas-serve: %v", err)
+		}
+		db := graph.NewDatabase()
+		for _, g := range graphs {
+			if err := db.Add(g); err != nil {
+				log.Fatalf("midas-serve: %v", err)
+			}
+		}
+		log.Printf("bootstrapping over %d graphs...", db.Len())
+		eng = midas.New(db, opts)
+		log.Printf("selected %d patterns in %v", len(eng.Patterns()), eng.BootstrapTime())
+	default:
+		fmt.Fprintln(os.Stderr, "midas-serve: one of -db or -state is required")
+		os.Exit(1)
+	}
+
+	srv := panel.New(eng, opts)
+	if *watchDir != "" {
+		w := &panel.Watcher{Dir: *watchDir, Engine: eng, Logf: log.Printf, Locker: srv.Locker()}
+		if *savePath != "" {
+			w.OnBatch = func(string, midas.MaintenanceReport) {
+				if err := saveState(eng, opts, *savePath); err != nil {
+					log.Printf("midas-serve: saving state: %v", err)
+				}
+			}
+		}
+		go w.Run(*watchIvl, make(chan struct{}))
+		log.Printf("watching %s every %v", *watchDir, *watchIvl)
+	}
+
+	handler := srv.Handler()
+	if *savePath != "" {
+		handler = withStateSaving(handler, eng, opts, *savePath)
+	}
+	log.Printf("serving pattern panel on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, handler))
+}
+
+// withStateSaving persists the bundle after each successful POST
+// /maintain so a restart picks up the maintained panel.
+func withStateSaving(next http.Handler, eng *midas.Engine, opts midas.Options, path string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		if r.Method == http.MethodPost && r.URL.Path == "/maintain" && rec.status == http.StatusOK {
+			if err := saveState(eng, opts, path); err != nil {
+				log.Printf("midas-serve: saving state: %v", err)
+			}
+		}
+	})
+}
+
+func saveState(eng *midas.Engine, opts midas.Options, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := midas.SaveState(f, eng, opts); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,59 @@
+package midas_test
+
+import (
+	"fmt"
+
+	"github.com/midas-graph/midas"
+	"github.com/midas-graph/midas/graph"
+)
+
+// ExampleNew selects canned patterns over a miniature database and
+// prints the panel.
+func ExampleNew() {
+	db := graph.DatabaseOf(
+		graph.Path(0, "C", "O", "C"),
+		graph.Path(1, "C", "O", "C"),
+		graph.Path(2, "C", "O", "C", "N"),
+		graph.Star(3, "C", "N", "N", "N"),
+	)
+	eng := midas.New(db, midas.Options{
+		Budget: midas.Budget{MinSize: 2, MaxSize: 3, Count: 2},
+		SupMin: 0.5,
+		Seed:   1,
+	})
+	for _, p := range eng.Patterns() {
+		fmt.Printf("pattern of %d edges covering %.0f%% of the database\n",
+			p.Size(), 100*midas.NewEvaluator(db, midas.Options{SupMin: 0.5}).Scov(p))
+	}
+	// Output:
+	// pattern of 3 edges covering 25% of the database
+	// pattern of 2 edges covering 75% of the database
+}
+
+// ExampleFormulator compares edge-at-a-time and pattern-at-a-time
+// construction of one query.
+func ExampleFormulator() {
+	gui := midas.NewFormulator(10, 0)
+	query := graph.Path(0, "C", "O", "C", "O", "C")
+	pattern := graph.Path(1, "C", "O", "C")
+
+	edge := gui.EdgeAtATime(query)
+	plan := gui.PatternAtATime(query, []*graph.Graph{pattern})
+	fmt.Printf("edge-at-a-time: %d steps\n", edge.Steps)
+	fmt.Printf("pattern-at-a-time: %d steps using %d pattern drops\n",
+		plan.Steps, len(plan.PatternsUsed))
+	// Output:
+	// edge-at-a-time: 9 steps
+	// pattern-at-a-time: 2 steps using 2 pattern drops
+}
+
+// ExampleEditScript shows the modification hints between two graphs.
+func ExampleEditScript() {
+	from := graph.Path(0, "C", "O", "N")
+	to := graph.Path(1, "C", "O", "S")
+	steps, cost := midas.EditScript(from, to)
+	fmt.Printf("cost %.0f: %s vertex %d to %s\n",
+		cost, steps[0].Op, steps[0].Vertex, steps[0].Label)
+	// Output:
+	// cost 1: relabel-vertex vertex 2 to S
+}

@@ -1,0 +1,115 @@
+package midas
+
+import (
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/ged"
+	"github.com/midas-graph/midas/internal/gui"
+)
+
+// FormulationPlan describes how one visual query would be constructed.
+type FormulationPlan struct {
+	// PatternsUsed lists the IDs of canned patterns dragged onto the
+	// canvas (repeats allowed).
+	PatternsUsed []int
+	// VertexAdds, EdgeAdds and Deletes are the remaining primitive
+	// steps.
+	VertexAdds, EdgeAdds, Deletes int
+	// Steps is the total number of formulation steps.
+	Steps int
+	// QFT is the modelled query formulation time in seconds; VMT is the
+	// pattern-browsing component included in it.
+	QFT, VMT float64
+	// Missed reports that no canned pattern was usable.
+	Missed bool
+}
+
+func fromPlan(p gui.Plan) FormulationPlan {
+	return FormulationPlan{
+		PatternsUsed: p.PatternsUsed,
+		VertexAdds:   p.VertexAdds,
+		EdgeAdds:     p.EdgeAdds,
+		Deletes:      p.Deletes,
+		Steps:        p.Steps,
+		QFT:          p.QFT,
+		VMT:          p.VMT,
+		Missed:       p.Missed,
+	}
+}
+
+// Formulator simulates visual query formulation in a
+// direct-manipulation GUI, calibrated on the paper's Example 1.1
+// (≈3.5 s per primitive action; VMT within the measured 6.4–9.4 s
+// band for 30 displayed patterns).
+type Formulator struct {
+	sim *gui.Simulator
+}
+
+// NewFormulator returns a simulator for a GUI displaying the given
+// number of patterns. allowEdits > 0 lets the simulated user delete up
+// to that many edges from a dropped pattern (the paper's user study
+// allows modifications; its automated study does not).
+func NewFormulator(displayed, allowEdits int) *Formulator {
+	s := gui.NewSimulator(displayed)
+	s.AllowEdits = allowEdits
+	return &Formulator{sim: s}
+}
+
+// EdgeAtATime plans building q one vertex/edge at a time.
+func (f *Formulator) EdgeAtATime(q *graph.Graph) FormulationPlan {
+	return fromPlan(f.sim.EdgeAtATime(q))
+}
+
+// PatternAtATime plans building q with the given canned patterns.
+func (f *Formulator) PatternAtATime(q *graph.Graph, patterns []*graph.Graph) FormulationPlan {
+	return fromPlan(f.sim.PatternAtATime(q, patterns))
+}
+
+// MissedPercentage returns the share (in %) of queries that no pattern
+// in the set can help construct (the MP measure of §7.1).
+func MissedPercentage(queries, patterns []*graph.Graph) float64 {
+	return gui.MP(queries, patterns)
+}
+
+// ReductionRatio returns μ = (steps_X − steps_ref) / steps_X: positive
+// when the reference pattern set needs fewer steps than X's (§7.1).
+func ReductionRatio(stepsX, stepsRef float64) float64 {
+	return gui.ReductionRatio(stepsX, stepsRef)
+}
+
+// EditStep is one operation of an edit script between two graphs.
+type EditStep struct {
+	// Op is one of "relabel-vertex", "delete-vertex", "insert-vertex",
+	// "delete-edge", "insert-edge".
+	Op string
+	// Vertex / Edge reference the source graph where applicable; Label
+	// carries the new or inserted label.
+	Vertex int
+	EdgeU  int
+	EdgeV  int
+	Label  string
+}
+
+// EditScript returns a minimal (exact for small graphs, approximate
+// beyond) edit script turning `from` into a graph isomorphic to `to`,
+// with its cost (the graph edit distance realised by the script). A GUI
+// can display it as modification hints after a user drops a canned
+// pattern that almost matches their intent.
+func EditScript(from, to *graph.Graph) ([]EditStep, float64) {
+	ops, cost := ged.EditPath(from, to)
+	out := make([]EditStep, 0, len(ops))
+	for _, op := range ops {
+		switch op.Kind {
+		case ged.RelabelVertex:
+			out = append(out, EditStep{Op: "relabel-vertex", Vertex: op.V, Label: op.Label})
+		case ged.DeleteVertex:
+			out = append(out, EditStep{Op: "delete-vertex", Vertex: op.V})
+		case ged.InsertVertex:
+			out = append(out, EditStep{Op: "insert-vertex", Vertex: op.V, Label: op.Label})
+		case ged.DeleteEdge:
+			out = append(out, EditStep{Op: "delete-edge", EdgeU: op.U, EdgeV: op.W})
+		case ged.InsertEdge:
+			out = append(out, EditStep{Op: "insert-edge", EdgeU: op.A.V, EdgeV: op.B.V})
+		}
+	}
+	return out, cost
+}

@@ -1,0 +1,3 @@
+module github.com/midas-graph/midas
+
+go 1.22

@@ -1,0 +1,71 @@
+package graph
+
+// Convenience constructors, used heavily by tests and examples.
+
+// FromEdges builds a graph with the given vertex labels and undirected
+// edges. It panics on invalid edges so that test fixtures fail loudly.
+func FromEdges(id int, labels []string, edges [][2]int) *Graph {
+	g := New(id)
+	for _, l := range labels {
+		g.AddVertex(l)
+	}
+	for _, e := range edges {
+		if !g.AddEdge(e[0], e[1]) {
+			panic("graph: FromEdges: invalid or duplicate edge")
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Path builds a path graph over the given labels in order.
+func Path(id int, labels ...string) *Graph {
+	g := New(id)
+	for _, l := range labels {
+		g.AddVertex(l)
+	}
+	for i := 1; i < len(labels); i++ {
+		g.AddEdge(i-1, i)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Cycle builds a cycle over the given labels in order. It requires at
+// least three labels.
+func Cycle(id int, labels ...string) *Graph {
+	if len(labels) < 3 {
+		panic("graph: Cycle needs at least 3 vertices")
+	}
+	g := Path(id, labels...)
+	g.AddEdge(len(labels)-1, 0)
+	g.SortAdjacency()
+	return g
+}
+
+// Star builds a star with the first label as centre and the rest as leaves.
+func Star(id int, center string, leaves ...string) *Graph {
+	g := New(id)
+	c := g.AddVertex(center)
+	for _, l := range leaves {
+		v := g.AddVertex(l)
+		g.AddEdge(c, v)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Clique builds a complete graph over the given labels.
+func Clique(id int, labels ...string) *Graph {
+	g := New(id)
+	for _, l := range labels {
+		g.AddVertex(l)
+	}
+	for i := 0; i < len(labels); i++ {
+		for j := i + 1; j < len(labels); j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	g.SortAdjacency()
+	return g
+}

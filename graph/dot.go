@@ -1,0 +1,32 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders g in Graphviz DOT format, one way to eyeball
+// patterns and data graphs (`dot -Tpng`). Vertex labels become node
+// labels; the graph ID names the DOT graph.
+func WriteDOT(w io.Writer, g *Graph) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph g%d {\n", g.ID)
+	b.WriteString("  node [shape=circle fontsize=10];\n")
+	for v := 0; v < g.Order(); v++ {
+		fmt.Fprintf(&b, "  v%d [label=%q];\n", v, g.Label(v))
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  v%d -- v%d;\n", e.U, e.V)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// DOT renders g as a DOT string.
+func DOT(g *Graph) string {
+	var b strings.Builder
+	_ = WriteDOT(&b, g)
+	return b.String()
+}

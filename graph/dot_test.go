@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOT(t *testing.T) {
+	g := Path(4, "C", "O")
+	dot := DOT(g)
+	for _, want := range []string{"graph g4 {", `v0 [label="C"]`, `v1 [label="O"]`, "v0 -- v1;", "}"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDOTEmpty(t *testing.T) {
+	dot := DOT(New(0))
+	if !strings.HasPrefix(dot, "graph g0 {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("empty DOT malformed: %q", dot)
+	}
+}
+
+func FuzzRead(f *testing.F) {
+	f.Add("t 0\nv 0 C\nv 1 O\ne 0 1\n")
+	f.Add("# comment\nt 1\nv 0 N\n")
+	f.Add("t 0\nv 0 C\ne 0 0\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		gs, err := Unmarshal(input)
+		if err != nil {
+			return // rejected input is fine; must not panic
+		}
+		// Accepted input must round-trip.
+		back, err := Unmarshal(Marshal(gs))
+		if err != nil {
+			t.Fatalf("accepted input failed to round trip: %v", err)
+		}
+		if len(back) != len(gs) {
+			t.Fatalf("round trip changed graph count: %d vs %d", len(back), len(gs))
+		}
+		for i := range gs {
+			if Signature(gs[i]) != Signature(back[i]) {
+				t.Fatal("round trip changed structure")
+			}
+		}
+	})
+}
+
+func FuzzJSON(f *testing.F) {
+	f.Add(`{"id":1,"vertices":["C","O"],"edges":[[0,1]]}`)
+	f.Add(`{"id":0,"vertices":[],"edges":[]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		var g Graph
+		if err := g.UnmarshalJSON([]byte(input)); err != nil {
+			return
+		}
+		data, err := g.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted graph failed to marshal: %v", err)
+		}
+		var back Graph
+		if err := back.UnmarshalJSON(data); err != nil {
+			t.Fatalf("marshalled graph failed to unmarshal: %v", err)
+		}
+		if Signature(&g) != Signature(&back) {
+			t.Fatal("JSON round trip changed structure")
+		}
+	})
+}

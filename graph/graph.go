@@ -1,0 +1,345 @@
+// Package graph provides the labelled-graph model shared by every MIDAS
+// subsystem: undirected simple graphs with labelled vertices, as used for
+// data graphs, canned patterns and visual subgraph queries (paper §2.1).
+//
+// The package also provides a line-oriented text format for graph
+// databases (see io.go), basic traversals, and subgraph extraction
+// helpers. Vertices are dense integer IDs local to a graph; the label of
+// an edge (u,v) is the unordered pair of its endpoint labels, rendered
+// canonically as "a.b" with a <= b.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is an undirected edge between vertices U and V of one graph.
+// Invariant: U < V for edges stored inside a Graph.
+type Edge struct {
+	U, V int
+}
+
+// Canon returns e with endpoints ordered so that U <= V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Graph is an undirected simple graph with labelled vertices.
+//
+// The zero value is an empty graph ready for use. Graphs are not safe for
+// concurrent mutation; concurrent reads are safe.
+type Graph struct {
+	// ID is the database-assigned identifier of a data graph, or a
+	// caller-chosen identifier for patterns and queries. It does not
+	// affect structural semantics.
+	ID int
+
+	labels []string
+	adj    [][]int
+	edges  []Edge
+	eset   map[Edge]struct{}
+}
+
+// New returns an empty graph with the given ID.
+func New(id int) *Graph {
+	return &Graph{ID: id, eset: make(map[Edge]struct{})}
+}
+
+// Clone returns a deep copy of g (same ID).
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		ID:     g.ID,
+		labels: append([]string(nil), g.labels...),
+		adj:    make([][]int, len(g.adj)),
+		edges:  append([]Edge(nil), g.edges...),
+		eset:   make(map[Edge]struct{}, len(g.edges)),
+	}
+	for i, nb := range g.adj {
+		c.adj[i] = append([]int(nil), nb...)
+	}
+	for _, e := range g.edges {
+		c.eset[e] = struct{}{}
+	}
+	return c
+}
+
+// Order returns |V|.
+func (g *Graph) Order() int { return len(g.labels) }
+
+// Size returns |E|. Following the paper, |G| denotes the edge count.
+func (g *Graph) Size() int { return len(g.edges) }
+
+// AddVertex appends a vertex with the given label and returns its ID.
+func (g *Graph) AddVertex(label string) int {
+	g.labels = append(g.labels, label)
+	g.adj = append(g.adj, nil)
+	return len(g.labels) - 1
+}
+
+// Label returns the label of vertex v. It panics if v is out of range.
+func (g *Graph) Label(v int) string { return g.labels[v] }
+
+// SetLabel replaces the label of vertex v.
+func (g *Graph) SetLabel(v int, label string) { g.labels[v] = label }
+
+// Labels returns the slice of vertex labels indexed by vertex ID. The
+// returned slice is owned by the graph and must not be mutated.
+func (g *Graph) Labels() []string { return g.labels }
+
+// AddEdge inserts the undirected edge (u,v). It reports whether the edge
+// was added; it returns false for self-loops, duplicate edges, or
+// out-of-range endpoints, keeping the graph simple.
+func (g *Graph) AddEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= len(g.labels) || v >= len(g.labels) {
+		return false
+	}
+	e := Edge{U: u, V: v}.Canon()
+	if g.eset == nil {
+		g.eset = make(map[Edge]struct{})
+	}
+	if _, dup := g.eset[e]; dup {
+		return false
+	}
+	g.eset[e] = struct{}{}
+	g.edges = append(g.edges, e)
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	return true
+}
+
+// HasEdge reports whether the undirected edge (u,v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if g.eset == nil {
+		return false
+	}
+	_, ok := g.eset[Edge{U: u, V: v}.Canon()]
+	return ok
+}
+
+// RemoveEdge deletes the undirected edge (u,v), reporting whether it
+// existed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	e := Edge{U: u, V: v}.Canon()
+	if g.eset == nil {
+		return false
+	}
+	if _, ok := g.eset[e]; !ok {
+		return false
+	}
+	delete(g.eset, e)
+	for i, x := range g.edges {
+		if x == e {
+			g.edges = append(g.edges[:i], g.edges[i+1:]...)
+			break
+		}
+	}
+	g.adj[e.U] = removeFrom(g.adj[e.U], e.V)
+	g.adj[e.V] = removeFrom(g.adj[e.V], e.U)
+	return true
+}
+
+func removeFrom(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// Neighbors returns the adjacency list of v. The returned slice is owned
+// by the graph and must not be mutated.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Edges returns the edge list. The returned slice is owned by the graph
+// and must not be mutated.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// EdgeLabel returns the canonical label of edge (u,v): "a.b" with the two
+// endpoint labels sorted (paper §2.1: l(e) = l(u).l(v)).
+func (g *Graph) EdgeLabel(u, v int) string {
+	return EdgeLabelOf(g.labels[u], g.labels[v])
+}
+
+// EdgeLabelOf returns the canonical edge label of two vertex labels.
+func EdgeLabelOf(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "." + b
+}
+
+// EdgeLabels returns the multiset-free set of edge labels occurring in g.
+func (g *Graph) EdgeLabels() map[string]struct{} {
+	set := make(map[string]struct{}, len(g.edges))
+	for _, e := range g.edges {
+		set[g.EdgeLabel(e.U, e.V)] = struct{}{}
+	}
+	return set
+}
+
+// VertexLabelSet returns the set of distinct vertex labels in g.
+func (g *Graph) VertexLabelSet() map[string]struct{} {
+	set := make(map[string]struct{}, len(g.labels))
+	for _, l := range g.labels {
+		set[l] = struct{}{}
+	}
+	return set
+}
+
+// Density returns 2|E| / (|V|(|V|-1)), the ρ used by the cognitive-load
+// measure (paper §2.2). Graphs with fewer than two vertices have density 0.
+func (g *Graph) Density() float64 {
+	n := len(g.labels)
+	if n < 2 {
+		return 0
+	}
+	return 2 * float64(len(g.edges)) / float64(n*(n-1))
+}
+
+// CognitiveLoad returns cog(g) = |E| × ρ (paper §2.2).
+func (g *Graph) CognitiveLoad() float64 {
+	return float64(len(g.edges)) * g.Density()
+}
+
+// IsConnected reports whether g is connected. The empty graph and
+// single-vertex graphs are connected.
+func (g *Graph) IsConnected() bool {
+	n := len(g.labels)
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// ConnectedComponents returns the vertex sets of the connected components
+// of g, each sorted ascending, ordered by smallest member.
+func (g *Graph) ConnectedComponents() [][]int {
+	n := len(g.labels)
+	seen := make([]bool, n)
+	var comps [][]int
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, w := range g.adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices.
+// Vertex IDs are renumbered densely in the order given; the result has
+// ID -1.
+func (g *Graph) InducedSubgraph(vertices []int) *Graph {
+	sub := New(-1)
+	idx := make(map[int]int, len(vertices))
+	for _, v := range vertices {
+		idx[v] = sub.AddVertex(g.labels[v])
+	}
+	for _, e := range g.edges {
+		iu, oku := idx[e.U]
+		iv, okv := idx[e.V]
+		if oku && okv {
+			sub.AddEdge(iu, iv)
+		}
+	}
+	return sub
+}
+
+// EdgeSubgraph returns the subgraph consisting of exactly the given edges
+// of g and their endpoints, with vertices renumbered densely. The result
+// has ID -1.
+func (g *Graph) EdgeSubgraph(edges []Edge) *Graph {
+	sub := New(-1)
+	idx := make(map[int]int)
+	get := func(v int) int {
+		if i, ok := idx[v]; ok {
+			return i
+		}
+		i := sub.AddVertex(g.labels[v])
+		idx[v] = i
+		return i
+	}
+	for _, e := range edges {
+		sub.AddEdge(get(e.U), get(e.V))
+	}
+	return sub
+}
+
+// IsTree reports whether g is connected and acyclic with at least one
+// vertex.
+func (g *Graph) IsTree() bool {
+	return len(g.labels) >= 1 && len(g.edges) == len(g.labels)-1 && g.IsConnected()
+}
+
+// DegreeSequence returns the sorted (ascending) degree sequence.
+func (g *Graph) DegreeSequence() []int {
+	d := make([]int, len(g.adj))
+	for i := range g.adj {
+		d[i] = len(g.adj[i])
+	}
+	sort.Ints(d)
+	return d
+}
+
+// SortAdjacency sorts every adjacency list ascending, giving deterministic
+// iteration order. Mutating operations do not preserve sortedness; call
+// again after a batch of mutations when determinism matters.
+func (g *Graph) SortAdjacency() {
+	for i := range g.adj {
+		sort.Ints(g.adj[i])
+	}
+}
+
+// String renders a compact human-readable description such as
+// "g12(v=4,e=3)[C-O C-O C-N]".
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "g%d(v=%d,e=%d)[", g.ID, g.Order(), g.Size())
+	for i, e := range g.edges {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s-%s", g.labels[e.U], g.labels[e.V])
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,288 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddVertexAndEdge(t *testing.T) {
+	g := New(7)
+	a := g.AddVertex("C")
+	b := g.AddVertex("O")
+	c := g.AddVertex("N")
+	if g.Order() != 3 {
+		t.Fatalf("Order = %d, want 3", g.Order())
+	}
+	if !g.AddEdge(a, b) {
+		t.Fatal("AddEdge(a,b) = false, want true")
+	}
+	if g.AddEdge(b, a) {
+		t.Fatal("duplicate reversed edge accepted")
+	}
+	if g.AddEdge(a, a) {
+		t.Fatal("self-loop accepted")
+	}
+	if g.AddEdge(a, 99) {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if !g.AddEdge(b, c) {
+		t.Fatal("AddEdge(b,c) = false, want true")
+	}
+	if g.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", g.Size())
+	}
+	if !g.HasEdge(b, a) || !g.HasEdge(a, b) {
+		t.Fatal("HasEdge not symmetric")
+	}
+	if g.HasEdge(a, c) {
+		t.Fatal("HasEdge reports missing edge")
+	}
+	if g.Degree(b) != 2 || g.Degree(a) != 1 {
+		t.Fatalf("degrees = %d,%d want 2,1", g.Degree(b), g.Degree(a))
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := Path(0, "A", "B", "C")
+	if !g.RemoveEdge(1, 0) {
+		t.Fatal("RemoveEdge failed on existing edge")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge succeeded twice")
+	}
+	if g.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", g.Size())
+	}
+	if g.HasEdge(0, 1) {
+		t.Fatal("edge still present after removal")
+	}
+	if g.Degree(0) != 0 || g.Degree(1) != 1 {
+		t.Fatalf("degrees after removal = %d,%d want 0,1", g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestEdgeLabel(t *testing.T) {
+	g := Path(0, "O", "C")
+	if got := g.EdgeLabel(0, 1); got != "C.O" {
+		t.Fatalf("EdgeLabel = %q, want C.O", got)
+	}
+	if got := g.EdgeLabel(1, 0); got != "C.O" {
+		t.Fatalf("EdgeLabel reversed = %q, want C.O", got)
+	}
+	if got := EdgeLabelOf("N", "C"); got != "C.N" {
+		t.Fatalf("EdgeLabelOf = %q, want C.N", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := Cycle(3, "C", "C", "O", "N")
+	c := g.Clone()
+	if c.ID != g.ID || c.Order() != g.Order() || c.Size() != g.Size() {
+		t.Fatal("clone differs structurally")
+	}
+	c.AddVertex("S")
+	c.AddEdge(0, 4)
+	if g.Order() == c.Order() || g.Size() == c.Size() {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	g := Path(0, "A", "B", "C")
+	if !g.IsConnected() {
+		t.Fatal("path not connected")
+	}
+	g.AddVertex("D")
+	if g.IsConnected() {
+		t.Fatal("graph with isolated vertex reported connected")
+	}
+	comps := g.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if !reflect.DeepEqual(comps[0], []int{0, 1, 2}) || !reflect.DeepEqual(comps[1], []int{3}) {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	g := New(0)
+	if !g.IsConnected() {
+		t.Fatal("empty graph should be connected by convention")
+	}
+	if g.Density() != 0 || g.CognitiveLoad() != 0 {
+		t.Fatal("empty graph density/cog should be 0")
+	}
+	g.AddVertex("C")
+	if !g.IsConnected() {
+		t.Fatal("singleton should be connected")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Clique(0, "A", "B", "C", "D")
+	sub := g.InducedSubgraph([]int{0, 1, 2})
+	if sub.Order() != 3 || sub.Size() != 3 {
+		t.Fatalf("induced K3: v=%d e=%d, want 3,3", sub.Order(), sub.Size())
+	}
+	labels := SortedVertexLabels(sub)
+	if !reflect.DeepEqual(labels, []string{"A", "B", "C"}) {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestEdgeSubgraph(t *testing.T) {
+	g := Cycle(0, "A", "B", "C", "D")
+	edges := g.Edges()
+	sub := g.EdgeSubgraph(edges[:2])
+	if sub.Size() != 2 {
+		t.Fatalf("edge subgraph size = %d, want 2", sub.Size())
+	}
+	if sub.Order() != 3 {
+		t.Fatalf("edge subgraph order = %d, want 3", sub.Order())
+	}
+}
+
+func TestIsTree(t *testing.T) {
+	if !Path(0, "A", "B", "C").IsTree() {
+		t.Fatal("path should be a tree")
+	}
+	if Cycle(0, "A", "B", "C").IsTree() {
+		t.Fatal("cycle should not be a tree")
+	}
+	g := Path(0, "A", "B")
+	g.AddVertex("C") // disconnected
+	if g.IsTree() {
+		t.Fatal("forest should not be a tree")
+	}
+	single := New(0)
+	single.AddVertex("A")
+	if !single.IsTree() {
+		t.Fatal("single vertex is a tree")
+	}
+}
+
+func TestDensityAndCognitiveLoad(t *testing.T) {
+	k3 := Clique(0, "A", "B", "C")
+	if k3.Density() != 1 {
+		t.Fatalf("K3 density = %v, want 1", k3.Density())
+	}
+	if k3.CognitiveLoad() != 3 {
+		t.Fatalf("K3 cog = %v, want 3", k3.CognitiveLoad())
+	}
+	p3 := Path(0, "A", "B", "C")
+	want := 2 * 2.0 / 3.0 // |E| * 2|E|/(|V||V-1|) = 2 * 4/6
+	if got := p3.CognitiveLoad(); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("P3 cog = %v, want %v", got, want)
+	}
+}
+
+func TestDegreeSequence(t *testing.T) {
+	g := Star(0, "C", "H", "H", "H", "H")
+	if !reflect.DeepEqual(g.DegreeSequence(), []int{1, 1, 1, 1, 4}) {
+		t.Fatalf("degree sequence = %v", g.DegreeSequence())
+	}
+}
+
+// randomGraph builds a random labelled graph for property tests.
+func randomGraph(r *rand.Rand, maxN int) *Graph {
+	labels := []string{"C", "O", "N", "H", "S"}
+	n := 1 + r.Intn(maxN)
+	g := New(r.Intn(1000))
+	for i := 0; i < n; i++ {
+		g.AddVertex(labels[r.Intn(len(labels))])
+	}
+	// random spanning structure then extra edges
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, r.Intn(i))
+	}
+	extra := r.Intn(n + 1)
+	for i := 0; i < extra; i++ {
+		g.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	g.SortAdjacency()
+	return g
+}
+
+func TestPropertyHandshake(t *testing.T) {
+	// Sum of degrees = 2|E| for arbitrary random graphs.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 12)
+		sum := 0
+		for v := 0; v < g.Order(); v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEdgesCanonical(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 12)
+		for _, e := range g.Edges() {
+			if e.U >= e.V {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCloneEqualSignature(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 10)
+		return Signature(g) == Signature(g.Clone())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyComponentsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 12)
+		// Delete a few random edges to possibly disconnect.
+		for i := 0; i < 3 && g.Size() > 0; i++ {
+			e := g.Edges()[r.Intn(g.Size())]
+			g.RemoveEdge(e.U, e.V)
+		}
+		var all []int
+		for _, c := range g.ConnectedComponents() {
+			all = append(all, c...)
+		}
+		sort.Ints(all)
+		if len(all) != g.Order() {
+			return false
+		}
+		for i, v := range all {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	g := Path(12, "C", "O")
+	want := "g12(v=2,e=1)[C-O]"
+	if got := g.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	g1 := Path(0, "C", "O", "N")
+	g2 := Cycle(1, "C", "C", "C", "O")
+	text := Marshal([]*Graph{g1, g2})
+	back, err := Unmarshal(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("graphs = %d, want 2", len(back))
+	}
+	if Signature(back[0]) != Signature(g1) || Signature(back[1]) != Signature(g2) {
+		t.Fatal("round trip changed structure")
+	}
+	if back[0].ID != 0 || back[1].ID != 1 {
+		t.Fatal("round trip changed IDs")
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	text := "# header\n\nt 5\nv 0 C\nv 1 O\n\n# mid comment\ne 0 1\n"
+	gs, err := Unmarshal(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 1 || gs[0].ID != 5 || gs[0].Size() != 1 {
+		t.Fatalf("parsed %v", gs)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, text string
+	}{
+		{"vertex before t", "v 0 C\n"},
+		{"edge before t", "e 0 1\n"},
+		{"bad record", "t 0\nx 1 2\n"},
+		{"vertex out of order", "t 0\nv 1 C\n"},
+		{"bad vertex id", "t 0\nv zero C\n"},
+		{"dangling edge", "t 0\nv 0 C\ne 0 1\n"},
+		{"duplicate edge", "t 0\nv 0 C\nv 1 O\ne 0 1\ne 1 0\n"},
+		{"self loop", "t 0\nv 0 C\ne 0 0\n"},
+		{"short t", "t\n"},
+		{"short v", "t 0\nv 0\n"},
+		{"short e", "t 0\nv 0 C\nv 1 O\ne 0\n"},
+		{"bad graph id", "t abc\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Unmarshal(c.text); err == nil {
+				t.Fatalf("Unmarshal(%q) succeeded, want error", c.text)
+			}
+		})
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	gs, err := Unmarshal("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 0 {
+		t.Fatalf("graphs = %d, want 0", len(gs))
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var gs []*Graph
+		n := 1 + r.Intn(5)
+		for i := 0; i < n; i++ {
+			g := randomGraph(r, 9)
+			g.ID = i
+			gs = append(gs, g)
+		}
+		back, err := Unmarshal(Marshal(gs))
+		if err != nil || len(back) != len(gs) {
+			return false
+		}
+		for i := range gs {
+			if Signature(gs[i]) != Signature(back[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteFormat(t *testing.T) {
+	g := Path(3, "C", "O")
+	text := Marshal([]*Graph{g})
+	want := "t 3\nv 0 C\nv 1 O\ne 0 1\n"
+	if text != want {
+		t.Fatalf("Marshal = %q, want %q", text, want)
+	}
+	if !strings.HasSuffix(text, "\n") {
+		t.Fatal("output must end with newline")
+	}
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON codec: the wire form used by GUI front ends (see internal/panel)
+// and by any client that prefers structured data over the line-oriented
+// text format.
+//
+//	{"id": 7, "vertices": ["C","O","C"], "edges": [[0,1],[1,2]]}
+
+// graphJSON is the wire representation.
+type graphJSON struct {
+	ID       int      `json:"id"`
+	Vertices []string `json:"vertices"`
+	Edges    [][2]int `json:"edges"`
+}
+
+// MarshalJSON encodes the graph in the wire form.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	gj := graphJSON{
+		ID:       g.ID,
+		Vertices: append([]string{}, g.labels...),
+		Edges:    make([][2]int, 0, len(g.edges)),
+	}
+	for _, e := range g.edges {
+		gj.Edges = append(gj.Edges, [2]int{e.U, e.V})
+	}
+	return json.Marshal(gj)
+}
+
+// UnmarshalJSON decodes the wire form, validating edges like AddEdge
+// does (no self-loops, duplicates, or dangling endpoints).
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var gj graphJSON
+	if err := json.Unmarshal(data, &gj); err != nil {
+		return err
+	}
+	fresh := New(gj.ID)
+	for _, l := range gj.Vertices {
+		fresh.AddVertex(l)
+	}
+	for _, e := range gj.Edges {
+		if !fresh.AddEdge(e[0], e[1]) {
+			return fmt.Errorf("graph: invalid edge [%d,%d] in JSON graph %d", e[0], e[1], gj.ID)
+		}
+	}
+	fresh.SortAdjacency()
+	*g = *fresh
+	return nil
+}
+
+// MarshalDatabaseJSON encodes a whole database as a JSON array of
+// graphs in insertion order.
+func MarshalDatabaseJSON(d *Database) ([]byte, error) {
+	return json.Marshal(d.Graphs())
+}
+
+// UnmarshalDatabaseJSON decodes a JSON array of graphs into a fresh
+// database, enforcing unique IDs.
+func UnmarshalDatabaseJSON(data []byte) (*Database, error) {
+	var graphs []*Graph
+	if err := json.Unmarshal(data, &graphs); err != nil {
+		return nil, err
+	}
+	d := NewDatabase()
+	for _, g := range graphs {
+		if err := d.Add(g); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := Cycle(7, "C", "O", "N")
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 7 || Signature(&back) != Signature(g) {
+		t.Fatalf("round trip changed graph: %s vs %s", back.String(), g.String())
+	}
+}
+
+func TestJSONWireFormat(t *testing.T) {
+	g := Path(3, "C", "O")
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"id":3`, `"vertices":["C","O"]`, `"edges":[[0,1]]`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("wire form %s missing %s", s, want)
+		}
+	}
+}
+
+func TestJSONEmptyGraph(t *testing.T) {
+	g := New(0)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Order() != 0 || back.Size() != 0 {
+		t.Fatal("empty graph round trip failed")
+	}
+	// The decoded graph must be usable (internal maps initialised).
+	back.AddVertex("C")
+	back.AddVertex("O")
+	if !back.AddEdge(0, 1) {
+		t.Fatal("decoded graph not mutable")
+	}
+}
+
+func TestJSONInvalidEdges(t *testing.T) {
+	cases := []string{
+		`{"id":0,"vertices":["C"],"edges":[[0,0]]}`,           // self loop
+		`{"id":0,"vertices":["C","O"],"edges":[[0,5]]}`,       // dangling
+		`{"id":0,"vertices":["C","O"],"edges":[[0,1],[1,0]]}`, // duplicate
+	}
+	for _, c := range cases {
+		var g Graph
+		if err := json.Unmarshal([]byte(c), &g); err == nil {
+			t.Fatalf("decoded invalid graph %s", c)
+		}
+	}
+}
+
+func TestDatabaseJSONRoundTrip(t *testing.T) {
+	d := DatabaseOf(Path(0, "C", "O"), Cycle(1, "C", "C", "N"))
+	data, err := MarshalDatabaseJSON(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalDatabaseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("len = %d", back.Len())
+	}
+	for _, g := range d.Graphs() {
+		if Signature(back.Get(g.ID)) != Signature(g) {
+			t.Fatalf("graph %d changed", g.ID)
+		}
+	}
+}
+
+func TestDatabaseJSONDuplicateIDs(t *testing.T) {
+	data := `[{"id":1,"vertices":["C"],"edges":[]},{"id":1,"vertices":["O"],"edges":[]}]`
+	if _, err := UnmarshalDatabaseJSON([]byte(data)); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+}
+
+func TestPropertyJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 10)
+		data, err := json.Marshal(g)
+		if err != nil {
+			return false
+		}
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return Signature(&back) == Signature(g) && back.ID == g.ID
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Signature returns an isomorphism-invariant hash string of g. Two
+// isomorphic graphs always have equal signatures; unequal signatures prove
+// non-isomorphism. Equal signatures must be confirmed with an exact
+// isomorphism check (internal/iso) when exactness matters.
+//
+// The signature combines, per vertex, (label, degree, sorted multiset of
+// neighbour labels) refined twice, plus the sorted edge-label multiset.
+func Signature(g *Graph) string {
+	n := g.Order()
+	cur := make([]string, n)
+	for v := 0; v < n; v++ {
+		cur[v] = g.Label(v)
+	}
+	for round := 0; round < 2; round++ {
+		next := make([]string, n)
+		for v := 0; v < n; v++ {
+			nb := make([]string, 0, g.Degree(v))
+			for _, w := range g.Neighbors(v) {
+				nb = append(nb, cur[w])
+			}
+			sort.Strings(nb)
+			next[v] = cur[v] + "/" + strconv.Itoa(g.Degree(v)) + "(" + strings.Join(nb, ",") + ")"
+		}
+		cur = next
+	}
+	sort.Strings(cur)
+
+	edgeLabels := make([]string, 0, g.Size())
+	for _, e := range g.Edges() {
+		edgeLabels = append(edgeLabels, g.EdgeLabel(e.U, e.V))
+	}
+	sort.Strings(edgeLabels)
+
+	h := fnv.New64a()
+	for _, s := range cur {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	h.Write([]byte{1})
+	for _, s := range edgeLabels {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	return strconv.Itoa(n) + ":" + strconv.Itoa(g.Size()) + ":" + strconv.FormatUint(h.Sum64(), 16)
+}
+
+// SortedVertexLabels returns the sorted multiset of vertex labels.
+func SortedVertexLabels(g *Graph) []string {
+	ls := append([]string(nil), g.Labels()...)
+	sort.Strings(ls)
+	return ls
+}
+
+// SortedEdgeLabels returns the sorted multiset of edge labels.
+func SortedEdgeLabels(g *Graph) []string {
+	ls := make([]string, 0, g.Size())
+	for _, e := range g.Edges() {
+		ls = append(ls, g.EdgeLabel(e.U, e.V))
+	}
+	sort.Strings(ls)
+	return ls
+}

@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DatabaseStats summarises a graph database for inspection (the
+// `midas-gen -stats` output).
+type DatabaseStats struct {
+	Graphs      int
+	Vertices    int
+	Edges       int
+	MinVertices int
+	MaxVertices int
+	MinEdges    int
+	MaxEdges    int
+	// VertexLabels and EdgeLabels count occurrences per label.
+	VertexLabels map[string]int
+	EdgeLabels   map[string]int
+	// Connected counts fully connected graphs.
+	Connected int
+}
+
+// Stats computes summary statistics over the database.
+func Stats(d *Database) DatabaseStats {
+	s := DatabaseStats{
+		VertexLabels: make(map[string]int),
+		EdgeLabels:   make(map[string]int),
+	}
+	first := true
+	for _, g := range d.Graphs() {
+		s.Graphs++
+		s.Vertices += g.Order()
+		s.Edges += g.Size()
+		if first || g.Order() < s.MinVertices {
+			s.MinVertices = g.Order()
+		}
+		if g.Order() > s.MaxVertices {
+			s.MaxVertices = g.Order()
+		}
+		if first || g.Size() < s.MinEdges {
+			s.MinEdges = g.Size()
+		}
+		if g.Size() > s.MaxEdges {
+			s.MaxEdges = g.Size()
+		}
+		first = false
+		for _, l := range g.Labels() {
+			s.VertexLabels[l]++
+		}
+		for _, e := range g.Edges() {
+			s.EdgeLabels[g.EdgeLabel(e.U, e.V)]++
+		}
+		if g.IsConnected() {
+			s.Connected++
+		}
+	}
+	return s
+}
+
+// String renders a readable report.
+func (s DatabaseStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graphs: %d (%d connected)\n", s.Graphs, s.Connected)
+	if s.Graphs == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "vertices: %d total, %.1f avg, %d-%d range\n",
+		s.Vertices, float64(s.Vertices)/float64(s.Graphs), s.MinVertices, s.MaxVertices)
+	fmt.Fprintf(&b, "edges:    %d total, %.1f avg, %d-%d range\n",
+		s.Edges, float64(s.Edges)/float64(s.Graphs), s.MinEdges, s.MaxEdges)
+	fmt.Fprintf(&b, "vertex labels (%d): %s\n", len(s.VertexLabels), topLabels(s.VertexLabels, 8))
+	fmt.Fprintf(&b, "edge labels   (%d): %s\n", len(s.EdgeLabels), topLabels(s.EdgeLabels, 8))
+	return b.String()
+}
+
+// topLabels renders the k most frequent labels as "label:count".
+func topLabels(counts map[string]int, k int) string {
+	type lc struct {
+		label string
+		n     int
+	}
+	all := make([]lc, 0, len(counts))
+	for l, n := range counts {
+		all = append(all, lc{l, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].label < all[j].label
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	parts := make([]string, len(all))
+	for i, x := range all {
+		parts[i] = fmt.Sprintf("%s:%d", x.label, x.n)
+	}
+	return strings.Join(parts, " ")
+}

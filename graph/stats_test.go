@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStats(t *testing.T) {
+	d := DatabaseOf(
+		Path(0, "C", "O", "C"),
+		Cycle(1, "C", "C", "N"),
+	)
+	s := Stats(d)
+	if s.Graphs != 2 || s.Connected != 2 {
+		t.Fatalf("graphs = %d connected = %d", s.Graphs, s.Connected)
+	}
+	if s.Vertices != 6 || s.Edges != 5 {
+		t.Fatalf("totals = %d/%d, want 6/5", s.Vertices, s.Edges)
+	}
+	if s.MinVertices != 3 || s.MaxVertices != 3 {
+		t.Fatalf("vertex range = %d-%d", s.MinVertices, s.MaxVertices)
+	}
+	if s.MinEdges != 2 || s.MaxEdges != 3 {
+		t.Fatalf("edge range = %d-%d", s.MinEdges, s.MaxEdges)
+	}
+	if s.VertexLabels["C"] != 4 || s.VertexLabels["O"] != 1 || s.VertexLabels["N"] != 1 {
+		t.Fatalf("vertex labels = %v", s.VertexLabels)
+	}
+	if s.EdgeLabels["C.O"] != 2 || s.EdgeLabels["C.C"] != 1 || s.EdgeLabels["C.N"] != 2 {
+		t.Fatalf("edge labels = %v", s.EdgeLabels)
+	}
+	out := s.String()
+	for _, want := range []string{"graphs: 2", "C:4", "C.O:2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s := Stats(NewDatabase())
+	if s.Graphs != 0 {
+		t.Fatal("empty stats wrong")
+	}
+	if !strings.Contains(s.String(), "graphs: 0") {
+		t.Fatal("empty report wrong")
+	}
+}

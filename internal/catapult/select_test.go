@@ -1,0 +1,209 @@
+package catapult
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/cluster"
+	"github.com/midas-graph/midas/internal/csg"
+	"github.com/midas-graph/midas/internal/iso"
+	"github.com/midas-graph/midas/internal/tree"
+)
+
+// pipeline builds the full CATAPULT stack over a two-family database.
+func pipeline(t *testing.T, seed int64) (*graph.Database, *tree.Set, *cluster.Clustering, *csg.Manager, *Metrics) {
+	t.Helper()
+	d := graph.NewDatabase()
+	id := 0
+	for i := 0; i < 8; i++ {
+		d.Add(graph.Path(id, "C", "O", "C", "O", "C"))
+		id++
+	}
+	for i := 0; i < 8; i++ {
+		d.Add(graph.Star(id, "C", "N", "N", "N", "H"))
+		id++
+	}
+	set := tree.Mine(d, 0.3, 3)
+	cl := cluster.Build(d, set, cluster.Config{K: 2, MaxSize: 50}, rand.New(rand.NewSource(seed)))
+	mgr := csg.NewManager(0)
+	mgr.BuildAll(cl)
+	m := NewMetrics(d, set, nil, 0, seed)
+	return d, set, cl, mgr, m
+}
+
+func TestSelectReturnsBudget(t *testing.T) {
+	d, _, cl, mgr, m := pipeline(t, 1)
+	cfg := SelectConfig{Budget: Budget{MinSize: 2, MaxSize: 4, Count: 4}, Walks: 50, Seed: 1}
+	ps := Select(m, cl, mgr, cfg)
+	if len(ps) == 0 {
+		t.Fatal("no patterns selected")
+	}
+	if len(ps) > 4 {
+		t.Fatalf("selected %d > γ=4", len(ps))
+	}
+	for _, p := range ps {
+		if p.Size() < 2 || p.Size() > 4 {
+			t.Fatalf("pattern size %d outside budget", p.Size())
+		}
+		if !p.IsConnected() {
+			t.Fatal("pattern not connected")
+		}
+	}
+	// Patterns should cover most of the database.
+	if got := m.SetScov(ps); got < 0.5 {
+		t.Fatalf("f_scov = %v, want >= 0.5", got)
+	}
+	_ = d
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	_, _, cl1, mgr1, m1 := pipeline(t, 3)
+	_, _, cl2, mgr2, m2 := pipeline(t, 3)
+	cfg := SelectConfig{Budget: Budget{MinSize: 2, MaxSize: 4, Count: 4}, Walks: 30, Seed: 9}
+	a := Select(m1, cl1, mgr1, cfg)
+	b := Select(m2, cl2, mgr2, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if graph.Signature(a[i]) != graph.Signature(b[i]) {
+			t.Fatalf("pattern %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestSelectNoDuplicates(t *testing.T) {
+	_, _, cl, mgr, m := pipeline(t, 5)
+	cfg := SelectConfig{Budget: Budget{MinSize: 2, MaxSize: 4, Count: 6}, Walks: 50, Seed: 2}
+	ps := Select(m, cl, mgr, cfg)
+	for i := 0; i < len(ps); i++ {
+		for j := i + 1; j < len(ps); j++ {
+			if iso.Isomorphic(ps[i], ps[j]) {
+				t.Fatalf("patterns %d and %d isomorphic", i, j)
+			}
+		}
+	}
+}
+
+func TestSelectPerSizeCap(t *testing.T) {
+	_, _, cl, mgr, m := pipeline(t, 7)
+	cfg := SelectConfig{Budget: Budget{MinSize: 2, MaxSize: 3, Count: 4}, Walks: 50, Seed: 3}
+	ps := Select(m, cl, mgr, cfg)
+	perSize := map[int]int{}
+	for _, p := range ps {
+		perSize[p.Size()]++
+	}
+	cap := cfg.Budget.PerSizeCap()
+	for size, n := range perSize {
+		if n > cap {
+			t.Fatalf("size %d has %d patterns, cap %d", size, n, cap)
+		}
+	}
+}
+
+func TestSelectPatternsFromSummaries(t *testing.T) {
+	// Every selected pattern must be contained in at least one summary.
+	_, _, cl, mgr, m := pipeline(t, 11)
+	cfg := SelectConfig{Budget: Budget{MinSize: 2, MaxSize: 4, Count: 4}, Walks: 50, Seed: 4}
+	ps := Select(m, cl, mgr, cfg)
+	for _, p := range ps {
+		ok := false
+		for _, cid := range mgr.ClusterIDs() {
+			if iso.HasSubgraph(p, mgr.Get(cid).G, iso.Options{}) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("pattern %v not in any summary", p)
+		}
+	}
+}
+
+func TestPrunerStopsGrowth(t *testing.T) {
+	_, _, cl, mgr, m := pipeline(t, 13)
+	// A pruner rejecting everything yields no patterns.
+	cfg := SelectConfig{
+		Budget: Budget{MinSize: 2, MaxSize: 4, Count: 4},
+		Walks:  30, Seed: 5,
+		Pruner: func(string) bool { return true },
+	}
+	ps := Select(m, cl, mgr, cfg)
+	if len(ps) != 0 {
+		t.Fatalf("pruner rejected everything but got %d patterns", len(ps))
+	}
+}
+
+func TestDownWeightReducesWeights(t *testing.T) {
+	_, _, cl, mgr, m := pipeline(t, 17)
+	cfg := SelectConfig{Budget: Budget{MinSize: 2, MaxSize: 3, Count: 2}, Walks: 30, Seed: 6}
+	sel := NewSelector(m, cl, mgr, cfg)
+	cands := sel.GenerateFCPs(mgr.ClusterIDs())
+	if len(cands) == 0 {
+		t.Fatal("no candidates generated")
+	}
+	c := cands[0]
+	before := 0.0
+	for _, w := range sel.Weights(c.ClusterID()) {
+		before += w
+	}
+	sel.DownWeight(c.ClusterID(), c.Pattern())
+	after := 0.0
+	for _, w := range sel.Weights(c.ClusterID()) {
+		after += w
+	}
+	if after >= before {
+		t.Fatalf("weights did not decrease: %v -> %v", before, after)
+	}
+}
+
+func TestCCov(t *testing.T) {
+	_, _, cl, mgr, m := pipeline(t, 19)
+	sel := NewSelector(m, cl, mgr, SelectConfig{Budget: Budget{MinSize: 2, MaxSize: 3, Count: 2}, Seed: 1})
+	// The C-O edge pattern is in the chain family summary only; ccov
+	// should be about half the database weight.
+	p := graph.Path(500, "C", "O")
+	cc := sel.CCov(p)
+	if cc <= 0 || cc > 1 {
+		t.Fatalf("ccov = %v, want in (0,1]", cc)
+	}
+	// An absent structure has zero ccov.
+	if sel.CCov(graph.Path(501, "X", "Y")) != 0 {
+		t.Fatal("ccov of absent pattern should be 0")
+	}
+}
+
+func TestSelectEmptyDatabase(t *testing.T) {
+	d := graph.NewDatabase()
+	set := tree.Mine(d, 0.5, 3)
+	cl := cluster.Build(d, set, cluster.Config{}, rand.New(rand.NewSource(1)))
+	mgr := csg.NewManager(0)
+	mgr.BuildAll(cl)
+	m := NewMetrics(d, set, nil, 0, 1)
+	ps := Select(m, cl, mgr, SelectConfig{Budget: Budget{MinSize: 2, MaxSize: 3, Count: 3}, Seed: 1})
+	if len(ps) != 0 {
+		t.Fatal("empty database should select nothing")
+	}
+}
+
+func TestSelectParallelMatchesSequential(t *testing.T) {
+	build := func(parallel int) []*graph.Graph {
+		_, _, cl, mgr, m := pipeline(t, 23)
+		cfg := SelectConfig{
+			Budget: Budget{MinSize: 2, MaxSize: 4, Count: 5},
+			Walks:  40, Seed: 9, Parallel: parallel,
+		}
+		return Select(m, cl, mgr, cfg)
+	}
+	seq := build(1)
+	par := build(4)
+	if len(seq) != len(par) {
+		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if graph.Signature(seq[i]) != graph.Signature(par[i]) {
+			t.Fatalf("pattern %d differs between parallel and sequential", i)
+		}
+	}
+}

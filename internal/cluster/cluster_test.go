@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/tree"
+)
+
+// twoFamilyDB builds a database with two structurally distinct families:
+// C-O chains and C-N stars.
+func twoFamilyDB(perFamily int) *graph.Database {
+	d := graph.NewDatabase()
+	id := 0
+	for i := 0; i < perFamily; i++ {
+		d.Add(graph.Path(id, "C", "O", "C", "O"))
+		id++
+	}
+	for i := 0; i < perFamily; i++ {
+		d.Add(graph.Star(id, "C", "N", "N", "N"))
+		id++
+	}
+	return d
+}
+
+func mineFor(d *graph.Database) *tree.Set {
+	return tree.Mine(d, 0.3, 3)
+}
+
+func TestBuildSeparatesFamilies(t *testing.T) {
+	d := twoFamilyDB(6)
+	set := mineFor(d)
+	cl := Build(d, set, Config{K: 2, MaxSize: 50}, rand.New(rand.NewSource(1)))
+	if cl.Len() != 2 {
+		t.Fatalf("clusters = %d, want 2", cl.Len())
+	}
+	// All chain graphs (IDs 0..5) should share a cluster, stars another.
+	chainOwner := cl.OwnerOf(0)
+	starOwner := cl.OwnerOf(6)
+	if chainOwner == starOwner {
+		t.Fatal("families not separated")
+	}
+	for id := 0; id < 6; id++ {
+		if cl.OwnerOf(id) != chainOwner {
+			t.Fatalf("chain graph %d in wrong cluster", id)
+		}
+	}
+	for id := 6; id < 12; id++ {
+		if cl.OwnerOf(id) != starOwner {
+			t.Fatalf("star graph %d in wrong cluster", id)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	d := twoFamilyDB(5)
+	set := mineFor(d)
+	a := Build(d, set, Config{K: 2, MaxSize: 50}, rand.New(rand.NewSource(7)))
+	b := Build(d, set, Config{K: 2, MaxSize: 50}, rand.New(rand.NewSource(7)))
+	for id := 0; id < 10; id++ {
+		if a.OwnerOf(id) != b.OwnerOf(id) {
+			t.Fatal("same seed should give identical clustering")
+		}
+	}
+}
+
+func TestBuildEmptyDB(t *testing.T) {
+	d := graph.NewDatabase()
+	cl := Build(d, mineFor(d), Config{}, rand.New(rand.NewSource(1)))
+	if cl.Len() != 0 || cl.Size() != 0 {
+		t.Fatal("empty DB should produce no clusters")
+	}
+}
+
+func TestBuildKLargerThanDB(t *testing.T) {
+	d := graph.DatabaseOf(graph.Path(0, "C", "O"), graph.Path(1, "C", "O"))
+	cl := Build(d, mineFor(d), Config{K: 10, MaxSize: 50}, rand.New(rand.NewSource(1)))
+	if cl.Size() != 2 {
+		t.Fatalf("clustered graphs = %d, want 2", cl.Size())
+	}
+	if cl.Len() > 2 {
+		t.Fatalf("clusters = %d, want <= 2", cl.Len())
+	}
+}
+
+func TestAssignJoinsNearestFamily(t *testing.T) {
+	d := twoFamilyDB(6)
+	set := mineFor(d)
+	cl := Build(d, set, Config{K: 2, MaxSize: 50}, rand.New(rand.NewSource(1)))
+	chainOwner := cl.OwnerOf(0)
+	g := graph.Path(100, "C", "O", "C", "O")
+	got := cl.Assign(g, set)
+	if got != chainOwner {
+		t.Fatalf("new chain assigned to %d, want %d", got, chainOwner)
+	}
+	if !cl.Cluster(got).Has(100) {
+		t.Fatal("cluster does not contain assigned graph")
+	}
+	if cl.OwnerOf(100) != got {
+		t.Fatal("owner map inconsistent")
+	}
+}
+
+func TestAssignToEmptyClustering(t *testing.T) {
+	d := graph.NewDatabase()
+	set := mineFor(d)
+	cl := Build(d, set, Config{}, rand.New(rand.NewSource(1)))
+	id := cl.Assign(graph.Path(1, "C", "O"), set)
+	if cl.Cluster(id) == nil || !cl.Cluster(id).Has(1) {
+		t.Fatal("assignment to fresh cluster failed")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	d := twoFamilyDB(4)
+	set := mineFor(d)
+	cl := Build(d, set, Config{K: 2, MaxSize: 50}, rand.New(rand.NewSource(1)))
+	cid := cl.OwnerOf(0)
+	if got := cl.Remove(0); got != cid {
+		t.Fatalf("Remove returned %d, want %d", got, cid)
+	}
+	if cl.OwnerOf(0) != -1 {
+		t.Fatal("graph still owned after removal")
+	}
+	if cl.Remove(0) != -1 {
+		t.Fatal("double removal should return -1")
+	}
+	if cl.Cluster(cid).Has(0) {
+		t.Fatal("cluster still has removed member")
+	}
+}
+
+func TestRemoveDropsEmptyCluster(t *testing.T) {
+	d := graph.DatabaseOf(graph.Path(0, "C", "O"))
+	set := mineFor(d)
+	cl := Build(d, set, Config{K: 1, MaxSize: 50}, rand.New(rand.NewSource(1)))
+	cid := cl.OwnerOf(0)
+	cl.Remove(0)
+	if cl.Cluster(cid) != nil {
+		t.Fatal("empty cluster should be dropped")
+	}
+}
+
+func TestCentroidMaintenance(t *testing.T) {
+	d := twoFamilyDB(3)
+	set := mineFor(d)
+	cl := Build(d, set, Config{K: 2, MaxSize: 50}, rand.New(rand.NewSource(1)))
+	for _, c := range cl.Clusters() {
+		// Centroid must equal the mean of member vectors.
+		mean := make([]float64, len(cl.Keys()))
+		for _, id := range c.MemberIDs() {
+			v := set.FeatureVector(cl.Keys(), id)
+			for i := range mean {
+				mean[i] += v[i]
+			}
+		}
+		for i := range mean {
+			mean[i] /= float64(c.Len())
+		}
+		got := c.Centroid()
+		for i := range mean {
+			if diff := got[i] - mean[i]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("centroid[%d] = %v, want %v", i, got[i], mean[i])
+			}
+		}
+	}
+}
+
+func TestRefineOversized(t *testing.T) {
+	d := graph.NewDatabase()
+	for i := 0; i < 9; i++ {
+		d.Add(graph.Path(i, "C", "O", "C"))
+	}
+	set := mineFor(d)
+	cl := Build(d, set, Config{K: 1, MaxSize: 3}, rand.New(rand.NewSource(1)))
+	for _, c := range cl.Clusters() {
+		if c.Len() > 3 {
+			t.Fatalf("cluster %d has %d members, exceeds MaxSize 3", c.ID, c.Len())
+		}
+	}
+	if cl.Len() != 3 {
+		t.Fatalf("clusters = %d, want 3", cl.Len())
+	}
+	if cl.Size() != 9 {
+		t.Fatalf("clustered graphs = %d, want 9", cl.Size())
+	}
+}
+
+func TestClusterWeight(t *testing.T) {
+	c := newCluster(0, 1)
+	c.add(graph.Path(0, "C", "O"), []float64{1})
+	c.add(graph.Path(1, "C", "O"), []float64{0})
+	if c.Weight(4) != 0.5 {
+		t.Fatalf("Weight = %v, want 0.5", c.Weight(4))
+	}
+	if c.Weight(0) != 0 {
+		t.Fatal("Weight with empty DB should be 0")
+	}
+}
+
+func TestPropertyPartition(t *testing.T) {
+	// Clusters always partition the clustered graphs: disjoint, total.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := graph.NewDatabase()
+		n := 4 + r.Intn(12)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				d.Add(graph.Path(i, "C", "O", "C"))
+			} else {
+				d.Add(graph.Star(i, "C", "N", "N"))
+			}
+		}
+		set := mineFor(d)
+		cl := Build(d, set, Config{K: 1 + r.Intn(3), MaxSize: 4}, r)
+		seen := map[int]int{}
+		for _, c := range cl.Clusters() {
+			if c.Len() > 4 {
+				return false
+			}
+			for _, id := range c.MemberIDs() {
+				if _, dup := seen[id]; dup {
+					return false
+				}
+				seen[id] = c.ID
+				if cl.OwnerOf(id) != c.ID {
+					return false
+				}
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAssignRemoveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := twoFamilyDB(3)
+		set := mineFor(d)
+		cl := Build(d, set, Config{K: 2, MaxSize: 50}, r)
+		g := graph.Path(50, "C", "O", "C", "O")
+		cid := cl.Assign(g, set)
+		if cl.OwnerOf(50) != cid {
+			return false
+		}
+		cl.Remove(50)
+		return cl.OwnerOf(50) == -1 && cl.Size() == 6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSilhouetteSeparatedFamilies(t *testing.T) {
+	d := twoFamilyDB(6)
+	set := mineFor(d)
+	cl := Build(d, set, Config{K: 2, MaxSize: 50}, rand.New(rand.NewSource(1)))
+	s := cl.Silhouette()
+	if s <= 0.5 {
+		t.Fatalf("silhouette = %v, want > 0.5 for well-separated families", s)
+	}
+	if s > 1 {
+		t.Fatalf("silhouette = %v out of range", s)
+	}
+}
+
+func TestSilhouetteSingleCluster(t *testing.T) {
+	d := graph.DatabaseOf(graph.Path(0, "C", "O"), graph.Path(1, "C", "O"))
+	set := mineFor(d)
+	cl := Build(d, set, Config{K: 1, MaxSize: 50}, rand.New(rand.NewSource(1)))
+	if cl.Silhouette() != 0 {
+		t.Fatal("single cluster silhouette should be 0 by convention")
+	}
+}

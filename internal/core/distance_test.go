@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/dataset"
+	"github.com/midas-graph/midas/internal/graphlet"
+)
+
+// TestDistanceMeasuresSeparateAlike checks the paper's technical-report
+// claim that the choice of distribution distance does not materially
+// change modification typing: under every measure, a new-family batch
+// must register a clearly larger drift than a same-family batch of the
+// same size (so after per-measure ε calibration the classifications
+// agree).
+func TestDistanceMeasuresSeparateAlike(t *testing.T) {
+	db := dataset.PubChemLike().GenerateDB(60, 1)
+	counter := graphlet.NewCounter(db)
+	before := counter.Distribution()
+
+	newFamily := graph.Update{Insert: dataset.BoronicEsters().Generate(15, 1000, 2)}
+	sameFamily := graph.Update{Insert: dataset.PubChemLike().Generate(15, 2000, 3)}
+	afterNew := counter.DistributionAfter(newFamily)
+	afterSame := counter.DistributionAfter(sameFamily)
+
+	for _, m := range []graphlet.Measure{graphlet.L2, graphlet.L1, graphlet.Hellinger} {
+		dNew := graphlet.DistanceWith(m, before, afterNew)
+		dSame := graphlet.DistanceWith(m, before, afterSame)
+		if dNew <= 0 {
+			t.Fatalf("%v: new-family drift is zero", m)
+		}
+		if dNew < 3*dSame {
+			t.Fatalf("%v: separation too weak: new=%v same=%v", m, dNew, dSame)
+		}
+	}
+}
+
+// TestEngineWithAlternativeMeasure runs maintenance end to end under L1
+// with a recalibrated ε and expects the same major/minor outcome as L2.
+func TestEngineWithAlternativeMeasure(t *testing.T) {
+	build := func(m graphlet.Measure, eps float64) (bool, int) {
+		cfg := testConfig()
+		cfg.Distance = m
+		cfg.Epsilon = eps
+		e := NewEngine(testDB(6, 6), cfg)
+		rep, err := e.Maintain(graph.Update{Insert: boronDelta(24, 100)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Major, rep.Swaps
+	}
+	majorL2, _ := build(graphlet.L2, 0.05)
+	majorL1, _ := build(graphlet.L1, 0.10) // L1 distances run ~2x L2 here
+	majorH, _ := build(graphlet.Hellinger, 0.05)
+	if !majorL2 || !majorL1 || !majorH {
+		t.Fatalf("classification disagrees: l2=%v l1=%v hellinger=%v", majorL2, majorL1, majorH)
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/catapult"
+)
+
+// testDB builds a database with two motif families: C-O chains and
+// N-rich stars.
+func testDB(chains, stars int) *graph.Database {
+	d := graph.NewDatabase()
+	id := 0
+	for i := 0; i < chains; i++ {
+		d.Add(graph.Path(id, "C", "O", "C", "O", "C"))
+		id++
+	}
+	for i := 0; i < stars; i++ {
+		d.Add(graph.Star(id, "C", "N", "N", "N", "H"))
+		id++
+	}
+	return d
+}
+
+func testConfig() Config {
+	return Config{
+		Budget:  catapult.Budget{MinSize: 2, MaxSize: 4, Count: 4},
+		SupMin:  0.3,
+		Epsilon: 0.05,
+		Walks:   40,
+		Seed:    1,
+	}
+}
+
+// boronDelta builds Δ+ graphs from a brand-new B-O family that shifts
+// graphlet frequencies (stars vs chains).
+func boronDelta(n, fromID int) []*graph.Graph {
+	var out []*graph.Graph
+	for i := 0; i < n; i++ {
+		g := graph.Star(fromID+i, "B", "O", "O", "O")
+		out = append(out, g)
+	}
+	return out
+}
+
+func TestBootstrapSelectsPatterns(t *testing.T) {
+	e := NewEngine(testDB(8, 8), testConfig())
+	ps := e.Patterns()
+	if len(ps) == 0 {
+		t.Fatal("no initial patterns")
+	}
+	if len(ps) > 4 {
+		t.Fatalf("patterns = %d > γ", len(ps))
+	}
+	q := e.Quality()
+	if q.Scov <= 0 {
+		t.Fatalf("initial f_scov = %v, want > 0", q.Scov)
+	}
+	if e.BootstrapTime <= 0 {
+		t.Fatal("bootstrap time not recorded")
+	}
+}
+
+func TestMaintainMinorKeepsPatterns(t *testing.T) {
+	e := NewEngine(testDB(10, 10), testConfig())
+	before := e.Patterns()
+	// Insert two more graphs from existing families: graphlet mix
+	// barely moves.
+	u := graph.Update{Insert: []*graph.Graph{
+		graph.Path(100, "C", "O", "C", "O", "C"),
+		graph.Star(101, "C", "N", "N", "N", "H"),
+	}}
+	rep, err := e.Maintain(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Major {
+		t.Fatalf("balanced insertion flagged major (dist=%v)", rep.GraphletDistance)
+	}
+	if rep.Swaps != 0 {
+		t.Fatal("minor modification must not swap patterns")
+	}
+	after := e.Patterns()
+	if len(after) != len(before) {
+		t.Fatal("pattern count changed on minor modification")
+	}
+	for i := range before {
+		if graph.Signature(before[i]) != graph.Signature(after[i]) {
+			t.Fatal("patterns changed on minor modification")
+		}
+	}
+	if e.DB().Len() != 22 {
+		t.Fatalf("db size = %d, want 22", e.DB().Len())
+	}
+}
+
+func TestMaintainMajorDetected(t *testing.T) {
+	e := NewEngine(testDB(8, 8), testConfig())
+	u := graph.Update{Insert: boronDelta(12, 100)}
+	rep, err := e.Maintain(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Major {
+		t.Fatalf("large new-family insertion not flagged major (dist=%v)", rep.GraphletDistance)
+	}
+	if rep.Total <= 0 {
+		t.Fatal("PMT not recorded")
+	}
+}
+
+func TestMaintainQualityNeverDegrades(t *testing.T) {
+	// The core MIDAS guarantee: after maintenance, set quality (div,
+	// cog, lcov) is at least as good, and scov does not collapse.
+	e := NewEngine(testDB(8, 8), testConfig())
+	qBefore := e.Quality()
+	u := graph.Update{Insert: boronDelta(12, 100)}
+	if _, err := e.Maintain(u); err != nil {
+		t.Fatal(err)
+	}
+	qAfter := e.Quality()
+	if qAfter.Cog > qBefore.Cog+1e-9 {
+		t.Fatalf("cognitive load grew: %v -> %v", qBefore.Cog, qAfter.Cog)
+	}
+	if qAfter.Div < qBefore.Div-1e-9 {
+		t.Fatalf("diversity degraded: %v -> %v", qBefore.Div, qAfter.Div)
+	}
+}
+
+func TestMaintainSwapsOnMajor(t *testing.T) {
+	// With a big new family and a generous candidate budget, at least
+	// one stale pattern should be swapped for a B-O pattern.
+	cfg := testConfig()
+	cfg.Kappa = 0.05
+	cfg.Lambda = 0.05
+	e := NewEngine(testDB(6, 6), cfg)
+	u := graph.Update{Insert: boronDelta(24, 100)}
+	rep, err := e.Maintain(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Major {
+		t.Fatal("expected major modification")
+	}
+	if rep.Candidates == 0 {
+		t.Fatal("no candidates generated on major modification")
+	}
+	if rep.Swaps == 0 {
+		t.Fatal("expected at least one swap")
+	}
+	// Some pattern should now mention boron.
+	found := false
+	for _, p := range e.Patterns() {
+		for _, l := range p.Labels() {
+			if l == "B" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no pattern from the new B-O family after maintenance")
+	}
+}
+
+func TestMaintainDeleteOnly(t *testing.T) {
+	e := NewEngine(testDB(8, 8), testConfig())
+	u := graph.Update{Delete: []int{0, 1, 8, 9}}
+	if _, err := e.Maintain(u); err != nil {
+		t.Fatal(err)
+	}
+	if e.DB().Len() != 12 {
+		t.Fatalf("db size = %d, want 12", e.DB().Len())
+	}
+	if e.Clustering().Size() != 12 {
+		t.Fatalf("clustered graphs = %d, want 12", e.Clustering().Size())
+	}
+}
+
+func TestMaintainInsertCollision(t *testing.T) {
+	e := NewEngine(testDB(4, 4), testConfig())
+	u := graph.Update{Insert: []*graph.Graph{graph.Path(0, "X", "Y")}}
+	if _, err := e.Maintain(u); err == nil {
+		t.Fatal("colliding insert should fail")
+	}
+}
+
+func TestMaintainPatternCountStable(t *testing.T) {
+	e := NewEngine(testDB(8, 8), testConfig())
+	n := len(e.Patterns())
+	for round := 0; round < 3; round++ {
+		u := graph.Update{Insert: boronDelta(6, 200+100*round)}
+		if _, err := e.Maintain(u); err != nil {
+			t.Fatal(err)
+		}
+		if len(e.Patterns()) != n {
+			t.Fatalf("pattern count changed: %d -> %d (|P'| must stay γ-bound)", n, len(e.Patterns()))
+		}
+	}
+}
+
+func TestMaintainRandomStrategy(t *testing.T) {
+	cfg := testConfig()
+	cfg.Strategy = RandomSwap
+	e := NewEngine(testDB(6, 6), cfg)
+	u := graph.Update{Insert: boronDelta(24, 100)}
+	rep, err := e.Maintain(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Major {
+		t.Fatal("expected major modification")
+	}
+	// Random swapping performs swaps without quality guarantees; we
+	// only require it terminates and respects the budget count.
+	if len(e.Patterns()) == 0 {
+		t.Fatal("patterns vanished")
+	}
+}
+
+func TestCATAPULTBaselineConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.UseClosedFeatures = false
+	cfg.UseIndices = false
+	e := NewEngineWith(testDB(6, 6), cfg)
+	if e.Indices() != nil {
+		t.Fatal("baseline should not build indices")
+	}
+	if len(e.Patterns()) == 0 {
+		t.Fatal("baseline selected no patterns")
+	}
+}
+
+func TestMaintainDeterministic(t *testing.T) {
+	run := func() []string {
+		e := NewEngine(testDB(6, 6), testConfig())
+		u := graph.Update{Insert: boronDelta(12, 100)}
+		if _, err := e.Maintain(u); err != nil {
+			t.Fatal(err)
+		}
+		var sigs []string
+		for _, p := range e.Patterns() {
+			sigs = append(sigs, graph.Signature(p))
+		}
+		return sigs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic pattern count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic maintenance")
+		}
+	}
+}
+
+func TestReportPGT(t *testing.T) {
+	r := Report{CandidateTime: 5, SwapTime: 7}
+	if r.PGT() != 12 {
+		t.Fatalf("PGT = %v, want 12", r.PGT())
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+func TestAlphaCogGuardRelaxes(t *testing.T) {
+	// With a generous AlphaCog slack, a denser candidate that plain sw4
+	// would reject can pass the cognitive-load guard (it may still fail
+	// other guards; we only verify the guard itself flips).
+	cfgStrict := testConfig()
+	eStrict := NewEngine(testDB(8, 8), cfgStrict)
+	k3 := graph.Clique(996, "C", "C", "C")
+	idx := eStrict.worstPatternIndex()
+	if idx < 0 {
+		t.Skip("no patterns")
+	}
+	base := eStrict.Quality()
+	if k3.CognitiveLoad() <= base.Cog {
+		t.Skip("fixture patterns already as dense as K3")
+	}
+	if eStrict.trySwap(idx, k3.Clone(), 0.0) {
+		t.Fatal("strict sw4 should reject a cog-raising candidate")
+	}
+}
+
+func TestAlphaDivTightens(t *testing.T) {
+	cfg := testConfig()
+	cfg.AlphaDiv = 10 // absurd requirement: +1000% diversity
+	e := NewEngine(testDB(8, 8), cfg)
+	u := graph.Update{Insert: boronDelta(24, 100)}
+	rep, err := e.Maintain(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Swaps != 0 {
+		t.Fatalf("swaps = %d, want 0 under an unsatisfiable diversity requirement", rep.Swaps)
+	}
+}
+
+func TestQueryLogWeightProtectsIncumbents(t *testing.T) {
+	// Log-popular incumbents get a large score multiplier, so sw2
+	// becomes much harder to satisfy against them and fewer swaps
+	// happen than in an unweighted control run. (Protection cannot be
+	// absolute: an incumbent with zero subgraph coverage scores zero no
+	// matter the multiplier — that is by design, and incidentally the
+	// reason §6.1 replaces ccov with scov in the pattern score.)
+	run := func(protect bool) int {
+		e := NewEngine(testDB(6, 6), testConfig())
+		if protect {
+			incumbents := make(map[string]bool)
+			positive := 0
+			for _, p := range e.Patterns() {
+				incumbents[graph.Signature(p)] = true
+				if e.metrics.ScoreMIDAS(p, nil) > 0 {
+					positive++
+				}
+			}
+			if positive == 0 {
+				t.Skip("fixture selected only zero-coverage patterns")
+			}
+			e.SetQueryLogWeight(func(p *graph.Graph) float64 {
+				if incumbents[graph.Signature(p)] {
+					return 1000
+				}
+				return 1
+			})
+		}
+		rep, err := e.Maintain(graph.Update{Insert: boronDelta(24, 100)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Major {
+			t.Fatal("expected major modification")
+		}
+		return rep.Swaps
+	}
+	control := run(false)
+	protected := run(true)
+	if control == 0 {
+		t.Fatal("control run should have swapped")
+	}
+	if protected > control {
+		t.Fatalf("log protection increased swaps: %d > %d", protected, control)
+	}
+}
+
+func TestQueryLogWeightNilSafe(t *testing.T) {
+	e := NewEngine(testDB(4, 4), testConfig())
+	e.SetQueryLogWeight(nil)
+	if _, err := e.Maintain(graph.Update{Insert: boronDelta(6, 100)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoPruningGeneratesAtLeastAsMany(t *testing.T) {
+	run := func(noPruning bool) int {
+		cfg := testConfig()
+		cfg.NoPruning = noPruning
+		e := NewEngine(testDB(6, 6), cfg)
+		rep, err := e.Maintain(graph.Update{Insert: boronDelta(18, 100)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Candidates
+	}
+	pruned := run(false)
+	unpruned := run(true)
+	if unpruned < pruned {
+		t.Fatalf("pruning produced MORE candidates (%d) than no pruning (%d)", pruned, unpruned)
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/catapult"
+	"github.com/midas-graph/midas/internal/graphlet"
+)
+
+// Maintain applies a batch update ΔD and maintains the canned pattern
+// set, implementing Algorithm 1:
+//
+//  1. assign inserted graphs to clusters (C+), remove deleted ones (C-)
+//  2. compute graphlet distributions ψ_D and ψ_{D⊕ΔD}
+//  3. maintain the FCT set
+//  4. maintain clusters (fine clustering of oversized ones) and CSGs
+//  5. if dist(ψ_D, ψ_{D⊕ΔD}) >= ε (major): generate pruned candidates
+//     from evolved summaries and run the swap strategy
+//  6. maintain the indices
+//
+// It returns the maintenance report (PMT and its breakdown).
+func (e *Engine) Maintain(u graph.Update) (Report, error) {
+	start := time.Now()
+	var rep Report
+
+	// ψ_D before and after (lines 3–4), computed incrementally from the
+	// cached per-graph counts.
+	psiBefore := e.counter.Distribution()
+	psiAfter := e.counter.DistributionAfter(u)
+	rep.GraphletDistance = graphlet.DistanceWith(e.cfg.Distance, psiBefore, psiAfter)
+	rep.Major = rep.GraphletDistance >= e.cfg.Epsilon
+
+	// Lines 1–2: cluster assignment and removal. Assignment uses the
+	// pre-update feature space, as in Algorithm 1.
+	affected := make(map[int]struct{})
+	tCluster := time.Now()
+	for _, id := range u.Delete {
+		if cid := e.cl.Remove(id); cid >= 0 {
+			affected[cid] = struct{}{}
+			e.csgs.OnRemove(cid, id)
+		}
+	}
+	for _, g := range u.Insert {
+		if e.db.Has(g.ID) {
+			return rep, fmt.Errorf("core: inserted graph %d already exists", g.ID)
+		}
+		cid := e.cl.Assign(g, e.set)
+		affected[cid] = struct{}{}
+		e.csgs.OnAssign(cid, g)
+	}
+	rep.ClusterTime = time.Since(tCluster)
+
+	// Apply the update to the database and graphlet cache.
+	if err := e.db.Apply(u); err != nil {
+		return rep, err
+	}
+	e.counter.Apply(u)
+
+	// Line 5: FCT maintenance.
+	tFCT := time.Now()
+	e.set.Update(e.db, u)
+	rep.FCTTime = time.Since(tFCT)
+
+	// Lines 6–7: cluster-set and CSG-set maintenance. Oversized
+	// clusters are re-split; their summaries (and those of clusters the
+	// split created) are rebuilt.
+	tCluster = time.Now()
+	oversized := make(map[int]struct{})
+	for _, c := range e.cl.Clusters() {
+		if c.Len() > e.cl.MaxSize() {
+			oversized[c.ID] = struct{}{}
+		}
+	}
+	created := e.cl.RefineOversized()
+	rep.ClusterTime += time.Since(tCluster)
+
+	tCSG := time.Now()
+	for cid := range oversized {
+		if c := e.cl.Cluster(cid); c != nil {
+			e.csgs.Rebuild(c)
+			affected[cid] = struct{}{}
+		}
+	}
+	for _, cid := range created {
+		if c := e.cl.Cluster(cid); c != nil {
+			e.csgs.Rebuild(c)
+			affected[cid] = struct{}{}
+		}
+	}
+	e.csgs.Sync(e.cl)
+	rep.CSGTime = time.Since(tCSG)
+
+	// The metrics sample and cover cache are stale after any update.
+	e.metrics.InvalidateSample()
+
+	// Line 12 (part 1): index maintenance for data-graph columns and the
+	// feature rows; done before candidate generation so scov estimates
+	// during swapping see fresh state.
+	tIx := time.Now()
+	if e.ix != nil {
+		for _, id := range u.Delete {
+			e.ix.RemoveGraph(id)
+		}
+		for _, g := range u.Insert {
+			e.ix.AddGraph(g)
+		}
+		e.ix.SyncFeatures(e.set, e.db, e.patterns)
+	}
+	rep.IndexTime = time.Since(tIx)
+
+	// Lines 8–11: major modification triggers candidate generation and
+	// swapping over the evolved summaries only.
+	if rep.Major {
+		evolved := make([]int, 0, len(affected))
+		for cid := range affected {
+			if e.csgs.Get(cid) != nil {
+				evolved = append(evolved, cid)
+			}
+		}
+		sortInts(evolved)
+		e.majorModification(evolved, &rep)
+	}
+
+	// Small-pattern section (η ≤ 2): maintained directly from the FCT
+	// supports every time — the straightforward case of §3.1's remark.
+	e.refreshSmallPatterns()
+
+	rep.Total = time.Since(start)
+	e.LastReport = rep
+	return rep, nil
+}
+
+// majorModification generates pruned candidates from the evolved
+// summaries (§5.2) and applies the configured swap strategy (§6.2).
+func (e *Engine) majorModification(evolved []int, rep *Report) {
+	tCand := time.Now()
+	var pruner catapult.Pruner
+	if !e.cfg.NoPruning {
+		pruner = e.coveragePruner()
+	}
+	sel := catapult.NewSelector(e.metrics, e.cl, e.csgs, e.selectConfig(pruner))
+	cands := sel.GenerateFCPs(evolved)
+	promising := e.promising(cands)
+	rep.Candidates = len(promising)
+	rep.CandidateTime = time.Since(tCand)
+
+	tSwap := time.Now()
+	switch e.cfg.Strategy {
+	case RandomSwap:
+		rep.Swaps = e.randomSwap(promising)
+		rep.Scans = 1
+	default:
+		rep.Swaps, rep.Scans = e.multiScanSwap(promising)
+	}
+	rep.SwapTime = time.Since(tSwap)
+}
+
+// coverSets returns the cover set of every current pattern over the
+// full database (via the indices when available).
+func (e *Engine) coverSets() []map[int]struct{} {
+	out := make([]map[int]struct{}, len(e.patterns))
+	for i, p := range e.patterns {
+		out[i] = e.metrics.CoverSet(p)
+	}
+	return out
+}
+
+// exclusiveStats computes, per pattern, |G_scov(p) \ ∪_{p'≠p}
+// G_scov(p')| along with the union cover, feeding Definition 5.5 and
+// Equation 2.
+func exclusiveStats(covers []map[int]struct{}) (exclusive []int, union map[int]struct{}) {
+	union = make(map[int]struct{})
+	owner := make(map[int]int) // graph ID -> covering pattern count
+	for _, c := range covers {
+		for id := range c {
+			union[id] = struct{}{}
+			owner[id]++
+		}
+	}
+	exclusive = make([]int, len(covers))
+	for i, c := range covers {
+		n := 0
+		for id := range c {
+			if owner[id] == 1 {
+				n++
+			}
+		}
+		exclusive[i] = n
+	}
+	return exclusive, union
+}
+
+// coveragePruner builds the Equation 2 early-termination test: an edge
+// with marginal subgraph coverage below (1+κ)·min_p exclusive(p) stops
+// FCP growth.
+func (e *Engine) coveragePruner() catapult.Pruner {
+	covers := e.coverSets()
+	exclusive, union := exclusiveStats(covers)
+	minExcl := 0
+	if len(exclusive) > 0 {
+		minExcl = exclusive[0]
+		for _, x := range exclusive[1:] {
+			if x < minExcl {
+				minExcl = x
+			}
+		}
+	}
+	threshold := (1 + e.cfg.Kappa) * float64(minExcl)
+	return func(edgeLabel string) bool {
+		et := e.set.EdgeTree(edgeLabel)
+		if et == nil {
+			return true // unseen label: no coverage at all
+		}
+		marginal := 0
+		for id := range et.Post {
+			if _, covered := union[id]; !covered {
+				marginal++
+			}
+		}
+		return float64(marginal) < threshold
+	}
+}
+
+// promising filters candidates by Definition 5.5: a candidate is kept
+// when its marginal coverage beats (1+κ) times the exclusive coverage
+// of at least one existing pattern. With an empty pattern set, every
+// candidate is promising.
+func (e *Engine) promising(cands []*catapult.Candidate) []*catapult.Candidate {
+	if len(e.patterns) == 0 {
+		return cands
+	}
+	covers := e.coverSets()
+	exclusive, union := exclusiveStats(covers)
+	minExcl := exclusive[0]
+	for _, x := range exclusive[1:] {
+		if x < minExcl {
+			minExcl = x
+		}
+	}
+	var out []*catapult.Candidate
+	for _, c := range cands {
+		cover := e.metrics.CoverSet(c.Pattern())
+		marginal := 0
+		for id := range cover {
+			if _, covered := union[id]; !covered {
+				marginal++
+			}
+		}
+		if float64(marginal) >= (1+e.cfg.Kappa)*float64(minExcl) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

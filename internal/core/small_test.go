@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/catapult"
+)
+
+func smallBudgetConfig() Config {
+	cfg := testConfig()
+	cfg.Budget = catapult.Budget{MinSize: 1, MaxSize: 4, Count: 8}
+	return cfg
+}
+
+func TestSmallPatternsPopulated(t *testing.T) {
+	e := NewEngine(testDB(8, 8), smallBudgetConfig())
+	n1, n2 := 0, 0
+	for _, p := range e.Patterns() {
+		switch p.Size() {
+		case 1:
+			n1++
+		case 2:
+			n2++
+		}
+	}
+	if n1 == 0 {
+		t.Fatal("no single-edge patterns despite η_min = 1")
+	}
+	if n2 == 0 {
+		t.Fatal("no 2-edge patterns despite η_min = 1")
+	}
+	// The small section must not dominate the panel.
+	if n1+n2 > e.cfg.Budget.Count/2 {
+		t.Fatalf("small section %d exceeds half the budget", n1+n2)
+	}
+}
+
+func TestSmallPatternsAreTopSupport(t *testing.T) {
+	e := NewEngine(testDB(8, 8), smallBudgetConfig())
+	// The single-edge pattern must be one of the highest-support edges.
+	best := ""
+	bestCount := -1
+	for _, et := range e.set.FrequentEdges() {
+		if et.SupportCount() > bestCount {
+			bestCount = et.SupportCount()
+			best = et.Key
+		}
+	}
+	found := false
+	for _, p := range e.Patterns() {
+		if p.Size() == 1 {
+			// Compare by support: the chosen edge's support must equal
+			// the maximum (several edges may tie).
+			for _, et := range e.set.FrequentEdges() {
+				if et.SupportCount() == bestCount && graph.Signature(et.G) == graph.Signature(p) {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("small section lacks a top-support edge (best %q/%d)", best, bestCount)
+	}
+}
+
+func TestSmallPatternsRefreshOnMaintain(t *testing.T) {
+	e := NewEngine(testDB(6, 6), smallBudgetConfig())
+	// Insert an overwhelming batch of B-O star graphs: the top edge
+	// support shifts to B.O, and the small section must follow.
+	var ins []*graph.Graph
+	for i := 0; i < 40; i++ {
+		ins = append(ins, graph.Star(100+i, "B", "O", "O", "O"))
+	}
+	if _, err := e.Maintain(graph.Update{Insert: ins}); err != nil {
+		t.Fatal(err)
+	}
+	hasBO := false
+	for _, p := range e.Patterns() {
+		if p.Size() == 1 && p.EdgeLabel(0, 1) == "B.O" {
+			hasBO = true
+		}
+	}
+	if !hasBO {
+		t.Fatal("small section did not refresh to the new dominant edge")
+	}
+}
+
+func TestSmallQuotaZeroWhenMinSizeAbove2(t *testing.T) {
+	e := NewEngine(testDB(4, 4), testConfig())
+	cfg := e.cfg
+	cfg.Budget.MinSize = 3
+	e.cfg = cfg
+	if e.smallQuota() != 0 {
+		t.Fatal("quota should be 0 for η_min > 2")
+	}
+}
+
+func TestSelectBudgetReservation(t *testing.T) {
+	e := NewEngine(testDB(4, 4), smallBudgetConfig())
+	b := e.selectBudget()
+	if b.MinSize < 3 {
+		t.Fatalf("selector min size = %d, want >= 3", b.MinSize)
+	}
+	if b.Count >= e.cfg.Budget.Count {
+		t.Fatal("selector budget not reduced by the small quota")
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+// swapFixture returns an engine with a small, fully bootstrapped state.
+func swapFixture(t *testing.T) *Engine {
+	t.Helper()
+	return NewEngine(testDB(8, 8), testConfig())
+}
+
+func TestTrySwapRejectsDuplicateStructure(t *testing.T) {
+	e := swapFixture(t)
+	if len(e.patterns) < 2 {
+		t.Skip("fixture selected too few patterns")
+	}
+	// Candidate identical to pattern 1, proposed to replace pattern 0.
+	dup := e.patterns[1].Clone()
+	dup.ID = 999
+	if e.trySwap(0, dup, 0.1) {
+		t.Fatal("swap accepting a structural duplicate of another pattern")
+	}
+}
+
+func TestTrySwapRespectsSizeCap(t *testing.T) {
+	e := swapFixture(t)
+	cap := e.cfg.Budget.PerSizeCap()
+	// Count current patterns per size; build a candidate of a size
+	// already at cap (if any).
+	perSize := map[int]int{}
+	for _, p := range e.patterns {
+		perSize[p.Size()]++
+	}
+	for size, n := range perSize {
+		if n >= cap {
+			// Candidate of this size replacing a pattern of a DIFFERENT
+			// size busts the cap and must be rejected before any other
+			// criterion is consulted.
+			var victim = -1
+			for i, p := range e.patterns {
+				if p.Size() != size {
+					victim = i
+					break
+				}
+			}
+			if victim == -1 {
+				continue
+			}
+			cand := chainOfSize(size)
+			if e.sizeCountAfterSwap(victim, cand) <= cap {
+				continue
+			}
+			if e.trySwap(victim, cand, 0.0) {
+				t.Fatalf("swap busting the per-size cap for size %d", size)
+			}
+			return
+		}
+	}
+	t.Skip("no size at cap in fixture")
+}
+
+func chainOfSize(edges int) *graph.Graph {
+	labels := make([]string, edges+1)
+	for i := range labels {
+		labels[i] = "C"
+	}
+	g := graph.Path(998, labels...)
+	return g
+}
+
+func TestTrySwapCognitiveLoadGuard(t *testing.T) {
+	e := swapFixture(t)
+	// A dense clique has far higher cognitive load than any selected
+	// pattern; sw4 must reject it even if coverage improved.
+	k4 := graph.Clique(997, "C", "C", "C", "C")
+	idx := e.worstPatternIndex()
+	if idx < 0 {
+		t.Skip("no patterns")
+	}
+	if e.trySwap(idx, k4, 0.0) {
+		t.Fatal("swap accepted a candidate that raises f_cog")
+	}
+}
+
+func TestWorstPatternIndexValid(t *testing.T) {
+	e := swapFixture(t)
+	idx := e.worstPatternIndex()
+	if idx < 0 || idx >= len(e.patterns) {
+		t.Fatalf("worst index %d out of range", idx)
+	}
+	// The worst pattern's score must be <= every other pattern's score.
+	worstScore := e.metrics.ScoreMIDAS(e.patterns[idx], without(e.patterns, idx))
+	for i := range e.patterns {
+		if i == idx {
+			continue
+		}
+		s := e.metrics.ScoreMIDAS(e.patterns[i], without(e.patterns, i))
+		if s < worstScore-1e-9 {
+			t.Fatalf("pattern %d scores %v below 'worst' %v", i, s, worstScore)
+		}
+	}
+}
+
+func TestCoveragePrunerUnknownLabel(t *testing.T) {
+	e := swapFixture(t)
+	pruner := e.coveragePruner()
+	if !pruner("Zz.Zz") {
+		t.Fatal("unseen edge label must be pruned (no coverage)")
+	}
+}
+
+func TestPromisingWithEmptyPatternSet(t *testing.T) {
+	e := swapFixture(t)
+	e.patterns = nil
+	// With no incumbents, every candidate is promising by definition.
+	if got := e.promising(nil); got != nil {
+		t.Fatalf("promising(nil) = %v, want nil passthrough", got)
+	}
+}
+
+func TestExclusiveStats(t *testing.T) {
+	covers := []map[int]struct{}{
+		{1: {}, 2: {}, 3: {}},
+		{3: {}, 4: {}},
+	}
+	exclusive, union := exclusiveStats(covers)
+	if len(union) != 4 {
+		t.Fatalf("union = %d, want 4", len(union))
+	}
+	if exclusive[0] != 2 { // graphs 1,2 are exclusive to cover 0
+		t.Fatalf("exclusive[0] = %d, want 2", exclusive[0])
+	}
+	if exclusive[1] != 1 { // graph 4
+		t.Fatalf("exclusive[1] = %d, want 1", exclusive[1])
+	}
+}
+
+func TestUnionExcept(t *testing.T) {
+	covers := []map[int]struct{}{
+		{1: {}, 2: {}},
+		{2: {}, 3: {}},
+	}
+	u := unionExcept(covers, 0)
+	if len(u) != 2 {
+		t.Fatalf("unionExcept = %v", u)
+	}
+	if _, ok := u[1]; ok {
+		t.Fatal("excluded cover leaked into union")
+	}
+}
+
+func TestSizesHelpers(t *testing.T) {
+	ps := []*graph.Graph{graph.Path(0, "A", "B"), graph.Path(1, "A", "B", "C")}
+	s := sizesOf(ps)
+	if s[0] != 1 || s[1] != 2 {
+		t.Fatalf("sizesOf = %v", s)
+	}
+	s2 := sizesOfAfterSwap(ps, 0, graph.Path(2, "A", "B", "C", "D"))
+	if s2[0] != 3 || s2[1] != 2 {
+		t.Fatalf("sizesOfAfterSwap = %v", s2)
+	}
+	// Original slice untouched.
+	if s[0] != 1 {
+		t.Fatal("sizesOfAfterSwap mutated input")
+	}
+}
+
+func TestMultiScanSigmaSchedule(t *testing.T) {
+	e := swapFixture(t)
+	// With no candidates the loop must terminate immediately and leave
+	// sigma progressing per Lemma 6.3.
+	sigmaBefore := e.sigma
+	swaps, scans := e.multiScanSwap(nil)
+	if swaps != 0 {
+		t.Fatal("swaps without candidates")
+	}
+	if scans < 1 {
+		t.Fatalf("scans = %d, want >= 1", scans)
+	}
+	if e.sigma < sigmaBefore {
+		t.Fatalf("sigma regressed: %v -> %v", sigmaBefore, e.sigma)
+	}
+}
+
+func TestRandomSwapEmptyPatterns(t *testing.T) {
+	e := swapFixture(t)
+	e.patterns = nil
+	if got := e.randomSwap(nil); got != 0 {
+		t.Fatalf("randomSwap on empty set = %d, want 0", got)
+	}
+}
+
+func TestSortInts(t *testing.T) {
+	xs := []int{3, 1, 2}
+	sortInts(xs)
+	if xs[0] != 1 || xs[1] != 2 || xs[2] != 3 {
+		t.Fatalf("sortInts = %v", xs)
+	}
+}

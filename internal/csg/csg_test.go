@@ -1,0 +1,273 @@
+package csg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/cluster"
+	"github.com/midas-graph/midas/internal/iso"
+	"github.com/midas-graph/midas/internal/tree"
+)
+
+func TestBuildSingleGraph(t *testing.T) {
+	g := graph.Path(1, "C", "O", "C")
+	s := Build(0, []*graph.Graph{g}, 0)
+	if s.Size() != 2 {
+		t.Fatalf("summary edges = %d, want 2", s.Size())
+	}
+	for _, e := range s.Edges() {
+		if got := s.EdgeSupport(e); !reflect.DeepEqual(got, []int{1}) {
+			t.Fatalf("support = %v, want [1]", got)
+		}
+	}
+}
+
+func TestBuildIdenticalGraphsShareEdges(t *testing.T) {
+	g1 := graph.Path(1, "C", "O", "C")
+	g2 := graph.Path(2, "C", "O", "C")
+	s := Build(0, []*graph.Graph{g1, g2}, 0)
+	// Identical graphs must overlay perfectly: still 2 summary edges,
+	// each supported by both graphs.
+	if s.Size() != 2 {
+		t.Fatalf("summary edges = %d, want 2", s.Size())
+	}
+	for _, e := range s.Edges() {
+		if got := s.EdgeSupport(e); !reflect.DeepEqual(got, []int{1, 2}) {
+			t.Fatalf("support = %v, want [1 2]", got)
+		}
+	}
+}
+
+func TestBuildOverlappingGraphs(t *testing.T) {
+	// C-O-C and C-O-N share the C-O edge.
+	g1 := graph.Path(1, "C", "O", "C")
+	g2 := graph.Path(2, "C", "O", "N")
+	s := Build(0, []*graph.Graph{g1, g2}, 0)
+	if s.Size() != 3 {
+		t.Fatalf("summary edges = %d, want 3 (C-O shared, O-C and O-N separate)", s.Size())
+	}
+	// Exactly one edge should have support {1,2}.
+	shared := 0
+	for _, e := range s.Edges() {
+		if len(s.EdgeSupport(e)) == 2 {
+			shared++
+		}
+	}
+	if shared != 1 {
+		t.Fatalf("shared edges = %d, want 1", shared)
+	}
+}
+
+func TestIntegrateThenRemoveRestores(t *testing.T) {
+	g1 := graph.Path(1, "C", "O", "C")
+	s := Build(0, []*graph.Graph{g1}, 0)
+	before := s.Size()
+	g2 := graph.Cycle(2, "C", "O", "N")
+	s.Integrate(g2)
+	if s.Size() <= before {
+		t.Fatal("integration should add edges")
+	}
+	s.RemoveGraph(2)
+	if s.Size() != before {
+		t.Fatalf("size after remove = %d, want %d", s.Size(), before)
+	}
+	if got := s.MemberIDs(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("members = %v, want [1]", got)
+	}
+}
+
+func TestRemoveKeepsSharedEdges(t *testing.T) {
+	g1 := graph.Path(1, "C", "O")
+	g2 := graph.Path(2, "C", "O")
+	s := Build(0, []*graph.Graph{g1, g2}, 0)
+	s.RemoveGraph(1)
+	if s.Size() != 1 {
+		t.Fatalf("size = %d, want 1 (edge still supported by graph 2)", s.Size())
+	}
+	e := s.Edges()[0]
+	if !reflect.DeepEqual(s.EdgeSupport(e), []int{2}) {
+		t.Fatalf("support = %v, want [2]", s.EdgeSupport(e))
+	}
+}
+
+func TestEverySummaryEdgeBacksAMember(t *testing.T) {
+	// Each member graph must be embeddable in the summary via edges it
+	// supports: here we check the weaker invariant that each member's
+	// edge count equals its supported summary edge count.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var members []*graph.Graph
+		for i := 0; i < 1+r.Intn(4); i++ {
+			members = append(members, randomMolecule(r, i+1))
+		}
+		s := Build(0, members, 0)
+		for _, g := range members {
+			supported := 0
+			for _, e := range s.Edges() {
+				for _, id := range s.EdgeSupport(e) {
+					if id == g.ID {
+						supported++
+					}
+				}
+			}
+			// Distinct g edges may merge onto one summary edge only if
+			// they map to the same vertex pair, which cannot happen for a
+			// simple graph under an injective vertex mapping.
+			if supported != g.Size() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemberContainedInSummary(t *testing.T) {
+	// The closure property: every member graph is a subgraph of the
+	// summary.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var members []*graph.Graph
+		for i := 0; i < 1+r.Intn(4); i++ {
+			members = append(members, randomMolecule(r, i+1))
+		}
+		s := Build(0, members, 0)
+		for _, g := range members {
+			if !iso.HasSubgraph(g, s.G, iso.Options{MaxSteps: 100000}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomMolecule(r *rand.Rand, id int) *graph.Graph {
+	labels := []string{"C", "O", "N"}
+	n := 2 + r.Intn(6)
+	g := graph.New(id)
+	for i := 0; i < n; i++ {
+		g.AddVertex(labels[r.Intn(len(labels))])
+	}
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, r.Intn(i))
+	}
+	if r.Intn(2) == 0 && n > 2 {
+		g.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	g.SortAdjacency()
+	return g
+}
+
+func TestLabelCoverage(t *testing.T) {
+	g1 := graph.Path(1, "C", "O", "C")
+	g2 := graph.Path(2, "C", "O")
+	s := Build(0, []*graph.Graph{g1, g2}, 0)
+	lc := s.LabelCoverage()
+	if len(lc["C.O"]) != 2 {
+		t.Fatalf("lcov(C.O) members = %d, want 2", len(lc["C.O"]))
+	}
+}
+
+func TestWeights(t *testing.T) {
+	g1 := graph.Path(1, "C", "O", "C")
+	g2 := graph.Path(2, "C", "O")
+	s := Build(0, []*graph.Graph{g1, g2}, 0)
+	w := s.Weights(func(label string) float64 {
+		if label == "C.O" {
+			return 0.5
+		}
+		return 0
+	}, 2)
+	for e, weight := range w {
+		label := s.G.EdgeLabel(e.U, e.V)
+		if label == "C.O" {
+			if weight != 0.5*1.0 {
+				t.Fatalf("w(C.O) = %v, want 0.5", weight)
+			}
+		} else if weight != 0 {
+			t.Fatalf("w(%s) = %v, want 0", label, weight)
+		}
+	}
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	d := graph.DatabaseOf(
+		graph.Path(0, "C", "O", "C"),
+		graph.Path(1, "C", "O", "C"),
+		graph.Star(2, "C", "N", "N", "N"),
+		graph.Star(3, "C", "N", "N", "N"),
+	)
+	set := tree.Mine(d, 0.3, 3)
+	cl := cluster.Build(d, set, cluster.Config{K: 2, MaxSize: 50}, rand.New(rand.NewSource(1)))
+	m := NewManager(0)
+	m.BuildAll(cl)
+	if len(m.ClusterIDs()) != cl.Len() {
+		t.Fatalf("summaries = %d, want %d", len(m.ClusterIDs()), cl.Len())
+	}
+
+	// Assign a new graph.
+	g := graph.Path(10, "C", "O", "C")
+	cid := cl.Assign(g, set)
+	m.OnAssign(cid, g)
+	found := false
+	for _, id := range m.Get(cid).MemberIDs() {
+		if id == 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("assigned graph not in summary")
+	}
+
+	// Remove it again.
+	cl.Remove(10)
+	m.OnRemove(cid, 10)
+	for _, id := range m.Get(cid).MemberIDs() {
+		if id == 10 {
+			t.Fatal("removed graph still in summary")
+		}
+	}
+}
+
+func TestManagerOnRemoveDropsEmpty(t *testing.T) {
+	m := NewManager(0)
+	g := graph.Path(5, "C", "O")
+	m.OnAssign(7, g)
+	if m.Get(7) == nil {
+		t.Fatal("summary not created on assign")
+	}
+	m.OnRemove(7, 5)
+	if m.Get(7) != nil {
+		t.Fatal("empty summary should be dropped")
+	}
+	m.OnRemove(99, 1) // no-op must not panic
+}
+
+func TestManagerSync(t *testing.T) {
+	d := graph.DatabaseOf(
+		graph.Path(0, "C", "O", "C"),
+		graph.Star(1, "C", "N", "N", "N"),
+	)
+	set := tree.Mine(d, 0.3, 3)
+	cl := cluster.Build(d, set, cluster.Config{K: 2, MaxSize: 50}, rand.New(rand.NewSource(1)))
+	m := NewManager(0)
+	rebuilt := m.Sync(cl)
+	if len(rebuilt) != cl.Len() {
+		t.Fatalf("rebuilt = %v, want all %d clusters", rebuilt, cl.Len())
+	}
+	// Vanished cluster summaries are dropped on the next sync.
+	cl.Remove(0)
+	cl.Remove(1)
+	m.Sync(cl)
+	if len(m.ClusterIDs()) != 0 {
+		t.Fatalf("summaries = %v, want none", m.ClusterIDs())
+	}
+}

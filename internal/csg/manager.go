@@ -1,0 +1,97 @@
+package csg
+
+import (
+	"sort"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/cluster"
+)
+
+// Manager owns the CSG set S, one summary per cluster, and applies the
+// maintenance steps of Algorithm 1 lines 6–7: summaries of clusters that
+// receive insertions are updated in place, summaries of clusters that
+// lose members shed support, and clusters created by fine clustering get
+// freshly built summaries.
+type Manager struct {
+	csgs   map[int]*CSG
+	budget int
+}
+
+// NewManager returns a manager; budget caps each MCCS alignment
+// (<=0 selects the default).
+func NewManager(budget int) *Manager {
+	return &Manager{csgs: make(map[int]*CSG), budget: budget}
+}
+
+// BuildAll constructs summaries for every cluster.
+func (m *Manager) BuildAll(cl *cluster.Clustering) {
+	for _, c := range cl.Clusters() {
+		m.csgs[c.ID] = Build(c.ID, c.Members(), m.budget)
+	}
+}
+
+// Get returns the summary of a cluster, or nil.
+func (m *Manager) Get(clusterID int) *CSG { return m.csgs[clusterID] }
+
+// ClusterIDs returns the sorted cluster IDs with summaries.
+func (m *Manager) ClusterIDs() []int {
+	ids := make([]int, 0, len(m.csgs))
+	for id := range m.csgs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// OnAssign integrates a newly assigned graph into its cluster's summary,
+// creating the summary if the cluster is new.
+func (m *Manager) OnAssign(clusterID int, g *graph.Graph) {
+	s := m.csgs[clusterID]
+	if s == nil {
+		s = Build(clusterID, nil, m.budget)
+		m.csgs[clusterID] = s
+	}
+	s.Integrate(g)
+}
+
+// OnRemove sheds a removed graph's support from its cluster's summary.
+// Empty summaries are dropped.
+func (m *Manager) OnRemove(clusterID, graphID int) {
+	s := m.csgs[clusterID]
+	if s == nil {
+		return
+	}
+	s.RemoveGraph(graphID)
+	if s.Size() == 0 {
+		delete(m.csgs, clusterID)
+	}
+}
+
+// Rebuild replaces the summary of a cluster from scratch — used for
+// clusters produced by fine clustering, whose membership changed
+// wholesale (§4.3).
+func (m *Manager) Rebuild(c *cluster.Cluster) {
+	m.csgs[c.ID] = Build(c.ID, c.Members(), m.budget)
+}
+
+// Sync reconciles the manager with the clustering: summaries for
+// missing clusters are built, summaries for vanished clusters dropped.
+// It returns the IDs of clusters whose summaries were (re)built.
+func (m *Manager) Sync(cl *cluster.Clustering) []int {
+	var rebuilt []int
+	live := make(map[int]struct{})
+	for _, c := range cl.Clusters() {
+		live[c.ID] = struct{}{}
+		if m.csgs[c.ID] == nil {
+			m.Rebuild(c)
+			rebuilt = append(rebuilt, c.ID)
+		}
+	}
+	for id := range m.csgs {
+		if _, ok := live[id]; !ok {
+			delete(m.csgs, id)
+		}
+	}
+	sort.Ints(rebuilt)
+	return rebuilt
+}

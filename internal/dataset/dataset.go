@@ -1,0 +1,443 @@
+// Package dataset generates synthetic molecule-like graph databases,
+// batch updates and query workloads. It substitutes for the proprietary
+// chemical repositories of the paper's evaluation (AIDS antiviral,
+// PubChem, eMolecules; §7.1): the maintenance algorithms only observe
+// labelled small graphs, so what matters is realistic label skew, shared
+// functional-group motifs (which drive clustering and canned-pattern
+// structure), ring/chain topology, and per-dataset size distributions —
+// all of which the generator reproduces with explicit profiles.
+package dataset
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+// Element is a weighted vertex label.
+type Element struct {
+	Label  string
+	Weight float64
+}
+
+// Motif is a functional-group template planted in generated molecules.
+type Motif struct {
+	Name   string
+	Weight float64
+	// Build returns a fresh copy of the motif graph (ID -1) and the
+	// index of its attachment vertex.
+	Build func() (*graph.Graph, int)
+}
+
+// Profile describes a dataset family.
+type Profile struct {
+	Name     string
+	Elements []Element
+	Motifs   []Motif
+	// MinVerts/MaxVerts bound molecule sizes (heavy atoms + hydrogens).
+	MinVerts, MaxVerts int
+	// RingProb is the chance of closing an extra ring per molecule.
+	RingProb float64
+	// HydrogenProb is the chance a low-degree heavy atom gets an H leaf.
+	HydrogenProb float64
+}
+
+// chain returns a simple labelled path motif.
+func chain(labels ...string) func() (*graph.Graph, int) {
+	return func() (*graph.Graph, int) {
+		return graph.Path(-1, labels...), 0
+	}
+}
+
+// ring returns a labelled cycle motif.
+func ring(labels ...string) func() (*graph.Graph, int) {
+	return func() (*graph.Graph, int) {
+		return graph.Cycle(-1, labels...), 0
+	}
+}
+
+// star returns a star motif: centre plus leaves.
+func star(center string, leaves ...string) func() (*graph.Graph, int) {
+	return func() (*graph.Graph, int) {
+		return graph.Star(-1, center, leaves...), 0
+	}
+}
+
+// organicElements is the shared heavy-atom frequency table.
+func organicElements() []Element {
+	return []Element{
+		{"C", 0.60}, {"O", 0.16}, {"N", 0.12}, {"S", 0.05},
+		{"P", 0.03}, {"Cl", 0.04},
+	}
+}
+
+// AIDSLike mimics the AIDS antiviral dataset: mid-sized molecules, rich
+// in nitrogen heterocycles and sulfur groups.
+func AIDSLike() Profile {
+	return Profile{
+		Name:     "aids",
+		Elements: organicElements(),
+		Motifs: []Motif{
+			{"benzene", 3, ring("C", "C", "C", "C", "C", "C")},
+			{"pyridine", 2, ring("C", "C", "C", "C", "C", "N")},
+			{"amide", 2, chain("N", "C", "O")},
+			{"thiol", 1.5, chain("C", "S")},
+			{"amine", 2, star("N", "C", "C")},
+			{"carboxyl", 1.5, star("C", "O", "O")},
+		},
+		MinVerts: 10, MaxVerts: 28,
+		RingProb: 0.35, HydrogenProb: 0.35,
+	}
+}
+
+// PubChemLike mimics the PubChem compound dataset: broad organic mix.
+func PubChemLike() Profile {
+	return Profile{
+		Name:     "pubchem",
+		Elements: organicElements(),
+		Motifs: []Motif{
+			{"benzene", 3, ring("C", "C", "C", "C", "C", "C")},
+			{"furan", 1.5, ring("C", "C", "C", "C", "O")},
+			{"carboxyl", 2, star("C", "O", "O")},
+			{"ether", 2, chain("C", "O", "C")},
+			{"amine", 1.5, star("N", "C", "C")},
+			{"chloro", 1, chain("C", "Cl")},
+		},
+		MinVerts: 8, MaxVerts: 24,
+		RingProb: 0.3, HydrogenProb: 0.35,
+	}
+}
+
+// EMolLike mimics the eMolecules building-block dataset: smaller
+// fragments.
+func EMolLike() Profile {
+	return Profile{
+		Name:     "emol",
+		Elements: organicElements(),
+		Motifs: []Motif{
+			{"benzene", 2, ring("C", "C", "C", "C", "C", "C")},
+			{"ether", 2, chain("C", "O", "C")},
+			{"amine", 2, star("N", "C", "C")},
+			{"nitrile", 1, chain("C", "N")},
+		},
+		MinVerts: 6, MaxVerts: 18,
+		RingProb: 0.25, HydrogenProb: 0.4,
+	}
+}
+
+// BoronicEsters is the Δ+ family of Example 1.2: molecules built around
+// the boronic ester functional group (B bonded to two O-C bridges) and
+// strained fused-ring scaffolds. The family is deliberately
+// *topologically* distinct from the base profiles (3-rings, fused
+// rings), mirroring how a genuinely new chemical family shifts the
+// graphlet frequency distribution of the repository (§3.4) — the signal
+// MIDAS uses to classify a modification as major.
+func BoronicEsters() Profile {
+	return Profile{
+		Name:     "boronic-esters",
+		Elements: []Element{{"C", 0.35}, {"O", 0.35}, {"B", 0.3}},
+		Motifs: []Motif{
+			{"boronic-ester", 3, func() (*graph.Graph, int) {
+				// C-B(-O-C)(-O-C) core.
+				g := graph.New(-1)
+				c := g.AddVertex("C")
+				b := g.AddVertex("B")
+				o1 := g.AddVertex("O")
+				o2 := g.AddVertex("O")
+				c1 := g.AddVertex("C")
+				c2 := g.AddVertex("C")
+				g.AddEdge(c, b)
+				g.AddEdge(b, o1)
+				g.AddEdge(b, o2)
+				g.AddEdge(o1, c1)
+				g.AddEdge(o2, c2)
+				g.SortAdjacency()
+				return g, 0
+			}},
+			{"pinacol-ring", 2, ring("B", "O", "C", "C", "O")},
+			{"borate-chain", 2, chain("O", "B", "O", "C")},
+			{"boracyclopropane", 5, ring("B", "C", "C")},
+			{"fused-bicycle", 5, func() (*graph.Graph, int) {
+				// Two triangles sharing an edge (a diamond graphlet).
+				g := graph.FromEdges(-1, []string{"C", "C", "C", "B"},
+					[][2]int{{0, 1}, {1, 2}, {0, 2}, {0, 3}, {2, 3}})
+				return g, 0
+			}},
+		},
+		MinVerts: 10, MaxVerts: 24,
+		RingProb: 0.5, HydrogenProb: 0.15,
+	}
+}
+
+// Profiles returns the named profile or false.
+func Profiles(name string) (Profile, bool) {
+	switch name {
+	case "aids":
+		return AIDSLike(), true
+	case "pubchem":
+		return PubChemLike(), true
+	case "emol":
+		return EMolLike(), true
+	case "boronic-esters":
+		return BoronicEsters(), true
+	}
+	return Profile{}, false
+}
+
+// pick draws a weighted element label.
+func pickElement(rng *rand.Rand, es []Element) string {
+	total := 0.0
+	for _, e := range es {
+		total += e.Weight
+	}
+	x := rng.Float64() * total
+	for _, e := range es {
+		x -= e.Weight
+		if x <= 0 {
+			return e.Label
+		}
+	}
+	return es[len(es)-1].Label
+}
+
+func pickMotif(rng *rand.Rand, ms []Motif) Motif {
+	total := 0.0
+	for _, m := range ms {
+		total += m.Weight
+	}
+	x := rng.Float64() * total
+	for _, m := range ms {
+		x -= m.Weight
+		if x <= 0 {
+			return m
+		}
+	}
+	return ms[len(ms)-1]
+}
+
+// Molecule generates one molecule with the given graph ID.
+func (p Profile) Molecule(rng *rand.Rand, id int) *graph.Graph {
+	target := p.MinVerts
+	if p.MaxVerts > p.MinVerts {
+		target += rng.Intn(p.MaxVerts - p.MinVerts + 1)
+	}
+	// Seed with a core motif.
+	core, _ := pickMotif(rng, p.Motifs).Build()
+	g := core.Clone()
+	g.ID = id
+
+	heavy := func(v int) bool { return g.Label(v) != "H" }
+	// Grow until target: attach motifs or single atoms to random heavy
+	// vertices.
+	for g.Order() < target {
+		anchors := candidateAnchors(g, heavy)
+		if len(anchors) == 0 {
+			break
+		}
+		anchor := anchors[rng.Intn(len(anchors))]
+		if rng.Float64() < 0.3 && g.Order()+4 <= target {
+			m, att := pickMotif(rng, p.Motifs).Build()
+			attachMotif(g, anchor, m, att)
+		} else {
+			v := g.AddVertex(pickElement(rng, p.Elements))
+			g.AddEdge(anchor, v)
+		}
+	}
+	// Optional ring closure between two distant vertices.
+	if rng.Float64() < p.RingProb {
+		closeRing(g, rng)
+	}
+	// Hydrogen decoration on low-degree heavy atoms.
+	n := g.Order()
+	for v := 0; v < n; v++ {
+		if heavy(v) && g.Degree(v) <= 2 && rng.Float64() < p.HydrogenProb {
+			h := g.AddVertex("H")
+			g.AddEdge(v, h)
+		}
+	}
+	g.SortAdjacency()
+	return g
+}
+
+func candidateAnchors(g *graph.Graph, heavy func(int) bool) []int {
+	var out []int
+	for v := 0; v < g.Order(); v++ {
+		if heavy(v) && g.Degree(v) < 4 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// attachMotif grafts motif m onto g, fusing m's attachment vertex with
+// anchor when labels match, otherwise bonding them.
+func attachMotif(g *graph.Graph, anchor int, m *graph.Graph, att int) {
+	idx := make([]int, m.Order())
+	for v := 0; v < m.Order(); v++ {
+		if v == att && m.Label(v) == g.Label(anchor) {
+			idx[v] = anchor
+			continue
+		}
+		idx[v] = g.AddVertex(m.Label(v))
+	}
+	for _, e := range m.Edges() {
+		g.AddEdge(idx[e.U], idx[e.V])
+	}
+	if idx[att] != anchor {
+		g.AddEdge(anchor, idx[att])
+	}
+}
+
+// closeRing adds one edge between two vertices at distance >= 3 when
+// possible.
+func closeRing(g *graph.Graph, rng *rand.Rand) {
+	n := g.Order()
+	if n < 4 {
+		return
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v || g.HasEdge(u, v) || g.Label(u) == "H" || g.Label(v) == "H" {
+			continue
+		}
+		if g.Degree(u) >= 4 || g.Degree(v) >= 4 {
+			continue
+		}
+		g.AddEdge(u, v)
+		return
+	}
+}
+
+// Generate produces n molecules with IDs fromID..fromID+n-1.
+func (p Profile) Generate(n, fromID int, seed int64) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*graph.Graph, n)
+	for i := range out {
+		out[i] = p.Molecule(rng, fromID+i)
+	}
+	return out
+}
+
+// GenerateDB builds a database of n molecules.
+func (p Profile) GenerateDB(n int, seed int64) *graph.Database {
+	d := graph.NewDatabase()
+	for _, g := range p.Generate(n, 0, seed) {
+		if err := d.Add(g); err != nil {
+			panic(err) // unreachable: sequential IDs
+		}
+	}
+	return d
+}
+
+// Queries draws n random connected subgraph queries from the given
+// graphs, with sizes (edge counts) in [minSize, maxSize] clamped to each
+// source graph (§7.1: 1000 queries sized 4–40 drawn from the dataset).
+func Queries(graphs []*graph.Graph, n, minSize, maxSize int, seed int64) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*graph.Graph, 0, n)
+	if len(graphs) == 0 {
+		return out
+	}
+	for len(out) < n {
+		src := graphs[rng.Intn(len(graphs))]
+		if src.Size() == 0 {
+			continue
+		}
+		target := minSize
+		if maxSize > minSize {
+			target += rng.Intn(maxSize - minSize + 1)
+		}
+		if target > src.Size() {
+			target = src.Size()
+		}
+		q := randomConnectedSubgraph(rng, src, target)
+		q.ID = len(out)
+		out = append(out, q)
+	}
+	return out
+}
+
+// randomConnectedSubgraph grows a connected edge subgraph of size
+// edges by random frontier expansion.
+func randomConnectedSubgraph(rng *rand.Rand, g *graph.Graph, size int) *graph.Graph {
+	start := g.Edges()[rng.Intn(g.Size())]
+	chosen := map[graph.Edge]struct{}{start: {}}
+	verts := map[int]struct{}{start.U: {}, start.V: {}}
+	for len(chosen) < size {
+		// Iterate vertices in sorted order: frontier order must be
+		// deterministic or the seeded draw below loses reproducibility.
+		vs := make([]int, 0, len(verts))
+		for v := range verts {
+			vs = append(vs, v)
+		}
+		sort.Ints(vs)
+		var frontier []graph.Edge
+		seen := make(map[graph.Edge]struct{})
+		for _, v := range vs {
+			for _, w := range g.Neighbors(v) {
+				e := graph.Edge{U: v, V: w}.Canon()
+				if _, dup := chosen[e]; dup {
+					continue
+				}
+				if _, dup := seen[e]; dup {
+					continue
+				}
+				seen[e] = struct{}{}
+				frontier = append(frontier, e)
+			}
+		}
+		if len(frontier) == 0 {
+			break
+		}
+		e := frontier[rng.Intn(len(frontier))]
+		chosen[e] = struct{}{}
+		verts[e.U] = struct{}{}
+		verts[e.V] = struct{}{}
+	}
+	edges := make([]graph.Edge, 0, len(chosen))
+	for _, e := range g.Edges() { // deterministic order
+		if _, ok := chosen[e]; ok {
+			edges = append(edges, e)
+		}
+	}
+	return g.EdgeSubgraph(edges)
+}
+
+// BalancedQueries implements §7.1's balanced workload: when Δ+ is
+// non-empty, half the queries come from Δ+ and half from D \ Δ-;
+// otherwise all queries come from D ⊕ ΔD.
+func BalancedQueries(dbAfter *graph.Database, inserted []*graph.Graph, n, minSize, maxSize int, seed int64) []*graph.Graph {
+	if len(inserted) == 0 {
+		return Queries(dbAfter.Graphs(), n, minSize, maxSize, seed)
+	}
+	insertedIDs := make(map[int]struct{}, len(inserted))
+	for _, g := range inserted {
+		insertedIDs[g.ID] = struct{}{}
+	}
+	var rest []*graph.Graph
+	for _, g := range dbAfter.Graphs() {
+		if _, isNew := insertedIDs[g.ID]; !isNew {
+			rest = append(rest, g)
+		}
+	}
+	half := n / 2
+	qs := Queries(inserted, half, minSize, maxSize, seed)
+	qs = append(qs, Queries(rest, n-half, minSize, maxSize, seed+1)...)
+	for i, q := range qs {
+		q.ID = i
+	}
+	return qs
+}
+
+// RandomDeletion picks m random graph IDs to delete.
+func RandomDeletion(d *graph.Database, m int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	ids := d.IDs()
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	if m > len(ids) {
+		m = len(ids)
+	}
+	return ids[:m]
+}

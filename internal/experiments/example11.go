@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/core"
+	"github.com/midas-graph/midas/internal/dataset"
+	"github.com/midas-graph/midas/internal/gui"
+)
+
+// Example11Result reproduces the walkthrough of Examples 1.1/1.2: the
+// boronic-acid query formulated edge-at-a-time, pattern-at-a-time with
+// the stale pattern set, and pattern-at-a-time after MIDAS refreshes the
+// patterns for the boronic-ester family.
+type Example11Result struct {
+	EdgeSteps    int
+	EdgeQFT      float64
+	StaleSteps   int
+	StaleQFT     float64
+	FreshSteps   int
+	FreshQFT     float64
+	FreshMissed  bool
+	PatternCount int
+}
+
+// BoronicAcidQuery builds a phenylboronic-acid-like query: a benzene
+// ring with a B(OH)(OH) group and hydrogens.
+func BoronicAcidQuery() *graph.Graph {
+	g := graph.New(0)
+	ring := make([]int, 6)
+	for i := range ring {
+		ring[i] = g.AddVertex("C")
+	}
+	for i := range ring {
+		g.AddEdge(ring[i], ring[(i+1)%6])
+	}
+	b := g.AddVertex("B")
+	g.AddEdge(ring[0], b)
+	o1 := g.AddVertex("O")
+	o2 := g.AddVertex("O")
+	g.AddEdge(b, o1)
+	g.AddEdge(b, o2)
+	for _, o := range []int{o1, o2} {
+		h := g.AddVertex("H")
+		g.AddEdge(o, h)
+	}
+	for i := 1; i < 6; i++ {
+		h := g.AddVertex("H")
+		g.AddEdge(ring[i], h)
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// Example11Boronic runs the walkthrough at the given scale.
+func Example11Boronic(s Scale) Example11Result {
+	db := dataset.PubChemLike().GenerateDB(s.Base, s.Seed)
+	cfg := s.config()
+	eng := core.NewEngine(db, cfg)
+	stale := eng.Patterns()
+
+	ins := dataset.BoronicEsters().Generate(s.Delta*2, db.NextID(), s.Seed+5)
+	if _, err := eng.Maintain(graph.Update{Insert: ins}); err != nil {
+		panic(err)
+	}
+	fresh := eng.Patterns()
+
+	q := BoronicAcidQuery()
+	sim := gui.NewSimulator(s.Gamma)
+	sim.AllowEdits = 1
+
+	edge := sim.EdgeAtATime(q)
+	stalePlan := sim.PatternAtATime(q, stale)
+	freshPlan := sim.PatternAtATime(q, fresh)
+
+	return Example11Result{
+		EdgeSteps:    edge.Steps,
+		EdgeQFT:      edge.QFT,
+		StaleSteps:   stalePlan.Steps,
+		StaleQFT:     stalePlan.QFT,
+		FreshSteps:   freshPlan.Steps,
+		FreshQFT:     freshPlan.QFT,
+		FreshMissed:  freshPlan.Missed,
+		PatternCount: len(fresh),
+	}
+}
+
+// Table renders the walkthrough.
+func (r Example11Result) Table() *Table {
+	t := &Table{
+		Title:  "Examples 1.1/1.2: boronic acid formulation",
+		Header: []string{"mode", "steps", "QFT(s)"},
+	}
+	t.Add("edge-at-a-time", itoa(r.EdgeSteps), f2(r.EdgeQFT))
+	t.Add("patterns (stale)", itoa(r.StaleSteps), f2(r.StaleQFT))
+	t.Add("patterns (MIDAS-refreshed)", itoa(r.FreshSteps), f2(r.FreshQFT))
+	return t
+}

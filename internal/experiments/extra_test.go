@@ -1,0 +1,103 @@
+package experiments
+
+import "testing"
+
+func TestSupMinSweepShape(t *testing.T) {
+	res := SupMinSweep(Tiny())
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Lower thresholds must admit at least as many FCTs and frequent
+	// edges as higher ones.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].SupMin <= res.Rows[i-1].SupMin {
+			t.Fatal("sweep not increasing")
+		}
+		if res.Rows[i].FreqEdge > res.Rows[i-1].FreqEdge {
+			t.Fatalf("frequent edges grew with threshold: %+v", res.Rows)
+		}
+	}
+	if res.Table().String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestGammaSweepShape(t *testing.T) {
+	res := GammaSweep(Tiny())
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	// More patterns must not hurt MP or steps.
+	if last.MP > first.MP+1e-9 {
+		t.Fatalf("MP grew with gamma: %v -> %v", first.MP, last.MP)
+	}
+	if last.AvgSteps > first.AvgSteps+1e-9 {
+		t.Fatalf("steps grew with gamma: %v -> %v", first.AvgSteps, last.AvgSteps)
+	}
+	if res.Table().String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestFig15SmokeTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	res := Fig15BaselinesPubChem(Tiny())
+	if res.Dataset != "PubChem-like" || len(res.Comparisons) != len(DefaultBatches()) {
+		t.Fatalf("bad result: %s, %d comparisons", res.Dataset, len(res.Comparisons))
+	}
+	for _, c := range res.Comparisons {
+		m := c.Outcomes[MIDAS]
+		if m.Quality.Lcov <= 0 {
+			t.Fatalf("batch %s: degenerate quality", c.Batch)
+		}
+	}
+}
+
+func TestSeedRobustnessShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	res := SeedRobustness(Tiny(), []int64{1, 2})
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.SeedsRun != 2 {
+			t.Fatalf("seeds run = %d", row.SeedsRun)
+		}
+		if row.Min > row.Max {
+			t.Fatalf("min %v > max %v", row.Min, row.Max)
+		}
+	}
+	// The MP gap must never be negative on this clearly-major batch.
+	if res.Rows[0].Min < -1e-9 {
+		t.Fatalf("MP gap went negative: %+v", res.Rows[0])
+	}
+	if res.Table().String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestDiscoverabilityShape(t *testing.T) {
+	res := Discoverability(Tiny())
+	if len(res.Rows) != len(Approaches) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byApp := map[Approach]DiscoverabilityRow{}
+	for _, r := range res.Rows {
+		byApp[r.Approach] = r
+	}
+	m, n := byApp[MIDAS], byApp[NoMaintain]
+	// The refreshed panel must offer at least as much bottom-up support
+	// for the new family as the stale one.
+	if m.Discoverability < n.Discoverability-1e-9 {
+		t.Fatalf("MIDAS discoverability %v below NoMaintain %v",
+			m.Discoverability, n.Discoverability)
+	}
+	if res.Table().String() == "" {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/dataset"
+	"github.com/midas-graph/midas/internal/gui"
+	"github.com/midas-graph/midas/internal/stats"
+)
+
+// Fig9Row is one (query set, approach) cell of Figure 9: average QFT,
+// steps and VMT across users and queries.
+type Fig9Row struct {
+	QuerySet string
+	Approach Approach
+	QFT      float64
+	Steps    float64
+	VMT      float64
+}
+
+// Fig9Result reproduces Figure 9: the user study on the PubChem-like
+// dataset with three query sets — Qs1 from D, Qs2 mixed, Qs3 from Δ+ —
+// across all five approaches.
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// Fig9UserStudy builds the evolved PubChem-like scenario (a boronic
+// ester family is added, as in Example 1.2), selects the three query
+// sets of §7.2, and simulates the participant pool formulating each
+// query with each approach's pattern set.
+func Fig9UserStudy(s Scale) Fig9Result {
+	sc := buildScenario(pubchemBase(s.Base), boronInsert(s.Delta, s.Seed+100), s)
+	qPerSet := 5
+	minQ, maxQ := 8, 20 // scaled from the paper's [19,45] to molecule size
+
+	var oldGraphs []*graph.Graph
+	insertedIDs := map[int]struct{}{}
+	for _, g := range sc.inserted {
+		insertedIDs[g.ID] = struct{}{}
+	}
+	for _, g := range sc.after.Graphs() {
+		if _, isNew := insertedIDs[g.ID]; !isNew {
+			oldGraphs = append(oldGraphs, g)
+		}
+	}
+
+	qs1 := dataset.Queries(oldGraphs, qPerSet, minQ, maxQ, s.Seed+201)
+	qs2 := append(
+		dataset.Queries(oldGraphs, 2, minQ, maxQ, s.Seed+202),
+		dataset.Queries(sc.inserted, 3, minQ, maxQ, s.Seed+203)...)
+	qs3 := dataset.Queries(sc.inserted, qPerSet, minQ, maxQ, s.Seed+204)
+
+	sets := []struct {
+		name    string
+		queries []*graph.Graph
+	}{{"Qs1", qs1}, {"Qs2", qs2}, {"Qs3", qs3}}
+
+	users := gui.NewUsers(s.Users, s.Seed+300)
+	var res Fig9Result
+	for _, set := range sets {
+		for _, app := range Approaches {
+			row := simulateUsers(users, set.queries, sc.patterns[app], s.Gamma)
+			row.QuerySet = set.name
+			row.Approach = app
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// simulateUsers averages QFT/steps/VMT over every (user, query) pair;
+// the paper's study allows pattern modification, so one edge edit is
+// permitted.
+func simulateUsers(users []*gui.User, queries []*graph.Graph, patterns []*graph.Graph, displayed int) Fig9Row {
+	sim := gui.NewSimulator(displayed)
+	sim.AllowEdits = 1
+	var qft, steps, vmt []float64
+	for _, u := range users {
+		for _, q := range queries {
+			plan := u.Formulate(sim, q, patterns)
+			qft = append(qft, plan.QFT)
+			steps = append(steps, float64(plan.Steps))
+			vmt = append(vmt, plan.VMT)
+		}
+	}
+	return Fig9Row{
+		QFT:   stats.Mean(qft),
+		Steps: stats.Mean(steps),
+		VMT:   stats.Mean(vmt),
+	}
+}
+
+// Table renders the figure as three blocks of approach rows.
+func (r Fig9Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 9: user study (PubChem-like), QFT/steps/VMT per query set",
+		Header: []string{"queryset", "approach", "QFT(s)", "steps", "VMT(s)"},
+	}
+	for _, row := range r.Rows {
+		t.Add(row.QuerySet, string(row.Approach), f2(row.QFT), f2(row.Steps), f2(row.VMT))
+	}
+	return t
+}
+
+// Row returns the cell for a query set and approach, or nil.
+func (r Fig9Result) Row(qs string, app Approach) *Fig9Row {
+	for i := range r.Rows {
+		if r.Rows[i].QuerySet == qs && r.Rows[i].Approach == app {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}

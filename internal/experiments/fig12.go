@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/dataset"
+	"github.com/midas-graph/midas/internal/index"
+	"github.com/midas-graph/midas/internal/tree"
+)
+
+// Fig12SizeRow measures construction cost at one database size.
+type Fig12SizeRow struct {
+	DBSize        int
+	FCTMine       time.Duration
+	IndexBuild    time.Duration
+	FCTCount      int
+	IndexEntries  int // NNZ across the four matrices
+	IndexBytesEst int // rough triplet-storage estimate
+}
+
+// Fig12DeltaRow measures maintenance cost at one modification size.
+type Fig12DeltaRow struct {
+	DeltaSize   int
+	FCTMaintain time.Duration
+	FCTRemine   time.Duration // from-scratch comparison
+	IndexUpkeep time.Duration
+}
+
+// Fig12Result reproduces Figure 12 (Exp 2): cost of FCT mining and the
+// two indices versus dataset size, and their maintenance cost versus
+// modification size.
+type Fig12Result struct {
+	SizeRows  []Fig12SizeRow
+	DeltaRows []Fig12DeltaRow
+}
+
+// Fig12IndexCost sweeps dataset sizes ×1, ×2, ×4 and modification
+// sizes 25%, 50%, 100% of Δ.
+func Fig12IndexCost(s Scale) Fig12Result {
+	var res Fig12Result
+	prof := dataset.PubChemLike()
+	for _, mult := range []int{1, 2, 4} {
+		n := s.Base * mult
+		db := prof.GenerateDB(n, s.Seed)
+		t0 := time.Now()
+		set := tree.Mine(db, 0.4, 3)
+		mine := time.Since(t0)
+		t1 := time.Now()
+		ix := index.Build(set, db, nil)
+		build := time.Since(t1)
+		nnz := ix.TG.NNZ() + ix.TP.NNZ() + ix.EG.NNZ() + ix.EP.NNZ()
+		res.SizeRows = append(res.SizeRows, Fig12SizeRow{
+			DBSize:        n,
+			FCTMine:       mine,
+			IndexBuild:    build,
+			FCTCount:      len(set.FrequentClosed()),
+			IndexEntries:  nnz,
+			IndexBytesEst: nnz * 24, // ~(row ptr, col, value) per triplet
+		})
+	}
+
+	for _, frac := range []int{4, 2, 1} {
+		db := prof.GenerateDB(s.Base, s.Seed)
+		set := tree.Mine(db, 0.4, 3)
+		ix := index.Build(set, db, nil)
+		delta := s.Delta / frac
+		if delta < 1 {
+			delta = 1
+		}
+		ins := dataset.BoronicEsters().Generate(delta, db.NextID(), s.Seed+int64(frac))
+		after, err := db.ApplyToCopy(graph.Update{Insert: ins})
+		if err != nil {
+			panic(err)
+		}
+
+		t0 := time.Now()
+		set.Add(after, ins)
+		maintain := time.Since(t0)
+
+		t1 := time.Now()
+		for _, g := range ins {
+			ix.AddGraph(g)
+		}
+		ix.SyncFeatures(set, after, nil)
+		upkeep := time.Since(t1)
+
+		t2 := time.Now()
+		tree.Mine(after, 0.4, 3)
+		remine := time.Since(t2)
+
+		res.DeltaRows = append(res.DeltaRows, Fig12DeltaRow{
+			DeltaSize:   delta,
+			FCTMaintain: maintain,
+			FCTRemine:   remine,
+			IndexUpkeep: upkeep,
+		})
+	}
+	return res
+}
+
+// Tables renders both panels.
+func (r Fig12Result) Tables() []*Table {
+	ts := &Table{
+		Title:  "Figure 12 (left): FCT and index construction vs dataset size (PubChem-like)",
+		Header: []string{"|D|", "FCT mine", "index build", "|FCT|", "index NNZ", "~bytes"},
+	}
+	for _, row := range r.SizeRows {
+		ts.Add(itoa(row.DBSize), ms(row.FCTMine), ms(row.IndexBuild),
+			itoa(row.FCTCount), itoa(row.IndexEntries), itoa(row.IndexBytesEst))
+	}
+	td := &Table{
+		Title:  "Figure 12 (right): maintenance vs modification size",
+		Header: []string{"|Δ+|", "FCT maintain", "FCT re-mine", "index upkeep"},
+	}
+	for _, row := range r.DeltaRows {
+		td.Add(itoa(row.DeltaSize), ms(row.FCTMaintain), ms(row.FCTRemine), ms(row.IndexUpkeep))
+	}
+	return []*Table{ts, td}
+}

@@ -1,0 +1,34 @@
+package experiments
+
+// Fig13Result reproduces Figure 13 (Exp 3a): MIDAS versus NoMaintain
+// on the AIDS-like dataset across batch modifications — missed
+// percentage, diversity and subgraph coverage.
+type Fig13Result struct {
+	Comparisons []BatchComparison
+}
+
+// Fig13NoMaintain runs the batch sweep.
+func Fig13NoMaintain(s Scale) Fig13Result {
+	var res Fig13Result
+	for _, spec := range DefaultBatches() {
+		res.Comparisons = append(res.Comparisons, runBatch(aidsBase(s.Base), spec, s))
+	}
+	return res
+}
+
+// Table renders MP/div/scov for both approaches per batch.
+func (r Fig13Result) Table() *Table {
+	t := &Table{
+		Title: "Figure 13: MIDAS vs NoMaintain (AIDS-like)",
+		Header: []string{"batch", "MP(MIDAS)%", "MP(NoMaint)%",
+			"div(MIDAS)", "div(NoMaint)", "scov(MIDAS)", "scov(NoMaint)"},
+	}
+	for _, c := range r.Comparisons {
+		m := c.Outcomes[MIDAS]
+		n := c.Outcomes[NoMaintain]
+		t.Add(c.Batch, f2(m.MP), f2(n.MP),
+			f2(m.Quality.Div), f2(n.Quality.Div),
+			f3(m.Quality.Scov), f3(n.Quality.Scov))
+	}
+	return t
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import "github.com/midas-graph/midas/graph"
+
+// BaselineFigure reproduces Figures 14 and 15 (Exp 3b/3c): MIDAS versus
+// CATAPULT, CATAPULT++ and Random on one dataset profile across batch
+// modifications — maintenance time, missed percentage, reduction ratio
+// μ and the four quality measures.
+type BaselineFigure struct {
+	Dataset     string
+	Comparisons []BatchComparison
+}
+
+// Fig14BaselinesAIDS runs the sweep on the AIDS-like profile.
+func Fig14BaselinesAIDS(s Scale) BaselineFigure {
+	return baselineFigure("AIDS-like", aidsBase(s.Base), s)
+}
+
+// Fig15BaselinesPubChem runs the sweep on the PubChem-like profile.
+func Fig15BaselinesPubChem(s Scale) BaselineFigure {
+	return baselineFigure("PubChem-like", pubchemBase(s.Base), s)
+}
+
+func baselineFigure(name string, base func(int64) *graph.Database, s Scale) BaselineFigure {
+	res := BaselineFigure{Dataset: name}
+	for _, spec := range DefaultBatches() {
+		res.Comparisons = append(res.Comparisons, runBatch(base, spec, s))
+	}
+	return res
+}
+
+// Tables renders the time/MP/μ table and the quality table.
+func (r BaselineFigure) Tables() []*Table {
+	tt := &Table{
+		Title:  "Figure 14/15 (" + r.Dataset + "): maintenance time, MP and μ per batch",
+		Header: []string{"batch", "approach", "time", "MP%", "avg steps", "mu vs MIDAS"},
+	}
+	for _, c := range r.Comparisons {
+		for _, app := range []Approach{MIDAS, CATAPULT, CATAPULTPP, Random} {
+			o := c.Outcomes[app]
+			tt.Add(c.Batch, string(app), ms(o.Time), f2(o.MP), f2(o.AvgSteps), f3(o.Mu))
+		}
+	}
+	tq := &Table{
+		Title:  "Figure 14/15 (" + r.Dataset + "): pattern set quality per batch",
+		Header: []string{"batch", "approach", "scov", "lcov", "div", "cog"},
+	}
+	for _, c := range r.Comparisons {
+		for _, app := range []Approach{MIDAS, CATAPULT, CATAPULTPP, Random} {
+			q := c.Outcomes[app].Quality
+			tq.Add(c.Batch, string(app), f3(q.Scov), f3(q.Lcov), f2(q.Div), f2(q.Cog))
+		}
+	}
+	return []*Table{tt, tq}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// Heavy-scale checks, opt-in because they take minutes:
+//
+//	MIDAS_HEAVY=1 go test ./internal/experiments -run TestHeavy -v
+//
+// They assert the paper's headline shapes at the Small harness scale —
+// the same claims EXPERIMENTS.md documents from `results_small.txt` —
+// so regressions in the shapes (not just in correctness) fail loudly.
+func heavyGate(t *testing.T) {
+	t.Helper()
+	if os.Getenv("MIDAS_HEAVY") == "" {
+		t.Skip("set MIDAS_HEAVY=1 to run heavy-scale shape checks")
+	}
+}
+
+func TestHeavyFig13MajorBatchGains(t *testing.T) {
+	heavyGate(t)
+	res := Fig13NoMaintain(Small())
+	majorGain := false
+	for _, c := range res.Comparisons {
+		m := c.Outcomes[MIDAS]
+		n := c.Outcomes[NoMaintain]
+		if m.MP > n.MP+1e-9 {
+			t.Fatalf("batch %s: MIDAS MP %v worse than NoMaintain %v", c.Batch, m.MP, n.MP)
+		}
+		if n.MP-m.MP >= 10 { // a double-digit MP cut on some major batch
+			majorGain = true
+		}
+	}
+	if !majorGain {
+		t.Fatal("no batch showed a >=10pp MP gain; staleness effect missing")
+	}
+}
+
+func TestHeavyFig11SpeedupBand(t *testing.T) {
+	heavyGate(t)
+	res := Fig11Thresholds(Small())
+	row := res.EpsilonRows[0] // the major-classified setting
+	if !row.Major {
+		t.Fatalf("eps=%v should classify the batch as major", row.Epsilon)
+	}
+	speedup := float64(row.ScratchPMT) / float64(row.PMT)
+	if speedup < 2 {
+		t.Fatalf("MIDAS speedup over CATAPULT++ = %.1fx, want >= 2x", speedup)
+	}
+}
+
+func TestHeavyDiscoverabilityGap(t *testing.T) {
+	heavyGate(t)
+	res := Discoverability(Small())
+	byApp := map[Approach]DiscoverabilityRow{}
+	for _, r := range res.Rows {
+		byApp[r.Approach] = r
+	}
+	gap := byApp[MIDAS].Discoverability - byApp[NoMaintain].Discoverability
+	if gap < 10 {
+		t.Fatalf("discoverability gap = %.1fpp, want >= 10pp", gap)
+	}
+}

@@ -1,0 +1,76 @@
+package ged
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+func TestBeamIdentical(t *testing.T) {
+	g := graph.Cycle(0, "C", "O", "N", "C")
+	if d := Beam(g, g.Clone(), 4); d != 0 {
+		t.Fatalf("Beam(g,g) = %v, want 0", d)
+	}
+}
+
+func TestBeamUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomGraph(r, 6)
+		b := randomGraph(r, 6)
+		exact, ok := Exact(a, b, 300000)
+		if !ok {
+			return true
+		}
+		for _, w := range []int{1, 4, 16} {
+			if Beam(a, b, w) < exact-1e-9 {
+				return false // beam must never go below the true distance
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeamWidthMonotoneOnAverage(t *testing.T) {
+	// Wider beams are not pointwise monotone, but on aggregate they must
+	// not be worse than greedy width-1.
+	r := rand.New(rand.NewSource(7))
+	var sum1, sum16 float64
+	for i := 0; i < 30; i++ {
+		a := randomGraph(r, 7)
+		b := randomGraph(r, 7)
+		sum1 += Beam(a, b, 1)
+		sum16 += Beam(a, b, 16)
+	}
+	if sum16 > sum1+1e-9 {
+		t.Fatalf("width 16 aggregate %v worse than width 1 %v", sum16, sum1)
+	}
+}
+
+func TestBeamEmptyGraphs(t *testing.T) {
+	empty := graph.New(0)
+	b := graph.Path(1, "C", "O")
+	if d := Beam(empty, b, 2); d != 3 {
+		t.Fatalf("Beam(empty, P2) = %v, want 3", d)
+	}
+	if d := Beam(b, empty, 2); d != 3 {
+		t.Fatalf("Beam(P2, empty) = %v, want 3", d)
+	}
+}
+
+func TestBeamConvergesToExactSmall(t *testing.T) {
+	a := graph.Path(0, "C", "O", "N")
+	b := graph.Cycle(1, "C", "O", "N")
+	exact, ok := Exact(a, b, 0)
+	if !ok {
+		t.Fatal("exact failed")
+	}
+	if d := Beam(a, b, 64); d != exact {
+		t.Fatalf("wide beam = %v, exact = %v", d, exact)
+	}
+}

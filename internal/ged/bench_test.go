@@ -1,0 +1,36 @@
+package ged
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkExactSmall(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randomGraph(r, 7)
+	c := randomGraph(r, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Exact(a, c, 0)
+	}
+}
+
+func BenchmarkBipartite(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randomGraph(r, 14)
+	c := randomGraph(r, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Bipartite(a, c)
+	}
+}
+
+func BenchmarkBeam(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randomGraph(r, 14)
+	c := randomGraph(r, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Beam(a, c, 8)
+	}
+}

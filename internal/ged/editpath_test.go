@@ -1,0 +1,159 @@
+package ged
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/iso"
+)
+
+func TestEditPathIdentical(t *testing.T) {
+	g := graph.Cycle(0, "C", "O", "N")
+	ops, cost := EditPath(g, g.Clone())
+	if len(ops) != 0 || cost != 0 {
+		t.Fatalf("ops=%d cost=%v, want empty path", len(ops), cost)
+	}
+}
+
+func TestEditPathSingleRelabel(t *testing.T) {
+	a := graph.Path(0, "C", "O", "N")
+	b := graph.Path(1, "C", "O", "S")
+	ops, cost := EditPath(a, b)
+	if cost != 1 || len(ops) != 1 {
+		t.Fatalf("ops=%v cost=%v, want one relabel", ops, cost)
+	}
+	if ops[0].Kind != RelabelVertex || ops[0].Label != "S" {
+		t.Fatalf("op = %+v, want relabel to S", ops[0])
+	}
+}
+
+func TestEditPathCostMatchesExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomGraph(r, 6)
+		b := randomGraph(r, 6)
+		exact, ok := Exact(a, b, 300000)
+		if !ok {
+			return true
+		}
+		_, cost := EditPath(a, b)
+		return math.Abs(cost-exact) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditPathApplyReachesTarget(t *testing.T) {
+	// The defining property: applying the path to a yields a graph
+	// isomorphic to b.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomGraph(r, 6)
+		b := randomGraph(r, 6)
+		ops, _ := EditPath(a, b)
+		got, err := Apply(a, ops)
+		if err != nil {
+			return false
+		}
+		return iso.Isomorphic(got, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditPathApplyBipartiteRegime(t *testing.T) {
+	// Larger graphs route through the bipartite mapping; the apply
+	// property must still hold.
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		a := randomGraph(r, 12)
+		b := randomGraph(r, 12)
+		ops, cost := EditPath(a, b)
+		got, err := Apply(a, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !iso.Isomorphic(got, b) {
+			t.Fatal("bipartite edit path does not reach target")
+		}
+		if cost != float64(len(ops)) {
+			t.Fatalf("cost %v != op count %d", cost, len(ops))
+		}
+	}
+}
+
+func TestPathFromMappingCost(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomGraph(r, 6)
+		b := randomGraph(r, 6)
+		m := bipartiteMapping(a, b)
+		ops := PathFromMapping(a, b, m)
+		return math.Abs(float64(len(ops))-editCostOfMappingDirect(a, b, m)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyRejectsBadOps(t *testing.T) {
+	a := graph.Path(0, "C", "O")
+	cases := [][]EditOp{
+		{{Kind: DeleteVertex, V: 9}},
+		{{Kind: RelabelVertex, V: 9, Label: "X"}},
+		{{Kind: DeleteEdge, U: 0, W: 9}},
+		{{Kind: DeleteVertex, V: 0}}, // leaves live edge (0,1)
+		{{Kind: InsertEdge, A: EndpointRef{Source: false, V: 99}, B: EndpointRef{Source: true, V: 0}}},
+		{{Kind: InsertEdge, A: EndpointRef{Source: true, V: 0}, B: EndpointRef{Source: true, V: 1}}}, // duplicate
+	}
+	for i, ops := range cases {
+		if _, err := Apply(a, ops); err == nil {
+			t.Fatalf("case %d: invalid ops accepted", i)
+		}
+	}
+}
+
+func TestExactWithMappingAgreesWithExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomGraph(r, 6)
+		b := randomGraph(r, 6)
+		d1, ok1 := Exact(a, b, 300000)
+		d2, m, ok2 := ExactWithMapping(a, b, 300000)
+		if ok1 != ok2 {
+			return true // budget boundary; skip
+		}
+		if !ok1 {
+			return true
+		}
+		if math.Abs(d1-d2) > 1e-9 {
+			return false
+		}
+		// The returned mapping must realise the distance.
+		return math.Abs(editCostOfMappingDirect(a, b, m)-d2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditPathEmptySource(t *testing.T) {
+	a := graph.New(0)
+	b := graph.Path(1, "C", "O")
+	ops, cost := EditPath(a, b)
+	if cost != 3 {
+		t.Fatalf("cost = %v, want 3", cost)
+	}
+	got, err := Apply(a, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iso.Isomorphic(got, b) {
+		t.Fatal("path from empty graph does not build target")
+	}
+}

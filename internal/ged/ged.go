@@ -1,0 +1,388 @@
+package ged
+
+import (
+	"container/heap"
+	"sort"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+// LowerBoundLabel returns the label-count lower bound GED_l of Lemma 6.1
+// with zero relaxed edges:
+//
+//	|V| = ||V_A|-|V_B|| + Min(|V_A|,|V_B|) - |L(V_A) ∩ L(V_B)|
+//	|E| = ||E_A|-|E_B||
+//
+// where the label intersection is over multisets.
+func LowerBoundLabel(a, b *graph.Graph) float64 {
+	return float64(vertexTerm(a, b) + intAbs(a.Size()-b.Size()))
+}
+
+// TighterLowerBound returns GED'_l = GED_l + n where n is the number of
+// relaxed edges determined externally (e.g. from the PF-matrix feature
+// containment test of §6.1).
+func TighterLowerBound(a, b *graph.Graph, relaxedEdges int) float64 {
+	if relaxedEdges < 0 {
+		relaxedEdges = 0
+	}
+	return float64(vertexTerm(a,
+		b) + intAbs(a.Size()-b.Size()) + relaxedEdges)
+}
+
+func vertexTerm(a, b *graph.Graph) int {
+	la := graph.SortedVertexLabels(a)
+	lb := graph.SortedVertexLabels(b)
+	common := multisetIntersection(la, lb)
+	minV := a.Order()
+	if b.Order() < minV {
+		minV = b.Order()
+	}
+	return intAbs(a.Order()-b.Order()) + minV - common
+}
+
+// multisetIntersection returns |A ∩ B| for two sorted string multisets.
+func multisetIntersection(a, b []string) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+func intAbs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Bipartite returns the assignment-based GED approximation of [32]: each
+// vertex of a is assigned to a vertex of b (substitution), to deletion,
+// or left for insertion, with local costs that include the incident-edge
+// mismatch; the induced edit path cost is returned. It is an upper bound
+// on the exact GED.
+func Bipartite(a, b *graph.Graph) float64 {
+	na, nb := a.Order(), b.Order()
+	n := na + nb
+	if n == 0 {
+		return 0
+	}
+	const big = 1e18
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+	}
+	for i := 0; i < na; i++ {
+		for j := 0; j < nb; j++ {
+			c := 0.0
+			if a.Label(i) != b.Label(j) {
+				c = 1
+			}
+			// Local edge structure: degree difference approximates the
+			// edge edits caused by this substitution.
+			c += 0.5 * float64(intAbs(a.Degree(i)-b.Degree(j)))
+			cost[i][j] = c
+		}
+		for j := nb; j < n; j++ {
+			if j-nb == i {
+				cost[i][j] = 1 + 0.5*float64(a.Degree(i)) // delete vertex i
+			} else {
+				cost[i][j] = big
+			}
+		}
+	}
+	for i := na; i < n; i++ {
+		for j := 0; j < nb; j++ {
+			if i-na == j {
+				cost[i][j] = 1 + 0.5*float64(b.Degree(j)) // insert vertex j
+			} else {
+				cost[i][j] = big
+			}
+		}
+		for j := nb; j < n; j++ {
+			cost[i][j] = 0
+		}
+	}
+	assign, _ := Hungarian(cost)
+	// Derive the true edit cost of the induced vertex mapping.
+	return editCostOfMapping(a, b, assign[:na])
+}
+
+// editCostOfMapping computes the exact cost of the edit path induced by
+// a vertex mapping: mapping[i] in [0,nb) substitutes, >= nb deletes.
+func editCostOfMapping(a, b *graph.Graph, mapping []int) float64 {
+	nb := b.Order()
+	cost := 0.0
+	mapped := make([]int, a.Order())
+	usedB := make([]bool, nb)
+	for i, j := range mapping {
+		if j < nb {
+			mapped[i] = j
+			usedB[j] = true
+			if a.Label(i) != b.Label(j) {
+				cost++ // relabel
+			}
+		} else {
+			mapped[i] = -1
+			cost++ // delete vertex
+		}
+	}
+	for j := 0; j < nb; j++ {
+		if !usedB[j] {
+			cost++ // insert vertex
+		}
+	}
+	// Edges of a: preserved if both endpoints map to adjacent b vertices.
+	preserved := 0
+	for _, e := range a.Edges() {
+		u, v := mapped[e.U], mapped[e.V]
+		if u >= 0 && v >= 0 && b.HasEdge(u, v) {
+			preserved++
+		} else {
+			cost++ // delete edge
+		}
+	}
+	cost += float64(b.Size() - preserved) // insert remaining b edges
+	return cost
+}
+
+// Exact computes the exact uniform-cost GED between a and b via A*,
+// exploring at most maxNodes search states (<=0 means a generous
+// default). The second result reports whether the value is exact; when
+// false, the returned value is the best upper bound found (never below
+// the true distance... it is the bipartite bound if the search yielded
+// nothing better).
+func Exact(a, b *graph.Graph, maxNodes int) (float64, bool) {
+	if maxNodes <= 0 {
+		maxNodes = 400000
+	}
+	// Search maps vertices of a (in descending-degree order) to vertices
+	// of b or to deletion; insertions are settled at the end.
+	orderA := make([]int, a.Order())
+	for i := range orderA {
+		orderA[i] = i
+	}
+	sort.Slice(orderA, func(i, j int) bool { return a.Degree(orderA[i]) > a.Degree(orderA[j]) })
+
+	upper := Bipartite(a, b)
+	start := &gedNode{mapping: make([]int, 0, a.Order())}
+	start.f = heuristic(a, b, start.mapping, orderA)
+	pq := &gedPQ{start}
+	heap.Init(pq)
+	expanded := 0
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(*gedNode)
+		if cur.f >= upper {
+			// Everything remaining costs at least the known upper bound.
+			return upper, true
+		}
+		if len(cur.mapping) == a.Order() {
+			total := cur.g + insertionCost(a, b, cur.mapping, orderA)
+			if total < upper {
+				upper = total
+			}
+			// First goal popped with admissible h is optimal, but since
+			// our insertion cost is settled at goal time, we continue
+			// until the frontier cannot improve. The check above handles
+			// termination.
+			continue
+		}
+		expanded++
+		if expanded > maxNodes {
+			return upper, false
+		}
+		av := orderA[len(cur.mapping)]
+		// Substitute with each unused b vertex.
+		for bv := 0; bv < b.Order(); bv++ {
+			if cur.uses(bv) {
+				continue
+			}
+			child := cur.extend(bv)
+			child.g = cur.g + substitutionCost(a, b, av, bv, cur.mapping, orderA)
+			child.f = child.g + heuristic(a, b, child.mapping, orderA)
+			if child.f < upper {
+				heap.Push(pq, child)
+			}
+		}
+		// Delete av.
+		child := cur.extend(-1)
+		child.g = cur.g + 1 + float64(mappedDegree(a, av, cur.mapping, orderA))
+		child.f = child.g + heuristic(a, b, child.mapping, orderA)
+		if child.f < upper {
+			heap.Push(pq, child)
+		}
+	}
+	return upper, true
+}
+
+// substitutionCost is the incremental cost of mapping av->bv given the
+// existing partial mapping: label mismatch plus edge edits between av and
+// previously mapped vertices.
+func substitutionCost(a, b *graph.Graph, av, bv int, mapping []int, orderA []int) float64 {
+	c := 0.0
+	if a.Label(av) != b.Label(bv) {
+		c = 1
+	}
+	for i, m := range mapping {
+		au := orderA[i]
+		aEdge := a.HasEdge(av, au)
+		if m == -1 {
+			if aEdge {
+				c++ // edge to deleted vertex must be deleted
+			}
+			continue
+		}
+		bEdge := b.HasEdge(bv, m)
+		if aEdge != bEdge {
+			c++
+		}
+	}
+	return c
+}
+
+// mappedDegree counts edges from av to already-mapped (or deleted)
+// a-vertices; deleting av deletes those edges.
+func mappedDegree(a *graph.Graph, av int, mapping []int, orderA []int) int {
+	n := 0
+	for i := range mapping {
+		if a.HasEdge(av, orderA[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// insertionCost closes a complete mapping: unmatched b vertices are
+// inserted along with every b edge not matched by an a edge; edges of b
+// between two substituted vertices were already accounted.
+func insertionCost(a, b *graph.Graph, mapping []int, orderA []int) float64 {
+	used := make([]bool, b.Order())
+	aimg := make([]int, a.Order())
+	for i := range aimg {
+		aimg[i] = -1
+	}
+	for i, m := range mapping {
+		if m >= 0 {
+			used[m] = true
+			aimg[orderA[i]] = m
+		}
+	}
+	cost := 0.0
+	for v := 0; v < b.Order(); v++ {
+		if !used[v] {
+			cost++
+		}
+	}
+	// b edges with at least one un-mapped endpoint are insertions; those
+	// between mapped endpoints were charged during substitution.
+	for _, e := range b.Edges() {
+		if !used[e.U] || !used[e.V] {
+			cost++
+		}
+	}
+	return cost
+}
+
+// heuristic is an admissible estimate of the remaining cost: label
+// multiset mismatch between unmapped a vertices and unused b vertices,
+// plus the difference between remaining edge counts.
+func heuristic(a, b *graph.Graph, mapping []int, orderA []int) float64 {
+	usedB := make([]bool, b.Order())
+	for _, m := range mapping {
+		if m >= 0 {
+			usedB[m] = true
+		}
+	}
+	var remA, remB []string
+	for i := len(mapping); i < a.Order(); i++ {
+		remA = append(remA, a.Label(orderA[i]))
+	}
+	for v := 0; v < b.Order(); v++ {
+		if !usedB[v] {
+			remB = append(remB, b.Label(v))
+		}
+	}
+	sort.Strings(remA)
+	sort.Strings(remB)
+	common := multisetIntersection(remA, remB)
+	maxR := len(remA)
+	if len(remB) > maxR {
+		maxR = len(remB)
+	}
+	hv := float64(maxR - common)
+
+	// Remaining-edge counts: a edges with an unmapped endpoint vs b edges
+	// with an unused endpoint.
+	inMapping := make([]bool, a.Order())
+	for i := range mapping {
+		inMapping[orderA[i]] = true
+	}
+	ea, eb := 0, 0
+	for _, e := range a.Edges() {
+		if !inMapping[e.U] || !inMapping[e.V] {
+			ea++
+		}
+	}
+	for _, e := range b.Edges() {
+		if !usedB[e.U] || !usedB[e.V] {
+			eb++
+		}
+	}
+	he := float64(intAbs(ea - eb))
+	return hv + he
+}
+
+type gedNode struct {
+	mapping []int // orderA[i] -> b vertex or -1 (deleted)
+	g, f    float64
+}
+
+func (n *gedNode) uses(bv int) bool {
+	for _, m := range n.mapping {
+		if m == bv {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *gedNode) extend(bv int) *gedNode {
+	m := make([]int, len(n.mapping)+1)
+	copy(m, n.mapping)
+	m[len(n.mapping)] = bv
+	return &gedNode{mapping: m}
+}
+
+type gedPQ []*gedNode
+
+func (q gedPQ) Len() int            { return len(q) }
+func (q gedPQ) Less(i, j int) bool  { return q[i].f < q[j].f }
+func (q gedPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *gedPQ) Push(x interface{}) { *q = append(*q, x.(*gedNode)) }
+func (q *gedPQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Distance returns a practical GED estimate: exact for small graphs
+// (within a default node budget), otherwise the bipartite upper bound.
+func Distance(a, b *graph.Graph) float64 {
+	if a.Order()+b.Order() <= 16 {
+		if d, exact := Exact(a, b, 200000); exact {
+			return d
+		}
+	}
+	return Bipartite(a, b)
+}

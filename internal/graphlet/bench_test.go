@@ -1,0 +1,15 @@
+package graphlet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkCount(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	g := randomGraph(r, 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Count(g)
+	}
+}

@@ -1,0 +1,271 @@
+package graphlet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+func TestCountPath3(t *testing.T) {
+	g := graph.Path(0, "A", "B", "C")
+	c := Count(g)
+	if c[Path3] != 1 || c.Total() != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestCountTriangle(t *testing.T) {
+	g := graph.Clique(0, "A", "B", "C")
+	c := Count(g)
+	if c[Triangle] != 1 || c[Path3] != 0 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestCountPath4(t *testing.T) {
+	g := graph.Path(0, "A", "B", "C", "D")
+	c := Count(g)
+	if c[Path4] != 1 {
+		t.Fatalf("P4 count = %d, want 1", c[Path4])
+	}
+	if c[Path3] != 2 {
+		t.Fatalf("P3 count = %d, want 2", c[Path3])
+	}
+}
+
+func TestCountStar4(t *testing.T) {
+	g := graph.Star(0, "C", "H", "H", "H")
+	c := Count(g)
+	if c[Star4] != 1 || c[Path4] != 0 {
+		t.Fatalf("counts = %v", c)
+	}
+	if c[Path3] != 3 { // choose 2 of 3 leaves
+		t.Fatalf("P3 = %d, want 3", c[Path3])
+	}
+}
+
+func TestCountCycle4(t *testing.T) {
+	g := graph.Cycle(0, "A", "B", "C", "D")
+	c := Count(g)
+	if c[Cycle4] != 1 || c[Path4] != 0 {
+		t.Fatalf("counts = %v", c)
+	}
+	if c[Path3] != 4 {
+		t.Fatalf("P3 = %d, want 4", c[Path3])
+	}
+}
+
+func TestCountTailedTriangle(t *testing.T) {
+	g := graph.FromEdges(0, []string{"A", "B", "C", "D"},
+		[][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	c := Count(g)
+	if c[TailedTriangle] != 1 {
+		t.Fatalf("paw = %d, want 1; counts=%v", c[TailedTriangle], c)
+	}
+	if c[Triangle] != 1 {
+		t.Fatalf("triangle = %d, want 1", c[Triangle])
+	}
+}
+
+func TestCountDiamond(t *testing.T) {
+	g := graph.FromEdges(0, []string{"A", "B", "C", "D"},
+		[][2]int{{0, 1}, {1, 2}, {0, 2}, {0, 3}, {2, 3}})
+	c := Count(g)
+	if c[Diamond] != 1 {
+		t.Fatalf("diamond = %d, want 1; counts=%v", c[Diamond], c)
+	}
+}
+
+func TestCountClique4(t *testing.T) {
+	g := graph.Clique(0, "A", "B", "C", "D")
+	c := Count(g)
+	if c[Clique4] != 1 {
+		t.Fatalf("K4 = %d, want 1", c[Clique4])
+	}
+	if c[Triangle] != 4 {
+		t.Fatalf("triangles in K4 = %d, want 4", c[Triangle])
+	}
+	if c[Diamond] != 0 || c[Cycle4] != 0 {
+		t.Fatalf("induced counts wrong: %v", c)
+	}
+}
+
+func TestCountK5Closed(t *testing.T) {
+	// K5: C(5,3)=10 triangles, C(5,4)=5 K4s, nothing else.
+	g := graph.Clique(0, "A", "B", "C", "D", "E")
+	c := Count(g)
+	if c[Triangle] != 10 || c[Clique4] != 5 {
+		t.Fatalf("K5 counts = %v", c)
+	}
+	if c[Path3] != 0 || c[Path4] != 0 || c[Star4] != 0 || c[Cycle4] != 0 ||
+		c[TailedTriangle] != 0 || c[Diamond] != 0 {
+		t.Fatalf("K5 has unexpected induced graphlets: %v", c)
+	}
+}
+
+// bruteCount counts graphlets by complete subset enumeration, as an
+// oracle for the ESU implementation.
+func bruteCount(g *graph.Graph) Counts {
+	var c Counts
+	n := g.Order()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				vs := []int{i, j, k}
+				if connectedWithin(g, vs) {
+					c[classify3(g, vs)]++
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				for l := k + 1; l < n; l++ {
+					vs := []int{i, j, k, l}
+					if connectedWithin(g, vs) {
+						c[classify4(g, vs)]++
+					}
+				}
+			}
+		}
+	}
+	return c
+}
+
+func connectedWithin(g *graph.Graph, vs []int) bool {
+	sub := g.InducedSubgraph(vs)
+	return sub.IsConnected() && sub.Size() >= len(vs)-1
+}
+
+func TestPropertyESUMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 9)
+		return Count(g) == bruteCount(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomGraph(r *rand.Rand, maxN int) *graph.Graph {
+	n := 1 + r.Intn(maxN)
+	g := graph.New(0)
+	for i := 0; i < n; i++ {
+		g.AddVertex("A")
+	}
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, r.Intn(i))
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	g.SortAdjacency()
+	return g
+}
+
+func TestDistribution(t *testing.T) {
+	var c Counts
+	c[Path3] = 3
+	c[Triangle] = 1
+	d := c.Distribution()
+	if math.Abs(d[Path3]-0.75) > 1e-9 || math.Abs(d[Triangle]-0.25) > 1e-9 {
+		t.Fatalf("distribution = %v", d)
+	}
+	var zero Counts
+	if zero.Distribution() != ([NumTypes]float64{}) {
+		t.Fatal("zero counts should give zero distribution")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := [NumTypes]float64{1, 0}
+	b := [NumTypes]float64{0, 1}
+	if got := Distance(a, b); math.Abs(got-math.Sqrt2) > 1e-9 {
+		t.Fatalf("distance = %v, want sqrt2", got)
+	}
+	if Distance(a, a) != 0 {
+		t.Fatal("self distance should be 0")
+	}
+}
+
+func TestCounterIncremental(t *testing.T) {
+	d := graph.DatabaseOf(
+		graph.Path(0, "A", "B", "C"),
+		graph.Clique(1, "A", "B", "C"),
+	)
+	c := NewCounter(d)
+	if c.Total()[Path3] != 1 || c.Total()[Triangle] != 1 {
+		t.Fatalf("initial totals = %v", c.Total())
+	}
+
+	u := graph.Update{
+		Insert: []*graph.Graph{graph.Cycle(2, "A", "B", "C", "D")},
+		Delete: []int{0},
+	}
+	// DistributionAfter must not mutate.
+	after := c.DistributionAfter(u)
+	if c.Total()[Path3] != 1 {
+		t.Fatal("DistributionAfter mutated the counter")
+	}
+	c.Apply(u)
+	if got := c.Distribution(); got != after {
+		t.Fatalf("Apply distribution %v != preview %v", got, after)
+	}
+	if c.Total()[Path3] != 4 || c.Total()[Cycle4] != 1 || c.Total()[Triangle] != 1 {
+		t.Fatalf("totals after update = %v", c.Total())
+	}
+}
+
+func TestCounterMatchesScratch(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := graph.NewDatabase()
+		for i := 0; i < 5; i++ {
+			g := randomGraph(r, 8)
+			g.ID = i
+			if err := d.Add(g); err != nil {
+				return false
+			}
+		}
+		c := NewCounter(d)
+		u := graph.Update{Delete: []int{1, 3}}
+		for i := 0; i < 2; i++ {
+			g := randomGraph(r, 8)
+			g.ID = 10 + i
+			u.Insert = append(u.Insert, g)
+		}
+		c.Apply(u)
+		if err := d.Apply(u); err != nil {
+			return false
+		}
+		scratch := NewCounter(d)
+		return c.Total() == scratch.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if Path3.String() != "path3" || Clique4.String() != "clique4" {
+		t.Fatal("type names wrong")
+	}
+	if Type(99).String() != "unknown" {
+		t.Fatal("out of range should be unknown")
+	}
+}
+
+func TestRemoveGraphIdempotent(t *testing.T) {
+	d := graph.DatabaseOf(graph.Path(0, "A", "B", "C"))
+	c := NewCounter(d)
+	c.RemoveGraph(0)
+	c.RemoveGraph(0)
+	if c.Total().Total() != 0 {
+		t.Fatalf("totals = %v, want zero", c.Total())
+	}
+}

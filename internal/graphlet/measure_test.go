@@ -1,0 +1,94 @@
+package graphlet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceWithL2MatchesDistance(t *testing.T) {
+	a := [NumTypes]float64{0.5, 0.5}
+	b := [NumTypes]float64{0.25, 0.75}
+	if DistanceWith(L2, a, b) != Distance(a, b) {
+		t.Fatal("L2 should match Distance")
+	}
+}
+
+func TestDistanceWithL1(t *testing.T) {
+	a := [NumTypes]float64{1, 0}
+	b := [NumTypes]float64{0, 1}
+	if got := DistanceWith(L1, a, b); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("L1 = %v, want 2", got)
+	}
+}
+
+func TestDistanceWithHellingerBounds(t *testing.T) {
+	a := [NumTypes]float64{1, 0}
+	b := [NumTypes]float64{0, 1}
+	if got := DistanceWith(Hellinger, a, b); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("Hellinger of disjoint distributions = %v, want 1", got)
+	}
+	if DistanceWith(Hellinger, a, a) != 0 {
+		t.Fatal("self-distance should be 0")
+	}
+}
+
+func TestMeasureString(t *testing.T) {
+	if L2.String() != "l2" || L1.String() != "l1" || Hellinger.String() != "hellinger" {
+		t.Fatal("measure names wrong")
+	}
+}
+
+func TestPropertyMeasuresAgreeOnOrdering(t *testing.T) {
+	// The paper's claim: the choice of measure barely matters. Verify a
+	// necessary version: for random distribution pairs, if one pair is
+	// clearly farther than another under L2 (by 2x), every measure
+	// agrees on the ordering.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := randomDist(r)
+		near := perturb(r, base, 0.02)
+		far := perturb(r, base, 0.3)
+		for _, m := range []Measure{L2, L1, Hellinger} {
+			dn := DistanceWith(m, base, near)
+			df := DistanceWith(m, base, far)
+			if dn > df {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomDist(r *rand.Rand) [NumTypes]float64 {
+	var d [NumTypes]float64
+	total := 0.0
+	for i := range d {
+		d[i] = r.Float64()
+		total += d[i]
+	}
+	for i := range d {
+		d[i] /= total
+	}
+	return d
+}
+
+// perturb shifts mass between buckets by roughly eps and renormalises.
+func perturb(r *rand.Rand, d [NumTypes]float64, eps float64) [NumTypes]float64 {
+	out := d
+	for i := range out {
+		out[i] += eps * r.Float64()
+	}
+	total := 0.0
+	for _, x := range out {
+		total += x
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}

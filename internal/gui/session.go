@@ -1,0 +1,100 @@
+package gui
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+// Session-level simulation. The paper's study randomises query order to
+// mitigate learning and fatigue (§7.2); this file models those effects
+// explicitly so the mitigation itself can be studied: a user speeds up
+// with practice (power-law learning curve) and slows down again as the
+// session drags on.
+
+// SessionModel parameterises the within-session dynamics.
+type SessionModel struct {
+	// LearningRate is the power-law exponent: the k-th formulation's
+	// time scales by (k+1)^-LearningRate. Zero disables learning.
+	LearningRate float64
+	// FatigueAfter is the number of formulations after which fatigue
+	// sets in; FatigueSlope is the per-query multiplier growth beyond
+	// that point.
+	FatigueAfter int
+	FatigueSlope float64
+}
+
+// DefaultSessionModel follows HCI practice effects: a mild learning
+// curve and late-session fatigue.
+func DefaultSessionModel() SessionModel {
+	return SessionModel{LearningRate: 0.12, FatigueAfter: 12, FatigueSlope: 0.03}
+}
+
+// multiplier returns the time multiplier for the k-th query (0-based).
+func (m SessionModel) multiplier(k int) float64 {
+	f := 1.0
+	if m.LearningRate > 0 {
+		f = math.Pow(float64(k+1), -m.LearningRate)
+	}
+	if m.FatigueAfter > 0 && k >= m.FatigueAfter {
+		f *= 1 + m.FatigueSlope*float64(k-m.FatigueAfter+1)
+	}
+	return f
+}
+
+// SessionResult is one user's full-session outcome.
+type SessionResult struct {
+	Plans []Plan
+	// QFTs are the per-query times after session effects.
+	QFTs []float64
+}
+
+// TotalQFT sums the session's formulation time.
+func (s SessionResult) TotalQFT() float64 {
+	t := 0.0
+	for _, q := range s.QFTs {
+		t += q
+	}
+	return t
+}
+
+// RunSession formulates the queries in order for one user, applying the
+// session model's learning/fatigue multipliers on top of the user's
+// base factor.
+func (u *User) RunSession(sim *Simulator, queries []*graph.Graph, patterns []*graph.Graph, model SessionModel) SessionResult {
+	var res SessionResult
+	for k, q := range queries {
+		plan := u.Formulate(sim, q, patterns)
+		qft := plan.QFT * model.multiplier(k)
+		res.Plans = append(res.Plans, plan)
+		res.QFTs = append(res.QFTs, qft)
+	}
+	return res
+}
+
+// Trace renders a plan as the action-by-action script a study protocol
+// would log: pattern drops, deletions, vertex and edge additions.
+func Trace(p Plan) string {
+	var b strings.Builder
+	step := 1
+	for _, pid := range p.PatternsUsed {
+		fmt.Fprintf(&b, "%2d. drag pattern #%d onto canvas\n", step, pid)
+		step++
+	}
+	for i := 0; i < p.Deletes; i++ {
+		fmt.Fprintf(&b, "%2d. delete a pattern element\n", step)
+		step++
+	}
+	for i := 0; i < p.VertexAdds; i++ {
+		fmt.Fprintf(&b, "%2d. add vertex\n", step)
+		step++
+	}
+	for i := 0; i < p.EdgeAdds; i++ {
+		fmt.Fprintf(&b, "%2d. add edge\n", step)
+		step++
+	}
+	fmt.Fprintf(&b, "total: %d steps, QFT %.1fs (VMT %.1fs)\n", p.Steps, p.QFT, p.VMT)
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package gui
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+func TestSessionModelMultiplier(t *testing.T) {
+	m := DefaultSessionModel()
+	if m.multiplier(0) != 1 {
+		t.Fatalf("first query multiplier = %v, want 1", m.multiplier(0))
+	}
+	// Learning: early queries get faster.
+	if m.multiplier(5) >= m.multiplier(0) {
+		t.Fatal("no learning effect")
+	}
+	// Fatigue: far past the threshold, the multiplier climbs again.
+	late := m.multiplier(40)
+	mid := m.multiplier(11)
+	if late <= mid {
+		t.Fatalf("no fatigue effect: late %v <= mid %v", late, mid)
+	}
+	// Disabled model is identity.
+	var off SessionModel
+	if off.multiplier(17) != 1 {
+		t.Fatal("zero model should be identity")
+	}
+}
+
+func TestRunSession(t *testing.T) {
+	users := NewUsers(1, 3)
+	sim := NewSimulator(10)
+	pat := graph.Path(1, "C", "O", "C")
+	var queries []*graph.Graph
+	for i := 0; i < 5; i++ {
+		queries = append(queries, graph.Path(i, "C", "O", "C", "O", "C"))
+	}
+	res := users[0].RunSession(sim, queries, []*graph.Graph{pat}, DefaultSessionModel())
+	if len(res.Plans) != 5 || len(res.QFTs) != 5 {
+		t.Fatalf("session size wrong: %d plans", len(res.Plans))
+	}
+	if res.TotalQFT() <= 0 {
+		t.Fatal("session has no time")
+	}
+	// Identical queries: learning makes later formulations cheaper.
+	// Use a fresh user with the same seed so both sessions consume the
+	// same noise stream.
+	control := NewUsers(1, 3)[0]
+	noLearning := control.RunSession(sim, queries, []*graph.Graph{pat}, SessionModel{})
+	if res.TotalQFT() >= noLearning.TotalQFT() {
+		t.Fatal("learning model should reduce total QFT for identical queries")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	sim := NewSimulator(10)
+	q := graph.Path(0, "C", "O", "C", "N")
+	pat := graph.Path(7, "C", "O", "C")
+	plan := sim.PatternAtATime(q, []*graph.Graph{pat})
+	trace := Trace(plan)
+	if !strings.Contains(trace, "drag pattern #7") {
+		t.Fatalf("trace missing pattern drop:\n%s", trace)
+	}
+	if !strings.Contains(trace, "add vertex") || !strings.Contains(trace, "add edge") {
+		t.Fatalf("trace missing completions:\n%s", trace)
+	}
+	if !strings.Contains(trace, "total:") {
+		t.Fatal("trace missing summary")
+	}
+	// Step numbering is contiguous from 1.
+	if !strings.Contains(trace, " 1. ") {
+		t.Fatal("trace does not start at step 1")
+	}
+}

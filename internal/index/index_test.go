@@ -1,0 +1,308 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/ged"
+	"github.com/midas-graph/midas/internal/iso"
+	"github.com/midas-graph/midas/internal/tree"
+)
+
+// fixture: chains of C-O-C dominate; a rare C-N edge appears once.
+func fixture() (*graph.Database, *tree.Set) {
+	d := graph.DatabaseOf(
+		graph.Path(1, "C", "O", "C"),
+		graph.Path(2, "C", "O", "C"),
+		graph.Path(3, "C", "O", "C", "O"),
+		graph.Path(4, "C", "N"),
+	)
+	return d, tree.Mine(d, 0.5, 3)
+}
+
+func TestBuildPopulatesMatrices(t *testing.T) {
+	d, set := fixture()
+	p := graph.Path(100, "C", "O", "C")
+	ix := Build(set, d, []*graph.Graph{p})
+	if ix.Trie.Len() == 0 {
+		t.Fatal("trie empty")
+	}
+	if ix.TG.NNZ() == 0 {
+		t.Fatal("TG empty")
+	}
+	if ix.TP.NNZ() == 0 {
+		t.Fatal("TP empty: the pattern contains frequent features")
+	}
+	// Infrequent edge C.N must be in EG with graph 4.
+	if ix.EG.Get("C.N", 4) != 1 {
+		t.Fatalf("EG(C.N, 4) = %d, want 1", ix.EG.Get("C.N", 4))
+	}
+}
+
+func TestCountFeatureEdge(t *testing.T) {
+	f := &tree.Tree{G: graph.Path(0, "C", "O"), Key: "co"}
+	g := graph.Path(1, "C", "O", "C")
+	if got := CountFeature(f, g); got != 2 {
+		t.Fatalf("edge occurrences = %d, want 2", got)
+	}
+}
+
+func TestCandidateGraphsSupersetOfTruth(t *testing.T) {
+	d, set := fixture()
+	ix := Build(set, d, nil)
+	universe := d.IDs()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPattern(r)
+		cand := map[int]struct{}{}
+		for _, id := range ix.CandidateGraphs(p, universe) {
+			cand[id] = struct{}{}
+		}
+		for _, g := range d.Graphs() {
+			if iso.HasSubgraph(p, g, iso.Options{}) {
+				if _, ok := cand[g.ID]; !ok {
+					return false // filter dismissed a true match
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomPattern(r *rand.Rand) *graph.Graph {
+	labels := []string{"C", "O", "N"}
+	n := 2 + r.Intn(4)
+	g := graph.New(999)
+	for i := 0; i < n; i++ {
+		g.AddVertex(labels[r.Intn(len(labels))])
+	}
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, r.Intn(i))
+	}
+	g.SortAdjacency()
+	return g
+}
+
+func TestCoverSetExact(t *testing.T) {
+	d, set := fixture()
+	ix := Build(set, d, nil)
+	p := graph.Path(100, "C", "O", "C")
+	cover := ix.CoverSet(p, d)
+	want := map[int]bool{1: true, 2: true, 3: true}
+	if len(cover) != len(want) {
+		t.Fatalf("cover = %v, want graphs 1,2,3", cover)
+	}
+	for id := range want {
+		if _, ok := cover[id]; !ok {
+			t.Fatalf("graph %d missing from cover", id)
+		}
+	}
+	if got := ix.Scov(p, d); got != 0.75 {
+		t.Fatalf("scov = %v, want 0.75", got)
+	}
+}
+
+func TestCoverSetPruningMatchesBruteForce(t *testing.T) {
+	d, set := fixture()
+	ix := Build(set, d, nil)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPattern(r)
+		cover := ix.CoverSet(p, d)
+		for _, g := range d.Graphs() {
+			truth := iso.HasSubgraph(p, g, iso.Options{})
+			_, got := cover[g.ID]
+			if truth != got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterUnregisterPattern(t *testing.T) {
+	d, set := fixture()
+	ix := Build(set, d, nil)
+	p := graph.Path(7, "C", "O", "C")
+	ix.RegisterPattern(p)
+	if ix.TP.Col(7) == nil || len(ix.TP.Col(7)) == 0 {
+		t.Fatal("pattern column missing after register")
+	}
+	ix.UnregisterPattern(7)
+	if len(ix.TP.Col(7)) != 0 || len(ix.EP.Col(7)) != 0 {
+		t.Fatal("pattern column present after unregister")
+	}
+}
+
+func TestAddRemoveGraph(t *testing.T) {
+	d, set := fixture()
+	ix := Build(set, d, nil)
+	g := graph.Path(50, "C", "O", "C")
+	ix.AddGraph(g)
+	found := false
+	for _, key := range ix.FeatureKeys() {
+		if ix.TG.Get(key, 50) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("new graph has no TG entries")
+	}
+	ix.RemoveGraph(50)
+	for _, key := range ix.FeatureKeys() {
+		if ix.TG.Get(key, 50) != 0 {
+			t.Fatal("TG entries remain after RemoveGraph")
+		}
+	}
+}
+
+func TestSyncFeatures(t *testing.T) {
+	d, set := fixture()
+	ix := Build(set, d, nil)
+	before := len(ix.FeatureKeys())
+	if before == 0 {
+		t.Fatal("no features indexed")
+	}
+
+	// Make C.N frequent by adding three more C-N graphs; sync must move
+	// it from the IFE index into the FCT index.
+	var ins []*graph.Graph
+	for i := 0; i < 3; i++ {
+		ins = append(ins, graph.Path(10+i, "C", "N"))
+	}
+	after, err := d.ApplyToCopy(graph.Update{Insert: ins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Add(after, ins)
+	ix.SyncFeatures(set, after, nil)
+
+	for _, l := range ix.IFELabels() {
+		if l == "C.N" {
+			t.Fatal("C.N still indexed as infrequent")
+		}
+	}
+	cnKey := tree.CanonicalKey(graph.Path(0, "C", "N"))
+	if ix.Feature(cnKey) == nil {
+		t.Fatal("C.N not promoted to FCT-Index")
+	}
+}
+
+func TestBuildPF(t *testing.T) {
+	p := graph.Path(0, "C", "O", "C")
+	co := &tree.Tree{G: graph.Path(0, "C", "O"), Key: "co"}
+	pf := BuildPF(p, []*tree.Tree{co})
+	if len(pf.EdgeRows) != 2 {
+		t.Fatalf("edge rows = %d, want 2", len(pf.EdgeRows))
+	}
+	if len(pf.Cols) != 2 {
+		t.Fatalf("embedding cols = %d, want 2 (two C-O embeddings)", len(pf.Cols))
+	}
+	for _, col := range pf.Cols {
+		if col.FeatureKey != "co" || len(col.EdgeRows) != 1 {
+			t.Fatalf("bad column %+v", col)
+		}
+	}
+}
+
+func TestRelaxedEdges(t *testing.T) {
+	co := &tree.Tree{G: graph.Path(0, "C", "O"), Key: tree.CanonicalKey(graph.Path(0, "C", "O"))}
+	a := graph.Path(1, "C", "O", "C") // two C-O embeddings
+	b := graph.Path(2, "C", "O")      // one
+	n := RelaxedEdges(a, b, []*tree.Tree{co})
+	if n != 1 {
+		t.Fatalf("RelaxedEdges = %d, want 1", n)
+	}
+	if RelaxedEdges(b, a, []*tree.Tree{co}) != 0 {
+		t.Fatal("no excess in the other direction")
+	}
+}
+
+func TestTighterGEDDominatesPlainBound(t *testing.T) {
+	d, set := fixture()
+	ix := Build(set, d, nil)
+	a := graph.Path(1, "C", "O", "C", "O", "C")
+	b := graph.Path(2, "C", "O")
+	plain := ged.LowerBoundLabel(a, b)
+	tight := ix.TighterGED(a, b)
+	if tight < plain {
+		t.Fatalf("GED'_l %v < GED_l %v", tight, plain)
+	}
+}
+
+// TestMaintenanceSequence drives the indices through a realistic
+// sequence — graphs added and removed, features promoted and demoted,
+// patterns registered and swapped — and checks consistency with a
+// freshly built index at the end.
+func TestMaintenanceSequence(t *testing.T) {
+	d := graph.DatabaseOf(
+		graph.Path(1, "C", "O", "C"),
+		graph.Path(2, "C", "O", "C"),
+		graph.Path(3, "C", "N"),
+	)
+	set := tree.Mine(d, 0.5, 3)
+	p1 := graph.Path(100, "C", "O", "C")
+	ix := Build(set, d, []*graph.Graph{p1})
+
+	// Round 1: add graphs that promote C.N to frequent.
+	ins := []*graph.Graph{graph.Path(4, "C", "N"), graph.Path(5, "C", "N", "C")}
+	after, err := d.ApplyToCopy(graph.Update{Insert: ins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Add(after, ins)
+	for _, g := range ins {
+		ix.AddGraph(g)
+	}
+	ix.SyncFeatures(set, after, []*graph.Graph{p1})
+
+	// Round 2: remove a graph and swap the pattern.
+	after2, err := after.ApplyToCopy(graph.Update{Delete: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Remove(after2.Len(), []int{1})
+	ix.RemoveGraph(1)
+	p2 := graph.Path(101, "C", "N", "C")
+	ix.UnregisterPattern(100)
+	ix.RegisterPattern(p2)
+	ix.SyncFeatures(set, after2, []*graph.Graph{p2})
+
+	// Consistency: the maintained index answers cover sets identically
+	// to one built from scratch over the final state.
+	fresh := Build(tree.Mine(after2, 0.5, 3), after2, []*graph.Graph{p2})
+	for _, q := range []*graph.Graph{
+		graph.Path(0, "C", "O"),
+		graph.Path(0, "C", "N"),
+		graph.Path(0, "C", "N", "C"),
+		graph.Path(0, "C", "O", "C"),
+	} {
+		a := ix.CoverSet(q, after2)
+		b := fresh.CoverSet(q, after2)
+		if len(a) != len(b) {
+			t.Fatalf("cover sets diverge for %v: %v vs %v", q, a, b)
+		}
+		for id := range a {
+			if _, ok := b[id]; !ok {
+				t.Fatalf("cover sets diverge for %v: %v vs %v", q, a, b)
+			}
+		}
+	}
+	// No stale columns.
+	for _, col := range ix.TG.Cols() {
+		if !after2.Has(col) {
+			t.Fatalf("stale TG column %d", col)
+		}
+	}
+	if len(ix.TP.Col(100)) != 0 {
+		t.Fatal("stale TP column for swapped-out pattern")
+	}
+}

@@ -1,0 +1,138 @@
+// Package index implements the two MIDAS indices (paper §5.1): the
+// FCT-Index — a token trie over the canonical strings of frequent closed
+// trees and frequent edges, whose terminal nodes point at rows of the
+// sparse trie–graph (TG) and trie–pattern (TP) embedding-count matrices —
+// and the IFE-Index — edge–graph (EG) and edge–pattern (EP) matrices for
+// infrequent edges. Together they answer "which data graphs can contain
+// this pattern" without subgraph-isomorphism tests, powering fast scov
+// estimation (§6.1) and the coverage-based candidate pruning of §5.2.
+package index
+
+import "sort"
+
+// Trie is the token trie of the FCT-Index. Each vertex corresponds to a
+// token of a canonical string (a vertex label or the sibling separator
+// "$"); terminal vertices carry the feature key whose row the graph and
+// pattern pointers reference.
+type Trie struct {
+	root  *trieNode
+	nodes int
+	terms int
+}
+
+type trieNode struct {
+	children map[string]*trieNode
+	terminal bool
+	key      string // feature canonical key at terminal nodes
+}
+
+// NewTrie returns an empty trie.
+func NewTrie() *Trie {
+	return &Trie{root: &trieNode{children: make(map[string]*trieNode)}, nodes: 1}
+}
+
+// Insert adds a token sequence terminating at the given feature key.
+// Re-inserting an existing sequence updates the key.
+func (t *Trie) Insert(tokens []string, key string) {
+	cur := t.root
+	for _, tok := range tokens {
+		next := cur.children[tok]
+		if next == nil {
+			next = &trieNode{children: make(map[string]*trieNode)}
+			cur.children[tok] = next
+			t.nodes++
+		}
+		cur = next
+	}
+	if !cur.terminal {
+		t.terms++
+	}
+	cur.terminal = true
+	cur.key = key
+}
+
+// Remove deletes a token sequence's terminal marker and prunes any
+// childless suffix nodes. It reports whether the sequence was present.
+func (t *Trie) Remove(tokens []string) bool {
+	path := make([]*trieNode, 0, len(tokens)+1)
+	cur := t.root
+	path = append(path, cur)
+	for _, tok := range tokens {
+		next := cur.children[tok]
+		if next == nil {
+			return false
+		}
+		cur = next
+		path = append(path, cur)
+	}
+	if !cur.terminal {
+		return false
+	}
+	cur.terminal = false
+	cur.key = ""
+	t.terms--
+	// Prune childless non-terminal suffix.
+	for i := len(path) - 1; i > 0; i-- {
+		node := path[i]
+		if len(node.children) > 0 || node.terminal {
+			break
+		}
+		delete(path[i-1].children, tokens[i-1])
+		t.nodes--
+	}
+	return true
+}
+
+// Lookup returns the feature key at the end of the token sequence and
+// whether the sequence terminates a feature.
+func (t *Trie) Lookup(tokens []string) (string, bool) {
+	cur := t.root
+	for _, tok := range tokens {
+		cur = cur.children[tok]
+		if cur == nil {
+			return "", false
+		}
+	}
+	if !cur.terminal {
+		return "", false
+	}
+	return cur.key, true
+}
+
+// Len returns the number of terminal (feature) entries.
+func (t *Trie) Len() int { return t.terms }
+
+// NodeCount returns the number of trie vertices including the root.
+func (t *Trie) NodeCount() int { return t.nodes }
+
+// Depth returns the maximum depth (m in Lemma 5.3).
+func (t *Trie) Depth() int {
+	var rec func(n *trieNode) int
+	rec = func(n *trieNode) int {
+		best := 0
+		for _, c := range n.children {
+			if d := 1 + rec(c); d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	return rec(t.root)
+}
+
+// Keys returns the sorted feature keys stored in the trie.
+func (t *Trie) Keys() []string {
+	var out []string
+	var rec func(n *trieNode)
+	rec = func(n *trieNode) {
+		if n.terminal {
+			out = append(out, n.key)
+		}
+		for _, c := range n.children {
+			rec(c)
+		}
+	}
+	rec(t.root)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,92 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTrieInsertLookup(t *testing.T) {
+	tr := NewTrie()
+	tr.Insert([]string{"C", "O", "S", "$"}, "f2")
+	tr.Insert([]string{"C", "O", "$"}, "f1")
+	if key, ok := tr.Lookup([]string{"C", "O", "$"}); !ok || key != "f1" {
+		t.Fatalf("Lookup = %q,%v", key, ok)
+	}
+	if key, ok := tr.Lookup([]string{"C", "O", "S", "$"}); !ok || key != "f2" {
+		t.Fatalf("Lookup = %q,%v", key, ok)
+	}
+	if _, ok := tr.Lookup([]string{"C", "O"}); ok {
+		t.Fatal("prefix should not be terminal")
+	}
+	if _, ok := tr.Lookup([]string{"X"}); ok {
+		t.Fatal("absent token should not resolve")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestTrieSharing(t *testing.T) {
+	tr := NewTrie()
+	tr.Insert([]string{"C", "O"}, "a")
+	nodesBefore := tr.NodeCount()
+	tr.Insert([]string{"C", "N"}, "b")
+	// Only one new node: C is shared.
+	if tr.NodeCount() != nodesBefore+1 {
+		t.Fatalf("nodes = %d, want %d", tr.NodeCount(), nodesBefore+1)
+	}
+}
+
+func TestTrieRemove(t *testing.T) {
+	tr := NewTrie()
+	tr.Insert([]string{"C", "O", "S"}, "long")
+	tr.Insert([]string{"C"}, "short")
+	if !tr.Remove([]string{"C", "O", "S"}) {
+		t.Fatal("Remove failed")
+	}
+	if tr.Remove([]string{"C", "O", "S"}) {
+		t.Fatal("double Remove succeeded")
+	}
+	if _, ok := tr.Lookup([]string{"C"}); !ok {
+		t.Fatal("shared prefix terminal lost")
+	}
+	// Suffix nodes pruned: only root + C remain.
+	if tr.NodeCount() != 2 {
+		t.Fatalf("nodes = %d, want 2", tr.NodeCount())
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestTrieRemoveKeepsBranch(t *testing.T) {
+	tr := NewTrie()
+	tr.Insert([]string{"C", "O"}, "a")
+	tr.Insert([]string{"C", "O", "S"}, "b")
+	tr.Remove([]string{"C", "O"})
+	if _, ok := tr.Lookup([]string{"C", "O", "S"}); !ok {
+		t.Fatal("descendant terminal lost after prefix removal")
+	}
+}
+
+func TestTrieDepthAndKeys(t *testing.T) {
+	tr := NewTrie()
+	tr.Insert([]string{"C", "O", "S"}, "b")
+	tr.Insert([]string{"N"}, "a")
+	if tr.Depth() != 3 {
+		t.Fatalf("Depth = %d, want 3", tr.Depth())
+	}
+	if got := tr.Keys(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Keys = %v", got)
+	}
+}
+
+func TestTrieEmpty(t *testing.T) {
+	tr := NewTrie()
+	if tr.Len() != 0 || tr.Depth() != 0 || tr.NodeCount() != 1 {
+		t.Fatal("empty trie invariants broken")
+	}
+	if tr.Remove([]string{"X"}) {
+		t.Fatal("Remove on empty trie should fail")
+	}
+}

@@ -1,0 +1,43 @@
+package iso
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+func benchGraphs(n, size int) []*graph.Graph {
+	r := rand.New(rand.NewSource(1))
+	out := make([]*graph.Graph, n)
+	for i := range out {
+		out[i] = randomGraph(r, size, []string{"C", "O", "N"})
+	}
+	return out
+}
+
+func BenchmarkHasSubgraph(b *testing.B) {
+	targets := benchGraphs(64, 20)
+	pattern := graph.Path(0, "C", "O", "C")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = HasSubgraph(pattern, targets[i%len(targets)], Options{})
+	}
+}
+
+func BenchmarkCountEmbeddings(b *testing.B) {
+	targets := benchGraphs(64, 20)
+	pattern := graph.Path(0, "C", "O")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CountEmbeddings(pattern, targets[i%len(targets)], Options{Limit: 64})
+	}
+}
+
+func BenchmarkMCCS(b *testing.B) {
+	gs := benchGraphs(32, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MCCS(gs[i%len(gs)], gs[(i+1)%len(gs)], 20000)
+	}
+}

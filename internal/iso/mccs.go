@@ -1,0 +1,225 @@
+package iso
+
+import (
+	"github.com/midas-graph/midas/graph"
+)
+
+// Maximum connected common subgraph (MCCS), used by CATAPULT's fine
+// clustering: ω_MCCS(G1,G2) = |MCCS| / min(|G1|,|G2|) with |G| the edge
+// count (paper §2.3, [35]).
+//
+// The search is a McGregor-style backtracking over edge correspondences
+// that grows a connected common subgraph, with an explicit step budget.
+// Within budget the result is exact; once the budget is exhausted the
+// best subgraph found so far is returned (a lower bound), which is the
+// standard engineering compromise for this NP-hard primitive.
+
+type mccsState struct {
+	g1, g2    *graph.Graph
+	map12     []int // g1 vertex -> g2 vertex or -1
+	used2     []bool
+	edgesUsed map[graph.Edge]bool // g1 edges already in the common subgraph
+	cur       []graph.Edge        // g1 edges of the current common subgraph
+	best      []graph.Edge
+	bestMap   []int
+	budget    int
+	steps     int
+}
+
+// MCCSResult describes the best common connected subgraph found.
+type MCCSResult struct {
+	// Edges are edges of g1 forming the common subgraph.
+	Edges []graph.Edge
+	// Mapping maps g1 vertices to g2 vertices (-1 where unmapped).
+	Mapping []int
+	// Exact reports whether the search completed within budget.
+	Exact bool
+}
+
+// Size returns the number of edges of the common subgraph.
+func (r MCCSResult) Size() int { return len(r.Edges) }
+
+// MCCS computes a maximum connected common subgraph of g1 and g2. budget
+// caps explored search nodes (<=0 means a generous default).
+func MCCS(g1, g2 *graph.Graph, budget int) MCCSResult {
+	if budget <= 0 {
+		budget = 200000
+	}
+	if g1.Size() == 0 || g2.Size() == 0 {
+		return MCCSResult{Exact: true}
+	}
+	// Search from the smaller graph for a tighter branching factor.
+	swapped := false
+	if g1.Size() > g2.Size() {
+		g1, g2 = g2, g1
+		swapped = true
+	}
+	s := &mccsState{
+		g1:        g1,
+		g2:        g2,
+		map12:     make([]int, g1.Order()),
+		used2:     make([]bool, g2.Order()),
+		edgesUsed: make(map[graph.Edge]bool),
+		budget:    budget,
+	}
+	for i := range s.map12 {
+		s.map12[i] = -1
+	}
+	// Seed with every compatible (g1 edge, g2 edge, orientation) triple.
+	minSize := g1.Size()
+	if g2.Size() < minSize {
+		minSize = g2.Size()
+	}
+outer:
+	for _, e1 := range g1.Edges() {
+		for _, e2 := range g2.Edges() {
+			for _, o := range orientations(g1, g2, e1, e2) {
+				s.map12[e1.U] = o[0]
+				s.map12[e1.V] = o[1]
+				s.used2[o[0]] = true
+				s.used2[o[1]] = true
+				s.edgesUsed[e1] = true
+				s.cur = append(s.cur, e1)
+
+				s.extend()
+
+				s.cur = s.cur[:0]
+				delete(s.edgesUsed, e1)
+				s.used2[o[0]] = false
+				s.used2[o[1]] = false
+				s.map12[e1.U] = -1
+				s.map12[e1.V] = -1
+				if len(s.best) == minSize || s.steps >= s.budget {
+					break outer
+				}
+			}
+		}
+	}
+	res := MCCSResult{Edges: s.best, Mapping: s.bestMap, Exact: s.steps < s.budget}
+	if res.Mapping == nil {
+		res.Mapping = make([]int, 0)
+	}
+	if swapped {
+		res = swapResult(res, g1, g2)
+	}
+	return res
+}
+
+// orientations returns the ways e2's endpoints can be assigned to e1's
+// endpoints with matching labels: each element is [imageOfU, imageOfV].
+func orientations(g1, g2 *graph.Graph, e1, e2 graph.Edge) [][2]int {
+	var out [][2]int
+	if g1.Label(e1.U) == g2.Label(e2.U) && g1.Label(e1.V) == g2.Label(e2.V) {
+		out = append(out, [2]int{e2.U, e2.V})
+	}
+	if g1.Label(e1.U) == g2.Label(e2.V) && g1.Label(e1.V) == g2.Label(e2.U) {
+		out = append(out, [2]int{e2.V, e2.U})
+	}
+	return out
+}
+
+// swapResult converts a result computed on (small=g1,big=g2) after the
+// caller swapped arguments: edges must be reported in the original g1
+// (which is `big` here), and the mapping must go big->small.
+func swapResult(r MCCSResult, small, big *graph.Graph) MCCSResult {
+	inv := make([]int, big.Order())
+	for i := range inv {
+		inv[i] = -1
+	}
+	var edges []graph.Edge
+	for v1, v2 := range r.Mapping {
+		if v2 >= 0 {
+			inv[v2] = v1
+		}
+	}
+	for _, e := range r.Edges {
+		u2, v2 := r.Mapping[e.U], r.Mapping[e.V]
+		edges = append(edges, graph.Edge{U: u2, V: v2}.Canon())
+	}
+	_ = small
+	return MCCSResult{Edges: edges, Mapping: inv, Exact: r.Exact}
+}
+
+// extend grows the current common subgraph by one edge and recurses.
+func (s *mccsState) extend() {
+	if s.steps >= s.budget {
+		return
+	}
+	s.steps++
+	if len(s.cur) > len(s.best) {
+		s.best = append(s.best[:0:0], s.cur...)
+		s.bestMap = append([]int(nil), s.map12...)
+	}
+	// Upper bound: cannot beat best even using every remaining g1 edge.
+	if len(s.cur)+remainingEdges(s.g1, s.edgesUsed) <= len(s.best) {
+		return
+	}
+	// Candidate g1 edges: unused, adjacent to the mapped region.
+	for _, e1 := range s.g1.Edges() {
+		if s.edgesUsed[e1] {
+			continue
+		}
+		mu, mv := s.map12[e1.U], s.map12[e1.V]
+		switch {
+		case mu >= 0 && mv >= 0:
+			// Both endpoints mapped: the g2 edge must exist.
+			if !s.g2.HasEdge(mu, mv) {
+				continue
+			}
+			s.edgesUsed[e1] = true
+			s.cur = append(s.cur, e1)
+			s.extend()
+			s.cur = s.cur[:len(s.cur)-1]
+			delete(s.edgesUsed, e1)
+		case mu >= 0:
+			s.extendFrom(e1, e1.U, e1.V)
+		case mv >= 0:
+			s.extendFrom(e1, e1.V, e1.U)
+		}
+		if s.steps >= s.budget {
+			return
+		}
+	}
+}
+
+// extendFrom maps the free endpoint `free` of edge e1 (whose other
+// endpoint `anchored` is mapped) to each compatible g2 neighbour.
+func (s *mccsState) extendFrom(e1 graph.Edge, anchored, free int) {
+	gAnchor := s.map12[anchored]
+	for _, g2v := range s.g2.Neighbors(gAnchor) {
+		if s.used2[g2v] || s.g2.Label(g2v) != s.g1.Label(free) {
+			continue
+		}
+		s.map12[free] = g2v
+		s.used2[g2v] = true
+		s.edgesUsed[e1] = true
+		s.cur = append(s.cur, e1)
+
+		s.extend()
+
+		s.cur = s.cur[:len(s.cur)-1]
+		delete(s.edgesUsed, e1)
+		s.used2[g2v] = false
+		s.map12[free] = -1
+		if s.steps >= s.budget {
+			return
+		}
+	}
+}
+
+func remainingEdges(g *graph.Graph, used map[graph.Edge]bool) int {
+	return g.Size() - len(used)
+}
+
+// MCCSSimilarity returns ω_MCCS(g1,g2) = |MCCS| / min(|G1|,|G2|), in
+// [0,1]. Graphs without edges have similarity 0.
+func MCCSSimilarity(g1, g2 *graph.Graph, budget int) float64 {
+	minSize := g1.Size()
+	if g2.Size() < minSize {
+		minSize = g2.Size()
+	}
+	if minSize == 0 {
+		return 0
+	}
+	return float64(MCCS(g1, g2, budget).Size()) / float64(minSize)
+}

@@ -1,0 +1,173 @@
+package iso
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+func TestMCCSIdentical(t *testing.T) {
+	g := graph.Cycle(0, "C", "O", "C", "N")
+	res := MCCS(g, g.Clone(), 0)
+	if res.Size() != g.Size() {
+		t.Fatalf("MCCS of identical graphs = %d, want %d", res.Size(), g.Size())
+	}
+	if !res.Exact {
+		t.Fatal("small instance should be exact")
+	}
+	if sim := MCCSSimilarity(g, g, 0); sim != 1 {
+		t.Fatalf("self-similarity = %v, want 1", sim)
+	}
+}
+
+func TestMCCSDisjointLabels(t *testing.T) {
+	g1 := graph.Path(0, "C", "O")
+	g2 := graph.Path(1, "N", "S")
+	if got := MCCS(g1, g2, 0).Size(); got != 0 {
+		t.Fatalf("MCCS of label-disjoint graphs = %d, want 0", got)
+	}
+	if MCCSSimilarity(g1, g2, 0) != 0 {
+		t.Fatal("similarity should be 0")
+	}
+}
+
+func TestMCCSPartialOverlap(t *testing.T) {
+	// g1: C-O-N path; g2: C-O-S path. Common connected: C-O (1 edge).
+	g1 := graph.Path(0, "C", "O", "N")
+	g2 := graph.Path(1, "C", "O", "S")
+	res := MCCS(g1, g2, 0)
+	if res.Size() != 1 {
+		t.Fatalf("MCCS = %d, want 1", res.Size())
+	}
+	sim := MCCSSimilarity(g1, g2, 0)
+	if math.Abs(sim-0.5) > 1e-9 {
+		t.Fatalf("similarity = %v, want 0.5", sim)
+	}
+}
+
+func TestMCCSConnected(t *testing.T) {
+	// g1 has two C-O edges far apart; g2 has them adjacent. A connected
+	// common subgraph can use only one of g1's C-O edges plus its
+	// surroundings.
+	g1 := graph.FromEdges(0, []string{"C", "O", "X", "C", "O"},
+		[][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	g2 := graph.FromEdges(1, []string{"O", "C", "O"}, [][2]int{{0, 1}, {1, 2}})
+	res := MCCS(g1, g2, 0)
+	// Best connected common subgraph is a single C-O edge: g2's O-C-O
+	// star cannot appear in g1 (g1's Cs have one O neighbour each).
+	if res.Size() != 1 {
+		t.Fatalf("MCCS = %d, want 1", res.Size())
+	}
+	// Result must induce a connected subgraph of g1.
+	sub := g1.EdgeSubgraph(res.Edges)
+	if !sub.IsConnected() {
+		t.Fatal("MCCS result is not connected")
+	}
+}
+
+func TestMCCSEmptyGraphs(t *testing.T) {
+	if MCCS(graph.New(0), graph.New(1), 0).Size() != 0 {
+		t.Fatal("MCCS with empty graph should be 0")
+	}
+}
+
+func TestMCCSSwappedArguments(t *testing.T) {
+	big := graph.Cycle(0, "C", "O", "C", "O", "C", "N")
+	small := graph.Path(1, "C", "O", "C")
+	r1 := MCCS(big, small, 0)
+	r2 := MCCS(small, big, 0)
+	if r1.Size() != r2.Size() {
+		t.Fatalf("MCCS not symmetric: %d vs %d", r1.Size(), r2.Size())
+	}
+	if r1.Size() != 2 {
+		t.Fatalf("MCCS = %d, want 2", r1.Size())
+	}
+	// Edges are reported within the first argument.
+	for _, e := range r1.Edges {
+		if !big.HasEdge(e.U, e.V) {
+			t.Fatal("reported edge not in first argument graph")
+		}
+	}
+	for _, e := range r2.Edges {
+		if !small.HasEdge(e.U, e.V) {
+			t.Fatal("reported edge not in first argument graph")
+		}
+	}
+}
+
+func TestMCCSMappingValid(t *testing.T) {
+	g1 := graph.Cycle(0, "C", "O", "N", "C")
+	g2 := graph.FromEdges(1, []string{"C", "O", "N", "S"}, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	res := MCCS(g1, g2, 0)
+	for _, e := range res.Edges {
+		u2, v2 := res.Mapping[e.U], res.Mapping[e.V]
+		if u2 < 0 || v2 < 0 {
+			t.Fatal("edge endpoint unmapped")
+		}
+		if !g2.HasEdge(u2, v2) {
+			t.Fatal("mapped edge missing in g2")
+		}
+		if g1.Label(e.U) != g2.Label(u2) || g1.Label(e.V) != g2.Label(v2) {
+			t.Fatal("labels not preserved")
+		}
+	}
+}
+
+func TestPropertyMCCSBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g1 := randomGraph(r, 7, []string{"C", "O"})
+		g2 := randomGraph(r, 7, []string{"C", "O"})
+		res := MCCS(g1, g2, 50000)
+		minSize := g1.Size()
+		if g2.Size() < minSize {
+			minSize = g2.Size()
+		}
+		if res.Size() > minSize {
+			return false
+		}
+		sim := MCCSSimilarity(g1, g2, 50000)
+		return sim >= 0 && sim <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMCCSSubgraphOfBoth(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g1 := randomGraph(r, 6, []string{"C", "O", "N"})
+		g2 := randomGraph(r, 6, []string{"C", "O", "N"})
+		res := MCCS(g1, g2, 50000)
+		if res.Size() == 0 {
+			return true
+		}
+		sub := g1.EdgeSubgraph(res.Edges)
+		return sub.IsConnected() &&
+			HasSubgraph(sub, g1, Options{}) &&
+			HasSubgraph(sub, g2, Options{})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMCCSBudgetExhaustion(t *testing.T) {
+	labels := make([]string, 8)
+	for i := range labels {
+		labels[i] = "A"
+	}
+	g1 := graph.Clique(0, labels...)
+	g2 := graph.Clique(1, labels...)
+	res := MCCS(g1, g2, 50)
+	if res.Exact {
+		t.Fatal("tiny budget on K8xK8 should not be exact")
+	}
+	if res.Size() == 0 {
+		t.Fatal("should still return a non-trivial lower bound")
+	}
+}

@@ -1,0 +1,282 @@
+// Package iso implements exact matching primitives used throughout MIDAS:
+// VF2-style subgraph isomorphism (the paper uses VF2 [17] for all
+// containment checks), graph isomorphism, embedding counting, and a
+// McGregor-style maximum connected common subgraph (MCCS) search used by
+// CATAPULT's fine clustering (paper §2.3).
+package iso
+
+import (
+	"github.com/midas-graph/midas/graph"
+)
+
+// Options configures a match.
+type Options struct {
+	// Induced requires non-edges of the pattern to map to non-edges of
+	// the target. The default (false) is subgraph monomorphism, the
+	// semantics of "G contains a subgraph isomorphic to p" used for
+	// coverage in the paper.
+	Induced bool
+
+	// Limit caps the number of embeddings enumerated by CountEmbeddings
+	// and AllEmbeddings. Zero means no cap.
+	Limit int
+
+	// MaxSteps caps the number of search-tree nodes explored. Zero means
+	// no cap. When the cap is hit, results are lower bounds.
+	MaxSteps int
+}
+
+// state carries one VF2 search. Pattern vertices are matched in a fixed
+// connectivity-aware order.
+type state struct {
+	p, g     *graph.Graph
+	order    []int // pattern vertices in match order
+	core     []int // pattern vertex -> target vertex, -1 if unmatched
+	used     []bool
+	opts     Options
+	steps    int
+	stepsCap bool
+	// emit is called for each complete embedding; returning false stops
+	// the search.
+	emit func(mapping []int) bool
+}
+
+// matchOrder returns pattern vertices ordered so that each vertex after
+// the first of its connected component has a previously-ordered
+// neighbour. Within the frontier, higher-degree vertices come first to
+// fail fast.
+func matchOrder(p *graph.Graph) []int {
+	n := p.Order()
+	order := make([]int, 0, n)
+	inOrder := make([]bool, n)
+	for len(order) < n {
+		// Pick an unordered seed of maximum degree.
+		seed := -1
+		for v := 0; v < n; v++ {
+			if !inOrder[v] && (seed == -1 || p.Degree(v) > p.Degree(seed)) {
+				seed = v
+			}
+		}
+		order = append(order, seed)
+		inOrder[seed] = true
+		// Grow by repeatedly adding the frontier vertex with the most
+		// already-ordered neighbours (ties: higher degree).
+		for {
+			best, bestConn := -1, 0
+			for v := 0; v < n; v++ {
+				if inOrder[v] {
+					continue
+				}
+				conn := 0
+				for _, w := range p.Neighbors(v) {
+					if inOrder[w] {
+						conn++
+					}
+				}
+				if conn == 0 {
+					continue
+				}
+				if best == -1 || conn > bestConn ||
+					(conn == bestConn && p.Degree(v) > p.Degree(best)) {
+					best, bestConn = v, conn
+				}
+			}
+			if best == -1 {
+				break // component exhausted
+			}
+			order = append(order, best)
+			inOrder[best] = true
+		}
+	}
+	return order
+}
+
+// feasible reports whether mapping pattern vertex pv to target vertex gv
+// is consistent with the current partial mapping.
+func (s *state) feasible(pv, gv int) bool {
+	if s.p.Label(pv) != s.g.Label(gv) {
+		return false
+	}
+	if s.p.Degree(pv) > s.g.Degree(gv) {
+		return false
+	}
+	for _, pw := range s.p.Neighbors(pv) {
+		if gw := s.core[pw]; gw >= 0 && !s.g.HasEdge(gv, gw) {
+			return false
+		}
+	}
+	if s.opts.Induced {
+		// Non-adjacent matched pattern vertices must stay non-adjacent.
+		for pw, gw := range s.core {
+			if gw < 0 || pw == pv {
+				continue
+			}
+			if !s.p.HasEdge(pv, pw) && s.g.HasEdge(gv, gw) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// search runs the backtracking from position depth in the match order.
+// It returns false if the caller's emit requested a stop.
+func (s *state) search(depth int) bool {
+	if s.opts.MaxSteps > 0 && s.steps >= s.opts.MaxSteps {
+		s.stepsCap = true
+		return false
+	}
+	s.steps++
+	if depth == len(s.order) {
+		return s.emit(s.core)
+	}
+	pv := s.order[depth]
+	// Candidate targets: neighbours of an already-matched neighbour when
+	// one exists (connectivity pruning), else all vertices.
+	var candidates []int
+	for _, pw := range s.p.Neighbors(pv) {
+		if gw := s.core[pw]; gw >= 0 {
+			candidates = s.g.Neighbors(gw)
+			break
+		}
+	}
+	if candidates == nil {
+		candidates = allVertices(s.g.Order())
+	}
+	for _, gv := range candidates {
+		if s.used[gv] || !s.feasible(pv, gv) {
+			continue
+		}
+		s.core[pv] = gv
+		s.used[gv] = true
+		ok := s.search(depth + 1)
+		s.core[pv] = -1
+		s.used[gv] = false
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+var smallVertexSets [][]int
+
+func init() {
+	smallVertexSets = make([][]int, 64)
+	for n := range smallVertexSets {
+		vs := make([]int, n)
+		for i := range vs {
+			vs[i] = i
+		}
+		smallVertexSets[n] = vs
+	}
+}
+
+func allVertices(n int) []int {
+	if n < len(smallVertexSets) {
+		return smallVertexSets[n]
+	}
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = i
+	}
+	return vs
+}
+
+func newState(p, g *graph.Graph, opts Options, emit func([]int) bool) *state {
+	core := make([]int, p.Order())
+	for i := range core {
+		core[i] = -1
+	}
+	return &state{
+		p:     p,
+		g:     g,
+		order: matchOrder(p),
+		core:  core,
+		used:  make([]bool, g.Order()),
+		opts:  opts,
+		emit:  emit,
+	}
+}
+
+// HasSubgraph reports whether target contains a subgraph isomorphic to
+// pattern (monomorphism; set opts.Induced for induced matching). An
+// empty pattern is contained in every graph.
+func HasSubgraph(pattern, target *graph.Graph, opts Options) bool {
+	if pattern.Order() == 0 {
+		return true
+	}
+	if pattern.Order() > target.Order() || pattern.Size() > target.Size() {
+		return false
+	}
+	found := false
+	s := newState(pattern, target, opts, func([]int) bool {
+		found = true
+		return false
+	})
+	s.search(0)
+	return found
+}
+
+// Contains is shorthand for non-induced containment.
+func Contains(target, pattern *graph.Graph) bool {
+	return HasSubgraph(pattern, target, Options{})
+}
+
+// FindEmbedding returns one mapping from pattern vertices to target
+// vertices, or nil if none exists.
+func FindEmbedding(pattern, target *graph.Graph, opts Options) []int {
+	if pattern.Order() == 0 {
+		return []int{}
+	}
+	var result []int
+	s := newState(pattern, target, opts, func(m []int) bool {
+		result = append([]int(nil), m...)
+		return false
+	})
+	s.search(0)
+	return result
+}
+
+// CountEmbeddings returns the number of distinct vertex mappings of
+// pattern into target, up to opts.Limit if nonzero. Automorphic images
+// count separately, matching the "number of embeddings" stored in the
+// TG/TP matrices (paper §5.1).
+func CountEmbeddings(pattern, target *graph.Graph, opts Options) int {
+	if pattern.Order() == 0 {
+		return 0
+	}
+	count := 0
+	s := newState(pattern, target, opts, func([]int) bool {
+		count++
+		return opts.Limit == 0 || count < opts.Limit
+	})
+	s.search(0)
+	return count
+}
+
+// AllEmbeddings returns every embedding (pattern vertex -> target
+// vertex), up to opts.Limit if nonzero.
+func AllEmbeddings(pattern, target *graph.Graph, opts Options) [][]int {
+	var out [][]int
+	s := newState(pattern, target, opts, func(m []int) bool {
+		out = append(out, append([]int(nil), m...))
+		return opts.Limit == 0 || len(out) < opts.Limit
+	})
+	s.search(0)
+	return out
+}
+
+// Isomorphic reports whether g1 and g2 are isomorphic.
+func Isomorphic(g1, g2 *graph.Graph) bool {
+	if g1.Order() != g2.Order() || g1.Size() != g2.Size() {
+		return false
+	}
+	if g1.Order() == 0 {
+		return true
+	}
+	if graph.Signature(g1) != graph.Signature(g2) {
+		return false
+	}
+	return HasSubgraph(g1, g2, Options{Induced: true})
+}

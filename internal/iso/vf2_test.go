@@ -1,0 +1,262 @@
+package iso
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+func TestHasSubgraphBasic(t *testing.T) {
+	target := graph.Cycle(0, "C", "C", "C", "O", "N", "C")
+	pattern := graph.Path(1, "C", "O", "N")
+	if !HasSubgraph(pattern, target, Options{}) {
+		t.Fatal("path C-O-N should be in the cycle")
+	}
+	absent := graph.Path(2, "S", "O")
+	if HasSubgraph(absent, target, Options{}) {
+		t.Fatal("S-O should not be found")
+	}
+}
+
+func TestHasSubgraphLabels(t *testing.T) {
+	target := graph.Path(0, "C", "O", "C")
+	if !HasSubgraph(graph.Path(1, "O", "C"), target, Options{}) {
+		t.Fatal("edge O-C should be found regardless of direction")
+	}
+	if HasSubgraph(graph.Path(1, "O", "O"), target, Options{}) {
+		t.Fatal("O-O must not match")
+	}
+}
+
+func TestMonomorphismVsInduced(t *testing.T) {
+	// Pattern P3 (path on 3 vertices) inside K3: a monomorphism exists,
+	// but an induced embedding does not (the missing pattern edge maps
+	// onto an existing target edge).
+	k3 := graph.Clique(0, "A", "A", "A")
+	p3 := graph.Path(1, "A", "A", "A")
+	if !HasSubgraph(p3, k3, Options{}) {
+		t.Fatal("P3 should embed into K3 as monomorphism")
+	}
+	if HasSubgraph(p3, k3, Options{Induced: true}) {
+		t.Fatal("P3 should not embed into K3 induced")
+	}
+}
+
+func TestHasSubgraphSizePruning(t *testing.T) {
+	small := graph.Path(0, "A", "B")
+	big := graph.Clique(1, "A", "B", "C")
+	if HasSubgraph(big, small, Options{}) {
+		t.Fatal("bigger pattern cannot embed in smaller target")
+	}
+}
+
+func TestEmptyPattern(t *testing.T) {
+	target := graph.Path(0, "A", "B")
+	if !HasSubgraph(graph.New(1), target, Options{}) {
+		t.Fatal("empty pattern should be contained everywhere")
+	}
+	if got := CountEmbeddings(graph.New(1), target, Options{}); got != 0 {
+		t.Fatalf("CountEmbeddings(empty) = %d, want 0", got)
+	}
+}
+
+func TestSingleVertexPattern(t *testing.T) {
+	target := graph.Path(0, "C", "O", "C")
+	p := graph.New(1)
+	p.AddVertex("C")
+	if !HasSubgraph(p, target, Options{}) {
+		t.Fatal("single C should be found")
+	}
+	if got := CountEmbeddings(p, target, Options{}); got != 2 {
+		t.Fatalf("C embeddings = %d, want 2", got)
+	}
+}
+
+func TestCountEmbeddings(t *testing.T) {
+	// Path A-B in path A-B-A: embeddings (0->0,1->1) and (0->2,1->1).
+	target := graph.Path(0, "A", "B", "A")
+	pattern := graph.Path(1, "A", "B")
+	if got := CountEmbeddings(pattern, target, Options{}); got != 2 {
+		t.Fatalf("embeddings = %d, want 2", got)
+	}
+	// Unlabelled-equivalent: edge A-A in triangle of A: 6 mappings.
+	k3 := graph.Clique(0, "A", "A", "A")
+	e := graph.Path(1, "A", "A")
+	if got := CountEmbeddings(e, k3, Options{}); got != 6 {
+		t.Fatalf("edge embeddings in K3 = %d, want 6", got)
+	}
+}
+
+func TestCountEmbeddingsLimit(t *testing.T) {
+	k3 := graph.Clique(0, "A", "A", "A")
+	e := graph.Path(1, "A", "A")
+	if got := CountEmbeddings(e, k3, Options{Limit: 4}); got != 4 {
+		t.Fatalf("limited embeddings = %d, want 4", got)
+	}
+}
+
+func TestFindEmbeddingValid(t *testing.T) {
+	target := graph.Cycle(0, "C", "O", "C", "O")
+	pattern := graph.Path(1, "O", "C", "O")
+	m := FindEmbedding(pattern, target, Options{})
+	if m == nil {
+		t.Fatal("no embedding found")
+	}
+	seen := map[int]bool{}
+	for pv, gv := range m {
+		if pattern.Label(pv) != target.Label(gv) {
+			t.Fatalf("label mismatch at %d->%d", pv, gv)
+		}
+		if seen[gv] {
+			t.Fatal("mapping not injective")
+		}
+		seen[gv] = true
+	}
+	for _, e := range pattern.Edges() {
+		if !target.HasEdge(m[e.U], m[e.V]) {
+			t.Fatalf("edge (%d,%d) not preserved", e.U, e.V)
+		}
+	}
+}
+
+func TestFindEmbeddingAbsent(t *testing.T) {
+	if FindEmbedding(graph.Clique(0, "A", "A", "A"), graph.Path(1, "A", "A", "A"), Options{}) != nil {
+		t.Fatal("triangle cannot embed in path")
+	}
+}
+
+func TestAllEmbeddings(t *testing.T) {
+	target := graph.Path(0, "A", "B", "A")
+	pattern := graph.Path(1, "A", "B")
+	all := AllEmbeddings(pattern, target, Options{})
+	if len(all) != 2 {
+		t.Fatalf("AllEmbeddings = %d, want 2", len(all))
+	}
+}
+
+func TestIsomorphic(t *testing.T) {
+	g1 := graph.Cycle(0, "C", "O", "C", "O")
+	g2 := graph.Cycle(1, "O", "C", "O", "C")
+	if !Isomorphic(g1, g2) {
+		t.Fatal("rotated cycles should be isomorphic")
+	}
+	g3 := graph.Path(2, "C", "O", "C", "O")
+	if Isomorphic(g1, g3) {
+		t.Fatal("cycle is not isomorphic to path")
+	}
+	g4 := graph.Cycle(3, "C", "C", "O", "O")
+	if Isomorphic(g1, g4) {
+		t.Fatal("alternating cycle is not isomorphic to blocked cycle")
+	}
+}
+
+func TestIsomorphicEmpty(t *testing.T) {
+	if !Isomorphic(graph.New(0), graph.New(1)) {
+		t.Fatal("empty graphs are isomorphic")
+	}
+}
+
+func TestDisconnectedPattern(t *testing.T) {
+	// Two disjoint edges as a pattern.
+	p := graph.FromEdges(0, []string{"A", "B", "C", "D"}, [][2]int{{0, 1}, {2, 3}})
+	target := graph.Path(1, "A", "B", "C", "D")
+	if !HasSubgraph(p, target, Options{}) {
+		t.Fatal("disjoint edges should embed into path")
+	}
+	target2 := graph.Path(2, "A", "B", "D")
+	if HasSubgraph(p, target2, Options{}) {
+		t.Fatal("pattern needs a C vertex")
+	}
+}
+
+// randomGraph builds a random labelled connected graph.
+func randomGraph(r *rand.Rand, maxN int, labels []string) *graph.Graph {
+	n := 1 + r.Intn(maxN)
+	g := graph.New(0)
+	for i := 0; i < n; i++ {
+		g.AddVertex(labels[r.Intn(len(labels))])
+	}
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, r.Intn(i))
+	}
+	for i := 0; i < n/2; i++ {
+		g.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	g.SortAdjacency()
+	return g
+}
+
+func TestPropertySubgraphOfSelf(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 9, []string{"C", "O", "N"})
+		return HasSubgraph(g, g, Options{}) && Isomorphic(g, g)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRandomSubgraphContained(t *testing.T) {
+	// An edge-subgraph of g must always be contained in g.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 9, []string{"C", "O"})
+		if g.Size() == 0 {
+			return true
+		}
+		k := 1 + r.Intn(g.Size())
+		edges := append([]graph.Edge(nil), g.Edges()...)
+		r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		sub := g.EdgeSubgraph(edges[:k])
+		return HasSubgraph(sub, g, Options{})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyIsomorphismUnderRelabelling(t *testing.T) {
+	// Permuting vertex IDs preserves isomorphism.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 9, []string{"C", "O", "N"})
+		perm := r.Perm(g.Order())
+		h := graph.New(1)
+		inv := make([]int, g.Order())
+		for i, p := range perm {
+			inv[p] = i
+		}
+		for i := 0; i < g.Order(); i++ {
+			h.AddVertex(g.Label(inv[i]))
+		}
+		for _, e := range g.Edges() {
+			h.AddEdge(perm[e.U], perm[e.V])
+		}
+		h.SortAdjacency()
+		return Isomorphic(g, h)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxStepsCap(t *testing.T) {
+	// A heavily symmetric instance with a tiny step cap must terminate.
+	labels := make([]string, 9)
+	for i := range labels {
+		labels[i] = "A"
+	}
+	target := graph.Clique(0, labels...)
+	pattern := graph.Clique(1, labels[:5]...)
+	got := CountEmbeddings(pattern, target, Options{MaxSteps: 10})
+	full := CountEmbeddings(pattern, target, Options{})
+	if got > full {
+		t.Fatalf("capped count %d exceeds full count %d", got, full)
+	}
+	if full == 0 {
+		t.Fatal("K5 should embed in K9")
+	}
+}

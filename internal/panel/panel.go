@@ -1,0 +1,247 @@
+// Package panel serves a canned-pattern panel over HTTP: the pattern
+// set as JSON and inline SVG (the "Panel 4" of the paper's Figure 1), a
+// maintenance endpoint accepting batch updates, and a subgraph-query
+// endpoint backed by the filter–verify search engine. It is the
+// deployment shell around the midas engine: a GUI front end polls
+// /patterns and posts user updates to /maintain.
+package panel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/midas-graph/midas"
+	"github.com/midas-graph/midas/graph"
+)
+
+// Server wraps an engine with HTTP handlers. All handlers serialise on
+// one mutex: the engine is not safe for concurrent mutation, and panel
+// traffic is interactive-scale.
+type Server struct {
+	mu     sync.Mutex
+	engine *midas.Engine
+	opts   midas.Options
+}
+
+// New wraps an engine.
+func New(engine *midas.Engine, opts midas.Options) *Server {
+	return &Server{engine: engine, opts: opts}
+}
+
+// Locker exposes the server's engine mutex so out-of-band writers (the
+// spool Watcher) can serialise with HTTP handlers.
+func (s *Server) Locker() sync.Locker { return &s.mu }
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/patterns", s.handlePatterns)
+	mux.HandleFunc("/quality", s.handleQuality)
+	mux.HandleFunc("/maintain", s.handleMaintain)
+	mux.HandleFunc("/query", s.handleQuery)
+	return mux
+}
+
+// patternJSON is the wire form of one canned pattern.
+type patternJSON struct {
+	ID       int        `json:"id"`
+	Vertices []string   `json:"vertices"`
+	Edges    [][2]int   `json:"edges"`
+	Size     int        `json:"size"`
+	Cog      float64    `json:"cognitiveLoad"`
+	Scov     float64    `json:"scov"`
+	SVG      string     `json:"svg,omitempty"`
+	Text     string     `json:"text"`
+	Extra    *extraJSON `json:"-"`
+}
+
+type extraJSON struct{}
+
+func patternToJSON(p *graph.Graph, withSVG bool) patternJSON {
+	pj := patternJSON{
+		ID:       p.ID,
+		Vertices: append([]string(nil), p.Labels()...),
+		Size:     p.Size(),
+		Cog:      p.CognitiveLoad(),
+		Text:     p.String(),
+	}
+	for _, e := range p.Edges() {
+		pj.Edges = append(pj.Edges, [2]int{e.U, e.V})
+	}
+	if withSVG {
+		pj.SVG = SVG(p, 120)
+	}
+	return pj
+}
+
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	withSVG := r.URL.Query().Get("svg") == "1"
+	stats := s.engine.PatternStats()
+	patterns := s.engine.Patterns()
+	out := make([]patternJSON, 0, len(patterns))
+	for i, p := range patterns {
+		pj := patternToJSON(p, withSVG)
+		if i < len(stats) {
+			pj.Scov = stats[i].Scov
+		}
+		out = append(out, pj)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.engine.Quality()
+	writeJSON(w, map[string]float64{
+		"scov": q.Scov, "lcov": q.Lcov, "div": q.Div, "cog": q.Cog, "score": q.Score(),
+	})
+}
+
+// handleMaintain accepts a batch update: the request body carries the
+// Δ+ graphs in the text format; ?delete=1,2,3 lists Δ- IDs.
+func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var u graph.Update
+	if len(strings.TrimSpace(string(body))) > 0 {
+		ins, err := graph.Unmarshal(string(body))
+		if err != nil {
+			http.Error(w, "bad insert graphs: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		u.Insert = ins
+	}
+	if del := r.URL.Query().Get("delete"); del != "" {
+		for _, tok := range strings.Split(del, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				http.Error(w, "bad delete id: "+tok, http.StatusBadRequest)
+				return
+			}
+			u.Delete = append(u.Delete, id)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Remap colliding insert IDs; clients often renumber from zero.
+	next := s.engine.DB().NextID()
+	for _, g := range u.Insert {
+		if s.engine.DB().Has(g.ID) {
+			g.ID = next
+			next++
+		}
+	}
+	rep, err := s.engine.Maintain(u)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"inserted":         len(u.Insert),
+		"deleted":          len(u.Delete),
+		"graphletDistance": rep.GraphletDistance,
+		"major":            rep.Major,
+		"swaps":            rep.Swaps,
+		"pmtMillis":        rep.PMT.Milliseconds(),
+	})
+}
+
+// handleQuery executes a subgraph query given in the text format.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	qs, err := graph.Unmarshal(string(body))
+	if err != nil || len(qs) != 1 {
+		http.Error(w, "body must contain exactly one query graph", http.StatusBadRequest)
+		return
+	}
+	limit := 0
+	if l := r.URL.Query().Get("limit"); l != "" {
+		limit, err = strconv.Atoi(l)
+		if err != nil {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	results, stats := s.engine.Searcher().Query(qs[0], limit)
+	ids := make([]int, len(results))
+	for i, res := range results {
+		ids[i] = res.GraphID
+	}
+	writeJSON(w, map[string]interface{}{
+		"matches":    ids,
+		"candidates": stats.Candidates,
+		"pruned":     stats.Pruned,
+	})
+}
+
+// handleIndex renders a minimal HTML panel with the patterns as SVG.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html><html><head><title>MIDAS pattern panel</title>
+<style>body{font-family:sans-serif;background:#fafafa}
+.p{display:inline-block;margin:8px;padding:8px;background:#fff;border:1px solid #ccc;border-radius:6px;text-align:center}
+.p small{color:#666}</style></head><body>`)
+	q := s.engine.Quality()
+	fmt.Fprintf(&b, "<h1>Canned patterns (%d graphs in DB)</h1>", s.engine.DB().Len())
+	fmt.Fprintf(&b, "<p>scov %.3f · lcov %.3f · div %.2f · cog %.2f</p>", q.Scov, q.Lcov, q.Div, q.Cog)
+	stats := s.engine.PatternStats()
+	for i, p := range s.engine.Patterns() {
+		scov := 0.0
+		if i < len(stats) {
+			scov = stats[i].Scov
+		}
+		fmt.Fprintf(&b, `<div class="p">%s<br><small>#%d · %d edges · covers %.0f%%</small></div>`,
+			SVG(p, 120), p.ID, p.Size(), 100*scov)
+	}
+	b.WriteString("</body></html>")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, b.String())
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

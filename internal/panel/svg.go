@@ -1,0 +1,79 @@
+package panel
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+// SVG renders a small graph as an inline SVG of the given pixel size,
+// with vertices on a circle (patterns are small, so a circular layout
+// reads fine) and element labels inside the nodes. This is how the
+// panel page draws each canned pattern.
+func SVG(g *graph.Graph, size int) string {
+	n := g.Order()
+	if n == 0 {
+		return fmt.Sprintf(`<svg width="%d" height="%d"></svg>`, size, size)
+	}
+	s := float64(size)
+	cx, cy := s/2, s/2
+	r := s/2 - 14
+	if n == 1 {
+		r = 0
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for v := 0; v < n; v++ {
+		ang := 2*math.Pi*float64(v)/float64(n) - math.Pi/2
+		xs[v] = cx + r*math.Cos(ang)
+		ys[v] = cy + r*math.Sin(ang)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		size, size, size, size)
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#555" stroke-width="1.5"/>`,
+			xs[e.U], ys[e.U], xs[e.V], ys[e.V])
+	}
+	for v := 0; v < n; v++ {
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="10" fill="%s" stroke="#333"/>`,
+			xs[v], ys[v], elementColor(g.Label(v)))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" text-anchor="middle" dominant-baseline="central">%s</text>`,
+			xs[v], ys[v], escape(g.Label(v)))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// elementColor picks a CPK-inspired fill per element label.
+func elementColor(label string) string {
+	switch label {
+	case "C":
+		return "#cccccc"
+	case "O":
+		return "#ff9999"
+	case "N":
+		return "#9999ff"
+	case "H":
+		return "#ffffff"
+	case "S":
+		return "#ffff99"
+	case "P":
+		return "#ffcc80"
+	case "B":
+		return "#ffc1cc"
+	case "Cl":
+		return "#99ff99"
+	default:
+		return "#e0d0f0"
+	}
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

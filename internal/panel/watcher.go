@@ -1,0 +1,143 @@
+package panel
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/midas-graph/midas"
+	"github.com/midas-graph/midas/graph"
+)
+
+// Watcher applies periodic batch updates from a spool directory — the
+// deployment mode the paper motivates ("several real-world databases of
+// small- or medium-sized data graphs are updated periodically (e.g.,
+// daily)", §1). Each `*.graphs` file dropped into the directory is one
+// Δ+ batch in the text format; a `*.delete` file lists Δ- graph IDs,
+// one per line. Processed files are renamed with a ".done" suffix so a
+// restart does not replay them.
+type Watcher struct {
+	Dir    string
+	Engine *midas.Engine
+	// Locker, when the engine is shared with HTTP handlers, serialises
+	// batch application with them (pass Server.Locker()).
+	Locker sync.Locker
+	// OnBatch, if set, observes each applied batch's report.
+	OnBatch func(file string, rep midas.MaintenanceReport)
+	// Logf, if set, receives progress lines (e.g. log.Printf).
+	Logf func(format string, args ...interface{})
+}
+
+// Scan applies every pending spool file once, oldest name first, and
+// returns the number of batches applied. It is the unit the polling
+// loop calls; tests call it directly.
+func (w *Watcher) Scan() (int, error) {
+	entries, err := os.ReadDir(w.Dir)
+	if err != nil {
+		return 0, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasSuffix(name, ".graphs") || strings.HasSuffix(name, ".delete") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	applied := 0
+	for _, name := range names {
+		path := filepath.Join(w.Dir, name)
+		if w.Locker != nil {
+			w.Locker.Lock()
+		}
+		u, err := w.readBatch(path)
+		var rep midas.MaintenanceReport
+		if err == nil {
+			rep, err = w.Engine.Maintain(u)
+		}
+		if w.Locker != nil {
+			w.Locker.Unlock()
+		}
+		if err != nil {
+			return applied, fmt.Errorf("panel: batch %s: %w", name, err)
+		}
+		if err := os.Rename(path, path+".done"); err != nil {
+			return applied, err
+		}
+		applied++
+		if w.Logf != nil {
+			w.Logf("applied %s: +%d/-%d graphs, major=%v, swaps=%d, pmt=%v",
+				name, len(u.Insert), len(u.Delete), rep.Major, rep.Swaps, rep.PMT)
+		}
+		if w.OnBatch != nil {
+			w.OnBatch(name, rep)
+		}
+	}
+	return applied, nil
+}
+
+// readBatch parses one spool file into an update.
+func (w *Watcher) readBatch(path string) (graph.Update, error) {
+	var u graph.Update
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return u, err
+	}
+	if strings.HasSuffix(path, ".delete") {
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			var id int
+			if _, err := fmt.Sscanf(line, "%d", &id); err != nil {
+				return u, fmt.Errorf("bad delete id %q", line)
+			}
+			u.Delete = append(u.Delete, id)
+		}
+		return u, nil
+	}
+	ins, err := graph.Unmarshal(string(data))
+	if err != nil {
+		return u, err
+	}
+	// Remap colliding IDs, as the HTTP endpoint does.
+	next := w.Engine.DB().NextID()
+	for _, g := range ins {
+		if w.Engine.DB().Has(g.ID) {
+			g.ID = next
+			next++
+		}
+	}
+	u.Insert = ins
+	return u, nil
+}
+
+// Run polls the spool directory until stop is closed. Errors are
+// reported through Logf and do not stop the loop (a malformed batch
+// file stays in place for the operator to inspect — and blocks later
+// files so ordering is preserved).
+func (w *Watcher) Run(interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		if _, err := w.Scan(); err != nil && w.Logf != nil {
+			w.Logf("watcher: %v", err)
+		}
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package search executes the subgraph queries that a visual interface
+// formulates: given a query graph, it returns the data graphs containing
+// it. It follows the filter–verify paradigm of the feature-based graph
+// indices the paper builds on (gIndex, FG-index, Tree+Δ; §8): the
+// FCT-Index and IFE-Index prune the candidate set by feature-count
+// containment, and VF2 verifies the survivors.
+//
+// This is the substrate a deployed GUI needs after query formulation —
+// the paper measures formulation cost and leaves execution to the
+// backing store; we provide both so the system is usable end to end.
+package search
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/index"
+	"github.com/midas-graph/midas/internal/iso"
+	"github.com/midas-graph/midas/internal/tree"
+)
+
+// Options configures query execution.
+type Options struct {
+	// Limit caps the number of results (0 = all).
+	Limit int
+	// MaxSteps bounds each VF2 verification (0 = default).
+	MaxSteps int
+	// Workers sets verification parallelism (0 = 1, sequential;
+	// results are deterministic regardless).
+	Workers int
+}
+
+// Result is one query answer.
+type Result struct {
+	// GraphID identifies the matching data graph.
+	GraphID int
+	// Embedding maps query vertices to data-graph vertices.
+	Embedding []int
+}
+
+// Stats reports the filter–verify funnel of one query.
+type Stats struct {
+	Candidates int // graphs surviving the index filter
+	Verified   int // graphs actually matched
+	Pruned     int // graphs dismissed without isomorphism test
+}
+
+// Engine answers subgraph queries over a database.
+type Engine struct {
+	db  *graph.Database
+	set *tree.Set
+	ix  *index.Indices
+}
+
+// New builds a search engine. The index may be nil (pure scan mode).
+func New(db *graph.Database, set *tree.Set, ix *index.Indices) *Engine {
+	return &Engine{db: db, set: set, ix: ix}
+}
+
+// NewFromDB mines features and builds indices for db: a convenience for
+// standalone use. supMin and maxTreeEdges follow tree.Mine.
+func NewFromDB(db *graph.Database, supMin float64, maxTreeEdges int) *Engine {
+	set := tree.Mine(db, supMin, maxTreeEdges)
+	return &Engine{db: db, set: set, ix: index.Build(set, db, nil)}
+}
+
+// DB returns the underlying database.
+func (e *Engine) DB() *graph.Database { return e.db }
+
+// candidates returns the graph IDs that may contain q, sorted.
+func (e *Engine) candidates(q *graph.Graph) []int {
+	// A query using an edge label the database has never seen cannot
+	// match anything; the indices only track labels that occur, so this
+	// check must come first.
+	if e.set != nil {
+		for l := range q.EdgeLabels() {
+			et := e.set.EdgeTree(l)
+			if et == nil || et.SupportCount() == 0 {
+				return nil
+			}
+		}
+	}
+	universe := make([]int, 0, e.db.Len())
+	for _, g := range e.db.Graphs() {
+		universe = append(universe, g.ID)
+	}
+	if e.ix == nil {
+		return e.labelFilter(q, universe)
+	}
+	return e.ix.CandidateGraphs(q, universe)
+}
+
+// labelFilter is the fallback filter without indices: every edge label
+// of q must occur in the data graph with at least the same multiplicity.
+func (e *Engine) labelFilter(q *graph.Graph, universe []int) []int {
+	need := map[string]int{}
+	for _, qe := range q.Edges() {
+		need[q.EdgeLabel(qe.U, qe.V)]++
+	}
+	var out []int
+	for _, id := range universe {
+		g := e.db.Get(id)
+		if g == nil || g.Size() < q.Size() || g.Order() < q.Order() {
+			continue
+		}
+		have := map[string]int{}
+		for _, ge := range g.Edges() {
+			have[g.EdgeLabel(ge.U, ge.V)]++
+		}
+		ok := true
+		for l, n := range need {
+			if have[l] < n {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Query returns the data graphs containing q along with one embedding
+// each, plus the filter funnel statistics. Results are sorted by graph
+// ID; with a Limit, the lowest-ID matches win.
+func (e *Engine) Query(q *graph.Graph, opts Options) ([]Result, Stats) {
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 400000
+	}
+	cand := e.candidates(q)
+	stats := Stats{Candidates: len(cand), Pruned: e.db.Len() - len(cand)}
+
+	verify := func(id int) *Result {
+		g := e.db.Get(id)
+		if g == nil {
+			return nil
+		}
+		m := iso.FindEmbedding(q, g, iso.Options{MaxSteps: maxSteps})
+		if m == nil {
+			return nil
+		}
+		return &Result{GraphID: id, Embedding: m}
+	}
+
+	var results []Result
+	if opts.Workers > 1 {
+		results = verifyParallel(cand, verify, opts.Workers)
+	} else {
+		for _, id := range cand {
+			if r := verify(id); r != nil {
+				results = append(results, *r)
+			}
+			if opts.Limit > 0 && len(results) >= opts.Limit {
+				break
+			}
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].GraphID < results[j].GraphID })
+	if opts.Limit > 0 && len(results) > opts.Limit {
+		results = results[:opts.Limit]
+	}
+	stats.Verified = len(results)
+	return results, stats
+}
+
+// verifyParallel fans verification across workers; the slice order is
+// normalised afterwards so output stays deterministic.
+func verifyParallel(cand []int, verify func(int) *Result, workers int) []Result {
+	type item struct {
+		idx int
+		res *Result
+	}
+	in := make(chan int)
+	out := make(chan item, len(cand))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range in {
+				out <- item{idx: idx, res: verify(cand[idx])}
+			}
+		}()
+	}
+	go func() {
+		for i := range cand {
+			in <- i
+		}
+		close(in)
+		wg.Wait()
+		close(out)
+	}()
+	results := make([]*Result, len(cand))
+	for it := range out {
+		results[it.idx] = it.res
+	}
+	var flat []Result
+	for _, r := range results {
+		if r != nil {
+			flat = append(flat, *r)
+		}
+	}
+	return flat
+}
+
+// Count returns only the number of matching graphs (scov numerator).
+func (e *Engine) Count(q *graph.Graph, opts Options) (int, Stats) {
+	rs, stats := e.Query(q, opts)
+	return len(rs), stats
+}
+
+// Exists reports whether any data graph contains q.
+func (e *Engine) Exists(q *graph.Graph) bool {
+	rs, _ := e.Query(q, Options{Limit: 1})
+	return len(rs) > 0
+}

@@ -1,0 +1,192 @@
+// Package sparse provides the sparse integer matrices backing the four
+// MIDAS index matrices (TG, TP, EG, EP; paper §5.1). The paper stores
+// only non-zero entries as (row, column, value) triplets; this package
+// offers the same storage discipline with string-keyed rows (feature
+// canonical strings) and integer columns (graph or pattern IDs), plus the
+// row/column insertion and deletion operations of the index-maintenance
+// procedure.
+package sparse
+
+import "sort"
+
+// Matrix is a sparse non-negative integer matrix with string row keys and
+// integer column keys. Zero entries are not stored; setting an entry to
+// zero deletes it.
+type Matrix struct {
+	rows map[string]map[int]int
+	cols map[int]map[string]struct{} // column -> rows with non-zero entry
+}
+
+// New returns an empty matrix.
+func New() *Matrix {
+	return &Matrix{
+		rows: make(map[string]map[int]int),
+		cols: make(map[int]map[string]struct{}),
+	}
+}
+
+// Set stores value at (row, col). A zero (or negative) value removes the
+// entry.
+func (m *Matrix) Set(row string, col int, value int) {
+	if value <= 0 {
+		m.remove(row, col)
+		return
+	}
+	r := m.rows[row]
+	if r == nil {
+		r = make(map[int]int)
+		m.rows[row] = r
+	}
+	r[col] = value
+	c := m.cols[col]
+	if c == nil {
+		c = make(map[string]struct{})
+		m.cols[col] = c
+	}
+	c[row] = struct{}{}
+}
+
+// Get returns the value at (row, col); missing entries are 0.
+func (m *Matrix) Get(row string, col int) int {
+	return m.rows[row][col]
+}
+
+// Incr adds delta (may be negative) to (row, col), clamping at zero.
+func (m *Matrix) Incr(row string, col int, delta int) {
+	m.Set(row, col, m.Get(row, col)+delta)
+}
+
+func (m *Matrix) remove(row string, col int) {
+	if r, ok := m.rows[row]; ok {
+		delete(r, col)
+		if len(r) == 0 {
+			delete(m.rows, row)
+		}
+	}
+	if c, ok := m.cols[col]; ok {
+		delete(c, row)
+		if len(c) == 0 {
+			delete(m.cols, col)
+		}
+	}
+}
+
+// DeleteRow removes an entire row (e.g. a feature that stopped being
+// frequent).
+func (m *Matrix) DeleteRow(row string) {
+	for col := range m.rows[row] {
+		if c, ok := m.cols[col]; ok {
+			delete(c, row)
+			if len(c) == 0 {
+				delete(m.cols, col)
+			}
+		}
+	}
+	delete(m.rows, row)
+}
+
+// DeleteCol removes an entire column (e.g. a deleted graph or swapped-out
+// pattern).
+func (m *Matrix) DeleteCol(col int) {
+	for row := range m.cols[col] {
+		if r, ok := m.rows[row]; ok {
+			delete(r, col)
+			if len(r) == 0 {
+				delete(m.rows, row)
+			}
+		}
+	}
+	delete(m.cols, col)
+}
+
+// HasRow reports whether the row has any non-zero entry.
+func (m *Matrix) HasRow(row string) bool { return len(m.rows[row]) > 0 }
+
+// Row returns a copy of the non-zero entries of a row.
+func (m *Matrix) Row(row string) map[int]int {
+	src := m.rows[row]
+	out := make(map[int]int, len(src))
+	for c, v := range src {
+		out[c] = v
+	}
+	return out
+}
+
+// RowCols returns the sorted column keys with non-zero entries in row.
+func (m *Matrix) RowCols(row string) []int {
+	src := m.rows[row]
+	out := make([]int, 0, len(src))
+	for c := range src {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Col returns a copy of the non-zero entries of a column keyed by row.
+func (m *Matrix) Col(col int) map[string]int {
+	out := make(map[string]int, len(m.cols[col]))
+	for row := range m.cols[col] {
+		out[row] = m.rows[row][col]
+	}
+	return out
+}
+
+// Cols returns the sorted column keys present in the matrix.
+func (m *Matrix) Cols() []int {
+	out := make([]int, 0, len(m.cols))
+	for c := range m.cols {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Rows returns the sorted row keys present in the matrix.
+func (m *Matrix) Rows() []string {
+	out := make([]string, 0, len(m.rows))
+	for r := range m.rows {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NNZ returns the number of stored (non-zero) entries.
+func (m *Matrix) NNZ() int {
+	n := 0
+	for _, r := range m.rows {
+		n += len(r)
+	}
+	return n
+}
+
+// Triplet is one stored entry, the paper's (a_row, a_column, a_value).
+type Triplet struct {
+	Row   string
+	Col   int
+	Value int
+}
+
+// Triplets returns all stored entries sorted by (row, col), the
+// serialisable triplet representation of §5.1.
+func (m *Matrix) Triplets() []Triplet {
+	out := make([]Triplet, 0, m.NNZ())
+	for _, row := range m.Rows() {
+		for _, col := range m.RowCols(row) {
+			out = append(out, Triplet{Row: row, Col: col, Value: m.rows[row][col]})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New()
+	for row, r := range m.rows {
+		for col, v := range r {
+			c.Set(row, col, v)
+		}
+	}
+	return c
+}

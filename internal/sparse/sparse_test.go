@@ -1,0 +1,176 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGet(t *testing.T) {
+	m := New()
+	m.Set("f1", 3, 2)
+	if m.Get("f1", 3) != 2 {
+		t.Fatal("Get after Set failed")
+	}
+	if m.Get("f1", 4) != 0 || m.Get("f2", 3) != 0 {
+		t.Fatal("missing entries should be 0")
+	}
+	m.Set("f1", 3, 0)
+	if m.Get("f1", 3) != 0 || m.NNZ() != 0 {
+		t.Fatal("Set 0 should delete entry")
+	}
+	if m.HasRow("f1") {
+		t.Fatal("empty row should report absent")
+	}
+}
+
+func TestIncr(t *testing.T) {
+	m := New()
+	m.Incr("f", 1, 2)
+	m.Incr("f", 1, 3)
+	if m.Get("f", 1) != 5 {
+		t.Fatalf("Incr = %d, want 5", m.Get("f", 1))
+	}
+	m.Incr("f", 1, -10)
+	if m.Get("f", 1) != 0 || m.NNZ() != 0 {
+		t.Fatal("negative clamp failed")
+	}
+}
+
+func TestDeleteRow(t *testing.T) {
+	m := New()
+	m.Set("a", 1, 1)
+	m.Set("a", 2, 1)
+	m.Set("b", 1, 1)
+	m.DeleteRow("a")
+	if m.HasRow("a") || m.Get("a", 1) != 0 {
+		t.Fatal("row not deleted")
+	}
+	if m.Get("b", 1) != 1 {
+		t.Fatal("unrelated row damaged")
+	}
+	if got := m.Cols(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("cols = %v, want [1]", got)
+	}
+}
+
+func TestDeleteCol(t *testing.T) {
+	m := New()
+	m.Set("a", 1, 1)
+	m.Set("a", 2, 2)
+	m.Set("b", 2, 3)
+	m.DeleteCol(2)
+	if m.Get("a", 2) != 0 || m.Get("b", 2) != 0 {
+		t.Fatal("column not deleted")
+	}
+	if m.Get("a", 1) != 1 {
+		t.Fatal("unrelated column damaged")
+	}
+	if m.HasRow("b") {
+		t.Fatal("row b should be empty now")
+	}
+}
+
+func TestRowColViews(t *testing.T) {
+	m := New()
+	m.Set("f", 5, 1)
+	m.Set("f", 2, 2)
+	m.Set("g", 5, 3)
+	if got := m.RowCols("f"); !reflect.DeepEqual(got, []int{2, 5}) {
+		t.Fatalf("RowCols = %v", got)
+	}
+	if got := m.Col(5); !reflect.DeepEqual(got, map[string]int{"f": 1, "g": 3}) {
+		t.Fatalf("Col = %v", got)
+	}
+	if got := m.Rows(); !reflect.DeepEqual(got, []string{"f", "g"}) {
+		t.Fatalf("Rows = %v", got)
+	}
+	// Mutating returned copies must not affect the matrix.
+	r := m.Row("f")
+	r[2] = 99
+	if m.Get("f", 2) != 2 {
+		t.Fatal("Row returned aliased storage")
+	}
+}
+
+func TestTriplets(t *testing.T) {
+	m := New()
+	m.Set("b", 1, 4)
+	m.Set("a", 2, 5)
+	m.Set("a", 1, 6)
+	want := []Triplet{{"a", 1, 6}, {"a", 2, 5}, {"b", 1, 4}}
+	if got := m.Triplets(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Triplets = %v", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := New()
+	m.Set("a", 1, 2)
+	c := m.Clone()
+	c.Set("a", 1, 9)
+	if m.Get("a", 1) != 2 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestPropertyMatchesDenseModel(t *testing.T) {
+	// Random operations replayed against a plain map oracle.
+	type op struct {
+		kind, row, col, val int
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := []string{"r0", "r1", "r2"}
+		m := New()
+		oracle := map[[2]interface{}]int{}
+		for i := 0; i < 200; i++ {
+			o := op{r.Intn(4), r.Intn(3), r.Intn(4), r.Intn(5)}
+			key := [2]interface{}{rows[o.row], o.col}
+			switch o.kind {
+			case 0:
+				m.Set(rows[o.row], o.col, o.val)
+				if o.val <= 0 {
+					delete(oracle, key)
+				} else {
+					oracle[key] = o.val
+				}
+			case 1:
+				m.Incr(rows[o.row], o.col, o.val-2)
+				nv := oracle[key] + o.val - 2
+				if nv <= 0 {
+					delete(oracle, key)
+				} else {
+					oracle[key] = nv
+				}
+			case 2:
+				m.DeleteRow(rows[o.row])
+				for k := range oracle {
+					if k[0] == rows[o.row] {
+						delete(oracle, k)
+					}
+				}
+			case 3:
+				m.DeleteCol(o.col)
+				for k := range oracle {
+					if k[1] == o.col {
+						delete(oracle, k)
+					}
+				}
+			}
+		}
+		if m.NNZ() != len(oracle) {
+			return false
+		}
+		for k, v := range oracle {
+			if m.Get(k[0].(string), k[1].(int)) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

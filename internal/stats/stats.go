@@ -1,0 +1,160 @@
+// Package stats provides the small statistical toolkit MIDAS needs: a
+// two-sample Kolmogorov–Smirnov test (used by the multi-scan swap to
+// check that a swap does not significantly change the pattern size
+// distribution, §6.2), distances, and descriptive statistics for the
+// experiment harness.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean; it is 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Min returns the minimum; it is 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum; it is 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Euclidean returns the L2 distance between equal-length vectors. It
+// panics on length mismatch so that misuse fails loudly.
+func Euclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: Euclidean length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// L1 returns the Manhattan distance between equal-length vectors.
+func L1(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: L1 length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// KSStatistic returns the two-sample Kolmogorov–Smirnov statistic
+// D = sup_x |F1(x) - F2(x)| for empirical samples a and b.
+func KSStatistic(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	i, j := 0, 0
+	d := 0.0
+	for i < len(sa) && j < len(sb) {
+		x := sa[i]
+		if sb[j] < x {
+			x = sb[j]
+		}
+		for i < len(sa) && sa[i] <= x {
+			i++
+		}
+		for j < len(sb) && sb[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(sa)) - float64(j)/float64(len(sb)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSSimilar reports whether two samples pass a two-sample KS test at
+// significance level alpha (i.e. the null "same distribution" is NOT
+// rejected). It uses the large-sample critical value
+// c(α)·sqrt((n+m)/(n·m)) with c(α) = sqrt(-ln(α/2)/2).
+func KSSimilar(a, b []float64, alpha float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return true
+	}
+	d := KSStatistic(a, b)
+	n, m := float64(len(a)), float64(len(b))
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	crit := c * math.Sqrt((n+m)/(n*m))
+	return d <= crit
+}
+
+// Histogram buckets xs into k equal-width bins over [min, max]. Useful
+// for experiment reporting.
+func Histogram(xs []float64, k int) []int {
+	out := make([]int, k)
+	if len(xs) == 0 || k == 0 {
+		return out
+	}
+	lo, hi := Min(xs), Max(xs)
+	if hi == lo {
+		out[0] = len(xs)
+		return out
+	}
+	w := (hi - lo) / float64(k)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i >= k {
+			i = k - 1
+		}
+		out[i]++
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !almostEq(Mean(xs), 2.5) {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if !almostEq(StdDev(xs), math.Sqrt(1.25)) {
+		t.Fatalf("StdDev = %v", StdDev(xs))
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty slices should give 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty slices should give 0")
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	if !almostEq(Euclidean([]float64{0, 0}, []float64{3, 4}), 5) {
+		t.Fatal("3-4-5 failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	Euclidean([]float64{1}, []float64{1, 2})
+}
+
+func TestL1(t *testing.T) {
+	if !almostEq(L1([]float64{1, 2}, []float64{3, 0}), 4) {
+		t.Fatal("L1 failed")
+	}
+}
+
+func TestKSIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if KSStatistic(a, a) != 0 {
+		t.Fatalf("KS(a,a) = %v, want 0", KSStatistic(a, a))
+	}
+	if !KSSimilar(a, a, 0.05) {
+		t.Fatal("identical samples should be similar")
+	}
+}
+
+func TestKSDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if !almostEq(KSStatistic(a, b), 1) {
+		t.Fatalf("KS disjoint = %v, want 1", KSStatistic(a, b))
+	}
+}
+
+func TestKSKnown(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{1, 2, 3, 4}
+	// F1 jumps to 1 at 2; F2(2) = 0.5 -> D = 0.5.
+	if !almostEq(KSStatistic(a, b), 0.5) {
+		t.Fatalf("KS = %v, want 0.5", KSStatistic(a, b))
+	}
+}
+
+func TestKSSimilarRejects(t *testing.T) {
+	var a, b []float64
+	for i := 0; i < 100; i++ {
+		a = append(a, float64(i))
+		b = append(b, float64(i)+100)
+	}
+	if KSSimilar(a, b, 0.05) {
+		t.Fatal("shifted distributions should be rejected")
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if KSStatistic(nil, []float64{1}) != 0 {
+		t.Fatal("empty sample should give 0")
+	}
+	if !KSSimilar(nil, []float64{1}, 0.05) {
+		t.Fatal("empty sample should be vacuously similar")
+	}
+}
+
+func TestKSPropertyBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := make([]float64, 1+r.Intn(20))
+		b := make([]float64, 1+r.Intn(20))
+		for i := range a {
+			a[i] = r.NormFloat64()
+		}
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		d := KSStatistic(a, b)
+		if d < 0 || d > 1 {
+			return false
+		}
+		// Symmetry.
+		return almostEq(d, KSStatistic(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	for i, c := range h {
+		if c != 2 {
+			t.Fatalf("bin %d = %d, want 2 (h=%v)", i, c, h)
+		}
+	}
+	h2 := Histogram([]float64{5, 5, 5}, 3)
+	if h2[0] != 3 {
+		t.Fatalf("constant data histogram = %v", h2)
+	}
+	if got := Histogram(nil, 3); got[0] != 0 {
+		t.Fatal("empty histogram should be zero")
+	}
+}

@@ -1,0 +1,50 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+func BenchmarkMine(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	d := randomDB(r, 60, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Mine(d, 0.4, 3)
+	}
+}
+
+func BenchmarkMaintainAdd(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := randomDB(r, 60, 12)
+		s := Mine(d, 0.4, 3)
+		var ins []*graph.Graph
+		for j := 0; j < 10; j++ {
+			g := randomDB(r, 1, 12).Graphs()[0].Clone()
+			g.ID = 1000 + j
+			ins = append(ins, g)
+		}
+		after, err := d.ApplyToCopy(graph.Update{Insert: ins})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		s.Add(after, ins)
+	}
+}
+
+func BenchmarkCanonicalKey(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	trees := make([]*graph.Graph, 32)
+	for i := range trees {
+		trees[i] = randomTree(r, 10, []string{"C", "O", "N"})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CanonicalKey(trees[i%len(trees)])
+	}
+}

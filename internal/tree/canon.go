@@ -1,0 +1,154 @@
+// Package tree implements labelled free-tree patterns and frequent
+// closed tree (FCT) mining and maintenance, the scaffolding MIDAS uses in
+// place of CATAPULT's frequent subtrees (paper §3.3, §4.1–4.2).
+//
+// Trees are canonicalised by rooting at the tree centre and recursively
+// sorting child encodings, as in CATAPULT's canonical trees; the trie
+// tokens of the FCT-Index are produced by a top-down level-by-level BFS
+// scan with `$` separating families of siblings (paper §5.1, Figure 5).
+package tree
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+// Centers returns the one or two centre vertices of a tree (the vertices
+// minimising eccentricity), computed by iterative leaf removal. It
+// panics if g is not a tree, since callers must guarantee tree shape.
+func Centers(g *graph.Graph) []int {
+	if !g.IsTree() {
+		panic("tree: Centers called on a non-tree")
+	}
+	n := g.Order()
+	if n <= 2 {
+		vs := make([]int, n)
+		for i := range vs {
+			vs[i] = i
+		}
+		return vs
+	}
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	var leaves []int
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] == 1 {
+			leaves = append(leaves, v)
+		}
+	}
+	remaining := n
+	for remaining > 2 {
+		var next []int
+		for _, v := range leaves {
+			removed[v] = true
+			remaining--
+			for _, w := range g.Neighbors(v) {
+				if removed[w] {
+					continue
+				}
+				deg[w]--
+				if deg[w] == 1 {
+					next = append(next, w)
+				}
+			}
+		}
+		leaves = next
+	}
+	var centers []int
+	for v := 0; v < n; v++ {
+		if !removed[v] {
+			centers = append(centers, v)
+		}
+	}
+	return centers
+}
+
+// encodeRooted returns the canonical encoding of the subtree rooted at
+// root (coming from parent): label(children sorted by encoding).
+func encodeRooted(g *graph.Graph, root, parent int) string {
+	var kids []string
+	for _, w := range g.Neighbors(root) {
+		if w != parent {
+			kids = append(kids, encodeRooted(g, w, root))
+		}
+	}
+	if len(kids) == 0 {
+		return g.Label(root)
+	}
+	sort.Strings(kids)
+	return g.Label(root) + "(" + strings.Join(kids, ",") + ")"
+}
+
+// CanonicalKey returns the canonical string of a labelled free tree. Two
+// trees have equal keys iff they are isomorphic. It panics on non-trees.
+func CanonicalKey(g *graph.Graph) string {
+	centers := Centers(g)
+	best := ""
+	for _, c := range centers {
+		enc := encodeRooted(g, c, -1)
+		if best == "" || enc < best {
+			best = enc
+		}
+	}
+	return best
+}
+
+// canonicalRoot returns the centre whose rooted encoding is minimal.
+func canonicalRoot(g *graph.Graph) int {
+	centers := Centers(g)
+	bestRoot, best := -1, ""
+	for _, c := range centers {
+		enc := encodeRooted(g, c, -1)
+		if bestRoot == -1 || enc < best {
+			bestRoot, best = c, enc
+		}
+	}
+	return bestRoot
+}
+
+// CanonicalTokens returns the trie tokens of the canonical tree: a
+// top-down level-by-level BFS where each vertex contributes its label and
+// each family of siblings is terminated by "$" (paper §5.1). Children
+// are visited in canonical-encoding order, so tokens are canonical.
+func CanonicalTokens(g *graph.Graph) []string {
+	root := canonicalRoot(g)
+	tokens := []string{g.Label(root)}
+	type qent struct{ v, parent int }
+	queue := []qent{{root, -1}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		kids := childrenInOrder(g, cur.v, cur.parent)
+		if len(kids) == 0 {
+			continue
+		}
+		for _, k := range kids {
+			tokens = append(tokens, g.Label(k))
+			queue = append(queue, qent{k, cur.v})
+		}
+		tokens = append(tokens, "$")
+	}
+	return tokens
+}
+
+func childrenInOrder(g *graph.Graph, v, parent int) []int {
+	var kids []int
+	for _, w := range g.Neighbors(v) {
+		if w != parent {
+			kids = append(kids, w)
+		}
+	}
+	sort.Slice(kids, func(i, j int) bool {
+		return encodeRooted(g, kids[i], v) < encodeRooted(g, kids[j], v)
+	})
+	return kids
+}
+
+// CanonicalString joins the canonical tokens with spaces; this is the
+// string inserted into the FCT-Index trie.
+func CanonicalString(g *graph.Graph) string {
+	return strings.Join(CanonicalTokens(g), " ")
+}

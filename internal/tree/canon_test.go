@@ -1,0 +1,170 @@
+package tree
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+func TestCentersPath(t *testing.T) {
+	// Odd path: single centre.
+	p := graph.Path(0, "A", "B", "C")
+	if got := Centers(p); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("Centers = %v, want [1]", got)
+	}
+	// Even path: two centres.
+	p4 := graph.Path(0, "A", "B", "C", "D")
+	if got := Centers(p4); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("Centers = %v, want [1 2]", got)
+	}
+}
+
+func TestCentersStar(t *testing.T) {
+	s := graph.Star(0, "C", "H", "H", "H")
+	if got := Centers(s); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("Centers = %v, want [0]", got)
+	}
+}
+
+func TestCentersSingleVertex(t *testing.T) {
+	g := graph.New(0)
+	g.AddVertex("A")
+	if got := Centers(g); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("Centers = %v, want [0]", got)
+	}
+}
+
+func TestCentersPanicsOnNonTree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Centers on cycle should panic")
+		}
+	}()
+	Centers(graph.Cycle(0, "A", "B", "C"))
+}
+
+func TestCanonicalKeyShapes(t *testing.T) {
+	path := graph.Path(0, "A", "B", "C", "D")
+	star := graph.Star(1, "B", "A", "C", "D")
+	if CanonicalKey(path) == CanonicalKey(star) {
+		t.Fatal("path and star with same labels must differ")
+	}
+}
+
+func TestCanonicalKeyLabelSensitive(t *testing.T) {
+	a := graph.Path(0, "C", "O", "N")
+	b := graph.Path(1, "C", "O", "S")
+	if CanonicalKey(a) == CanonicalKey(b) {
+		t.Fatal("different labels must give different keys")
+	}
+}
+
+func TestCanonicalKeyEdgeSymmetric(t *testing.T) {
+	a := graph.Path(0, "C", "O")
+	b := graph.Path(1, "O", "C")
+	if CanonicalKey(a) != CanonicalKey(b) {
+		t.Fatal("edge key must be orientation independent")
+	}
+}
+
+// randomTree builds a random labelled free tree.
+func randomTree(r *rand.Rand, maxN int, labels []string) *graph.Graph {
+	n := 1 + r.Intn(maxN)
+	g := graph.New(0)
+	for i := 0; i < n; i++ {
+		g.AddVertex(labels[r.Intn(len(labels))])
+	}
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, r.Intn(i))
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// permuteTree relabels vertex IDs by a random permutation.
+func permuteTree(r *rand.Rand, g *graph.Graph) *graph.Graph {
+	perm := r.Perm(g.Order())
+	inv := make([]int, g.Order())
+	for i, p := range perm {
+		inv[p] = i
+	}
+	h := graph.New(g.ID)
+	for i := 0; i < g.Order(); i++ {
+		h.AddVertex(g.Label(inv[i]))
+	}
+	for _, e := range g.Edges() {
+		h.AddEdge(perm[e.U], perm[e.V])
+	}
+	h.SortAdjacency()
+	return h
+}
+
+func TestPropertyCanonicalKeyInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomTree(r, 10, []string{"C", "O", "N", "H"})
+		h := permuteTree(r, g)
+		return CanonicalKey(g) == CanonicalKey(h)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCanonicalTokensInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomTree(r, 10, []string{"C", "O", "N"})
+		h := permuteTree(r, g)
+		return CanonicalString(g) == CanonicalString(h)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalTokensFormat(t *testing.T) {
+	// Star C(H,H,O): root C, one sibling family.
+	s := graph.Star(0, "C", "H", "O", "H")
+	tokens := CanonicalTokens(s)
+	if tokens[0] != "C" {
+		t.Fatalf("first token = %q, want root label C", tokens[0])
+	}
+	want := []string{"C", "H", "H", "O", "$"}
+	if !reflect.DeepEqual(tokens, want) {
+		t.Fatalf("tokens = %v, want %v", tokens, want)
+	}
+}
+
+func TestCanonicalTokensSeparatesFamilies(t *testing.T) {
+	// Path A-B-C rooted at centre B: two children families? No - one
+	// family (A and C are siblings under B).
+	p := graph.Path(0, "A", "B", "C")
+	tokens := CanonicalTokens(p)
+	want := []string{"B", "A", "C", "$"}
+	if !reflect.DeepEqual(tokens, want) {
+		t.Fatalf("tokens = %v, want %v", tokens, want)
+	}
+	// Deeper tree: B with children A, C; C has child D.
+	g := graph.FromEdges(0, []string{"B", "A", "C", "D"},
+		[][2]int{{0, 1}, {0, 2}, {2, 3}})
+	toks := CanonicalTokens(g)
+	if strings.Count(strings.Join(toks, " "), "$") != 2 {
+		t.Fatalf("want 2 family separators, got %v", toks)
+	}
+}
+
+func TestCanonicalSingleVertex(t *testing.T) {
+	g := graph.New(0)
+	g.AddVertex("C")
+	if CanonicalKey(g) != "C" {
+		t.Fatalf("key = %q", CanonicalKey(g))
+	}
+	if got := CanonicalTokens(g); !reflect.DeepEqual(got, []string{"C"}) {
+		t.Fatalf("tokens = %v", got)
+	}
+}

@@ -1,0 +1,131 @@
+package tree
+
+import (
+	"github.com/midas-graph/midas/graph"
+)
+
+// Incremental maintenance of the mined set (paper §4.2). The paper's
+// CTMiningAdd/CTMiningDelete procedures integrate trees mined from ΔD at
+// the relaxed threshold sup_min/2 and re-derive support and closedness
+// via Propositions 4.1–4.4. Our representation keeps exact posting lists
+// per tree, which subsumes the support bookkeeping: supports after the
+// update are read directly from the lists, and closedness is recomputed
+// from equal-support one-edge extensions (see Set.isClosed). Only the
+// graphs of ΔD are ever mined from scratch, and only genuinely new trees
+// are matched against the rest of the database (restricted by edge-label
+// posting intersection), which is what makes maintenance fast compared
+// with remining D⊕ΔD.
+
+// Add integrates a batch of inserted graphs (Δ+). dbAfter must be the
+// database after the insertion (D⊕Δ+); inserted lists the new graphs.
+func (s *Set) Add(dbAfter *graph.Database, inserted []*graph.Graph) {
+	if len(inserted) == 0 {
+		s.dbSize = dbAfter.Len()
+		return
+	}
+	// 1. Update edge postings with the new graphs.
+	for _, g := range inserted {
+		s.scanEdges(g)
+	}
+	// 2. Update postings of existing trees against the new graphs only
+	// (Proposition 4.1: supports of surviving trees just shift).
+	for _, t := range s.trees {
+		if t.Size() == 1 {
+			continue // edge trees were updated by scanEdges
+		}
+		for _, g := range inserted {
+			if hasAllEdgeLabels(t.G, g) && t.Contains(g) {
+				t.Post[g.ID] = struct{}{}
+			}
+		}
+	}
+	// 3. Mine Δ+ at the relaxed threshold and integrate new trees
+	// (Corollary 4.3: trees closed in Δ+ are closed in D⊕Δ+; we admit
+	// every tree frequent-at-relaxed in Δ+ and let posting lists decide
+	// final support and closedness).
+	deltaDB := graph.NewDatabase()
+	for _, g := range inserted {
+		if err := deltaDB.Add(g); err != nil {
+			// Caller violated unique-ID contract; skip the duplicate.
+			continue
+		}
+	}
+	mini := Mine(deltaDB, s.SupMin, s.MaxEdges)
+	byID := make(map[int]*graph.Graph, dbAfter.Len())
+	for _, g := range dbAfter.Graphs() {
+		byID[g.ID] = g
+	}
+	for key, mt := range mini.trees {
+		if _, known := s.trees[key]; known {
+			continue
+		}
+		if mt.Size() == 1 {
+			// Reuse the global edge tree so postings stay shared.
+			if et := s.edges[edgeLabelOf(mt.G)]; et != nil {
+				s.trees[key] = et
+				continue
+			}
+		}
+		nt := &Tree{G: mt.G, Key: key, Post: make(map[int]struct{})}
+		// Full posting over D⊕Δ+: candidates from edge-label posting
+		// intersection, verified exactly.
+		cand, ok := s.edgeLabelPosting(nt.G)
+		if !ok {
+			continue
+		}
+		for id := range cand {
+			if g := byID[id]; g != nil && nt.Contains(g) {
+				nt.Post[id] = struct{}{}
+			}
+		}
+		s.trees[key] = nt
+	}
+	s.dbSize = dbAfter.Len()
+	s.prune()
+}
+
+// Remove integrates a batch of deleted graph IDs (Δ-). dbAfterLen is
+// |D ⊖ Δ-|. Posting lists shrink exactly (Proposition 4.4's closedness
+// re-check happens lazily inside FrequentClosed).
+func (s *Set) Remove(dbAfterLen int, removed []int) {
+	for _, id := range removed {
+		for _, t := range s.trees {
+			delete(t.Post, id)
+		}
+		s.unscanEdges(id)
+	}
+	s.dbSize = dbAfterLen
+	s.prune()
+}
+
+// Update applies a full batch update: deletions then insertions, like
+// graph.Database.Apply. dbAfter must already reflect the whole update.
+func (s *Set) Update(dbAfter *graph.Database, u graph.Update) {
+	// Deletions first; the intermediate dbSize is |D| - |Δ-|.
+	s.Remove(s.dbSize-len(u.Delete), u.Delete)
+	s.Add(dbAfter, u.Insert)
+}
+
+// prune drops trees whose support fell below the relaxed threshold,
+// bounding memory. Edge posting lists are retained in full: infrequent
+// edges feed the IFE-Index.
+func (s *Set) prune() {
+	minCount := s.minCount(s.relaxed(), s.dbSize)
+	for key, t := range s.trees {
+		if t.SupportCount() < minCount {
+			delete(s.trees, key)
+		}
+	}
+}
+
+// hasAllEdgeLabels is a cheap pre-filter: every edge label of pattern p
+// must occur in g.
+func hasAllEdgeLabels(p, g *graph.Graph) bool {
+	gl := g.EdgeLabels()
+	for l := range p.EdgeLabels() {
+		if _, ok := gl[l]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,254 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+func TestAddUpdatesExistingPostings(t *testing.T) {
+	d := fixtureDB()
+	s := Mine(d, 0.5, 3)
+	ins := []*graph.Graph{graph.Path(10, "C", "O", "C", "N")}
+	after, err := d.ApplyToCopy(graph.Update{Insert: ins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(after, ins)
+	pathKey := CanonicalKey(graph.Path(0, "C", "O", "C"))
+	tr := s.Lookup(pathKey)
+	if tr == nil {
+		t.Fatal("path lost after Add")
+	}
+	if _, ok := tr.Post[10]; !ok {
+		t.Fatal("new graph not added to existing tree posting")
+	}
+	if s.DBSize() != 4 {
+		t.Fatalf("dbSize = %d, want 4", s.DBSize())
+	}
+	verifyPostings(t, s, after)
+}
+
+func TestAddDiscoversNewTrees(t *testing.T) {
+	// Old D has no N at all; Δ+ introduces a C-N rich family.
+	d := graph.DatabaseOf(
+		graph.Path(1, "C", "O"),
+		graph.Path(2, "C", "O"),
+	)
+	s := Mine(d, 0.5, 3)
+	var ins []*graph.Graph
+	for i := 0; i < 4; i++ {
+		ins = append(ins, graph.Path(10+i, "C", "N", "C"))
+	}
+	after, err := d.ApplyToCopy(graph.Update{Insert: ins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(after, ins)
+	key := CanonicalKey(graph.Path(0, "C", "N", "C"))
+	tr := s.Lookup(key)
+	if tr == nil {
+		t.Fatal("new frequent tree C-N-C not discovered")
+	}
+	if tr.SupportCount() != 4 {
+		t.Fatalf("C-N-C support = %d, want 4", tr.SupportCount())
+	}
+	verifyPostings(t, s, after)
+}
+
+func TestRemoveShrinksPostings(t *testing.T) {
+	d := fixtureDB()
+	s := Mine(d, 0.5, 3)
+	s.Remove(2, []int{1})
+	pathKey := CanonicalKey(graph.Path(0, "C", "O", "C"))
+	tr := s.Lookup(pathKey)
+	if tr == nil {
+		t.Fatal("path pruned although still frequent at relaxed threshold")
+	}
+	if tr.SupportCount() != 1 {
+		t.Fatalf("support = %d, want 1", tr.SupportCount())
+	}
+	if s.DBSize() != 2 {
+		t.Fatalf("dbSize = %d, want 2", s.DBSize())
+	}
+}
+
+func TestRemovePrunesBelowRelaxed(t *testing.T) {
+	d := graph.DatabaseOf(
+		graph.Path(1, "C", "O", "C"),
+		graph.Path(2, "C", "N"),
+		graph.Path(3, "C", "N"),
+		graph.Path(4, "C", "N"),
+	)
+	s := Mine(d, 0.5, 3)
+	pathKey := CanonicalKey(graph.Path(0, "C", "O", "C"))
+	if s.Lookup(pathKey) == nil {
+		t.Fatal("path should be mined at relaxed threshold (1/4 >= 0.25)")
+	}
+	// After deleting graph 1 the path's support is 0 -> pruned.
+	s.Remove(3, []int{1})
+	if s.Lookup(pathKey) != nil {
+		t.Fatal("path with zero support should be pruned")
+	}
+	// Edge posting list still knows C.O had no remaining occurrences.
+	if s.EdgeTree("C.O").SupportCount() != 0 {
+		t.Fatal("edge posting not shrunk")
+	}
+}
+
+func TestUpdateMixed(t *testing.T) {
+	d := fixtureDB()
+	s := Mine(d, 0.5, 3)
+	u := graph.Update{
+		Insert: []*graph.Graph{graph.Path(20, "C", "O", "C"), graph.Path(21, "N", "O")},
+		Delete: []int{3},
+	}
+	after, err := d.ApplyToCopy(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Update(after, u)
+	if s.DBSize() != after.Len() {
+		t.Fatalf("dbSize = %d, want %d", s.DBSize(), after.Len())
+	}
+	verifyPostings(t, s, after)
+	pathKey := CanonicalKey(graph.Path(0, "C", "O", "C"))
+	if got := s.Lookup(pathKey).SupportCount(); got != 3 {
+		t.Fatalf("C-O-C support = %d, want 3", got)
+	}
+}
+
+func TestPropertyMaintainSoundness(t *testing.T) {
+	// After arbitrary updates: postings are exact, all maintained trees
+	// meet the relaxed threshold, and all reported FCTs meet sup_min.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDB(r, 6, 7)
+		s := Mine(d, 0.4, 3)
+		// Random update: delete up to 2, insert up to 3.
+		var u graph.Update
+		ids := d.IDs()
+		for i := 0; i < r.Intn(3) && i < len(ids); i++ {
+			u.Delete = append(u.Delete, ids[i])
+		}
+		for i := 0; i < 1+r.Intn(3); i++ {
+			g := randomDB(r, 1, 7).Graphs()[0].Clone()
+			g.ID = 100 + i
+			u.Insert = append(u.Insert, g)
+		}
+		after, err := d.ApplyToCopy(u)
+		if err != nil {
+			return false
+		}
+		s.Update(after, u)
+		if s.DBSize() != after.Len() {
+			return false
+		}
+		minRelaxed := s.minCount(s.relaxed(), s.DBSize())
+		for _, tr := range s.Trees() {
+			if tr.SupportCount() < minRelaxed {
+				return false
+			}
+			for _, g := range after.Graphs() {
+				_, inPost := tr.Post[g.ID]
+				if tr.Contains(g) != inPost {
+					return false
+				}
+			}
+			for id := range tr.Post {
+				if !after.Has(id) {
+					return false
+				}
+			}
+		}
+		minFreq := s.minCount(s.SupMin, s.DBSize())
+		for _, f := range s.FrequentClosed() {
+			if f.SupportCount() < minFreq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyInsertOnlyMatchesScratchSupports(t *testing.T) {
+	// Insert-only maintenance must agree with from-scratch mining on the
+	// support of every tree both sets know about, and every tree known
+	// to the incremental set must be known to scratch (scratch may know
+	// more only when a tree frequent in D⊕Δ was infrequent in both D
+	// and Δ separately — impossible at the relaxed threshold? It is
+	// possible; so we only check the subset direction).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDB(r, 5, 6)
+		s := Mine(d, 0.4, 3)
+		var ins []*graph.Graph
+		for i := 0; i < 1+r.Intn(3); i++ {
+			g := randomDB(r, 1, 6).Graphs()[0].Clone()
+			g.ID = 200 + i
+			ins = append(ins, g)
+		}
+		after, err := d.ApplyToCopy(graph.Update{Insert: ins})
+		if err != nil {
+			return false
+		}
+		s.Add(after, ins)
+		scratch := Mine(after, 0.4, 3)
+		for _, tr := range s.Trees() {
+			st := scratch.Lookup(tr.Key)
+			if st == nil {
+				return false
+			}
+			if st.SupportCount() != tr.SupportCount() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLemma34ClosedSurvivesUnion(t *testing.T) {
+	// A tree closed (and frequent) in D stays present after adding ΔD
+	// whose graphs all contain it, and support grows accordingly
+	// (Proposition 4.1 analogue).
+	d := graph.DatabaseOf(
+		graph.Path(1, "C", "O", "C"),
+		graph.Path(2, "C", "O", "C"),
+	)
+	s := Mine(d, 0.5, 3)
+	ins := []*graph.Graph{graph.Path(5, "C", "O", "C"), graph.Path(6, "C", "O", "C")}
+	after, _ := d.ApplyToCopy(graph.Update{Insert: ins})
+	s.Add(after, ins)
+	key := CanonicalKey(graph.Path(0, "C", "O", "C"))
+	tr := s.Lookup(key)
+	if tr == nil || tr.SupportCount() != 4 {
+		t.Fatalf("closed tree lost or wrong support after add: %v", tr)
+	}
+	fct := false
+	for _, f := range s.FrequentClosed() {
+		if f.Key == key {
+			fct = true
+		}
+	}
+	if !fct {
+		t.Fatal("tree should remain an FCT after union")
+	}
+}
+
+func TestAddEmptyDelta(t *testing.T) {
+	d := fixtureDB()
+	s := Mine(d, 0.5, 3)
+	before := len(s.Trees())
+	s.Add(d, nil)
+	if len(s.Trees()) != before || s.DBSize() != d.Len() {
+		t.Fatal("empty delta changed state")
+	}
+}

@@ -1,0 +1,180 @@
+package tree
+
+import (
+	"github.com/midas-graph/midas/graph"
+)
+
+// Mine runs the TreeNat-style bottom-up miner over database d: starting
+// from frequent edges, trees are grown one leaf at a time, deduplicated
+// by canonical key, and kept when their support reaches the working
+// threshold. The returned Set maintains every tree frequent at
+// sup_min/2 (the relaxation of Lemma 4.5) so that subsequent incremental
+// maintenance cannot miss trees that become frequent; the FCTs at
+// sup_min are exposed by Set.FrequentClosed.
+//
+// maxEdges bounds the pattern size; the paper's FCTs are small, and the
+// closure property is judged within this bound.
+func Mine(d *graph.Database, supMin float64, maxEdges int) *Set {
+	if maxEdges < 1 {
+		maxEdges = 1
+	}
+	s := &Set{
+		SupMin:   supMin,
+		MaxEdges: maxEdges,
+		trees:    make(map[string]*Tree),
+		edges:    make(map[string]*Tree),
+		dbSize:   d.Len(),
+	}
+	// Edge scan: posting lists for every edge label, frequent or not.
+	for _, g := range d.Graphs() {
+		s.scanEdges(g)
+	}
+	s.growFrom(d.Graphs())
+	return s
+}
+
+// scanEdges records g's distinct edge labels in the edge posting lists,
+// creating single-edge trees as needed.
+func (s *Set) scanEdges(g *graph.Graph) {
+	for label := range g.EdgeLabels() {
+		et := s.edges[label]
+		if et == nil {
+			et = newTree(edgeGraph(label))
+			s.edges[label] = et
+		}
+		et.Post[g.ID] = struct{}{}
+	}
+}
+
+// unscanEdges removes graph id from every edge posting list.
+func (s *Set) unscanEdges(id int) {
+	for _, et := range s.edges {
+		delete(et.Post, id)
+	}
+}
+
+// edgeGraph builds the 2-vertex tree for an edge label "a.b".
+func edgeGraph(label string) *graph.Graph {
+	a, b := splitEdgeLabel(label)
+	g := graph.New(-1)
+	u := g.AddVertex(a)
+	v := g.AddVertex(b)
+	g.AddEdge(u, v)
+	return g
+}
+
+// splitEdgeLabel splits "a.b" into its two vertex labels. Vertex labels
+// themselves never contain '.', which the dataset generator and parsers
+// guarantee.
+func splitEdgeLabel(label string) (string, string) {
+	for i := 0; i < len(label); i++ {
+		if label[i] == '.' {
+			return label[:i], label[i+1:]
+		}
+	}
+	return label, ""
+}
+
+// growFrom (re)derives s.trees from the edge postings by levelwise
+// growth over the given graphs, at the relaxed threshold.
+func (s *Set) growFrom(graphs []*graph.Graph) {
+	byID := make(map[int]*graph.Graph, len(graphs))
+	for _, g := range graphs {
+		byID[g.ID] = g
+	}
+	minCount := s.minCount(s.relaxed(), s.dbSize)
+
+	// Level 1: frequent-at-relaxed edges participate as trees.
+	var frontier []*Tree
+	for _, et := range s.sortedEdges() {
+		if et.SupportCount() >= minCount {
+			if _, dup := s.trees[et.Key]; !dup {
+				s.trees[et.Key] = et
+			}
+			frontier = append(frontier, et)
+		}
+	}
+	freqLabels := s.relaxedFrequentEdgeLabels(minCount)
+
+	for level := 1; level < s.MaxEdges && len(frontier) > 0; level++ {
+		var next []*Tree
+		for _, t := range frontier {
+			for _, ext := range extensions(t.G, freqLabels) {
+				key := CanonicalKey(ext)
+				if _, dup := s.trees[key]; dup {
+					continue
+				}
+				nt := &Tree{G: ext, Key: key, Post: make(map[int]struct{})}
+				s.fillPosting(nt, t.Post, byID)
+				if nt.SupportCount() >= minCount {
+					s.trees[key] = nt
+					next = append(next, nt)
+				}
+			}
+		}
+		frontier = next
+	}
+}
+
+// relaxedFrequentEdgeLabels returns the edge labels usable for growth.
+func (s *Set) relaxedFrequentEdgeLabels(minCount int) []string {
+	var out []string
+	for _, et := range s.sortedEdges() {
+		if et.SupportCount() >= minCount {
+			out = append(out, edgeLabelOf(et.G))
+		}
+	}
+	return out
+}
+
+func edgeLabelOf(g *graph.Graph) string {
+	e := g.Edges()[0]
+	return g.EdgeLabel(e.U, e.V)
+}
+
+// extensions returns every tree obtained by attaching one new leaf to g
+// via a frequent edge label.
+func extensions(g *graph.Graph, freqLabels []string) []*graph.Graph {
+	var out []*graph.Graph
+	for v := 0; v < g.Order(); v++ {
+		vl := g.Label(v)
+		for _, el := range freqLabels {
+			a, b := splitEdgeLabel(el)
+			var leaves []string
+			if vl == a {
+				leaves = append(leaves, b)
+			}
+			if vl == b && a != b {
+				leaves = append(leaves, a)
+			}
+			for _, leaf := range leaves {
+				ext := g.Clone()
+				ext.ID = -1
+				w := ext.AddVertex(leaf)
+				ext.AddEdge(v, w)
+				ext.SortAdjacency()
+				out = append(out, ext)
+			}
+		}
+	}
+	return out
+}
+
+// fillPosting computes nt's posting list: candidates are the parent's
+// posting intersected with the posting of every edge label of nt, then
+// verified by subgraph isomorphism.
+func (s *Set) fillPosting(nt *Tree, parentPost map[int]struct{}, byID map[int]*graph.Graph) {
+	cand, ok := s.edgeLabelPosting(nt.G)
+	if !ok {
+		return
+	}
+	for id := range parentPost {
+		if _, in := cand[id]; !in {
+			continue
+		}
+		g := byID[id]
+		if g != nil && nt.Contains(g) {
+			nt.Post[id] = struct{}{}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+// fixtureDB: three graphs sharing a C-O-C path; one lone C-O edge graph.
+func fixtureDB() *graph.Database {
+	return graph.DatabaseOf(
+		graph.Path(1, "C", "O", "C"),
+		graph.Path(2, "C", "O", "C"),
+		graph.Path(3, "C", "O"),
+	)
+}
+
+func TestMineEdgeSupports(t *testing.T) {
+	s := Mine(fixtureDB(), 0.5, 3)
+	co := s.EdgeTree("C.O")
+	if co == nil {
+		t.Fatal("edge C.O not tracked")
+	}
+	if co.SupportCount() != 3 {
+		t.Fatalf("C.O support = %d, want 3", co.SupportCount())
+	}
+}
+
+func TestMineFindsPath(t *testing.T) {
+	s := Mine(fixtureDB(), 0.5, 3)
+	key := CanonicalKey(graph.Path(0, "C", "O", "C"))
+	tr := s.Lookup(key)
+	if tr == nil {
+		t.Fatal("C-O-C not mined")
+	}
+	if tr.SupportCount() != 2 {
+		t.Fatalf("C-O-C support = %d, want 2", tr.SupportCount())
+	}
+}
+
+func TestFrequentClosed(t *testing.T) {
+	s := Mine(fixtureDB(), 0.5, 3)
+	fcts := s.FrequentClosed()
+	keys := map[string]int{}
+	for _, f := range fcts {
+		keys[f.Key] = f.SupportCount()
+	}
+	edgeKey := CanonicalKey(graph.Path(0, "C", "O"))
+	pathKey := CanonicalKey(graph.Path(0, "C", "O", "C"))
+	// Edge C.O (3/3) is closed: its supertree C-O-C has support 2 != 3.
+	if keys[edgeKey] != 3 {
+		t.Fatalf("edge C.O should be closed with support 3; fcts=%v", keys)
+	}
+	// Path C-O-C (2/3) is closed within the bound.
+	if keys[pathKey] != 2 {
+		t.Fatalf("path C-O-C should be closed with support 2; fcts=%v", keys)
+	}
+}
+
+func TestNotClosedWhenSupertreeEqualSupport(t *testing.T) {
+	// Every graph containing C.O also contains C-O-C: edge not closed.
+	d := graph.DatabaseOf(
+		graph.Path(1, "C", "O", "C"),
+		graph.Path(2, "C", "O", "C"),
+	)
+	s := Mine(d, 0.5, 3)
+	edgeKey := CanonicalKey(graph.Path(0, "C", "O"))
+	for _, f := range s.FrequentClosed() {
+		if f.Key == edgeKey {
+			t.Fatal("edge C.O should not be closed (supertree has equal support)")
+		}
+	}
+	pathKey := CanonicalKey(graph.Path(0, "C", "O", "C"))
+	found := false
+	for _, f := range s.FrequentClosed() {
+		if f.Key == pathKey {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("path C-O-C should be a FCT")
+	}
+}
+
+func TestInfrequentEdges(t *testing.T) {
+	d := graph.DatabaseOf(
+		graph.Path(1, "C", "O"),
+		graph.Path(2, "C", "O"),
+		graph.Path(3, "C", "O"),
+		graph.Path(4, "C", "N"), // support 1/4 < 0.5
+	)
+	s := Mine(d, 0.5, 3)
+	inf := s.InfrequentEdges()
+	if len(inf) != 1 || edgeLabelOf(inf[0].G) != "C.N" {
+		t.Fatalf("infrequent edges = %v", inf)
+	}
+	freq := s.FrequentEdges()
+	if len(freq) != 1 || edgeLabelOf(freq[0].G) != "C.O" {
+		t.Fatalf("frequent edges = %v", freq)
+	}
+}
+
+func TestMineMaxEdgesBound(t *testing.T) {
+	d := graph.DatabaseOf(
+		graph.Path(1, "C", "C", "C", "C", "C"),
+		graph.Path(2, "C", "C", "C", "C", "C"),
+	)
+	s := Mine(d, 0.5, 2)
+	for _, tr := range s.Trees() {
+		if tr.Size() > 2 {
+			t.Fatalf("tree of size %d exceeds bound 2", tr.Size())
+		}
+	}
+}
+
+func TestMineEmptyDB(t *testing.T) {
+	s := Mine(graph.NewDatabase(), 0.5, 3)
+	if len(s.Trees()) != 0 || len(s.FrequentClosed()) != 0 {
+		t.Fatal("empty DB should mine nothing")
+	}
+}
+
+func TestFeatureVectors(t *testing.T) {
+	d := fixtureDB()
+	s := Mine(d, 0.5, 3)
+	keys := s.FeatureKeys()
+	if len(keys) == 0 {
+		t.Fatal("no feature keys")
+	}
+	v1 := s.FeatureVector(keys, 1)
+	v3 := s.FeatureVector(keys, 3)
+	// Graph 1 (C-O-C) contains everything graph 3 (C-O) does and more.
+	ge := false
+	for i := range keys {
+		if v1[i] < v3[i] {
+			t.Fatalf("v1 should dominate v3: %v vs %v", v1, v3)
+		}
+		if v1[i] > v3[i] {
+			ge = true
+		}
+	}
+	if !ge {
+		t.Fatal("v1 should strictly dominate v3")
+	}
+	// FeatureVectorOf on an out-of-database graph matches posting-based
+	// vectors for an identical structure.
+	ext := graph.Path(99, "C", "O", "C")
+	vx := s.FeatureVectorOf(keys, ext)
+	for i := range keys {
+		if vx[i] != v1[i] {
+			t.Fatalf("FeatureVectorOf mismatch: %v vs %v", vx, v1)
+		}
+	}
+}
+
+// verifyPostings checks every maintained tree's posting list against
+// direct containment tests — the core soundness invariant.
+func verifyPostings(t *testing.T, s *Set, d *graph.Database) {
+	t.Helper()
+	for _, tr := range s.Trees() {
+		for _, g := range d.Graphs() {
+			_, inPost := tr.Post[g.ID]
+			if got := tr.Contains(g); got != inPost {
+				t.Fatalf("posting mismatch for %s in graph %d: posting=%v contains=%v",
+					tr.Key, g.ID, inPost, got)
+			}
+		}
+		for id := range tr.Post {
+			if !d.Has(id) {
+				t.Fatalf("posting of %s references missing graph %d", tr.Key, id)
+			}
+		}
+	}
+}
+
+func TestMinePostingsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDB(r, 6, 8)
+		s := Mine(d, 0.4, 3)
+		for _, tr := range s.Trees() {
+			for _, g := range d.Graphs() {
+				_, inPost := tr.Post[g.ID]
+				if tr.Contains(g) != inPost {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomDB builds a database of random connected labelled graphs.
+func randomDB(r *rand.Rand, n, maxV int) *graph.Database {
+	labels := []string{"C", "O", "N"}
+	d := graph.NewDatabase()
+	for i := 0; i < n; i++ {
+		nv := 2 + r.Intn(maxV-1)
+		g := graph.New(i)
+		for v := 0; v < nv; v++ {
+			g.AddVertex(labels[r.Intn(len(labels))])
+		}
+		for v := 1; v < nv; v++ {
+			g.AddEdge(v, r.Intn(v))
+		}
+		for k := 0; k < nv/3; k++ {
+			g.AddEdge(r.Intn(nv), r.Intn(nv))
+		}
+		g.SortAdjacency()
+		if err := d.Add(g); err != nil {
+			panic(err)
+		}
+	}
+	return d
+}
+
+func TestMineTreesAreTrees(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	d := randomDB(r, 8, 8)
+	s := Mine(d, 0.3, 4)
+	for _, tr := range s.Trees() {
+		if !tr.G.IsTree() {
+			t.Fatalf("mined pattern %s is not a tree", tr.Key)
+		}
+		if tr.Key != CanonicalKey(tr.G) {
+			t.Fatalf("stale canonical key for %s", tr.Key)
+		}
+	}
+}
+
+func TestSupportFraction(t *testing.T) {
+	tr := newTree(graph.Path(0, "C", "O"))
+	tr.Post[1] = struct{}{}
+	tr.Post[2] = struct{}{}
+	if tr.Support(4) != 0.5 {
+		t.Fatalf("Support = %v, want 0.5", tr.Support(4))
+	}
+	if tr.Support(0) != 0 {
+		t.Fatal("Support with empty DB should be 0")
+	}
+}

@@ -1,0 +1,270 @@
+package tree
+
+import (
+	"sort"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/iso"
+)
+
+// matchBudget caps the VF2 search for each tree-in-graph containment
+// test. Trees are tiny (a handful of edges) so real searches finish far
+// below this; the cap only guards pathological inputs.
+const matchBudget = 200000
+
+// Tree is a mined tree pattern with its posting list: the set of data
+// graph IDs containing it. Support is |posting| / |D|.
+type Tree struct {
+	G    *graph.Graph
+	Key  string
+	Post map[int]struct{}
+}
+
+func newTree(g *graph.Graph) *Tree {
+	return &Tree{G: g, Key: CanonicalKey(g), Post: make(map[int]struct{})}
+}
+
+// SupportCount returns the number of data graphs containing the tree.
+func (t *Tree) SupportCount() int { return len(t.Post) }
+
+// Support returns the support fraction relative to a database of size n.
+func (t *Tree) Support(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(len(t.Post)) / float64(n)
+}
+
+// Contains reports whether data graph g contains the tree pattern.
+func (t *Tree) Contains(g *graph.Graph) bool {
+	return iso.HasSubgraph(t.G, g, iso.Options{MaxSteps: matchBudget})
+}
+
+// PostIDs returns the sorted posting list.
+func (t *Tree) PostIDs() []int {
+	ids := make([]int, 0, len(t.Post))
+	for id := range t.Post {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Size returns the number of edges of the tree.
+func (t *Tree) Size() int { return t.G.Size() }
+
+// Set is the maintained collection of mined trees. Internally it keeps
+// every tree frequent at the relaxed threshold sup_min/2 (Lemma 4.5:
+// halving sup_min prevents missing trees that become frequent after a
+// modification), plus posting lists for every edge label ever seen
+// (frequent and infrequent edges feed the FCT-Index and IFE-Index).
+type Set struct {
+	SupMin   float64
+	MaxEdges int
+
+	trees  map[string]*Tree // canonical key -> tree, at relaxed threshold
+	edges  map[string]*Tree // edge label -> single-edge tree with full posting
+	dbSize int
+}
+
+// relaxed returns the working threshold sup_min/2.
+func (s *Set) relaxed() float64 { return s.SupMin / 2 }
+
+// DBSize returns the current |D| the set is maintained against.
+func (s *Set) DBSize() int { return s.dbSize }
+
+// Trees returns all maintained trees (threshold sup_min/2) sorted by
+// canonical key.
+func (s *Set) Trees() []*Tree {
+	out := make([]*Tree, 0, len(s.trees))
+	for _, t := range s.trees {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Lookup returns the maintained tree with the given canonical key, or
+// nil.
+func (s *Set) Lookup(key string) *Tree { return s.trees[key] }
+
+// FrequentClosed returns the FCTs: trees with support >= sup_min such
+// that no maintained proper supertree has the same support (§3.3).
+// Closedness is judged within the mined size bound MaxEdges.
+func (s *Set) FrequentClosed() []*Tree {
+	minCount := s.minCount(s.SupMin, s.dbSize)
+	var out []*Tree
+	for _, t := range s.Trees() {
+		if t.SupportCount() < minCount {
+			continue
+		}
+		if s.isClosed(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// isClosed reports whether no maintained proper supertree of t has equal
+// support. It suffices to inspect trees with exactly one more edge: along
+// any chain of one-edge extensions support is non-increasing, so an equal
+// -support supertree implies an equal-support immediate extension.
+func (s *Set) isClosed(t *Tree) bool {
+	for _, u := range s.trees {
+		if u.Size() != t.Size()+1 || u.SupportCount() != t.SupportCount() {
+			continue
+		}
+		if iso.HasSubgraph(t.G, u.G, iso.Options{MaxSteps: matchBudget}) {
+			return false
+		}
+	}
+	return true
+}
+
+// minCount converts a fractional threshold to a minimum posting size.
+func (s *Set) minCount(frac float64, n int) int {
+	c := int(frac * float64(n))
+	if frac*float64(n) > float64(c) {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// FrequentAll returns every tree with support >= sup_min, closed or
+// not — the frequent-subtree (FS) feature set of the original CATAPULT,
+// kept for the CATAPULT baseline (§2.3).
+func (s *Set) FrequentAll() []*Tree {
+	minCount := s.minCount(s.SupMin, s.dbSize)
+	var out []*Tree
+	for _, t := range s.Trees() {
+		if t.SupportCount() >= minCount {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// FeatureKeysAll returns canonical keys of all frequent trees (the FS
+// feature dimensions of the CATAPULT baseline).
+func (s *Set) FeatureKeysAll() []string {
+	all := s.FrequentAll()
+	keys := make([]string, len(all))
+	for i, t := range all {
+		keys[i] = t.Key
+	}
+	return keys
+}
+
+// FrequentEdges returns single-edge trees with support >= sup_min,
+// sorted by label.
+func (s *Set) FrequentEdges() []*Tree {
+	minCount := s.minCount(s.SupMin, s.dbSize)
+	var out []*Tree
+	for _, t := range s.sortedEdges() {
+		if t.SupportCount() >= minCount {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// InfrequentEdges returns single-edge trees with 0 < support < sup_min,
+// sorted by label. These feed the IFE-Index.
+func (s *Set) InfrequentEdges() []*Tree {
+	minCount := s.minCount(s.SupMin, s.dbSize)
+	var out []*Tree
+	for _, t := range s.sortedEdges() {
+		if n := t.SupportCount(); n > 0 && n < minCount {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// EdgeTree returns the single-edge tree for an edge label ("a.b"), or
+// nil if the label never occurred.
+func (s *Set) EdgeTree(label string) *Tree { return s.edges[label] }
+
+func (s *Set) sortedEdges() []*Tree {
+	keys := make([]string, 0, len(s.edges))
+	for k := range s.edges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Tree, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.edges[k])
+	}
+	return out
+}
+
+// FeatureKeys returns the canonical keys of the current FCTs, the
+// feature-vector dimensions used for clustering.
+func (s *Set) FeatureKeys() []string {
+	fcts := s.FrequentClosed()
+	keys := make([]string, len(fcts))
+	for i, t := range fcts {
+		keys[i] = t.Key
+	}
+	return keys
+}
+
+// FeatureVector returns the binary FCT feature vector of data graph id
+// using posting lists (no isomorphism tests), aligned with keys.
+func (s *Set) FeatureVector(keys []string, id int) []float64 {
+	v := make([]float64, len(keys))
+	for i, k := range keys {
+		if t := s.trees[k]; t != nil {
+			if _, ok := t.Post[id]; ok {
+				v[i] = 1
+			}
+		}
+	}
+	return v
+}
+
+// FeatureVectorOf computes the feature vector of an arbitrary graph not
+// necessarily in the database, via containment tests.
+func (s *Set) FeatureVectorOf(keys []string, g *graph.Graph) []float64 {
+	v := make([]float64, len(keys))
+	for i, k := range keys {
+		if t := s.trees[k]; t != nil && t.Contains(g) {
+			v[i] = 1
+		}
+	}
+	return v
+}
+
+// edgeLabelPosting returns data-graph candidates containing every edge
+// label of pattern p, by intersecting edge posting lists. It returns nil
+// when some label never occurs (support is empty). The boolean reports
+// whether the intersection is meaningful (p has at least one edge).
+func (s *Set) edgeLabelPosting(p *graph.Graph) (map[int]struct{}, bool) {
+	labels := p.EdgeLabels()
+	if len(labels) == 0 {
+		return nil, false
+	}
+	var acc map[int]struct{}
+	for l := range labels {
+		et := s.edges[l]
+		if et == nil {
+			return map[int]struct{}{}, true
+		}
+		if acc == nil {
+			acc = make(map[int]struct{}, len(et.Post))
+			for id := range et.Post {
+				acc[id] = struct{}{}
+			}
+			continue
+		}
+		for id := range acc {
+			if _, ok := et.Post[id]; !ok {
+				delete(acc, id)
+			}
+		}
+	}
+	return acc, true
+}

@@ -1,0 +1,122 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/iso"
+)
+
+func TestFrequentAllSupersetOfClosed(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	d := randomDB(r, 8, 8)
+	s := Mine(d, 0.3, 3)
+	closed := map[string]struct{}{}
+	for _, f := range s.FrequentClosed() {
+		closed[f.Key] = struct{}{}
+	}
+	all := map[string]struct{}{}
+	for _, f := range s.FrequentAll() {
+		all[f.Key] = struct{}{}
+	}
+	for k := range closed {
+		if _, ok := all[k]; !ok {
+			t.Fatalf("closed tree %s not in FrequentAll", k)
+		}
+	}
+	if len(all) < len(closed) {
+		t.Fatal("FrequentAll smaller than FrequentClosed")
+	}
+}
+
+func TestFeatureKeysAllMatchesFrequentAll(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	d := randomDB(r, 6, 7)
+	s := Mine(d, 0.3, 3)
+	keys := s.FeatureKeysAll()
+	if len(keys) != len(s.FrequentAll()) {
+		t.Fatalf("keys = %d, trees = %d", len(keys), len(s.FrequentAll()))
+	}
+}
+
+func TestPropertyCanonicalKeyFaithful(t *testing.T) {
+	// Soundness of the canonical form in BOTH directions: equal keys
+	// imply isomorphic trees, and isomorphic (permuted) trees have equal
+	// keys (the latter is covered in canon_test; here we check the
+	// former on independent random trees).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomTree(r, 8, []string{"C", "O"})
+		b := randomTree(r, 8, []string{"C", "O"})
+		eq := CanonicalKey(a) == CanonicalKey(b)
+		isoEq := iso.Isomorphic(a, b)
+		return eq == isoEq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeLabelPosting(t *testing.T) {
+	d := graph.DatabaseOf(
+		graph.Path(1, "C", "O", "N"),
+		graph.Path(2, "C", "O"),
+		graph.Path(3, "C", "N"),
+	)
+	s := Mine(d, 0.3, 3)
+	// Pattern C-O-N requires both C.O and N.O labels: only graph 1.
+	p := graph.Path(0, "C", "O", "N")
+	cand, ok := s.edgeLabelPosting(p)
+	if !ok {
+		t.Fatal("posting lookup failed")
+	}
+	if len(cand) != 1 {
+		t.Fatalf("candidates = %v, want just graph 1", cand)
+	}
+	if _, has := cand[1]; !has {
+		t.Fatal("graph 1 missing")
+	}
+	// A pattern with an unseen label has an empty posting.
+	px := graph.Path(0, "X", "Y")
+	cand2, ok2 := s.edgeLabelPosting(px)
+	if !ok2 || len(cand2) != 0 {
+		t.Fatalf("unseen label posting = %v, %v", cand2, ok2)
+	}
+	// A pattern without edges is not meaningful.
+	if _, ok3 := s.edgeLabelPosting(graph.New(0)); ok3 {
+		t.Fatal("edgeless pattern should report not-ok")
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	s := Mine(graph.NewDatabase(), 0.5, 3)
+	if s.Lookup("nope") != nil {
+		t.Fatal("Lookup on empty set should be nil")
+	}
+}
+
+func TestSplitEdgeLabel(t *testing.T) {
+	a, b := splitEdgeLabel("C.O")
+	if a != "C" || b != "O" {
+		t.Fatalf("split = %q,%q", a, b)
+	}
+	a, b = splitEdgeLabel("Cl.N")
+	if a != "Cl" || b != "N" {
+		t.Fatalf("split = %q,%q", a, b)
+	}
+}
+
+func TestMinCountBoundaries(t *testing.T) {
+	s := &Set{SupMin: 0.5}
+	if got := s.minCount(0.5, 4); got != 2 {
+		t.Fatalf("minCount(0.5,4) = %d, want 2", got)
+	}
+	if got := s.minCount(0.5, 5); got != 3 {
+		t.Fatalf("minCount(0.5,5) = %d, want 3 (ceil)", got)
+	}
+	if got := s.minCount(0.5, 0); got != 1 {
+		t.Fatalf("minCount(0.5,0) = %d, want at least 1", got)
+	}
+}

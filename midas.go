@@ -1,0 +1,304 @@
+// Package midas is the public API of the MIDAS canned-pattern
+// maintenance framework (Huang, Chua, Bhowmick, Choi, Zhou: "MIDAS:
+// Towards Efficient and Effective Maintenance of Canned Patterns in
+// Visual Graph Query Interfaces", SIGMOD 2021).
+//
+// A visual graph query interface displays a small set of canned
+// patterns — little subgraphs users drag onto the canvas to build
+// subgraph queries quickly. Given a database of small labelled graphs,
+// this package
+//
+//   - selects an initial high-quality pattern set (the CATAPULT
+//     pipeline: FCT mining, clustering, cluster summary graphs, weighted
+//     random walks), and
+//   - maintains that set incrementally as the database evolves under
+//     batch insertions and deletions (the MIDAS framework: selective
+//     maintenance by graphlet-distribution distance, index-assisted
+//     candidate pruning, and multi-scan swap with quality guarantees).
+//
+// The entry point is New, which bootstraps an Engine over a
+// graph.Database; Engine.Maintain applies updates. Quality reports,
+// baseline strategies and a GUI formulation simulator (used by the
+// reproduction experiments) are also exposed.
+package midas
+
+import (
+	"time"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/catapult"
+	"github.com/midas-graph/midas/internal/cluster"
+	"github.com/midas-graph/midas/internal/core"
+	"github.com/midas-graph/midas/internal/tree"
+)
+
+// Budget is the pattern budget b = (η_min, η_max, γ): patterns have
+// between MinSize and MaxSize edges and at most Count patterns are
+// displayed.
+type Budget struct {
+	MinSize int
+	MaxSize int
+	Count   int
+}
+
+// Strategy selects how stale patterns are replaced on a major database
+// modification.
+type Strategy string
+
+const (
+	// StrategyMultiScan is MIDAS's multi-scan swap (the default).
+	StrategyMultiScan Strategy = "multiscan"
+	// StrategyRandom is the random-swapping baseline.
+	StrategyRandom Strategy = "random"
+)
+
+// Options configures an Engine. The zero value selects the paper's
+// defaults: budget (3, 12, 30), sup_min 0.5, ε 0.1, κ = λ = 0.1.
+type Options struct {
+	Budget Budget
+
+	// SupMin is the frequent-closed-tree support threshold.
+	SupMin float64
+	// Epsilon is the evolution ratio threshold ε: batch updates moving
+	// the graphlet frequency distribution at least this far trigger
+	// pattern maintenance.
+	Epsilon float64
+	// Kappa and Lambda are the swapping thresholds of §6.2.
+	Kappa, Lambda float64
+
+	// ClusterK is the number of coarse clusters (0 = auto).
+	ClusterK int
+	// ClusterMaxSize is the fine-clustering threshold N (0 = 50).
+	ClusterMaxSize int
+
+	// Walks is the number of random walks per summary graph.
+	Walks int
+	// SampleSize enables lazy-sampled coverage estimation (0 = exact).
+	SampleSize int
+	// Seed makes every stochastic component reproducible.
+	Seed int64
+	// Strategy selects the swap strategy (default multi-scan).
+	Strategy Strategy
+
+	// AlphaDiv, AlphaCog and AlphaLcov optionally tighten the swap
+	// guards (§6.2 "additional requirements by users"): a swap must
+	// improve diversity by a factor (1+AlphaDiv), may relax cognitive
+	// load by (1+AlphaCog), and must improve label coverage by
+	// (1+AlphaLcov). Zeros reproduce the plain sw3–sw5 criteria.
+	AlphaDiv, AlphaCog, AlphaLcov float64
+}
+
+func (o Options) toCore() core.Config {
+	cfg := core.Config{
+		Budget:     catapult.Budget{MinSize: o.Budget.MinSize, MaxSize: o.Budget.MaxSize, Count: o.Budget.Count},
+		SupMin:     o.SupMin,
+		Epsilon:    o.Epsilon,
+		Kappa:      o.Kappa,
+		Lambda:     o.Lambda,
+		Walks:      o.Walks,
+		SampleSize: o.SampleSize,
+		Seed:       o.Seed,
+		Cluster:    cluster.Config{K: o.ClusterK, MaxSize: o.ClusterMaxSize},
+	}
+	cfg.AlphaDiv = o.AlphaDiv
+	cfg.AlphaCog = o.AlphaCog
+	cfg.AlphaLcov = o.AlphaLcov
+	if o.Strategy == StrategyRandom {
+		cfg.Strategy = core.RandomSwap
+	}
+	return cfg
+}
+
+// Quality reports the four pattern-set objectives of the CPM problem
+// (Definition 3.1) plus the multiplicative set score.
+type Quality struct {
+	Scov float64 // subgraph coverage f_scov
+	Lcov float64 // label coverage f_lcov
+	Div  float64 // diversity f_div (minimum pairwise GED)
+	Cog  float64 // cognitive load f_cog (maximum per-pattern)
+}
+
+// Score returns scov × lcov × div / cog.
+func (q Quality) Score() float64 {
+	return catapult.Quality{Scov: q.Scov, Lcov: q.Lcov, Div: q.Div, Cog: q.Cog}.Score()
+}
+
+func fromQuality(q catapult.Quality) Quality {
+	return Quality{Scov: q.Scov, Lcov: q.Lcov, Div: q.Div, Cog: q.Cog}
+}
+
+// MaintenanceReport describes one Maintain invocation.
+type MaintenanceReport struct {
+	// GraphletDistance is dist(ψ_D, ψ_{D⊕ΔD}) (§3.4).
+	GraphletDistance float64
+	// Major reports whether the update was a Type-1 (major)
+	// modification requiring pattern maintenance.
+	Major bool
+	// Swaps is the number of patterns replaced.
+	Swaps int
+	// Candidates is the number of promising candidate patterns
+	// generated.
+	Candidates int
+
+	// PMT is the total pattern maintenance time.
+	PMT time.Duration
+	// PGT is the pattern generation time (candidates + swapping).
+	PGT time.Duration
+	// ClusterTime, FCTTime, CSGTime and IndexTime break down PMT.
+	ClusterTime time.Duration
+	FCTTime     time.Duration
+	CSGTime     time.Duration
+	IndexTime   time.Duration
+}
+
+func fromReport(r core.Report) MaintenanceReport {
+	return MaintenanceReport{
+		GraphletDistance: r.GraphletDistance,
+		Major:            r.Major,
+		Swaps:            r.Swaps,
+		Candidates:       r.Candidates,
+		PMT:              r.Total,
+		PGT:              r.PGT(),
+		ClusterTime:      r.ClusterTime,
+		FCTTime:          r.FCTTime,
+		CSGTime:          r.CSGTime,
+		IndexTime:        r.IndexTime,
+	}
+}
+
+// Engine owns a database and its maintained canned pattern set.
+type Engine struct {
+	inner *core.Engine
+}
+
+// New bootstraps the full MIDAS stack over db (FCT mining, clustering,
+// summaries, indices) and selects the initial pattern set. The engine
+// takes ownership of db: later Maintain calls mutate it.
+func New(db *graph.Database, opts Options) *Engine {
+	return &Engine{inner: core.NewEngine(db, opts.toCore())}
+}
+
+// Patterns returns the current canned pattern set. Pattern graphs are
+// owned by the engine and must not be mutated.
+func (e *Engine) Patterns() []*graph.Graph { return e.inner.Patterns() }
+
+// DB returns the engine's current database.
+func (e *Engine) DB() *graph.Database { return e.inner.DB() }
+
+// Maintain applies the batch update ΔD (deletions then insertions) and
+// maintains the pattern set per Algorithm 1.
+func (e *Engine) Maintain(u graph.Update) (MaintenanceReport, error) {
+	rep, err := e.inner.Maintain(u)
+	return fromReport(rep), err
+}
+
+// Quality evaluates the current pattern set against the current
+// database.
+func (e *Engine) Quality() Quality { return fromQuality(e.inner.Quality()) }
+
+// SetQueryLogWeight installs a query-log usage weight for swap scoring:
+// when the interface has access to a query log, patterns matched often
+// by logged queries resist eviction and log-popular candidates swap in
+// sooner (the extension sketched in §3.5). fn must return a positive
+// multiplier (1 = neutral); pass nil to remove.
+func (e *Engine) SetQueryLogWeight(fn func(p *graph.Graph) float64) {
+	e.inner.SetQueryLogWeight(fn)
+}
+
+// EvaluatePatterns evaluates an arbitrary pattern set against the
+// engine's current database — e.g. a stale set for a no-maintenance
+// comparison.
+func (e *Engine) EvaluatePatterns(ps []*graph.Graph) Quality {
+	return fromQuality(e.inner.Metrics().Evaluate(ps))
+}
+
+// PatternStat describes one displayed pattern, for panel UIs.
+type PatternStat struct {
+	ID       int
+	Vertices int
+	Edges    int
+	// Scov is the pattern's subgraph coverage over the current database.
+	Scov float64
+	// Cog is the pattern's cognitive load.
+	Cog float64
+}
+
+// PatternStats returns per-pattern statistics over the current database,
+// in panel order.
+func (e *Engine) PatternStats() []PatternStat {
+	m := e.inner.Metrics()
+	ps := e.inner.Patterns()
+	out := make([]PatternStat, len(ps))
+	for i, p := range ps {
+		out[i] = PatternStat{
+			ID:       p.ID,
+			Vertices: p.Order(),
+			Edges:    p.Size(),
+			Scov:     m.Scov(p),
+			Cog:      p.CognitiveLoad(),
+		}
+	}
+	return out
+}
+
+// BootstrapTime reports how long the initial selection took.
+func (e *Engine) BootstrapTime() time.Duration { return e.inner.BootstrapTime }
+
+// LastReport returns the report of the most recent Maintain call.
+func (e *Engine) LastReport() MaintenanceReport {
+	return fromReport(e.inner.LastReport)
+}
+
+// Baseline identifies a from-scratch selection pipeline.
+type Baseline string
+
+const (
+	// BaselineCATAPULT uses frequent subtrees and no indices (the
+	// original SIGMOD'19 pipeline).
+	BaselineCATAPULT Baseline = "catapult"
+	// BaselineCATAPULTPlus uses frequent closed trees and the MIDAS
+	// indices (CATAPULT++, §3.3).
+	BaselineCATAPULTPlus Baseline = "catapult++"
+)
+
+// SelectFromScratch runs a full selection pipeline over db and returns
+// the chosen patterns with the wall-clock cost. It is the
+// "maintenance-from-scratch" baseline of §7: rerun it on D⊕ΔD to
+// compare against Engine.Maintain.
+func SelectFromScratch(db *graph.Database, opts Options, b Baseline) ([]*graph.Graph, time.Duration) {
+	cfg := opts.toCore()
+	switch b {
+	case BaselineCATAPULT:
+		cfg.UseClosedFeatures = false
+		cfg.UseIndices = false
+	default:
+		cfg.UseClosedFeatures = true
+		cfg.UseIndices = true
+	}
+	e := core.NewEngineWith(db, cfg)
+	return e.Patterns(), e.BootstrapTime
+}
+
+// Evaluator measures pattern-set quality against a fixed database
+// without running selection — e.g. to score a stale pattern set on an
+// evolved database (the NoMaintain comparison of §7.3).
+type Evaluator struct {
+	m *catapult.Metrics
+}
+
+// NewEvaluator mines the edge statistics of db and returns an
+// evaluator. SupMin and SampleSize from opts are honoured; other
+// options are ignored.
+func NewEvaluator(db *graph.Database, opts Options) *Evaluator {
+	cfg := opts.toCore()
+	set := tree.Mine(db, cfg.SupMin, 1) // edge postings suffice for lcov
+	return &Evaluator{m: catapult.NewMetrics(db, set, nil, cfg.SampleSize, cfg.Seed)}
+}
+
+// Quality evaluates a pattern set.
+func (ev *Evaluator) Quality(ps []*graph.Graph) Quality {
+	return fromQuality(ev.m.Evaluate(ps))
+}
+
+// Scov returns the subgraph coverage of a single pattern.
+func (ev *Evaluator) Scov(p *graph.Graph) float64 { return ev.m.Scov(p) }

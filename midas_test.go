@@ -1,0 +1,206 @@
+package midas
+
+import (
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/dataset"
+)
+
+func smallOptions() Options {
+	return Options{
+		Budget: Budget{MinSize: 2, MaxSize: 4, Count: 6},
+		SupMin: 0.3,
+		Walks:  40,
+		Seed:   1,
+	}
+}
+
+func TestEngineLifecycle(t *testing.T) {
+	db := dataset.PubChemLike().GenerateDB(30, 1)
+	e := New(db, smallOptions())
+	ps := e.Patterns()
+	if len(ps) == 0 {
+		t.Fatal("no patterns selected")
+	}
+	q := e.Quality()
+	if q.Scov <= 0 || q.Lcov <= 0 {
+		t.Fatalf("degenerate quality: %+v", q)
+	}
+	if e.BootstrapTime() <= 0 {
+		t.Fatal("bootstrap time missing")
+	}
+
+	ins := dataset.BoronicEsters().Generate(20, 1000, 2)
+	rep, err := e.Maintain(graph.Update{Insert: ins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PMT <= 0 {
+		t.Fatal("PMT missing")
+	}
+	if e.DB().Len() != 50 {
+		t.Fatalf("db len = %d, want 50", e.DB().Len())
+	}
+	if got := e.LastReport(); got.PMT != rep.PMT {
+		t.Fatal("LastReport mismatch")
+	}
+}
+
+func TestQualityScore(t *testing.T) {
+	q := Quality{Scov: 0.5, Lcov: 1, Div: 2, Cog: 2}
+	if q.Score() != 0.5 {
+		t.Fatalf("score = %v, want 0.5", q.Score())
+	}
+}
+
+func TestSelectFromScratchBaselines(t *testing.T) {
+	db1 := dataset.EMolLike().GenerateDB(20, 3)
+	ps, dur := SelectFromScratch(db1, smallOptions(), BaselineCATAPULT)
+	if len(ps) == 0 || dur <= 0 {
+		t.Fatal("CATAPULT baseline failed")
+	}
+	db2 := dataset.EMolLike().GenerateDB(20, 3)
+	ps2, dur2 := SelectFromScratch(db2, smallOptions(), BaselineCATAPULTPlus)
+	if len(ps2) == 0 || dur2 <= 0 {
+		t.Fatal("CATAPULT++ baseline failed")
+	}
+}
+
+func TestEvaluator(t *testing.T) {
+	db := dataset.EMolLike().GenerateDB(20, 4)
+	ev := NewEvaluator(db, smallOptions())
+	p := graph.Path(0, "C", "C")
+	if ev.Scov(p) <= 0 {
+		t.Fatal("C-C should cover some molecules")
+	}
+	q := ev.Quality([]*graph.Graph{p, graph.Path(1, "C", "O", "C")})
+	if q.Scov <= 0 || q.Cog <= 0 {
+		t.Fatalf("degenerate quality %+v", q)
+	}
+}
+
+func TestFormulator(t *testing.T) {
+	f := NewFormulator(30, 0)
+	q := graph.Path(0, "C", "O", "C", "O", "C")
+	pat := graph.Path(1, "C", "O", "C")
+	edge := f.EdgeAtATime(q)
+	if edge.Steps != 9 {
+		t.Fatalf("edge steps = %d, want 9", edge.Steps)
+	}
+	plan := f.PatternAtATime(q, []*graph.Graph{pat})
+	if plan.Missed || plan.Steps >= edge.Steps {
+		t.Fatalf("pattern plan should beat edge plan: %+v", plan)
+	}
+	if ReductionRatio(float64(edge.Steps), float64(plan.Steps)) <= 0 {
+		t.Fatal("reduction ratio should be positive")
+	}
+}
+
+func TestMissedPercentage(t *testing.T) {
+	qs := []*graph.Graph{graph.Path(0, "C", "O"), graph.Path(1, "N", "S")}
+	pats := []*graph.Graph{graph.Path(9, "C", "O")}
+	if got := MissedPercentage(qs, pats); got != 50 {
+		t.Fatalf("MP = %v, want 50", got)
+	}
+}
+
+func TestStrategyRandom(t *testing.T) {
+	db := dataset.EMolLike().GenerateDB(20, 5)
+	opts := smallOptions()
+	opts.Strategy = StrategyRandom
+	e := New(db, opts)
+	ins := dataset.BoronicEsters().Generate(20, 1000, 6)
+	if _, err := e.Maintain(graph.Update{Insert: ins}); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Patterns()) == 0 {
+		t.Fatal("patterns vanished under random strategy")
+	}
+}
+
+func TestEvaluatePatternsStaleSet(t *testing.T) {
+	db := dataset.PubChemLike().GenerateDB(25, 7)
+	e := New(db, smallOptions())
+	stale := e.Patterns()
+	ins := dataset.BoronicEsters().Generate(25, 1000, 8)
+	if _, err := e.Maintain(graph.Update{Insert: ins}); err != nil {
+		t.Fatal(err)
+	}
+	qStale := e.EvaluatePatterns(stale)
+	qFresh := e.Quality()
+	// The maintained set must not be worse in score.
+	if qFresh.Score() < qStale.Score()-1e-9 {
+		t.Fatalf("maintained score %v below stale %v", qFresh.Score(), qStale.Score())
+	}
+}
+
+func TestAlphaGuardsExposed(t *testing.T) {
+	db := dataset.EMolLike().GenerateDB(20, 9)
+	opts := smallOptions()
+	opts.Epsilon = 0.02
+	opts.AlphaDiv = 10 // unsatisfiable diversity requirement: no swaps
+	e := New(db, opts)
+	ins := dataset.BoronicEsters().Generate(20, db.NextID(), 10)
+	rep, err := e.Maintain(graph.Update{Insert: ins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Swaps != 0 {
+		t.Fatalf("swaps = %d, want 0 under AlphaDiv=10", rep.Swaps)
+	}
+}
+
+func TestSearcherPublicAPI(t *testing.T) {
+	db := dataset.EMolLike().GenerateDB(20, 11)
+	e := New(db, smallOptions())
+	s := e.Searcher()
+	q := graph.Path(0, "C", "C")
+	rs, stats := s.Query(q, 3)
+	if len(rs) == 0 || len(rs) > 3 {
+		t.Fatalf("results = %d, want 1..3", len(rs))
+	}
+	if stats.Candidates == 0 {
+		t.Fatal("no candidates reported")
+	}
+	for _, r := range rs {
+		if len(r.Embedding) != q.Order() {
+			t.Fatal("embedding length mismatch")
+		}
+	}
+	if !s.Exists(q) {
+		t.Fatal("Exists disagrees with Query")
+	}
+	// Standalone searcher agrees with the engine-backed one.
+	alone := NewSearcher(e.DB(), 0.4)
+	if alone.Count(q) != s.Count(q) {
+		t.Fatal("standalone and engine searchers disagree")
+	}
+}
+
+func TestQueryLogWeightPublicAPI(t *testing.T) {
+	db := dataset.EMolLike().GenerateDB(15, 13)
+	e := New(db, smallOptions())
+	e.SetQueryLogWeight(func(p *graph.Graph) float64 { return 2 })
+	ins := dataset.BoronicEsters().Generate(10, db.NextID(), 14)
+	if _, err := e.Maintain(graph.Update{Insert: ins}); err != nil {
+		t.Fatal(err)
+	}
+	e.SetQueryLogWeight(nil)
+}
+
+func TestEditScript(t *testing.T) {
+	from := graph.Path(0, "C", "O", "N")
+	to := graph.Path(1, "C", "O", "S")
+	steps, cost := EditScript(from, to)
+	if cost != 1 || len(steps) != 1 {
+		t.Fatalf("steps=%v cost=%v, want one relabel", steps, cost)
+	}
+	if steps[0].Op != "relabel-vertex" || steps[0].Label != "S" {
+		t.Fatalf("step = %+v", steps[0])
+	}
+	same, zero := EditScript(from, from.Clone())
+	if len(same) != 0 || zero != 0 {
+		t.Fatal("identical graphs should need no edits")
+	}
+}

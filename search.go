@@ -1,0 +1,68 @@
+package midas
+
+import (
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/search"
+)
+
+// QueryResult is one subgraph-query answer: a matching data graph and
+// one embedding (query vertex -> data-graph vertex).
+type QueryResult struct {
+	GraphID   int
+	Embedding []int
+}
+
+// QueryStats reports the filter–verify funnel of one query execution.
+type QueryStats struct {
+	// Candidates survived the index filter; Pruned were dismissed
+	// without an isomorphism test; Verified actually matched.
+	Candidates, Pruned, Verified int
+}
+
+// Searcher executes subgraph queries against a database using the
+// filter–verify paradigm: the MIDAS indices (or an edge-label filter)
+// prune candidates, VF2 verifies. It is the execution counterpart to
+// the pattern-assisted *formulation* this package maintains patterns
+// for.
+type Searcher struct {
+	inner *search.Engine
+}
+
+// Searcher returns a query engine over the engine's current database,
+// sharing its maintained tree set and indices. It reflects later
+// Maintain calls on the shared database, but the indices it uses are
+// only as fresh as the engine state at call time — acquire a new
+// Searcher after maintenance.
+func (e *Engine) Searcher() *Searcher {
+	return &Searcher{inner: search.New(e.inner.DB(), e.inner.TreeSet(), e.inner.Indices())}
+}
+
+// NewSearcher builds a standalone query engine for a database, mining
+// its own features and indices (supMin as in Options.SupMin; pass 0 for
+// the 0.5 default).
+func NewSearcher(db *graph.Database, supMin float64) *Searcher {
+	if supMin <= 0 {
+		supMin = 0.5
+	}
+	return &Searcher{inner: search.NewFromDB(db, supMin, 3)}
+}
+
+// Query returns the data graphs containing q (sorted by graph ID, up to
+// limit if positive) with one embedding each, plus funnel statistics.
+func (s *Searcher) Query(q *graph.Graph, limit int) ([]QueryResult, QueryStats) {
+	rs, st := s.inner.Query(q, search.Options{Limit: limit})
+	out := make([]QueryResult, len(rs))
+	for i, r := range rs {
+		out[i] = QueryResult{GraphID: r.GraphID, Embedding: r.Embedding}
+	}
+	return out, QueryStats{Candidates: st.Candidates, Pruned: st.Pruned, Verified: st.Verified}
+}
+
+// Count returns the number of data graphs containing q.
+func (s *Searcher) Count(q *graph.Graph) int {
+	n, _ := s.inner.Count(q, search.Options{})
+	return n
+}
+
+// Exists reports whether any data graph contains q.
+func (s *Searcher) Exists(q *graph.Graph) bool { return s.inner.Exists(q) }

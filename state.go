@@ -1,0 +1,129 @@
+package midas
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/core"
+)
+
+// State persistence: a deployed interface maintains its pattern panel
+// across process restarts. SaveState writes the database, the selected
+// pattern set and the options to a versioned, human-readable bundle;
+// LoadState rebuilds the engine, re-deriving the maintained structures
+// (FCTs, clusters, summaries, indices) but *restoring* the patterns —
+// the expensive selection step is skipped.
+//
+// The bundle layout is line-oriented:
+//
+//	MIDAS-STATE v1
+//	{json header: options + pattern IDs}
+//	== database ==
+//	<graphs in the text format>
+//	== patterns ==
+//	<patterns in the text format>
+
+const stateMagic = "MIDAS-STATE v1"
+
+type stateHeader struct {
+	Options  Options `json:"options"`
+	Patterns int     `json:"patterns"`
+	Graphs   int     `json:"graphs"`
+}
+
+// SaveState serialises the engine's database, options and current
+// pattern set to w.
+func SaveState(w io.Writer, e *Engine, opts Options) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, stateMagic); err != nil {
+		return err
+	}
+	hdr := stateHeader{
+		Options:  opts,
+		Patterns: len(e.Patterns()),
+		Graphs:   e.DB().Len(),
+	}
+	enc, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%s\n== database ==\n", enc); err != nil {
+		return err
+	}
+	if err := graph.Write(bw, e.DB().Graphs()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(bw, "== patterns =="); err != nil {
+		return err
+	}
+	if err := graph.Write(bw, e.Patterns()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadState reads a bundle written by SaveState and rebuilds the
+// engine: the maintained structures are re-derived from the database,
+// the pattern set is restored verbatim (selection is skipped).
+func LoadState(r io.Reader) (*Engine, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("midas: reading state magic: %w", err)
+	}
+	if strings.TrimSpace(magic) != stateMagic {
+		return nil, fmt.Errorf("midas: not a MIDAS state bundle (got %q)", strings.TrimSpace(magic))
+	}
+	hdrLine, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("midas: reading state header: %w", err)
+	}
+	var hdr stateHeader
+	if err := json.Unmarshal([]byte(hdrLine), &hdr); err != nil {
+		return nil, fmt.Errorf("midas: decoding state header: %w", err)
+	}
+
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		return nil, err
+	}
+	text := string(rest)
+	dbMark := "== database ==\n"
+	patMark := "== patterns ==\n"
+	di := strings.Index(text, dbMark)
+	pi := strings.Index(text, patMark)
+	if di < 0 || pi < 0 || pi < di {
+		return nil, fmt.Errorf("midas: malformed state bundle: missing section markers")
+	}
+	dbText := text[di+len(dbMark) : pi]
+	patText := text[pi+len(patMark):]
+
+	graphs, err := graph.Unmarshal(dbText)
+	if err != nil {
+		return nil, fmt.Errorf("midas: decoding database section: %w", err)
+	}
+	if len(graphs) != hdr.Graphs {
+		return nil, fmt.Errorf("midas: state bundle corrupt: %d graphs, header says %d",
+			len(graphs), hdr.Graphs)
+	}
+	db := graph.NewDatabase()
+	for _, g := range graphs {
+		if err := db.Add(g); err != nil {
+			return nil, fmt.Errorf("midas: state database: %w", err)
+		}
+	}
+	patterns, err := graph.Unmarshal(patText)
+	if err != nil {
+		return nil, fmt.Errorf("midas: decoding patterns section: %w", err)
+	}
+	if len(patterns) != hdr.Patterns {
+		return nil, fmt.Errorf("midas: state bundle corrupt: %d patterns, header says %d",
+			len(patterns), hdr.Patterns)
+	}
+	inner := core.NewEngineWithPatterns(db, hdr.Options.toCore(), patterns)
+	return &Engine{inner: inner}, nil
+}

@@ -1,0 +1,109 @@
+package midas
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/dataset"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := dataset.EMolLike().GenerateDB(25, 3)
+	opts := smallOptions()
+	e := New(db, opts)
+	wantPatterns := e.Patterns()
+	wantQuality := e.Quality()
+
+	var buf strings.Builder
+	if err := SaveState(&buf, e, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadState(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.Patterns()
+	if len(got) != len(wantPatterns) {
+		t.Fatalf("patterns = %d, want %d", len(got), len(wantPatterns))
+	}
+	for i := range got {
+		if got[i].ID != wantPatterns[i].ID {
+			t.Fatalf("pattern %d ID changed: %d vs %d", i, got[i].ID, wantPatterns[i].ID)
+		}
+		if graph.Signature(got[i]) != graph.Signature(wantPatterns[i]) {
+			t.Fatalf("pattern %d structure changed", i)
+		}
+	}
+	if loaded.DB().Len() != 25 {
+		t.Fatalf("db len = %d, want 25", loaded.DB().Len())
+	}
+	q := loaded.Quality()
+	if q.Scov != wantQuality.Scov || q.Cog != wantQuality.Cog {
+		t.Fatalf("quality drifted: %+v vs %+v", q, wantQuality)
+	}
+}
+
+func TestLoadedEngineMaintains(t *testing.T) {
+	db := dataset.EMolLike().GenerateDB(20, 5)
+	opts := smallOptions()
+	opts.Epsilon = 0.02
+	e := New(db, opts)
+	var buf strings.Builder
+	if err := SaveState(&buf, e, opts); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadState(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := dataset.BoronicEsters().Generate(15, loaded.DB().NextID(), 6)
+	rep, err := loaded.Maintain(graph.Update{Insert: ins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PMT <= 0 {
+		t.Fatal("maintenance on loaded engine produced no report")
+	}
+	if loaded.DB().Len() != 35 {
+		t.Fatalf("db len = %d, want 35", loaded.DB().Len())
+	}
+}
+
+func TestLoadStateErrors(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"empty", ""},
+		{"bad magic", "WRONG v9\n{}\n"},
+		{"bad header", stateMagic + "\nnot-json\n== database ==\n== patterns ==\n"},
+		{"missing sections", stateMagic + "\n{\"graphs\":0,\"patterns\":0}\n"},
+		{"count mismatch", stateMagic + "\n{\"graphs\":5,\"patterns\":0}\n== database ==\n== patterns ==\n"},
+		{"bad db section", stateMagic + "\n{\"graphs\":1,\"patterns\":0}\n== database ==\ngarbage\n== patterns ==\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := LoadState(strings.NewReader(c.text)); err == nil {
+				t.Fatalf("LoadState(%q) succeeded, want error", c.name)
+			}
+		})
+	}
+}
+
+func TestSearcherAfterLoad(t *testing.T) {
+	db := dataset.EMolLike().GenerateDB(15, 7)
+	opts := smallOptions()
+	e := New(db, opts)
+	var buf strings.Builder
+	if err := SaveState(&buf, e, opts); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadState(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := loaded.Searcher()
+	q := graph.Path(0, "C", "C")
+	if s.Count(q) == 0 {
+		t.Fatal("searcher over loaded engine found nothing for C-C")
+	}
+}
