@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures fuzz clean
+.PHONY: all build test vet race bench figures fuzz clean
 
 all: build test
 
@@ -14,6 +14,10 @@ vet:
 
 test: vet
 	$(GO) test ./...
+
+# The CI gate: everything test runs, under the race detector.
+race:
+	$(GO) test -race ./...
 
 # One testing.B benchmark per paper figure + ablations.
 bench:

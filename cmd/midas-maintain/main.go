@@ -12,12 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"github.com/midas-graph/midas"
 	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/store"
 )
 
 func main() {
@@ -107,12 +109,11 @@ func saveIfAsked(eng *midas.Engine, opts midas.Options, path string) {
 	if path == "" {
 		return
 	}
-	f, err := os.Create(path)
+	// Atomic write: a crash mid-save leaves the previous bundle intact.
+	err := store.WriteAtomic(path, func(w io.Writer) error {
+		return midas.SaveState(w, eng, opts)
+	})
 	if err != nil {
-		fatal(err.Error())
-	}
-	defer f.Close()
-	if err := midas.SaveState(f, eng, opts); err != nil {
 		fatal(err.Error())
 	}
 	fmt.Fprintf(os.Stderr, "state saved to %s\n", path)

@@ -15,35 +15,61 @@
 //	GET  /quality        pattern-set quality metrics
 //	POST /maintain       body: Δ+ graphs (text format); ?delete=1,2 for Δ-
 //	POST /query?limit=N  body: one query graph (text format)
+//	GET  /healthz        liveness (always 200 while the process serves)
+//	GET  /readyz         readiness (503 while draining for shutdown)
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: readiness flips
+// to draining, in-flight requests finish, the spool watcher stops, the
+// state bundle is saved (when -save is set), and the process exits 0.
+// State bundles are written atomically (tmp + fsync + rename) and
+// checksummed; with -watch and -save, a write-ahead journal gives spool
+// batches exactly-once application across crashes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"syscall"
 	"time"
 
 	"github.com/midas-graph/midas"
 	"github.com/midas-graph/midas/graph"
 	"github.com/midas-graph/midas/internal/panel"
+	"github.com/midas-graph/midas/internal/store"
+)
+
+// Bundle metadata keys tying the saved state to the spool journal.
+const (
+	metaLastBatch    = "lastBatch"
+	metaLastBatchSum = "lastBatchSum"
 )
 
 func main() {
 	var (
-		dbPath    = flag.String("db", "", "database file to bootstrap from (text format)")
-		statePath = flag.String("state", "", "state bundle to restore instead of bootstrapping")
-		savePath  = flag.String("save", "", "write the state bundle here on SIGTERM-free exit paths (after each maintenance)")
-		addr      = flag.String("addr", ":8080", "listen address")
-		gamma     = flag.Int("gamma", 20, "number of displayed patterns γ")
-		minSize   = flag.Int("min", 3, "minimum pattern size")
-		maxSize   = flag.Int("max", 8, "maximum pattern size")
-		supMin    = flag.Float64("supmin", 0.4, "FCT support threshold")
-		epsilon   = flag.Float64("epsilon", 0.01, "evolution ratio threshold ε")
-		seed      = flag.Int64("seed", 1, "random seed")
-		watchDir  = flag.String("watch", "", "spool directory: apply *.graphs / *.delete files as periodic batches")
-		watchIvl  = flag.Duration("interval", time.Minute, "spool polling interval")
+		dbPath     = flag.String("db", "", "database file to bootstrap from (text format)")
+		statePath  = flag.String("state", "", "state bundle to restore instead of bootstrapping")
+		savePath   = flag.String("save", "", "write the state bundle here after each maintenance and on shutdown")
+		addr       = flag.String("addr", ":8080", "listen address")
+		gamma      = flag.Int("gamma", 20, "number of displayed patterns γ")
+		minSize    = flag.Int("min", 3, "minimum pattern size")
+		maxSize    = flag.Int("max", 8, "maximum pattern size")
+		supMin     = flag.Float64("supmin", 0.4, "FCT support threshold")
+		epsilon    = flag.Float64("epsilon", 0.01, "evolution ratio threshold ε")
+		seed       = flag.Int64("seed", 1, "random seed")
+		watchDir   = flag.String("watch", "", "spool directory: apply *.graphs / *.delete files as periodic batches")
+		watchIvl   = flag.Duration("interval", time.Minute, "spool polling interval")
+		jrnlPath   = flag.String("journal", "", "batch journal path for exactly-once spool recovery (default <save>.journal when -watch and -save are set)")
+		reqTimeout = flag.Duration("timeout", 2*time.Minute, "per-request deadline (0 disables)")
+		retries    = flag.Int("retries", 3, "failing scans before a spool batch is quarantined as *.failed")
+		backoff    = flag.Duration("backoff", 5*time.Second, "base rescan backoff after a spool failure (doubles per consecutive failure)")
 	)
 	flag.Parse()
 
@@ -54,14 +80,17 @@ func main() {
 		Seed:    *seed,
 	}
 
-	var eng *midas.Engine
+	var (
+		eng  *midas.Engine
+		meta map[string]string
+	)
 	switch {
 	case *statePath != "":
 		f, err := os.Open(*statePath)
 		if err != nil {
 			log.Fatalf("midas-serve: %v", err)
 		}
-		eng, err = midas.LoadState(f)
+		eng, meta, err = midas.LoadStateMeta(f)
 		f.Close()
 		if err != nil {
 			log.Fatalf("midas-serve: %v", err)
@@ -92,57 +121,127 @@ func main() {
 	}
 
 	srv := panel.New(eng, opts)
+	srv.Logf = log.Printf
+	srv.SetRequestTimeout(*reqTimeout)
+
+	// lastMeta tracks the most recently persisted batch so the shutdown
+	// save keeps the journal reconciliation metadata intact.
+	var (
+		metaMu   sync.Mutex
+		lastMeta = map[string]string{}
+	)
+	for k, v := range meta {
+		lastMeta[k] = v
+	}
+	saveBundle := func() error {
+		metaMu.Lock()
+		m := make(map[string]string, len(lastMeta))
+		for k, v := range lastMeta {
+			m[k] = v
+		}
+		metaMu.Unlock()
+		return store.WriteAtomic(*savePath, func(w io.Writer) error {
+			return midas.SaveStateMeta(w, eng, opts, m)
+		})
+	}
+
+	stopWatch := make(chan struct{})
+	var watchWG sync.WaitGroup
+	var journal *store.Journal
 	if *watchDir != "" {
-		w := &panel.Watcher{Dir: *watchDir, Engine: eng, Logf: log.Printf, Locker: srv.Locker()}
+		w := &panel.Watcher{
+			Dir:        *watchDir,
+			Engine:     eng,
+			Logf:       log.Printf,
+			Locker:     srv.Locker(),
+			MaxRetries: *retries,
+			Backoff:    *backoff,
+		}
 		if *savePath != "" {
-			w.OnBatch = func(string, midas.MaintenanceReport) {
-				if err := saveState(eng, opts, *savePath); err != nil {
-					log.Printf("midas-serve: saving state: %v", err)
-				}
+			jp := *jrnlPath
+			if jp == "" {
+				jp = *savePath + ".journal"
+			}
+			var err error
+			journal, err = store.OpenJournal(jp)
+			if err != nil {
+				log.Fatalf("midas-serve: %v", err)
+			}
+			w.Journal = journal
+			w.Persist = func(name string, sum uint32) error {
+				metaMu.Lock()
+				lastMeta[metaLastBatch] = name
+				lastMeta[metaLastBatchSum] = fmt.Sprintf("%08x", sum)
+				metaMu.Unlock()
+				return saveBundle()
+			}
+			// Seed crash recovery from the restored bundle's metadata.
+			w.LastApplied = meta[metaLastBatch]
+			if s, err := strconv.ParseUint(meta[metaLastBatchSum], 16, 32); err == nil {
+				w.LastAppliedSum = uint32(s)
 			}
 		}
-		go w.Run(*watchIvl, make(chan struct{}))
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			w.Run(*watchIvl, stopWatch)
+		}()
 		log.Printf("watching %s every %v", *watchDir, *watchIvl)
 	}
 
 	handler := srv.Handler()
 	if *savePath != "" {
-		handler = withStateSaving(handler, eng, opts, *savePath)
+		handler = withStateSaving(handler, saveBundle)
 	}
+
+	server := &http.Server{Addr: *addr, Handler: handler}
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
 	log.Printf("serving pattern panel on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, handler))
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	select {
+	case err := <-errCh:
+		log.Fatalf("midas-serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: drain readiness, finish in-flight requests,
+	// stop the watcher, persist state, exit 0.
+	log.Printf("signal received; draining...")
+	srv.SetReady(false)
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer shutCancel()
+	if err := server.Shutdown(shutCtx); err != nil {
+		log.Printf("midas-serve: shutdown: %v", err)
+	}
+	close(stopWatch)
+	watchWG.Wait()
+	if journal != nil {
+		journal.Close()
+	}
+	if *savePath != "" {
+		if err := saveBundle(); err != nil {
+			log.Fatalf("midas-serve: saving state on shutdown: %v", err)
+		}
+		log.Printf("state saved to %s", *savePath)
+	}
+	log.Printf("bye")
 }
 
 // withStateSaving persists the bundle after each successful POST
 // /maintain so a restart picks up the maintained panel.
-func withStateSaving(next http.Handler, eng *midas.Engine, opts midas.Options, path string) http.Handler {
+func withStateSaving(next http.Handler, save func() error) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
 		if r.Method == http.MethodPost && r.URL.Path == "/maintain" && rec.status == http.StatusOK {
-			if err := saveState(eng, opts, path); err != nil {
+			if err := save(); err != nil {
 				log.Printf("midas-serve: saving state: %v", err)
 			}
 		}
 	})
-}
-
-func saveState(eng *midas.Engine, opts midas.Options, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := midas.SaveState(f, eng, opts); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }
 
 type statusRecorder struct {

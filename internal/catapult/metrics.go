@@ -70,6 +70,12 @@ type Metrics struct {
 	sample     *graph.Database
 	coverCache map[string]map[int]struct{}
 	distCache  map[[2]string]float64
+
+	// cancel, when set, is polled inside cover-set and diversity loops
+	// and handed down to the VF2/GED kernels so an in-flight
+	// maintenance call can be abandoned promptly. Values computed after
+	// cancellation fires are not cached.
+	cancel func() bool
 }
 
 // NewMetrics builds a metrics evaluator.
@@ -103,6 +109,29 @@ func (m *Metrics) scovDB() *graph.Database {
 	return s
 }
 
+// SetCancel installs (or, with nil, removes) the cancellation hook.
+func (m *Metrics) SetCancel(fn func() bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cancel = fn
+}
+
+// cancelled reports whether the installed hook requests abandonment.
+func (m *Metrics) cancelled() bool {
+	m.mu.Lock()
+	fn := m.cancel
+	m.mu.Unlock()
+	return fn != nil && fn()
+}
+
+// cancelHook returns the installed hook (possibly nil) for handing to
+// kernels.
+func (m *Metrics) cancelHook() func() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cancel
+}
+
 // InvalidateSample drops the cached sample and cover cache (call after
 // the database changes).
 func (m *Metrics) InvalidateSample() {
@@ -122,6 +151,7 @@ func (m *Metrics) CoverSet(p *graph.Graph) map[int]struct{} {
 		return c
 	}
 	db := m.scovDB()
+	cancel := m.cancelHook()
 	var out map[int]struct{}
 	if m.Ix != nil {
 		full := m.Ix.CoverSet(p, db)
@@ -129,10 +159,16 @@ func (m *Metrics) CoverSet(p *graph.Graph) map[int]struct{} {
 	} else {
 		out = make(map[int]struct{})
 		for _, g := range db.Graphs() {
-			if hasAllEdgeLabels(p, g) && iso.HasSubgraph(p, g, iso.Options{MaxSteps: 200000}) {
+			if cancel != nil && cancel() {
+				return out // partial; not cached
+			}
+			if hasAllEdgeLabels(p, g) && iso.HasSubgraph(p, g, iso.Options{MaxSteps: 200000, Cancel: cancel}) {
 				out[g.ID] = struct{}{}
 			}
 		}
+	}
+	if cancel != nil && cancel() {
+		return out // possibly truncated by kernel cancellation
 	}
 	m.mu.Lock()
 	m.coverCache[sig] = out
@@ -219,7 +255,11 @@ func (m *Metrics) Div(p *graph.Graph, others []*graph.Graph) float64 {
 	}
 	best := -1.0
 	sigP := graph.Signature(p)
+	cancel := m.cancelHook()
 	for _, o := range others {
+		if cancel != nil && cancel() {
+			break
+		}
 		// Distances between structure pairs repeat heavily across
 		// scoring rounds; cache by signature pair. (Signatures are
 		// isomorphism-invariant, and GED between isomorphic graphs of
@@ -240,10 +280,12 @@ func (m *Metrics) Div(p *graph.Graph, others []*graph.Graph) float64 {
 					continue
 				}
 			}
-			d = ged.Distance(p, o)
-			m.mu.Lock()
-			m.distCache[key] = d
-			m.mu.Unlock()
+			d = ged.DistanceCancel(p, o, cancel)
+			if cancel == nil || !cancel() {
+				m.mu.Lock()
+				m.distCache[key] = d
+				m.mu.Unlock()
+			}
 		}
 		if best < 0 || d < best {
 			best = d

@@ -38,6 +38,11 @@ type SelectConfig struct {
 	// sequential). Scores are pure functions, so results are identical
 	// at any setting; only wall-clock changes.
 	Parallel int
+	// Cancel, when set, is polled in the walk and growth loops (and
+	// passed to the matching kernels) so a cancelled maintenance call
+	// abandons candidate generation promptly with partial results; the
+	// caller then surfaces the cancellation error.
+	Cancel func() bool
 }
 
 func (c SelectConfig) withDefaults() SelectConfig {
@@ -142,6 +147,9 @@ func (s *Selector) GenerateFCPs(clusterIDs []int) []*Candidate {
 	var out []*Candidate
 	seen := make(map[string]struct{})
 	for _, cid := range clusterIDs {
+		if s.cfg.Cancel != nil && s.cfg.Cancel() {
+			return out
+		}
 		sg := s.csgs.Get(cid)
 		if sg == nil || sg.Size() == 0 {
 			continue
@@ -175,6 +183,9 @@ func (s *Selector) walk(sg *csg.CSG, weights map[graph.Edge]float64) map[graph.E
 		return counts
 	}
 	for it := 0; it < s.cfg.Walks; it++ {
+		if s.cfg.Cancel != nil && s.cfg.Cancel() {
+			break
+		}
 		cur, ok := s.sampleEdge(edges, weights)
 		if !ok {
 			break
@@ -409,7 +420,7 @@ func (s *Selector) ccov(p *graph.Graph) float64 {
 			continue
 		}
 		sg := s.csgs.Get(cid)
-		if sg != nil && iso.HasSubgraph(p, sg.G, iso.Options{MaxSteps: 100000}) {
+		if sg != nil && iso.HasSubgraph(p, sg.G, iso.Options{MaxSteps: 100000, Cancel: s.cfg.Cancel}) {
 			total += c.Weight(s.metrics.DB.Len())
 		}
 	}

@@ -1,0 +1,40 @@
+package cluster
+
+import "github.com/midas-graph/midas/graph"
+
+// Clone returns a copy of the clustering deep enough for transactional
+// rollback: cluster membership maps and centroid sums are copied, while
+// member graphs and feature-vector slices are shared (neither is
+// mutated after insertion).
+func (cl *Clustering) Clone() *Clustering {
+	out := &Clustering{
+		cfg:      cl.cfg,
+		keys:     append([]string(nil), cl.keys...),
+		clusters: make(map[int]*Cluster, len(cl.clusters)),
+		owner:    make(map[int]int, len(cl.owner)),
+		nextID:   cl.nextID,
+	}
+	for id, c := range cl.clusters {
+		out.clusters[id] = c.clone()
+	}
+	for g, c := range cl.owner {
+		out.owner[g] = c
+	}
+	return out
+}
+
+func (c *Cluster) clone() *Cluster {
+	nc := &Cluster{
+		ID:      c.ID,
+		members: make(map[int]*graph.Graph, len(c.members)),
+		vecs:    make(map[int][]float64, len(c.vecs)),
+		sum:     append([]float64(nil), c.sum...),
+	}
+	for id, g := range c.members {
+		nc.members[id] = g
+	}
+	for id, v := range c.vecs {
+		nc.vecs[id] = v
+	}
+	return nc
+}

@@ -154,7 +154,15 @@ type Clustering struct {
 	clusters map[int]*Cluster
 	owner    map[int]int // graph ID -> cluster ID
 	nextID   int
+	// cancel, when set, is polled by the MCCS kernel during fine
+	// clustering so a cancelled maintenance call stops splitting
+	// promptly.
+	cancel func() bool
 }
+
+// SetCancel installs (or, with nil, removes) the cancellation hook used
+// during fine clustering.
+func (cl *Clustering) SetCancel(fn func() bool) { cl.cancel = fn }
 
 // Build partitions database d using FCT feature vectors from the mined
 // tree set (the CATAPULT++/MIDAS feature family). The random source
@@ -424,7 +432,7 @@ func (cl *Clustering) fineSplit(c *Cluster) [][]*graph.Graph {
 		}
 		ss := make([]scored, len(rest))
 		for i, g := range rest {
-			ss[i] = scored{g, iso.MCCSSimilarity(pivot, g, cl.cfg.MCCSBudget)}
+			ss[i] = scored{g, iso.MCCSSimilarityCancel(pivot, g, cl.cfg.MCCSBudget, cl.cancel)}
 		}
 		sort.SliceStable(ss, func(i, j int) bool { return ss[i].sim > ss[j].sim })
 		take := cl.cfg.MaxSize - 1

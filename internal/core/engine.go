@@ -175,6 +175,11 @@ type Engine struct {
 	// positive multiplier (1 = neutral).
 	logWeight func(p *graph.Graph) float64
 
+	// cancel reports whether the in-flight MaintainContext call has
+	// been cancelled; it is installed for the duration of the pipeline
+	// and handed to the candidate selector.
+	cancel func() bool
+
 	// LastReport is the report of the most recent Maintain call.
 	LastReport Report
 	// BootstrapTime is the time spent building the initial state.
@@ -271,6 +276,7 @@ func (e *Engine) selectConfig(pruner catapult.Pruner) catapult.SelectConfig {
 		Seed:       e.cfg.Seed,
 		Pruner:     pruner,
 		Parallel:   e.cfg.Parallel,
+		Cancel:     e.cancel,
 	}
 }
 

@@ -1,16 +1,36 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"time"
 
 	"github.com/midas-graph/midas/graph"
 	"github.com/midas-graph/midas/internal/catapult"
+	"github.com/midas-graph/midas/internal/faultinject"
 	"github.com/midas-graph/midas/internal/graphlet"
 )
 
+// stage gates each step of the maintenance pipeline: it surfaces
+// context cancellation and armed failpoints (named
+// "core.maintain.<stage>") as errors, which MaintainContext turns into
+// a rollback.
+func stage(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return faultinject.Hit("core.maintain." + name)
+}
+
 // Maintain applies a batch update ΔD and maintains the canned pattern
-// set, implementing Algorithm 1:
+// set. It is transactional: the update is validated before any state is
+// touched, and an error anywhere in the pipeline rolls the engine back
+// to its pre-batch state. See MaintainContext.
+func (e *Engine) Maintain(u graph.Update) (Report, error) {
+	return e.MaintainContext(context.Background(), u)
+}
+
+// MaintainContext applies a batch update ΔD and maintains the canned
+// pattern set, implementing Algorithm 1:
 //
 //  1. assign inserted graphs to clusters (C+), remove deleted ones (C-)
 //  2. compute graphlet distributions ψ_D and ψ_{D⊕ΔD}
@@ -20,18 +40,68 @@ import (
 //     from evolved summaries and run the swap strategy
 //  6. maintain the indices
 //
+// The update is validated up front (ErrInvalidUpdate / ErrConflict)
+// before anything is mutated. After that a snapshot of every mutable
+// substructure is taken, and any failure — an injected fault, an
+// internal error, or ctx being cancelled — restores the snapshot, so
+// the engine is never left between states. Cancellation is checked at
+// every stage boundary and inside the candidate-generation and metric
+// loops, so an expired ctx returns its error promptly.
+//
 // It returns the maintenance report (PMT and its breakdown).
-func (e *Engine) Maintain(u graph.Update) (Report, error) {
+func (e *Engine) MaintainContext(ctx context.Context, u graph.Update) (Report, error) {
 	start := time.Now()
 	var rep Report
 
+	if err := e.ValidateUpdate(u); err != nil {
+		return rep, err
+	}
+	if err := stage(ctx, "validated"); err != nil {
+		return rep, err
+	}
+
 	// ψ_D before and after (lines 3–4), computed incrementally from the
-	// cached per-graph counts.
+	// cached per-graph counts. Pure reads — safe before the snapshot.
 	psiBefore := e.counter.Distribution()
 	psiAfter := e.counter.DistributionAfter(u)
 	rep.GraphletDistance = graphlet.DistanceWith(e.cfg.Distance, psiBefore, psiAfter)
 	rep.Major = rep.GraphletDistance >= e.cfg.Epsilon
 
+	snap := e.takeSnapshot()
+
+	// Install the cancellation hook into the metric and selection loops
+	// for the duration of the pipeline. Cleared via e.metrics at exit so
+	// a metrics evaluator rebuilt by restore is also left clean.
+	if ctx.Done() != nil {
+		done := func() bool { return ctx.Err() != nil }
+		e.cancel = done
+		e.metrics.SetCancel(done)
+		e.cl.SetCancel(done)
+		e.csgs.SetCancel(done)
+	}
+	defer func() {
+		// Clear via the engine fields: restore may have swapped in the
+		// snapshot copies, which must also end up hook-free.
+		e.cancel = nil
+		e.metrics.SetCancel(nil)
+		e.cl.SetCancel(nil)
+		e.csgs.SetCancel(nil)
+	}()
+
+	if err := e.runPipeline(ctx, u, &rep); err != nil {
+		e.restore(snap)
+		return rep, err
+	}
+
+	rep.Total = time.Since(start)
+	e.LastReport = rep
+	return rep, nil
+}
+
+// runPipeline executes the mutating stages of Algorithm 1. Any error
+// return means the engine is in an intermediate state and the caller
+// must restore the pre-batch snapshot.
+func (e *Engine) runPipeline(ctx context.Context, u graph.Update, rep *Report) error {
 	// Lines 1–2: cluster assignment and removal. Assignment uses the
 	// pre-update feature space, as in Algorithm 1.
 	affected := make(map[int]struct{})
@@ -43,25 +113,31 @@ func (e *Engine) Maintain(u graph.Update) (Report, error) {
 		}
 	}
 	for _, g := range u.Insert {
-		if e.db.Has(g.ID) {
-			return rep, fmt.Errorf("core: inserted graph %d already exists", g.ID)
-		}
 		cid := e.cl.Assign(g, e.set)
 		affected[cid] = struct{}{}
 		e.csgs.OnAssign(cid, g)
 	}
 	rep.ClusterTime = time.Since(tCluster)
+	if err := stage(ctx, "cluster"); err != nil {
+		return err
+	}
 
 	// Apply the update to the database and graphlet cache.
 	if err := e.db.Apply(u); err != nil {
-		return rep, err
+		return err
 	}
 	e.counter.Apply(u)
+	if err := stage(ctx, "apply"); err != nil {
+		return err
+	}
 
 	// Line 5: FCT maintenance.
 	tFCT := time.Now()
 	e.set.Update(e.db, u)
 	rep.FCTTime = time.Since(tFCT)
+	if err := stage(ctx, "fct"); err != nil {
+		return err
+	}
 
 	// Lines 6–7: cluster-set and CSG-set maintenance. Oversized
 	// clusters are re-split; their summaries (and those of clusters the
@@ -91,6 +167,9 @@ func (e *Engine) Maintain(u graph.Update) (Report, error) {
 	}
 	e.csgs.Sync(e.cl)
 	rep.CSGTime = time.Since(tCSG)
+	if err := stage(ctx, "csg"); err != nil {
+		return err
+	}
 
 	// The metrics sample and cover cache are stale after any update.
 	e.metrics.InvalidateSample()
@@ -109,6 +188,9 @@ func (e *Engine) Maintain(u graph.Update) (Report, error) {
 		e.ix.SyncFeatures(e.set, e.db, e.patterns)
 	}
 	rep.IndexTime = time.Since(tIx)
+	if err := stage(ctx, "index"); err != nil {
+		return err
+	}
 
 	// Lines 8–11: major modification triggers candidate generation and
 	// swapping over the evolved summaries only.
@@ -120,21 +202,20 @@ func (e *Engine) Maintain(u graph.Update) (Report, error) {
 			}
 		}
 		sortInts(evolved)
-		e.majorModification(evolved, &rep)
+		if err := e.majorModification(ctx, evolved, rep); err != nil {
+			return err
+		}
 	}
 
 	// Small-pattern section (η ≤ 2): maintained directly from the FCT
 	// supports every time — the straightforward case of §3.1's remark.
 	e.refreshSmallPatterns()
-
-	rep.Total = time.Since(start)
-	e.LastReport = rep
-	return rep, nil
+	return stage(ctx, "small")
 }
 
 // majorModification generates pruned candidates from the evolved
 // summaries (§5.2) and applies the configured swap strategy (§6.2).
-func (e *Engine) majorModification(evolved []int, rep *Report) {
+func (e *Engine) majorModification(ctx context.Context, evolved []int, rep *Report) error {
 	tCand := time.Now()
 	var pruner catapult.Pruner
 	if !e.cfg.NoPruning {
@@ -145,6 +226,9 @@ func (e *Engine) majorModification(evolved []int, rep *Report) {
 	promising := e.promising(cands)
 	rep.Candidates = len(promising)
 	rep.CandidateTime = time.Since(tCand)
+	if err := stage(ctx, "candidates"); err != nil {
+		return err
+	}
 
 	tSwap := time.Now()
 	switch e.cfg.Strategy {
@@ -155,6 +239,7 @@ func (e *Engine) majorModification(evolved []int, rep *Report) {
 		rep.Swaps, rep.Scans = e.multiScanSwap(promising)
 	}
 	rep.SwapTime = time.Since(tSwap)
+	return stage(ctx, "swap")
 }
 
 // coverSets returns the cover set of every current pattern over the

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/faultinject"
+)
+
+// maintainStages lists every failpoint the pipeline passes through, in
+// order. Killing Maintain at each one must leave the engine exactly at
+// its pre-batch state.
+var maintainStages = []string{
+	"validated", "cluster", "apply", "fct", "csg",
+	"index", "candidates", "swap", "small",
+}
+
+// fingerprint captures everything rollback must preserve: database
+// contents, pattern set, cluster assignment, mined features, and the
+// quality the restored metrics evaluator computes over them.
+type fingerprint struct {
+	DBIDs    []int
+	Patterns []string
+	Owner    map[int]int
+	Trees    []string
+	NextPat  int
+	Quality  [4]float64
+}
+
+func takeFingerprint(e *Engine) fingerprint {
+	fp := fingerprint{
+		DBIDs: append([]int(nil), e.db.IDs()...),
+		Owner: map[int]int{},
+	}
+	sort.Ints(fp.DBIDs)
+	for _, p := range e.patterns {
+		fp.Patterns = append(fp.Patterns, graph.Signature(p))
+	}
+	sort.Strings(fp.Patterns)
+	for _, c := range e.cl.Clusters() {
+		for _, id := range c.MemberIDs() {
+			fp.Owner[id] = c.ID
+		}
+	}
+	for _, tr := range e.set.Trees() {
+		fp.Trees = append(fp.Trees, tr.Key)
+	}
+	sort.Strings(fp.Trees)
+	fp.NextPat = e.nextPatternID
+	q := e.Quality()
+	fp.Quality = [4]float64{q.Scov, q.Lcov, q.Div, q.Cog}
+	return fp
+}
+
+// rollbackFixture builds a fresh deterministic engine and a batch that
+// triggers a major modification, exercising every pipeline stage.
+func rollbackFixture(t *testing.T) (*Engine, graph.Update) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Epsilon = 0.01
+	e := NewEngine(testDB(8, 8), cfg)
+	u := graph.Update{Insert: boronDelta(8, 100), Delete: []int{0, 1}}
+	return e, u
+}
+
+func TestMaintainRollsBackAtEveryStage(t *testing.T) {
+	// Control: a crash-free run the recovered engines must match.
+	control, cu := rollbackFixture(t)
+	crep, err := control.Maintain(cu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crep.Major {
+		t.Fatal("fixture update must be a major modification so the candidate/swap stages run")
+	}
+	want := takeFingerprint(control)
+
+	for _, stage := range maintainStages {
+		t.Run(stage, func(t *testing.T) {
+			defer faultinject.Reset()
+			e, u := rollbackFixture(t)
+			before := takeFingerprint(e)
+
+			faultinject.Enable("core.maintain." + stage)
+			if _, err := e.Maintain(u); !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("stage %s: err = %v, want injected fault", stage, err)
+			}
+			after := takeFingerprint(e)
+			if !reflect.DeepEqual(before, after) {
+				t.Fatalf("stage %s: engine not rolled back\nbefore %+v\nafter  %+v", stage, before, after)
+			}
+			checkInvariants(t, e, 0)
+
+			// Retrying the same batch after the fault clears must land
+			// exactly where the crash-free run did.
+			faultinject.Reset()
+			rep, err := e.Maintain(u)
+			if err != nil {
+				t.Fatalf("stage %s: retry failed: %v", stage, err)
+			}
+			if rep.Major != crep.Major || rep.Swaps != crep.Swaps {
+				t.Fatalf("stage %s: retry report diverged: major=%v swaps=%d, want major=%v swaps=%d",
+					stage, rep.Major, rep.Swaps, crep.Major, crep.Swaps)
+			}
+			if got := takeFingerprint(e); !reflect.DeepEqual(got, want) {
+				t.Fatalf("stage %s: retry diverged from clean run\ngot  %+v\nwant %+v", stage, got, want)
+			}
+			checkInvariants(t, e, 1)
+		})
+	}
+}
+
+func TestMaintainContextCancelledRollsBack(t *testing.T) {
+	e, u := rollbackFixture(t)
+	before := takeFingerprint(e)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.MaintainContext(ctx, u); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if after := takeFingerprint(e); !reflect.DeepEqual(before, after) {
+		t.Fatal("cancelled maintenance mutated the engine")
+	}
+	// The engine still works after the aborted call.
+	if _, err := e.Maintain(u); err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, e, 0)
+}
+
+func TestMaintainContextDeadlinePrompt(t *testing.T) {
+	e, u := rollbackFixture(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // ensure the deadline has passed
+	start := time.Now()
+	_, err := e.MaintainContext(ctx, u)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("expired context took %v to surface", elapsed)
+	}
+}
+
+func TestFailpointDisarmedIsFree(t *testing.T) {
+	// With no failpoints armed, Maintain must behave exactly as before
+	// the harness existed.
+	e, u := rollbackFixture(t)
+	if _, err := e.Maintain(u); err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, e, 0)
+}

@@ -73,6 +73,15 @@ func (e *Engine) refreshSmallPatterns() {
 		}
 	}
 	e.patterns = kept
+	// A swap may have replaced a small-section slot with a larger
+	// candidate; the refill must respect the remaining room or the panel
+	// would exceed γ.
+	if room := e.cfg.Budget.Count - len(kept); quota > room {
+		quota = room
+	}
+	if quota <= 0 {
+		return
+	}
 
 	sizes := make([]int, 0, 2)
 	for size := e.cfg.Budget.MinSize; size <= 2 && size <= e.cfg.Budget.MaxSize; size++ {

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+// ErrInvalidUpdate marks a batch update rejected by validation before
+// any engine state was touched (malformed graphs, duplicate IDs within
+// the batch, unknown delete IDs).
+var ErrInvalidUpdate = errors.New("core: invalid update")
+
+// ErrConflict marks an update rejected because an inserted graph ID is
+// already present in the database. It wraps ErrInvalidUpdate, so
+// errors.Is(err, ErrInvalidUpdate) holds for conflicts too; callers
+// that care about the distinction (HTTP 409 vs 400) test ErrConflict
+// first.
+var ErrConflict = fmt.Errorf("%w: id conflict", ErrInvalidUpdate)
+
+// ValidateUpdate checks a batch update without touching any state:
+//
+//   - inserted graphs must be non-nil with non-negative IDs
+//   - no duplicate IDs within the inserts or within the deletes
+//   - every delete ID must exist in the database
+//   - an insert ID already in the database is a conflict, unless the
+//     same batch also deletes it (deletions apply first, so
+//     delete-then-insert is the legitimate replace idiom)
+//
+// Maintain calls this before mutating anything; servers can call it
+// early to fail fast.
+func (e *Engine) ValidateUpdate(u graph.Update) error {
+	if err := ValidateShape(u); err != nil {
+		return err
+	}
+	deleted := make(map[int]struct{}, len(u.Delete))
+	for _, id := range u.Delete {
+		if !e.db.Has(id) {
+			return fmt.Errorf("%w: delete of unknown graph %d", ErrInvalidUpdate, id)
+		}
+		deleted[id] = struct{}{}
+	}
+	for _, g := range u.Insert {
+		if _, replaced := deleted[g.ID]; replaced {
+			continue
+		}
+		if e.db.Has(g.ID) {
+			return fmt.Errorf("%w: inserted graph %d already exists", ErrConflict, g.ID)
+		}
+	}
+	return nil
+}
+
+// ValidateShape checks the batch-internal invariants of an update —
+// everything that can be verified without a database: non-nil graphs,
+// non-negative IDs, and no duplicates within the inserts or deletes.
+// Spool processors run it before remapping colliding IDs, so a
+// malformed batch is rejected with its on-disk IDs intact.
+func ValidateShape(u graph.Update) error {
+	insertIDs := make(map[int]struct{}, len(u.Insert))
+	for i, g := range u.Insert {
+		if g == nil {
+			return fmt.Errorf("%w: inserted graph at position %d is nil", ErrInvalidUpdate, i)
+		}
+		if g.ID < 0 {
+			return fmt.Errorf("%w: inserted graph at position %d has negative ID %d", ErrInvalidUpdate, i, g.ID)
+		}
+		if _, dup := insertIDs[g.ID]; dup {
+			return fmt.Errorf("%w: duplicate insert ID %d within batch", ErrInvalidUpdate, g.ID)
+		}
+		insertIDs[g.ID] = struct{}{}
+	}
+	deleteIDs := make(map[int]struct{}, len(u.Delete))
+	for _, id := range u.Delete {
+		if _, dup := deleteIDs[id]; dup {
+			return fmt.Errorf("%w: duplicate delete ID %d within batch", ErrInvalidUpdate, id)
+		}
+		deleteIDs[id] = struct{}{}
+	}
+	return nil
+}

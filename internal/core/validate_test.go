@@ -1,0 +1,60 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+func TestValidateUpdateRejections(t *testing.T) {
+	e := NewEngine(testDB(4, 4), testConfig())
+
+	cases := []struct {
+		name     string
+		u        graph.Update
+		conflict bool
+	}{
+		{"nil insert", graph.Update{Insert: []*graph.Graph{nil}}, false},
+		{"negative id", graph.Update{Insert: []*graph.Graph{graph.Path(-1, "C", "O")}}, false},
+		{"dup insert ids", graph.Update{Insert: []*graph.Graph{
+			graph.Path(100, "C", "O"), graph.Path(100, "C", "N")}}, false},
+		{"dup delete ids", graph.Update{Delete: []int{0, 0}}, false},
+		{"unknown delete", graph.Update{Delete: []int{9999}}, false},
+		{"insert conflict", graph.Update{Insert: []*graph.Graph{graph.Path(0, "C", "O")}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := e.ValidateUpdate(tc.u)
+			if !errors.Is(err, ErrInvalidUpdate) {
+				t.Fatalf("err = %v, want ErrInvalidUpdate", err)
+			}
+			if got := errors.Is(err, ErrConflict); got != tc.conflict {
+				t.Fatalf("errors.Is(err, ErrConflict) = %v, want %v", got, tc.conflict)
+			}
+			// Rejection happens before any mutation.
+			if _, merr := e.Maintain(tc.u); !errors.Is(merr, ErrInvalidUpdate) {
+				t.Fatalf("Maintain err = %v, want ErrInvalidUpdate", merr)
+			}
+		})
+	}
+}
+
+func TestValidateUpdateReplaceIdiom(t *testing.T) {
+	e := NewEngine(testDB(4, 4), testConfig())
+	// Delete-then-insert of the same ID is the legitimate replace idiom:
+	// deletions apply first.
+	u := graph.Update{
+		Delete: []int{0},
+		Insert: []*graph.Graph{graph.Path(0, "C", "O", "C")},
+	}
+	if err := e.ValidateUpdate(u); err != nil {
+		t.Fatalf("replace idiom rejected: %v", err)
+	}
+	if _, err := e.Maintain(u); err != nil {
+		t.Fatal(err)
+	}
+	if g := e.DB().Get(0); g == nil || g.Size() != 2 {
+		t.Fatal("replacement graph not installed")
+	}
+}

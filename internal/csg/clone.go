@@ -1,0 +1,32 @@
+package csg
+
+import "github.com/midas-graph/midas/graph"
+
+// Clone returns a deep copy of the manager for transactional rollback.
+func (m *Manager) Clone() *Manager {
+	out := &Manager{csgs: make(map[int]*CSG, len(m.csgs)), budget: m.budget}
+	for id, s := range m.csgs {
+		out.csgs[id] = s.clone()
+	}
+	return out
+}
+
+// clone deep-copies one CSG: the summary graph is structurally mutated
+// by Integrate/RemoveGraph, and edge supports are per-edge ID sets, so
+// both must be copied.
+func (s *CSG) clone() *CSG {
+	nc := &CSG{
+		ClusterID: s.ClusterID,
+		G:         s.G.Clone(),
+		support:   make(map[graph.Edge]map[int]struct{}, len(s.support)),
+		budget:    s.budget,
+	}
+	for e, ids := range s.support {
+		ns := make(map[int]struct{}, len(ids))
+		for id := range ids {
+			ns[id] = struct{}{}
+		}
+		nc.support[e] = ns
+	}
+	return nc
+}

@@ -31,11 +31,21 @@ type CSG struct {
 	support map[graph.Edge]map[int]struct{}
 	// budget caps the MCCS alignment search per integration.
 	budget int
+	// cancel, when set, is polled by the MCCS/VF2 alignment kernels so
+	// a cancelled maintenance call stops integrating promptly.
+	cancel func() bool
 }
 
 // Build summarises the given member graphs (typically a cluster's
 // members, largest first for a good closure base).
 func Build(clusterID int, members []*graph.Graph, budget int) *CSG {
+	return BuildWithCancel(clusterID, members, budget, nil)
+}
+
+// BuildWithCancel is Build with a cancellation hook polled during the
+// MCCS alignments; a cancelled build returns a partial summary, which
+// the caller is expected to discard (maintenance rolls back).
+func BuildWithCancel(clusterID int, members []*graph.Graph, budget int, cancel func() bool) *CSG {
 	if budget <= 0 {
 		budget = 20000
 	}
@@ -44,6 +54,7 @@ func Build(clusterID int, members []*graph.Graph, budget int) *CSG {
 		G:         graph.New(clusterID),
 		support:   make(map[graph.Edge]map[int]struct{}),
 		budget:    budget,
+		cancel:    cancel,
 	}
 	ordered := append([]*graph.Graph(nil), members...)
 	sort.Slice(ordered, func(i, j int) bool {
@@ -93,14 +104,14 @@ func (s *CSG) align(g *graph.Graph) []int {
 		// Fast path: graphs from the same family usually embed wholly
 		// into a mature summary; a full VF2 embedding is far cheaper
 		// than the MCCS search and yields a perfect alignment.
-		if m := iso.FindEmbedding(g, s.G, iso.Options{MaxSteps: s.budget}); m != nil {
+		if m := iso.FindEmbedding(g, s.G, iso.Options{MaxSteps: s.budget, Cancel: s.cancel}); m != nil {
 			for gv, sv := range m {
 				mapping[gv] = sv
 				used[sv] = true
 			}
 			return mapping
 		}
-		res := iso.MCCS(g, s.G, s.budget)
+		res := iso.MCCSWithCancel(g, s.G, s.budget, s.cancel)
 		for gv, sv := range res.Mapping {
 			if sv >= 0 {
 				mapping[gv] = sv

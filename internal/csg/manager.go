@@ -15,6 +15,7 @@ import (
 type Manager struct {
 	csgs   map[int]*CSG
 	budget int
+	cancel func() bool
 }
 
 // NewManager returns a manager; budget caps each MCCS alignment
@@ -23,11 +24,24 @@ func NewManager(budget int) *Manager {
 	return &Manager{csgs: make(map[int]*CSG), budget: budget}
 }
 
+// SetCancel installs (or, with nil, removes) a cancellation hook polled
+// during MCCS alignments in summary integrations and rebuilds.
+func (m *Manager) SetCancel(fn func() bool) {
+	m.cancel = fn
+	for _, s := range m.csgs {
+		s.cancel = fn
+	}
+}
+
 // BuildAll constructs summaries for every cluster.
 func (m *Manager) BuildAll(cl *cluster.Clustering) {
 	for _, c := range cl.Clusters() {
-		m.csgs[c.ID] = Build(c.ID, c.Members(), m.budget)
+		m.csgs[c.ID] = m.build(c.ID, c.Members())
 	}
+}
+
+func (m *Manager) build(clusterID int, members []*graph.Graph) *CSG {
+	return BuildWithCancel(clusterID, members, m.budget, m.cancel)
 }
 
 // Get returns the summary of a cluster, or nil.
@@ -48,7 +62,7 @@ func (m *Manager) ClusterIDs() []int {
 func (m *Manager) OnAssign(clusterID int, g *graph.Graph) {
 	s := m.csgs[clusterID]
 	if s == nil {
-		s = Build(clusterID, nil, m.budget)
+		s = m.build(clusterID, nil)
 		m.csgs[clusterID] = s
 	}
 	s.Integrate(g)
@@ -71,7 +85,7 @@ func (m *Manager) OnRemove(clusterID, graphID int) {
 // clusters produced by fine clustering, whose membership changed
 // wholesale (§4.3).
 func (m *Manager) Rebuild(c *cluster.Cluster) {
-	m.csgs[c.ID] = Build(c.ID, c.Members(), m.budget)
+	m.csgs[c.ID] = m.build(c.ID, c.Members())
 }
 
 // Sync reconciles the manager with the clustering: summaries for

@@ -1,0 +1,79 @@
+// Package faultinject provides named failpoints for crash and error
+// injection in tests. Production code calls Hit(name) at interesting
+// pipeline stages; tests arm individual failpoints with Enable or
+// EnableErr to force an error return at exactly that stage.
+//
+// The disabled path is a single atomic load, so failpoints are cheap
+// enough to leave compiled into hot maintenance code.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the default error returned by an armed failpoint.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+var (
+	armed int64 // number of currently armed failpoints (fast path)
+
+	mu     sync.Mutex
+	points map[string]error
+)
+
+// Enable arms the named failpoint with the default ErrInjected error.
+func Enable(name string) { EnableErr(name, nil) }
+
+// EnableErr arms the named failpoint with a specific error. A nil err
+// arms it with ErrInjected wrapped with the failpoint name.
+func EnableErr(name string, err error) {
+	if err == nil {
+		err = fmt.Errorf("%w at %s", ErrInjected, name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]error)
+	}
+	if _, ok := points[name]; !ok {
+		atomic.AddInt64(&armed, 1)
+	}
+	points[name] = err
+}
+
+// Disable disarms the named failpoint. Disarming an unarmed failpoint
+// is a no-op.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		atomic.AddInt64(&armed, -1)
+	}
+}
+
+// Reset disarms every failpoint. Tests should defer this.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	if n := int64(len(points)); n > 0 {
+		atomic.AddInt64(&armed, -n)
+	}
+	points = nil
+}
+
+// Hit reports whether the named failpoint is armed: it returns the
+// armed error, or nil when the failpoint is disarmed. When no
+// failpoints are armed at all (the production case) Hit costs one
+// atomic load.
+func Hit(name string) error {
+	if atomic.LoadInt64(&armed) == 0 {
+		return nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return points[name]
+}

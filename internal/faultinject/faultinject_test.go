@@ -1,0 +1,56 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	defer Reset()
+	if err := Hit("nope"); err != nil {
+		t.Fatalf("Hit on disarmed failpoint = %v", err)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	defer Reset()
+	Enable("a")
+	if err := Hit("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Hit(a) = %v, want ErrInjected", err)
+	}
+	if err := Hit("b"); err != nil {
+		t.Fatalf("Hit(b) = %v, want nil", err)
+	}
+	Disable("a")
+	if err := Hit("a"); err != nil {
+		t.Fatalf("Hit(a) after Disable = %v", err)
+	}
+}
+
+func TestEnableErr(t *testing.T) {
+	defer Reset()
+	custom := errors.New("boom")
+	EnableErr("x", custom)
+	if err := Hit("x"); !errors.Is(err, custom) {
+		t.Fatalf("Hit(x) = %v, want boom", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	Enable("a")
+	Enable("b")
+	Reset()
+	if err := Hit("a"); err != nil {
+		t.Fatal("Reset did not disarm a")
+	}
+	if err := Hit("b"); err != nil {
+		t.Fatal("Reset did not disarm b")
+	}
+	// Double-enable must not double-count the armed counter.
+	Enable("c")
+	Enable("c")
+	Reset()
+	if err := Hit("c"); err != nil {
+		t.Fatal("Reset did not disarm c")
+	}
+}

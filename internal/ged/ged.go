@@ -162,6 +162,13 @@ func editCostOfMapping(a, b *graph.Graph, mapping []int) float64 {
 // the true distance... it is the bipartite bound if the search yielded
 // nothing better).
 func Exact(a, b *graph.Graph, maxNodes int) (float64, bool) {
+	return ExactCancel(a, b, maxNodes, nil)
+}
+
+// ExactCancel is Exact with an optional cancellation hook polled in the
+// A* expansion loop alongside the node budget; when it fires, the best
+// upper bound found so far is returned (marked inexact).
+func ExactCancel(a, b *graph.Graph, maxNodes int, cancel func() bool) (float64, bool) {
 	if maxNodes <= 0 {
 		maxNodes = 400000
 	}
@@ -198,6 +205,9 @@ func Exact(a, b *graph.Graph, maxNodes int) (float64, bool) {
 		}
 		expanded++
 		if expanded > maxNodes {
+			return upper, false
+		}
+		if cancel != nil && expanded&0xFF == 0 && cancel() {
 			return upper, false
 		}
 		av := orderA[len(cur.mapping)]
@@ -379,8 +389,14 @@ func (q *gedPQ) Pop() interface{} {
 // Distance returns a practical GED estimate: exact for small graphs
 // (within a default node budget), otherwise the bipartite upper bound.
 func Distance(a, b *graph.Graph) float64 {
+	return DistanceCancel(a, b, nil)
+}
+
+// DistanceCancel is Distance with an optional cancellation hook; on
+// cancellation the (cheap) bipartite upper bound is returned.
+func DistanceCancel(a, b *graph.Graph, cancel func() bool) float64 {
 	if a.Order()+b.Order() <= 16 {
-		if d, exact := Exact(a, b, 200000); exact {
+		if d, exact := ExactCancel(a, b, 200000, cancel); exact {
 			return d
 		}
 	}

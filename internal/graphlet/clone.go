@@ -1,0 +1,12 @@
+package graphlet
+
+// Clone returns a copy of the counter for transactional rollback.
+// Counts is a value type, so copying the per-graph map entries is a
+// full deep copy.
+func (c *Counter) Clone() *Counter {
+	out := &Counter{perGraph: make(map[int]Counts, len(c.perGraph)), total: c.total}
+	for id, counts := range c.perGraph {
+		out.perGraph[id] = counts
+	}
+	return out
+}

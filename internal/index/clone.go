@@ -1,0 +1,51 @@
+package index
+
+import "github.com/midas-graph/midas/internal/tree"
+
+// Clone returns a deep copy of the trie.
+func (t *Trie) Clone() *Trie {
+	return &Trie{root: t.root.clone(), nodes: t.nodes, terms: t.terms}
+}
+
+func (n *trieNode) clone() *trieNode {
+	c := &trieNode{
+		children: make(map[string]*trieNode, len(n.children)),
+		terminal: n.terminal,
+		key:      n.key,
+	}
+	for tok, child := range n.children {
+		c.children[tok] = child.clone()
+	}
+	return c
+}
+
+// Clone returns a deep copy of the indices for transactional rollback.
+// Feature rows are re-pointed at the trees of the given set — the
+// snapshot copy of the live tree set — so that posting-list mutations
+// on the live set cannot reach the cloned indices. Rows whose tree is
+// absent from the set (which should not happen while SyncFeatures keeps
+// them aligned) fall back to the original pointer.
+func (ix *Indices) Clone(set *tree.Set) *Indices {
+	out := &Indices{
+		Trie:     ix.Trie.Clone(),
+		TG:       ix.TG.Clone(),
+		TP:       ix.TP.Clone(),
+		EG:       ix.EG.Clone(),
+		EP:       ix.EP.Clone(),
+		features: make(map[string]*tree.Tree, len(ix.features)),
+		ife:      make(map[string]*tree.Tree, len(ix.ife)),
+	}
+	for key, f := range ix.features {
+		if t := set.Lookup(key); t != nil {
+			f = t
+		}
+		out.features[key] = f
+	}
+	for label, f := range ix.ife {
+		if t := set.EdgeTree(label); t != nil {
+			f = t
+		}
+		out.ife[label] = f
+	}
+	return out
+}

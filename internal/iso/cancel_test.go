@@ -1,0 +1,78 @@
+package iso
+
+import (
+	"testing"
+	"time"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+// cliqueAndPath builds an instance whose full enumeration is
+// astronomically large: a uniform-label path has ~n!/(n-k)! distinct
+// embeddings into a uniform clique, so only cancellation (or a Limit)
+// can stop CountEmbeddings.
+func cliqueAndPath(cliqueN, pathN int) (*graph.Graph, *graph.Graph) {
+	labels := make([]string, cliqueN)
+	for i := range labels {
+		labels[i] = "C"
+	}
+	clique := graph.Clique(0, labels...)
+	labels = make([]string, pathN)
+	for i := range labels {
+		labels[i] = "C"
+	}
+	return clique, graph.Path(1, labels...)
+}
+
+func TestCancelStopsUnboundedEnumeration(t *testing.T) {
+	clique, path := cliqueAndPath(18, 10)
+	polls := 0
+	n := CountEmbeddings(path, clique, Options{Cancel: func() bool {
+		polls++
+		return polls > 4
+	}})
+	// The true count is ~18!/8! ≈ 1.6e10; with the hook firing on the
+	// 5th poll the search visits at most a few poll intervals of steps.
+	if n > 1<<20 {
+		t.Fatalf("cancelled enumeration still produced %d embeddings", n)
+	}
+	if polls < 5 {
+		t.Fatalf("cancel hook polled only %d times; never fired mid-search", polls)
+	}
+}
+
+func TestCancelDeadlineIsPrompt(t *testing.T) {
+	clique, path := cliqueAndPath(20, 12)
+	deadline := time.Now().Add(20 * time.Millisecond)
+	start := time.Now()
+	CountEmbeddings(path, clique, Options{Cancel: func() bool {
+		return time.Now().After(deadline)
+	}})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline-based cancel took %v to stop the search", elapsed)
+	}
+}
+
+func TestCancelNilMatchesDefault(t *testing.T) {
+	clique, path := cliqueAndPath(8, 4)
+	want := CountEmbeddings(path, clique, Options{})
+	got := CountEmbeddings(path, clique, Options{Cancel: func() bool { return false }})
+	if got != want {
+		t.Fatalf("never-firing cancel changed the count: %d vs %d", got, want)
+	}
+}
+
+func TestMCCSCancelStopsSearch(t *testing.T) {
+	clique1, _ := cliqueAndPath(12, 2)
+	clique2, _ := cliqueAndPath(12, 2)
+	start := time.Now()
+	r := MCCSWithCancel(clique1, clique2, 1<<30, func() bool { return true })
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("always-firing cancel took %v", elapsed)
+	}
+	// A cancelled search may return a partial (even empty) subgraph;
+	// it must simply not hang or exceed the inputs.
+	if max := clique1.Order() * (clique1.Order() - 1) / 2; r.Size() > max {
+		t.Fatalf("cancelled MCCS returned impossible size %d", r.Size())
+	}
+}

@@ -24,6 +24,7 @@ type mccsState struct {
 	bestMap   []int
 	budget    int
 	steps     int
+	cancel    func() bool
 }
 
 // MCCSResult describes the best common connected subgraph found.
@@ -42,6 +43,14 @@ func (r MCCSResult) Size() int { return len(r.Edges) }
 // MCCS computes a maximum connected common subgraph of g1 and g2. budget
 // caps explored search nodes (<=0 means a generous default).
 func MCCS(g1, g2 *graph.Graph, budget int) MCCSResult {
+	return MCCSWithCancel(g1, g2, budget, nil)
+}
+
+// MCCSWithCancel is MCCS with an optional cancellation hook polled
+// alongside the step budget; when it fires, the search stops and the
+// best subgraph found so far is returned (marked inexact), exactly as
+// if the budget had run out.
+func MCCSWithCancel(g1, g2 *graph.Graph, budget int, cancel func() bool) MCCSResult {
 	if budget <= 0 {
 		budget = 200000
 	}
@@ -61,6 +70,7 @@ func MCCS(g1, g2 *graph.Graph, budget int) MCCSResult {
 		used2:     make([]bool, g2.Order()),
 		edgesUsed: make(map[graph.Edge]bool),
 		budget:    budget,
+		cancel:    cancel,
 	}
 	for i := range s.map12 {
 		s.map12[i] = -1
@@ -145,6 +155,10 @@ func (s *mccsState) extend() {
 	if s.steps >= s.budget {
 		return
 	}
+	if s.cancel != nil && s.steps&0x3FF == 0 && s.cancel() {
+		s.steps = s.budget // drain: every budget check now exits
+		return
+	}
 	s.steps++
 	if len(s.cur) > len(s.best) {
 		s.best = append(s.best[:0:0], s.cur...)
@@ -214,6 +228,11 @@ func remainingEdges(g *graph.Graph, used map[graph.Edge]bool) int {
 // MCCSSimilarity returns ω_MCCS(g1,g2) = |MCCS| / min(|G1|,|G2|), in
 // [0,1]. Graphs without edges have similarity 0.
 func MCCSSimilarity(g1, g2 *graph.Graph, budget int) float64 {
+	return MCCSSimilarityCancel(g1, g2, budget, nil)
+}
+
+// MCCSSimilarityCancel is MCCSSimilarity with a cancellation hook.
+func MCCSSimilarityCancel(g1, g2 *graph.Graph, budget int, cancel func() bool) float64 {
 	minSize := g1.Size()
 	if g2.Size() < minSize {
 		minSize = g2.Size()
@@ -221,5 +240,5 @@ func MCCSSimilarity(g1, g2 *graph.Graph, budget int) float64 {
 	if minSize == 0 {
 		return 0
 	}
-	return float64(MCCS(g1, g2, budget).Size()) / float64(minSize)
+	return float64(MCCSWithCancel(g1, g2, budget, cancel).Size()) / float64(minSize)
 }

@@ -24,6 +24,12 @@ type Options struct {
 	// MaxSteps caps the number of search-tree nodes explored. Zero means
 	// no cap. When the cap is hit, results are lower bounds.
 	MaxSteps int
+
+	// Cancel, when non-nil, is polled periodically during the search
+	// (alongside the step budget); returning true abandons the search
+	// as if the step budget were exhausted. It lets callers propagate
+	// context cancellation into long-running matches.
+	Cancel func() bool
 }
 
 // state carries one VF2 search. Pattern vertices are matched in a fixed
@@ -123,6 +129,10 @@ func (s *state) feasible(pv, gv int) bool {
 // It returns false if the caller's emit requested a stop.
 func (s *state) search(depth int) bool {
 	if s.opts.MaxSteps > 0 && s.steps >= s.opts.MaxSteps {
+		s.stepsCap = true
+		return false
+	}
+	if s.opts.Cancel != nil && s.steps&0x3FF == 0 && s.opts.Cancel() {
 		s.stepsCap = true
 		return false
 	}

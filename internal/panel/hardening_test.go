@@ -1,0 +1,143 @@
+package panel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/midas-graph/midas"
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/dataset"
+)
+
+func TestHealthEndpoints(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/readyz while ready = %d", rec.Code)
+	}
+
+	s.SetReady(false)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining = %d, want 503", rec.Code)
+	}
+	// Liveness is unaffected by draining.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz while draining = %d", rec.Code)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	s, _ := testServer(t)
+	var logged []string
+	s.Logf = func(format string, args ...interface{}) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}
+	h := s.withRecovery(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("poisoned request")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/patterns", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("recovered panic status = %d, want 500", rec.Code)
+	}
+	if len(logged) == 0 || !strings.Contains(logged[0], "poisoned request") {
+		t.Fatalf("panic not logged: %v", logged)
+	}
+}
+
+func TestMaintainStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{midas.ErrConflict, http.StatusConflict},
+		{fmt.Errorf("wrap: %w", midas.ErrConflict), http.StatusConflict},
+		{midas.ErrInvalidUpdate, http.StatusBadRequest},
+		{fmt.Errorf("wrap: %w", midas.ErrInvalidUpdate), http.StatusBadRequest},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, http.StatusServiceUnavailable},
+		{errors.New("disk on fire"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := statusForError(tc.err); got != tc.want {
+			t.Fatalf("statusForError(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestMaintainUnknownDeleteIs400(t *testing.T) {
+	s, eng := testServer(t)
+	before := eng.DB().Len()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec,
+		httptest.NewRequest(http.MethodPost, "/maintain?delete=99999", strings.NewReader("")))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown delete = %d, want 400; body=%s", rec.Code, rec.Body.String())
+	}
+	if eng.DB().Len() != before {
+		t.Fatal("rejected update mutated the database")
+	}
+}
+
+func TestMaintainTimeoutReturns504(t *testing.T) {
+	s, eng := testServer(t)
+	s.SetRequestTimeout(time.Nanosecond)
+	before := eng.DB().Len()
+	ins := dataset.BoronicEsters().Generate(3, 9000, 5)
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec,
+		httptest.NewRequest(http.MethodPost, "/maintain", strings.NewReader(graph.Marshal(ins))))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline = %d, want 504; body=%s", rec.Code, rec.Body.String())
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("expired deadline took %v to surface", elapsed)
+	}
+	// Transactional: the timed-out maintenance left no trace.
+	if eng.DB().Len() != before {
+		t.Fatal("timed-out maintenance mutated the database")
+	}
+	// With the timeout lifted the same request succeeds.
+	s.SetRequestTimeout(0)
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec,
+		httptest.NewRequest(http.MethodPost, "/maintain", strings.NewReader(graph.Marshal(ins))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("retry after timeout = %d; body=%s", rec.Code, rec.Body.String())
+	}
+	if eng.DB().Len() != before+3 {
+		t.Fatalf("db len = %d, want %d", eng.DB().Len(), before+3)
+	}
+}
+
+func TestQueryTimeoutReturns504(t *testing.T) {
+	s, _ := testServer(t)
+	s.SetRequestTimeout(time.Nanosecond)
+	q := graph.Marshal([]*graph.Graph{graph.Path(0, "C", "C")})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec,
+		httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(q)))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expired query deadline = %d, want 504; body=%s", rec.Code, rec.Body.String())
+	}
+}

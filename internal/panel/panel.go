@@ -7,13 +7,18 @@
 package panel
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/midas-graph/midas"
 	"github.com/midas-graph/midas/graph"
@@ -22,22 +27,49 @@ import (
 // Server wraps an engine with HTTP handlers. All handlers serialise on
 // one mutex: the engine is not safe for concurrent mutation, and panel
 // traffic is interactive-scale.
+//
+// The handler chain is hardened for unattended deployment: a panicking
+// handler is recovered to a 500 instead of killing the process, every
+// request runs under an optional deadline (SetRequestTimeout) that
+// propagates into Maintain and Query cancellation, and /healthz and
+// /readyz expose liveness and readiness for process supervisors.
 type Server struct {
 	mu     sync.Mutex
 	engine *midas.Engine
 	opts   midas.Options
+
+	// timeout bounds each request (0 = none). Set before serving.
+	timeout time.Duration
+	// ready gates /readyz; flipped off during shutdown drain.
+	ready atomic.Bool
+
+	// Logf, if set, receives diagnostic lines (e.g. log.Printf):
+	// recovered panics and response-encoding failures.
+	Logf func(format string, args ...interface{})
 }
 
-// New wraps an engine.
+// New wraps an engine. The server starts ready (the engine is already
+// bootstrapped by construction); SetReady(false) drains /readyz.
 func New(engine *midas.Engine, opts midas.Options) *Server {
-	return &Server{engine: engine, opts: opts}
+	s := &Server{engine: engine, opts: opts}
+	s.ready.Store(true)
+	return s
 }
 
 // Locker exposes the server's engine mutex so out-of-band writers (the
 // spool Watcher) can serialise with HTTP handlers.
 func (s *Server) Locker() sync.Locker { return &s.mu }
 
-// Handler returns the route table.
+// SetRequestTimeout bounds every request's context (0 disables). Call
+// before serving traffic.
+func (s *Server) SetRequestTimeout(d time.Duration) { s.timeout = d }
+
+// SetReady flips the /readyz verdict; supervisors stop routing traffic
+// to a not-ready instance, letting shutdown drain gracefully.
+func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
+
+// Handler returns the route table wrapped in the recovery and timeout
+// middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -45,7 +77,71 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/quality", s.handleQuality)
 	mux.HandleFunc("/maintain", s.handleMaintain)
 	mux.HandleFunc("/query", s.handleQuery)
-	return mux
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	return s.withRecovery(s.withTimeout(mux))
+}
+
+// withRecovery turns a handler panic into a 500 so one poisoned request
+// cannot take the serving process down.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				if s.Logf != nil {
+					s.Logf("panel: panic serving %s: %v\n%s", r.URL.Path, p, debug.Stack())
+				}
+				http.Error(w, "internal server error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withTimeout applies the per-request deadline; handlers pass the
+// request context into MaintainContext / QueryContext, so the deadline
+// actually interrupts long engine work.
+func (s *Server) withTimeout(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+// statusForError maps engine errors to HTTP statuses: ID conflicts are
+// 409, other invalid updates 400, deadline expiry 504, client
+// cancellation 503, anything else 500.
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, midas.ErrConflict):
+		return http.StatusConflict
+	case errors.Is(err, midas.ErrInvalidUpdate):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
 }
 
 // patternJSON is the wire form of one canned pattern.
@@ -98,7 +194,7 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, pj)
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
@@ -109,13 +205,15 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	q := s.engine.Quality()
-	writeJSON(w, map[string]float64{
+	s.writeJSON(w, map[string]float64{
 		"scov": q.Scov, "lcov": q.Lcov, "div": q.Div, "cog": q.Cog, "score": q.Score(),
 	})
 }
 
 // handleMaintain accepts a batch update: the request body carries the
-// Δ+ graphs in the text format; ?delete=1,2,3 lists Δ- IDs.
+// Δ+ graphs in the text format; ?delete=1,2,3 lists Δ- IDs. The update
+// is shape-validated before colliding insert IDs are remapped, so junk
+// input is rejected as-is rather than partially rewritten.
 func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -145,10 +243,16 @@ func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
 			u.Delete = append(u.Delete, id)
 		}
 	}
+	if err := midas.ValidateShape(u); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	// Remap colliding insert IDs; clients often renumber from zero.
+	// Remap colliding insert IDs; clients often renumber from zero. The
+	// batch has passed shape validation, so remapping cannot mask a
+	// malformed update.
 	next := s.engine.DB().NextID()
 	for _, g := range u.Insert {
 		if s.engine.DB().Has(g.ID) {
@@ -156,12 +260,12 @@ func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
 			next++
 		}
 	}
-	rep, err := s.engine.Maintain(u)
+	rep, err := s.engine.MaintainContext(r.Context(), u)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		http.Error(w, err.Error(), statusForError(err))
 		return
 	}
-	writeJSON(w, map[string]interface{}{
+	s.writeJSON(w, map[string]interface{}{
 		"inserted":         len(u.Insert),
 		"deleted":          len(u.Delete),
 		"graphletDistance": rep.GraphletDistance,
@@ -183,7 +287,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	qs, err := graph.Unmarshal(string(body))
-	if err != nil || len(qs) != 1 {
+	if err != nil {
+		http.Error(w, "bad query graph: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(qs) != 1 {
 		http.Error(w, "body must contain exactly one query graph", http.StatusBadRequest)
 		return
 	}
@@ -197,12 +305,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	results, stats := s.engine.Searcher().Query(qs[0], limit)
+	results, stats, err := s.engine.Searcher().QueryContext(r.Context(), qs[0], limit)
+	if err != nil {
+		http.Error(w, err.Error(), statusForError(err))
+		return
+	}
 	ids := make([]int, len(results))
 	for i, res := range results {
 		ids[i] = res.GraphID
 	}
-	writeJSON(w, map[string]interface{}{
+	s.writeJSON(w, map[string]interface{}{
 		"matches":    ids,
 		"candidates": stats.Candidates,
 		"pruned":     stats.Pruned,
@@ -239,9 +351,14 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, b.String())
 }
 
-func writeJSON(w http.ResponseWriter, v interface{}) {
+// writeJSON encodes v to the response. An encoding failure after the
+// status line is unrecoverable for the client, but it must not vanish:
+// it is reported through Logf.
+func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil && s.Logf != nil {
+		s.Logf("panel: encoding response: %v", err)
+	}
 }

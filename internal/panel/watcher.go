@@ -5,12 +5,14 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/midas-graph/midas"
 	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/store"
 )
 
 // Watcher applies periodic batch updates from a spool directory — the
@@ -20,6 +22,13 @@ import (
 // Δ+ batch in the text format; a `*.delete` file lists Δ- graph IDs,
 // one per line. Processed files are renamed with a ".done" suffix so a
 // restart does not replay them.
+//
+// With a Journal attached, each batch goes through the write-ahead
+// protocol (begin → apply → persist → applied → rename → done), giving
+// exactly-once application across crashes: a batch journalled as
+// applied is never re-applied on restart, and one journalled as only
+// begun is safely re-applied because Maintain is transactional and the
+// persisted state bundle predates it.
 type Watcher struct {
 	Dir    string
 	Engine *midas.Engine
@@ -30,11 +39,44 @@ type Watcher struct {
 	OnBatch func(file string, rep midas.MaintenanceReport)
 	// Logf, if set, receives progress lines (e.g. log.Printf).
 	Logf func(format string, args ...interface{})
+
+	// Journal, if set, records each batch's lifecycle durably for
+	// exactly-once recovery. Persist is then called (under Locker)
+	// after every successful Maintain to save the state bundle; it
+	// receives the batch name and content checksum for the bundle
+	// metadata.
+	Journal *store.Journal
+	Persist func(name string, sum uint32) error
+	// LastApplied/LastAppliedSum seed recovery from the state bundle's
+	// metadata: a batch whose begin record survived a crash but whose
+	// effects are already in the loaded bundle is not re-applied.
+	LastApplied    string
+	LastAppliedSum uint32
+
+	// MaxRetries bounds how many failing scans a batch survives before
+	// it is quarantined (renamed *.failed) so it stops blocking the
+	// spool (0 = 3). Backoff delays rescans after a failure, doubling
+	// per consecutive failure (0 = none).
+	MaxRetries int
+	Backoff    time.Duration
+
+	retries  map[string]int
+	failures int // consecutive failing scans, drives Run's backoff
+}
+
+func (w *Watcher) maxRetries() int {
+	if w.MaxRetries <= 0 {
+		return 3
+	}
+	return w.MaxRetries
 }
 
 // Scan applies every pending spool file once, oldest name first, and
 // returns the number of batches applied. It is the unit the polling
-// loop calls; tests call it directly.
+// loop calls; tests call it directly. A failing batch stops the scan
+// (preserving batch order) and stays in place for inspection until it
+// has failed MaxRetries scans, after which it is renamed *.failed and
+// skipped.
 func (w *Watcher) Scan() (int, error) {
 	entries, err := os.ReadDir(w.Dir)
 	if err != nil {
@@ -53,62 +95,174 @@ func (w *Watcher) Scan() (int, error) {
 	sort.Strings(names)
 	applied := 0
 	for _, name := range names {
-		path := filepath.Join(w.Dir, name)
-		if w.Locker != nil {
-			w.Locker.Lock()
-		}
-		u, err := w.readBatch(path)
-		var rep midas.MaintenanceReport
-		if err == nil {
-			rep, err = w.Engine.Maintain(u)
-		}
-		if w.Locker != nil {
-			w.Locker.Unlock()
-		}
+		ok, err := w.processBatch(name)
 		if err != nil {
+			if w.noteFailure(name, err) {
+				continue // quarantined; the spool is unblocked
+			}
 			return applied, fmt.Errorf("panel: batch %s: %w", name, err)
 		}
-		if err := os.Rename(path, path+".done"); err != nil {
-			return applied, err
-		}
-		applied++
-		if w.Logf != nil {
-			w.Logf("applied %s: +%d/-%d graphs, major=%v, swaps=%d, pmt=%v",
-				name, len(u.Insert), len(u.Delete), rep.Major, rep.Swaps, rep.PMT)
-		}
-		if w.OnBatch != nil {
-			w.OnBatch(name, rep)
+		delete(w.retries, name)
+		if ok {
+			applied++
 		}
 	}
+	w.failures = 0
 	return applied, nil
 }
 
-// readBatch parses one spool file into an update.
-func (w *Watcher) readBatch(path string) (graph.Update, error) {
-	var u graph.Update
+// noteFailure counts a batch failure and quarantines the file once it
+// exhausts its retries. Reports whether the batch was quarantined.
+func (w *Watcher) noteFailure(name string, cause error) bool {
+	if w.retries == nil {
+		w.retries = make(map[string]int)
+	}
+	w.retries[name]++
+	w.failures++
+	if w.retries[name] < w.maxRetries() {
+		return false
+	}
+	path := filepath.Join(w.Dir, name)
+	if err := os.Rename(path, path+".failed"); err != nil {
+		if w.Logf != nil {
+			w.Logf("quarantining %s: %v", name, err)
+		}
+		return false
+	}
+	delete(w.retries, name)
+	if w.Logf != nil {
+		w.Logf("quarantined %s after %d attempts: %v", name, w.maxRetries(), cause)
+	}
+	return true
+}
+
+// processBatch runs one spool file through parse → journal begin →
+// maintain → persist → journal applied → rename → journal done.
+// Reports whether the batch was applied in this call (false when
+// recovery found it already applied and only the rename was replayed).
+func (w *Watcher) processBatch(name string) (bool, error) {
+	path := filepath.Join(w.Dir, name)
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return u, err
+		return false, err
 	}
+	sum := store.ChecksumBytes(data)
+
+	if w.alreadyApplied(name, sum) {
+		// Crash between persisting the bundle and renaming the spool
+		// file: finish the rename without re-applying.
+		if err := w.finishBatch(name, path); err != nil {
+			return false, err
+		}
+		if w.Logf != nil {
+			w.Logf("recovered %s: already applied, renamed only", name)
+		}
+		return false, nil
+	}
+
+	if w.Locker != nil {
+		w.Locker.Lock()
+	}
+	u, err := w.parseBatch(path, string(data))
+	var rep midas.MaintenanceReport
+	if err == nil && w.Journal != nil {
+		err = w.Journal.Begin(name, sum)
+	}
+	if err == nil {
+		rep, err = w.Engine.Maintain(u)
+	}
+	if err == nil && w.Persist != nil {
+		err = w.Persist(name, sum)
+	}
+	if w.Locker != nil {
+		w.Locker.Unlock()
+	}
+	if err != nil {
+		return false, err
+	}
+	if w.Journal != nil {
+		if err := w.Journal.MarkApplied(name); err != nil {
+			return false, err
+		}
+	}
+	if err := w.finishBatch(name, path); err != nil {
+		return false, err
+	}
+	if w.Logf != nil {
+		w.Logf("applied %s: +%d/-%d graphs, major=%v, swaps=%d, pmt=%v",
+			name, len(u.Insert), len(u.Delete), rep.Major, rep.Swaps, rep.PMT)
+	}
+	if w.OnBatch != nil {
+		w.OnBatch(name, rep)
+	}
+	return true, nil
+}
+
+// alreadyApplied reports whether recovery evidence shows the named
+// batch's effects are durably in the engine state: either the journal
+// has an applied record, or the state bundle's metadata names it as the
+// last applied batch (closing the crash window between persisting the
+// bundle and journalling "applied"). The checksum ties the verdict to
+// the file contents — a same-named batch with different content is new
+// work.
+func (w *Watcher) alreadyApplied(name string, sum uint32) bool {
+	if w.Journal != nil {
+		if st, jsum, ok := w.Journal.State(name); ok && jsum == sum && st >= store.Applied {
+			return true
+		}
+	}
+	return name == w.LastApplied && sum == w.LastAppliedSum
+}
+
+// finishBatch renames the spool file out of the way and journals done.
+func (w *Watcher) finishBatch(name, path string) error {
+	if err := os.Rename(path, path+".done"); err != nil {
+		return err
+	}
+	if w.Journal != nil {
+		// Ensure a done record exists even when recovery skipped Begin.
+		if _, _, ok := w.Journal.State(name); !ok {
+			if err := w.Journal.Begin(name, 0); err != nil {
+				return err
+			}
+		}
+		return w.Journal.MarkDone(name)
+	}
+	return nil
+}
+
+// parseBatch parses one spool file into an update, shape-validates it,
+// and only then remaps colliding insert IDs — junk input is rejected
+// before any rewriting.
+func (w *Watcher) parseBatch(path, data string) (graph.Update, error) {
+	var u graph.Update
 	if strings.HasSuffix(path, ".delete") {
-		for _, line := range strings.Split(string(data), "\n") {
+		for _, line := range strings.Split(data, "\n") {
 			line = strings.TrimSpace(line)
 			if line == "" || strings.HasPrefix(line, "#") {
 				continue
 			}
-			var id int
-			if _, err := fmt.Sscanf(line, "%d", &id); err != nil {
+			// Atoi, not Sscanf: "12abc" must be rejected, not read as 12.
+			id, err := strconv.Atoi(line)
+			if err != nil {
 				return u, fmt.Errorf("bad delete id %q", line)
 			}
 			u.Delete = append(u.Delete, id)
 		}
+		if err := midas.ValidateShape(u); err != nil {
+			return u, err
+		}
 		return u, nil
 	}
-	ins, err := graph.Unmarshal(string(data))
+	ins, err := graph.Unmarshal(data)
 	if err != nil {
 		return u, err
 	}
-	// Remap colliding IDs, as the HTTP endpoint does.
+	u.Insert = ins
+	if err := midas.ValidateShape(u); err != nil {
+		return u, err
+	}
+	// Remap colliding IDs, as the HTTP endpoint does — after validation.
 	next := w.Engine.DB().NextID()
 	for _, g := range ins {
 		if w.Engine.DB().Has(g.ID) {
@@ -116,14 +270,14 @@ func (w *Watcher) readBatch(path string) (graph.Update, error) {
 			next++
 		}
 	}
-	u.Insert = ins
 	return u, nil
 }
 
 // Run polls the spool directory until stop is closed. Errors are
 // reported through Logf and do not stop the loop (a malformed batch
 // file stays in place for the operator to inspect — and blocks later
-// files so ordering is preserved).
+// files so ordering is preserved — until quarantined after MaxRetries).
+// Consecutive failures back off exponentially from Backoff.
 func (w *Watcher) Run(interval time.Duration, stop <-chan struct{}) {
 	if interval <= 0 {
 		interval = time.Minute
@@ -131,8 +285,17 @@ func (w *Watcher) Run(interval time.Duration, stop <-chan struct{}) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {
-		if _, err := w.Scan(); err != nil && w.Logf != nil {
-			w.Logf("watcher: %v", err)
+		if _, err := w.Scan(); err != nil {
+			if w.Logf != nil {
+				w.Logf("watcher: %v", err)
+			}
+			if d := w.backoffDelay(); d > 0 {
+				select {
+				case <-stop:
+					return
+				case <-time.After(d):
+				}
+			}
 		}
 		select {
 		case <-stop:
@@ -140,4 +303,17 @@ func (w *Watcher) Run(interval time.Duration, stop <-chan struct{}) {
 		case <-ticker.C:
 		}
 	}
+}
+
+// backoffDelay doubles Backoff per consecutive failing scan, capped at
+// 32× so a poison batch cannot push the delay unboundedly.
+func (w *Watcher) backoffDelay() time.Duration {
+	if w.Backoff <= 0 || w.failures == 0 {
+		return 0
+	}
+	shift := w.failures - 1
+	if shift > 5 {
+		shift = 5
+	}
+	return w.Backoff << shift
 }

@@ -1,0 +1,57 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+func TestQueryContextCancelled(t *testing.T) {
+	e := fixtureEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rs, _, err := e.QueryContext(ctx, graph.Path(0, "C", "O"), Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(rs) != 0 {
+		t.Fatalf("cancelled query returned %d results", len(rs))
+	}
+}
+
+func TestQueryContextDeadlinePrompt(t *testing.T) {
+	// Many candidates: the expired deadline must stop the verify loop at
+	// its per-candidate check instead of grinding through all of them.
+	db := graph.NewDatabase()
+	for i := 0; i < 60; i++ {
+		db.Add(graph.Path(i, "C", "O", "C", "O", "C", "O"))
+	}
+	e := NewFromDB(db, 0.4, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	start := time.Now()
+	_, _, err := e.QueryContext(ctx, graph.Path(0, "C", "O"), Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("expired deadline took %v to surface", elapsed)
+	}
+}
+
+func TestQueryContextBackgroundMatchesQuery(t *testing.T) {
+	e := fixtureEngine()
+	q := graph.Path(0, "C", "O")
+	rs1, st1 := e.Query(q, Options{})
+	rs2, st2, err := e.QueryContext(context.Background(), q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs1) != len(rs2) || st1 != st2 {
+		t.Fatalf("QueryContext diverged: %v/%v vs %v/%v", rs1, st1, rs2, st2)
+	}
+}

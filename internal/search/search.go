@@ -11,6 +11,7 @@
 package search
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -126,9 +127,22 @@ func (e *Engine) labelFilter(q *graph.Graph, universe []int) []int {
 // each, plus the filter funnel statistics. Results are sorted by graph
 // ID; with a Limit, the lowest-ID matches win.
 func (e *Engine) Query(q *graph.Graph, opts Options) ([]Result, Stats) {
+	rs, st, _ := e.QueryContext(context.Background(), q, opts)
+	return rs, st
+}
+
+// QueryContext is Query with cancellation: ctx is checked between
+// candidate verifications and inside each VF2 search, so an expired
+// context stops a pathological verification promptly. On cancellation
+// the results gathered so far are returned along with ctx.Err().
+func (e *Engine) QueryContext(ctx context.Context, q *graph.Graph, opts Options) ([]Result, Stats, error) {
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = 400000
+	}
+	var cancel func() bool
+	if ctx.Done() != nil {
+		cancel = func() bool { return ctx.Err() != nil }
 	}
 	cand := e.candidates(q)
 	stats := Stats{Candidates: len(cand), Pruned: e.db.Len() - len(cand)}
@@ -138,7 +152,7 @@ func (e *Engine) Query(q *graph.Graph, opts Options) ([]Result, Stats) {
 		if g == nil {
 			return nil
 		}
-		m := iso.FindEmbedding(q, g, iso.Options{MaxSteps: maxSteps})
+		m := iso.FindEmbedding(q, g, iso.Options{MaxSteps: maxSteps, Cancel: cancel})
 		if m == nil {
 			return nil
 		}
@@ -150,6 +164,10 @@ func (e *Engine) Query(q *graph.Graph, opts Options) ([]Result, Stats) {
 		results = verifyParallel(cand, verify, opts.Workers)
 	} else {
 		for _, id := range cand {
+			if err := ctx.Err(); err != nil {
+				stats.Verified = len(results)
+				return results, stats, err
+			}
 			if r := verify(id); r != nil {
 				results = append(results, *r)
 			}
@@ -163,7 +181,7 @@ func (e *Engine) Query(q *graph.Graph, opts Options) ([]Result, Stats) {
 		results = results[:opts.Limit]
 	}
 	stats.Verified = len(results)
-	return results, stats
+	return results, stats, ctx.Err()
 }
 
 // verifyParallel fans verification across workers; the slice order is

@@ -1,0 +1,218 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EntryState is the lifecycle position of one journal entry.
+type EntryState int
+
+const (
+	// Begun: intent recorded, the batch may or may not have been
+	// applied — re-applying is safe because Maintain is transactional
+	// and the state bundle is only persisted after success.
+	Begun EntryState = iota
+	// Applied: the batch's effects are durably in the state bundle;
+	// the spool file must not be re-applied, only marked done.
+	Applied
+	// Done: fully processed (spool file renamed); kept only until the
+	// journal truncates.
+	Done
+)
+
+func (s EntryState) String() string {
+	switch s {
+	case Begun:
+		return "begun"
+	case Applied:
+		return "applied"
+	case Done:
+		return "done"
+	}
+	return fmt.Sprintf("EntryState(%d)", int(s))
+}
+
+type journalEntry struct {
+	state EntryState
+	sum   uint32
+}
+
+// Journal is an append-fsync write-ahead log for spool batch
+// processing. Each batch goes through three durable records:
+//
+//	begin <name> <crc32>   — written before Engine.Maintain
+//	applied <name>         — written after the state bundle is saved
+//	done <name>            — written after the spool file is renamed
+//
+// On restart, OpenJournal replays the records: a batch that is
+// "applied" but not "done" must be renamed without re-applying; a batch
+// that is only "begun" is re-applied (the pre-batch state bundle is
+// what's on disk). The checksum ties the record to the batch file's
+// contents, so a same-named file with different content is treated as a
+// new batch. When every entry reaches Done the journal truncates
+// itself.
+type Journal struct {
+	path    string
+	f       *os.File
+	entries map[string]*journalEntry
+}
+
+// OpenJournal opens (creating if needed) the journal at path and
+// replays any existing records. A torn trailing line — the crash
+// signature of an interrupted append — is ignored.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	j := &Journal{path: path, f: f, entries: make(map[string]*journalEntry)}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		j.replay(sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: read journal: %w", err)
+	}
+	end, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek journal: %w", err)
+	}
+	// Terminate a torn trailing line so later appends start fresh.
+	if end > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, end-1); err == nil && last[0] != '\n' {
+			if _, err := f.WriteString("\n"); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("store: journal repair: %w", err)
+			}
+		}
+	}
+	return j, nil
+}
+
+func (j *Journal) replay(line string) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return // blank or torn line
+	}
+	name := fields[1]
+	switch fields[0] {
+	case "begin":
+		if len(fields) < 3 {
+			return // torn: checksum missing
+		}
+		sum, err := strconv.ParseUint(fields[2], 16, 32)
+		if err != nil {
+			return
+		}
+		j.entries[name] = &journalEntry{state: Begun, sum: uint32(sum)}
+	case "applied":
+		if e := j.entries[name]; e != nil {
+			e.state = Applied
+		}
+	case "done":
+		if e := j.entries[name]; e != nil {
+			e.state = Done
+		}
+	}
+}
+
+func (j *Journal) append(line string) error {
+	if _, err := j.f.WriteString(line + "\n"); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Begin durably records the intent to apply the named batch with the
+// given content checksum. Re-beginning a batch (e.g. a retry after a
+// failed Maintain) refreshes its checksum.
+func (j *Journal) Begin(name string, sum uint32) error {
+	if err := j.append(fmt.Sprintf("begin %s %08x", name, sum)); err != nil {
+		return err
+	}
+	j.entries[name] = &journalEntry{state: Begun, sum: sum}
+	return nil
+}
+
+// MarkApplied durably records that the batch's effects are persisted.
+func (j *Journal) MarkApplied(name string) error {
+	e := j.entries[name]
+	if e == nil {
+		return fmt.Errorf("store: MarkApplied(%s): no begin record", name)
+	}
+	if err := j.append("applied " + name); err != nil {
+		return err
+	}
+	e.state = Applied
+	return nil
+}
+
+// MarkDone durably records that the batch's spool file was renamed.
+// When every tracked entry is done, the journal truncates to empty so
+// it never grows without bound.
+func (j *Journal) MarkDone(name string) error {
+	e := j.entries[name]
+	if e == nil {
+		return fmt.Errorf("store: MarkDone(%s): no begin record", name)
+	}
+	if err := j.append("done " + name); err != nil {
+		return err
+	}
+	e.state = Done
+	for _, e := range j.entries {
+		if e.state != Done {
+			return nil
+		}
+	}
+	return j.truncate()
+}
+
+func (j *Journal) truncate() error {
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: journal truncate: %w", err)
+	}
+	if _, err := j.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("store: journal seek: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: journal sync: %w", err)
+	}
+	j.entries = make(map[string]*journalEntry)
+	return nil
+}
+
+// State reports the recorded state and checksum of a batch name.
+func (j *Journal) State(name string) (EntryState, uint32, bool) {
+	e := j.entries[name]
+	if e == nil {
+		return 0, 0, false
+	}
+	return e.state, e.sum, true
+}
+
+// Pending returns the names (sorted) of entries that are not Done —
+// the crash-recovery work list.
+func (j *Journal) Pending() []string {
+	var out []string
+	for name, e := range j.entries {
+		if e.state != Done {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.f.Close() }

@@ -1,0 +1,80 @@
+// Package store provides the durability primitives of the serving
+// layer: atomic checksummed file writes (tmp + fsync + rename + parent
+// fsync) and an append-fsync batch journal giving the spool watcher
+// exactly-once semantics across crashes.
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteAtomic durably replaces the file at path with the bytes produced
+// by write: the content goes to a temporary file in the same directory,
+// is fsynced, renamed over path, and the parent directory is fsynced so
+// the rename itself survives a crash. On any error the temporary file
+// is removed and path is left untouched.
+func WriteAtomic(path string, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: create temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("store: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		tmpName = ""
+		return fmt.Errorf("store: rename %s: %w", path, err)
+	}
+	tmpName = "" // renamed; nothing to clean up
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename inside it is
+// durable. Filesystems that do not support directory fsync are
+// tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+// ChecksumBytes returns the IEEE CRC32 of b — the checksum family used
+// for both state bundles and journal batch fingerprints.
+func ChecksumBytes(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// ChecksumFile returns the IEEE CRC32 of the file's contents.
+func ChecksumFile(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	h := crc32.NewIEEE()
+	if _, err := io.Copy(h, f); err != nil {
+		return 0, err
+	}
+	return h.Sum32(), nil
+}

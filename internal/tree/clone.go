@@ -1,0 +1,40 @@
+package tree
+
+// Clone returns a deep copy of the set suitable for transactional
+// rollback: posting lists are copied so mutations of the original no
+// longer reach the clone. Tree graphs are shared (they are never
+// structurally mutated after mining). The identity aliasing between
+// the trees and edges maps — single-edge trees appear in both so their
+// postings stay shared (see Add) — is preserved in the clone.
+func (s *Set) Clone() *Set {
+	remap := make(map[*Tree]*Tree, len(s.trees)+len(s.edges))
+	cloneTree := func(t *Tree) *Tree {
+		if t == nil {
+			return nil
+		}
+		if c, ok := remap[t]; ok {
+			return c
+		}
+		post := make(map[int]struct{}, len(t.Post))
+		for id := range t.Post {
+			post[id] = struct{}{}
+		}
+		c := &Tree{G: t.G, Key: t.Key, Post: post}
+		remap[t] = c
+		return c
+	}
+	out := &Set{
+		SupMin:   s.SupMin,
+		MaxEdges: s.MaxEdges,
+		trees:    make(map[string]*Tree, len(s.trees)),
+		edges:    make(map[string]*Tree, len(s.edges)),
+		dbSize:   s.dbSize,
+	}
+	for k, t := range s.trees {
+		out.trees[k] = cloneTree(t)
+	}
+	for k, t := range s.edges {
+		out.edges[k] = cloneTree(t)
+	}
+	return out
+}

@@ -23,6 +23,7 @@
 package midas
 
 import (
+	"context"
 	"time"
 
 	"github.com/midas-graph/midas/graph"
@@ -30,6 +31,16 @@ import (
 	"github.com/midas-graph/midas/internal/cluster"
 	"github.com/midas-graph/midas/internal/core"
 	"github.com/midas-graph/midas/internal/tree"
+)
+
+// Update-validation sentinels: Maintain rejects a malformed batch with
+// an error wrapping ErrInvalidUpdate before touching any state.
+// ErrConflict (an inserted graph ID already present in the database)
+// wraps ErrInvalidUpdate, so errors.Is(err, ErrInvalidUpdate) holds for
+// both.
+var (
+	ErrInvalidUpdate = core.ErrInvalidUpdate
+	ErrConflict      = core.ErrConflict
 )
 
 // Budget is the pattern budget b = (η_min, η_max, γ): patterns have
@@ -191,6 +202,22 @@ func (e *Engine) Maintain(u graph.Update) (MaintenanceReport, error) {
 	rep, err := e.inner.Maintain(u)
 	return fromReport(rep), err
 }
+
+// MaintainContext is Maintain with cancellation: when ctx expires the
+// pipeline stops at the next stage boundary (or inside its long loops),
+// the pre-batch state is restored, and ctx.Err() is returned. Maintain
+// is transactional either way — any error rolls the engine back.
+func (e *Engine) MaintainContext(ctx context.Context, u graph.Update) (MaintenanceReport, error) {
+	rep, err := e.inner.MaintainContext(ctx, u)
+	return fromReport(rep), err
+}
+
+// ValidateShape checks a batch update's internal consistency — nil or
+// negatively-numbered graphs, duplicate insert or delete IDs — without
+// consulting any database. Serving layers use it to reject malformed
+// input before ID remapping; Maintain performs the full check
+// (including database conflicts) again regardless.
+func ValidateShape(u graph.Update) error { return core.ValidateShape(u) }
 
 // Quality evaluates the current pattern set against the current
 // database.

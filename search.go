@@ -1,6 +1,8 @@
 package midas
 
 import (
+	"context"
+
 	"github.com/midas-graph/midas/graph"
 	"github.com/midas-graph/midas/internal/search"
 )
@@ -56,6 +58,18 @@ func (s *Searcher) Query(q *graph.Graph, limit int) ([]QueryResult, QueryStats) 
 		out[i] = QueryResult{GraphID: r.GraphID, Embedding: r.Embedding}
 	}
 	return out, QueryStats{Candidates: st.Candidates, Pruned: st.Pruned, Verified: st.Verified}
+}
+
+// QueryContext is Query with cancellation: an expired ctx stops the
+// filter–verify loop (including a pathological VF2 search) promptly and
+// returns ctx.Err() along with whatever results were gathered.
+func (s *Searcher) QueryContext(ctx context.Context, q *graph.Graph, limit int) ([]QueryResult, QueryStats, error) {
+	rs, st, err := s.inner.QueryContext(ctx, q, search.Options{Limit: limit})
+	out := make([]QueryResult, len(rs))
+	for i, r := range rs {
+		out[i] = QueryResult{GraphID: r.GraphID, Embedding: r.Embedding}
+	}
+	return out, QueryStats{Candidates: st.Candidates, Pruned: st.Pruned, Verified: st.Verified}, err
 }
 
 // Count returns the number of data graphs containing q.

@@ -2,13 +2,16 @@ package midas
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"github.com/midas-graph/midas/graph"
 	"github.com/midas-graph/midas/internal/core"
+	"github.com/midas-graph/midas/internal/store"
 )
 
 // State persistence: a deployed interface maintains its pattern panel
@@ -20,47 +23,75 @@ import (
 //
 // The bundle layout is line-oriented:
 //
-//	MIDAS-STATE v1
-//	{json header: options + pattern IDs}
+//	MIDAS-STATE v2
+//	{json header: options + counts + payload crc32 + metadata}
 //	== database ==
 //	<graphs in the text format>
 //	== patterns ==
 //	<patterns in the text format>
+//
+// The header carries the IEEE CRC32 of everything after the header
+// line; LoadState verifies it, so a truncated or bit-flipped bundle is
+// rejected instead of silently booting a corrupt engine. v1 bundles
+// (no checksum) are still accepted for backward compatibility.
 
-const stateMagic = "MIDAS-STATE v1"
+const (
+	stateMagic   = "MIDAS-STATE v2"
+	stateMagicV1 = "MIDAS-STATE v1"
+)
 
 type stateHeader struct {
 	Options  Options `json:"options"`
 	Patterns int     `json:"patterns"`
 	Graphs   int     `json:"graphs"`
+	// CRC is the hex IEEE CRC32 of the payload (all bytes after the
+	// header line). Absent in v1 bundles.
+	CRC string `json:"crc32,omitempty"`
+	// Meta carries server bookkeeping (e.g. the last applied spool
+	// batch), closing the crash window between saving state and
+	// journalling the batch as applied.
+	Meta map[string]string `json:"meta,omitempty"`
 }
 
 // SaveState serialises the engine's database, options and current
 // pattern set to w.
 func SaveState(w io.Writer, e *Engine, opts Options) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, stateMagic); err != nil {
+	return SaveStateMeta(w, e, opts, nil)
+}
+
+// SaveStateMeta is SaveState with an attached metadata map, persisted
+// in the bundle header and returned by LoadStateMeta.
+func SaveStateMeta(w io.Writer, e *Engine, opts Options, meta map[string]string) error {
+	var payload bytes.Buffer
+	if _, err := fmt.Fprintln(&payload, "== database =="); err != nil {
 		return err
 	}
+	if err := graph.Write(&payload, e.DB().Graphs()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(&payload, "== patterns =="); err != nil {
+		return err
+	}
+	if err := graph.Write(&payload, e.Patterns()); err != nil {
+		return err
+	}
+
 	hdr := stateHeader{
 		Options:  opts,
 		Patterns: len(e.Patterns()),
 		Graphs:   e.DB().Len(),
+		CRC:      fmt.Sprintf("%08x", store.ChecksumBytes(payload.Bytes())),
+		Meta:     meta,
 	}
 	enc, err := json.Marshal(hdr)
 	if err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(bw, "%s\n== database ==\n", enc); err != nil {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s\n%s\n", stateMagic, enc); err != nil {
 		return err
 	}
-	if err := graph.Write(bw, e.DB().Graphs()); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintln(bw, "== patterns =="); err != nil {
-		return err
-	}
-	if err := graph.Write(bw, e.Patterns()); err != nil {
+	if _, err := bw.Write(payload.Bytes()); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -70,26 +101,54 @@ func SaveState(w io.Writer, e *Engine, opts Options) error {
 // engine: the maintained structures are re-derived from the database,
 // the pattern set is restored verbatim (selection is skipped).
 func LoadState(r io.Reader) (*Engine, error) {
+	e, _, err := LoadStateMeta(r)
+	return e, err
+}
+
+// LoadStateMeta is LoadState returning the metadata map stored in the
+// bundle header (nil for v1 bundles or when none was saved). The
+// payload checksum is verified for v2 bundles before anything is
+// decoded.
+func LoadStateMeta(r io.Reader) (*Engine, map[string]string, error) {
 	br := bufio.NewReader(r)
 	magic, err := br.ReadString('\n')
 	if err != nil {
-		return nil, fmt.Errorf("midas: reading state magic: %w", err)
+		return nil, nil, fmt.Errorf("midas: reading state magic: %w", err)
 	}
-	if strings.TrimSpace(magic) != stateMagic {
-		return nil, fmt.Errorf("midas: not a MIDAS state bundle (got %q)", strings.TrimSpace(magic))
+	version := 0
+	switch strings.TrimSpace(magic) {
+	case stateMagic:
+		version = 2
+	case stateMagicV1:
+		version = 1
+	default:
+		return nil, nil, fmt.Errorf("midas: not a MIDAS state bundle (got %q)", strings.TrimSpace(magic))
 	}
 	hdrLine, err := br.ReadString('\n')
 	if err != nil {
-		return nil, fmt.Errorf("midas: reading state header: %w", err)
+		return nil, nil, fmt.Errorf("midas: reading state header: %w", err)
 	}
 	var hdr stateHeader
 	if err := json.Unmarshal([]byte(hdrLine), &hdr); err != nil {
-		return nil, fmt.Errorf("midas: decoding state header: %w", err)
+		return nil, nil, fmt.Errorf("midas: decoding state header: %w", err)
 	}
 
 	rest, err := io.ReadAll(br)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if version >= 2 {
+		if hdr.CRC == "" {
+			return nil, nil, fmt.Errorf("midas: state bundle corrupt: v2 header missing checksum")
+		}
+		want, err := strconv.ParseUint(hdr.CRC, 16, 32)
+		if err != nil {
+			return nil, nil, fmt.Errorf("midas: state bundle corrupt: bad checksum %q", hdr.CRC)
+		}
+		if got := store.ChecksumBytes(rest); got != uint32(want) {
+			return nil, nil, fmt.Errorf("midas: state bundle corrupt: checksum %08x, header says %08x",
+				got, uint32(want))
+		}
 	}
 	text := string(rest)
 	dbMark := "== database ==\n"
@@ -97,33 +156,33 @@ func LoadState(r io.Reader) (*Engine, error) {
 	di := strings.Index(text, dbMark)
 	pi := strings.Index(text, patMark)
 	if di < 0 || pi < 0 || pi < di {
-		return nil, fmt.Errorf("midas: malformed state bundle: missing section markers")
+		return nil, nil, fmt.Errorf("midas: malformed state bundle: missing section markers")
 	}
 	dbText := text[di+len(dbMark) : pi]
 	patText := text[pi+len(patMark):]
 
 	graphs, err := graph.Unmarshal(dbText)
 	if err != nil {
-		return nil, fmt.Errorf("midas: decoding database section: %w", err)
+		return nil, nil, fmt.Errorf("midas: decoding database section: %w", err)
 	}
 	if len(graphs) != hdr.Graphs {
-		return nil, fmt.Errorf("midas: state bundle corrupt: %d graphs, header says %d",
+		return nil, nil, fmt.Errorf("midas: state bundle corrupt: %d graphs, header says %d",
 			len(graphs), hdr.Graphs)
 	}
 	db := graph.NewDatabase()
 	for _, g := range graphs {
 		if err := db.Add(g); err != nil {
-			return nil, fmt.Errorf("midas: state database: %w", err)
+			return nil, nil, fmt.Errorf("midas: state database: %w", err)
 		}
 	}
 	patterns, err := graph.Unmarshal(patText)
 	if err != nil {
-		return nil, fmt.Errorf("midas: decoding patterns section: %w", err)
+		return nil, nil, fmt.Errorf("midas: decoding patterns section: %w", err)
 	}
 	if len(patterns) != hdr.Patterns {
-		return nil, fmt.Errorf("midas: state bundle corrupt: %d patterns, header says %d",
+		return nil, nil, fmt.Errorf("midas: state bundle corrupt: %d patterns, header says %d",
 			len(patterns), hdr.Patterns)
 	}
 	inner := core.NewEngineWithPatterns(db, hdr.Options.toCore(), patterns)
-	return &Engine{inner: inner}, nil
+	return &Engine{inner: inner}, hdr.Meta, nil
 }
