@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench figures fuzz clean
+.PHONY: all build test vet fmt race bench bench-smoke figures fuzz clean
 
 all: build test
 
@@ -12,16 +12,26 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fails when any file needs gofmt (the CI gate).
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test: vet
 	$(GO) test ./...
 
-# The CI gate: everything test runs, under the race detector.
+# The CI gate: everything test runs, under the race detector. The
+# timeout covers the experiments package, which outlasts Go's default
+# 600s per-package limit under the detector's slowdown.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 1800s ./...
 
 # One testing.B benchmark per paper figure + ablations.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Compile and run every benchmark exactly once (the CI smoke).
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Full paper-style tables (about 15 minutes at the small scale).
 figures:

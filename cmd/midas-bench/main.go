@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,12 +19,33 @@ import (
 	"github.com/midas-graph/midas/internal/experiments"
 )
 
+// jsonResults is the -json output document; the schema is documented
+// in EXPERIMENTS.md ("midas-bench/1").
+type jsonResults struct {
+	Schema   string                   `json:"schema"`
+	Scale    string                   `json:"scale"`
+	Seed     int64                    `json:"seed"`
+	Figures  []jsonFigure             `json:"figures"`
+	Maintain []experiments.BatchTrace `json:"maintain"`
+	Timings  map[string]float64       `json:"figureSeconds"`
+}
+
+// jsonFigure is one emitted table in machine-readable form.
+type jsonFigure struct {
+	Figure string     `json:"figure"`
+	Index  int        `json:"index"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
 func main() {
 	var (
-		figs   = flag.String("fig", "all", "comma-separated figures to run: 9,10,11,12,13,14,15,16,ex1,supmin,gamma,discover,robust or all")
-		scale  = flag.String("scale", "small", "experiment scale: tiny | small | default")
-		seed   = flag.Int64("seed", 0, "override the scale preset's random seed (0 = preset)")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		figs     = flag.String("fig", "all", "comma-separated figures to run: 9,10,11,12,13,14,15,16,ex1,supmin,gamma,discover,robust or all")
+		scale    = flag.String("scale", "small", "experiment scale: tiny | small | default")
+		seed     = flag.Int64("seed", 0, "override the scale preset's random seed (0 = preset)")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		jsonPath = flag.String("json", "", `write machine-readable results (tables + per-batch maintenance trace) to this file ("-" = stdout)`)
 	)
 	flag.Parse()
 
@@ -61,8 +83,20 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	results := jsonResults{
+		Schema:  "midas-bench/1",
+		Scale:   *scale,
+		Seed:    s.Seed,
+		Timings: map[string]float64{},
+	}
 	emit := func(name string, idx int, t *experiments.Table) {
 		fmt.Print(t)
+		if *jsonPath != "" {
+			results.Figures = append(results.Figures, jsonFigure{
+				Figure: name, Index: idx, Title: t.Title,
+				Header: t.Header, Rows: t.Rows,
+			})
+		}
 		if *csvDir == "" {
 			return
 		}
@@ -77,7 +111,9 @@ func main() {
 		}
 		start := time.Now()
 		fn()
-		fmt.Printf("(figure %s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		results.Timings[name] = elapsed.Seconds()
+		fmt.Printf("(figure %s completed in %v)\n\n", name, elapsed.Round(time.Millisecond))
 	}
 
 	run("9", func() { emit("9", 0, experiments.Fig9UserStudy(s).Table()) })
@@ -111,4 +147,33 @@ func main() {
 	run("robust", func() {
 		emit("robust", 0, experiments.SeedRobustness(s, []int64{1, 2, 3}).Table())
 	})
+
+	if *jsonPath == "" {
+		return
+	}
+	// The maintenance trace is the per-batch view the tables aggregate
+	// away: stage breakdown, kernel work, and quality after each batch.
+	start := time.Now()
+	results.Maintain = experiments.MaintainTrace(s)
+	results.Timings["maintain-trace"] = time.Since(start).Seconds()
+
+	out := os.Stdout
+	if *jsonPath != "-" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "midas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(os.Stderr, "midas-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonPath != "-" {
+		fmt.Printf("json results written to %s\n", *jsonPath)
+	}
 }

@@ -92,11 +92,15 @@ func main() {
 	}
 	fmt.Printf("\nmaintenance: Δ+=%d Δ-=%d graphlet-dist=%.4f major=%v\n",
 		len(u.Insert), len(u.Delete), rep.GraphletDistance, rep.Major)
-	fmt.Printf("PMT=%v PGT=%v (cluster=%v fct=%v csg=%v index=%v) swaps=%d candidates=%d\n",
+	fmt.Printf("PMT=%v PGT=%v swaps=%d candidates=%d scans=%d\n",
 		rep.PMT.Round(timeUnit), rep.PGT.Round(timeUnit),
-		rep.ClusterTime.Round(timeUnit), rep.FCTTime.Round(timeUnit),
-		rep.CSGTime.Round(timeUnit), rep.IndexTime.Round(timeUnit),
-		rep.Swaps, rep.Candidates)
+		rep.Swaps, rep.Candidates, rep.Scans)
+	fmt.Printf("stages:")
+	for _, st := range rep.Stages() {
+		fmt.Printf(" %s=%v", st.Name, st.Duration.Round(timeUnit))
+	}
+	fmt.Printf("\nkernels: vf2-steps=%d mccs-steps=%d ged-nodes=%d\n",
+		rep.VF2Steps, rep.MCCSSteps, rep.GEDNodes)
 	printQuality("maintained", eng.Quality())
 
 	if *dump {

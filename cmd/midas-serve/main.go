@@ -17,6 +17,9 @@
 //	POST /query?limit=N  body: one query graph (text format)
 //	GET  /healthz        liveness (always 200 while the process serves)
 //	GET  /readyz         readiness (503 while draining for shutdown)
+//	GET  /metrics        Prometheus text-format metrics
+//	GET  /debug/vars     the same metrics as expvar-style JSON
+//	GET  /debug/pprof/   net/http/pprof (only with -pprof)
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: readiness flips
 // to draining, in-flight requests finish, the spool watcher stops, the
@@ -31,7 +34,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -42,8 +44,12 @@ import (
 
 	"github.com/midas-graph/midas"
 	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/catapult"
+	"github.com/midas-graph/midas/internal/ged"
+	"github.com/midas-graph/midas/internal/iso"
 	"github.com/midas-graph/midas/internal/panel"
 	"github.com/midas-graph/midas/internal/store"
+	"github.com/midas-graph/midas/internal/telemetry"
 )
 
 // Bundle metadata keys tying the saved state to the spool journal.
@@ -70,8 +76,12 @@ func main() {
 		reqTimeout = flag.Duration("timeout", 2*time.Minute, "per-request deadline (0 disables)")
 		retries    = flag.Int("retries", 3, "failing scans before a spool batch is quarantined as *.failed")
 		backoff    = flag.Duration("backoff", 5*time.Second, "base rescan backoff after a spool failure (doubles per consecutive failure)")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: leaks process internals)")
 	)
 	flag.Parse()
+
+	// Leveled stderr logging; MIDAS_LOG_LEVEL=debug|info|warn|error.
+	logger := telemetry.NewLoggerFromEnv(os.Stderr)
 
 	opts := midas.Options{
 		Budget:  midas.Budget{MinSize: *minSize, MaxSize: *maxSize, Count: *gamma},
@@ -88,41 +98,61 @@ func main() {
 	case *statePath != "":
 		f, err := os.Open(*statePath)
 		if err != nil {
-			log.Fatalf("midas-serve: %v", err)
+			logger.Fatalf("midas-serve: %v", err)
 		}
 		eng, meta, err = midas.LoadStateMeta(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("midas-serve: %v", err)
+			logger.Fatalf("midas-serve: %v", err)
 		}
-		log.Printf("restored state: %d graphs, %d patterns", eng.DB().Len(), len(eng.Patterns()))
+		logger.Infof("restored state: %d graphs, %d patterns", eng.DB().Len(), len(eng.Patterns()))
 	case *dbPath != "":
 		f, err := os.Open(*dbPath)
 		if err != nil {
-			log.Fatalf("midas-serve: %v", err)
+			logger.Fatalf("midas-serve: %v", err)
 		}
 		graphs, err := graph.Read(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("midas-serve: %v", err)
+			logger.Fatalf("midas-serve: %v", err)
 		}
 		db := graph.NewDatabase()
 		for _, g := range graphs {
 			if err := db.Add(g); err != nil {
-				log.Fatalf("midas-serve: %v", err)
+				logger.Fatalf("midas-serve: %v", err)
 			}
 		}
-		log.Printf("bootstrapping over %d graphs...", db.Len())
+		logger.Infof("bootstrapping over %d graphs...", db.Len())
 		eng = midas.New(db, opts)
-		log.Printf("selected %d patterns in %v", len(eng.Patterns()), eng.BootstrapTime())
+		logger.Infof("selected %d patterns in %v", len(eng.Patterns()), eng.BootstrapTime())
 	default:
 		fmt.Fprintln(os.Stderr, "midas-serve: one of -db or -state is required")
 		os.Exit(1)
 	}
 
 	srv := panel.New(eng, opts)
-	srv.Logf = log.Printf
+	srv.SetLogger(logger)
 	srv.SetRequestTimeout(*reqTimeout)
+
+	// Telemetry: one registry backs /metrics and /debug/vars, fed by the
+	// panel middleware, the engine's maintenance pipeline, and the
+	// process-wide kernel counters.
+	reg := telemetry.NewRegistry()
+	srv.SetTelemetry(reg)
+	eng.SetTelemetry(reg)
+	iso.RegisterMetrics(reg)
+	ged.RegisterMetrics(reg)
+	catapult.RegisterMetrics(reg)
+	procStart := time.Now()
+	reg.NewGaugeFunc("midas_serve_uptime_seconds",
+		"Seconds since the serving process started.",
+		func() float64 { return time.Since(procStart).Seconds() })
+	saveSeconds := reg.NewHistogram("midas_state_save_seconds",
+		"Wall-clock seconds per state-bundle save.", nil)
+	if *pprofOn {
+		srv.EnablePprof()
+		logger.Warnf("pprof endpoints enabled on /debug/pprof/")
+	}
 
 	// lastMeta tracks the most recently persisted batch so the shutdown
 	// save keeps the journal reconciliation metadata intact.
@@ -140,6 +170,8 @@ func main() {
 			m[k] = v
 		}
 		metaMu.Unlock()
+		sp := saveSeconds.Start()
+		defer sp.End()
 		return store.WriteAtomic(*savePath, func(w io.Writer) error {
 			return midas.SaveStateMeta(w, eng, opts, m)
 		})
@@ -152,7 +184,7 @@ func main() {
 		w := &panel.Watcher{
 			Dir:        *watchDir,
 			Engine:     eng,
-			Logf:       log.Printf,
+			Logf:       logger.Printf,
 			Locker:     srv.Locker(),
 			MaxRetries: *retries,
 			Backoff:    *backoff,
@@ -165,7 +197,7 @@ func main() {
 			var err error
 			journal, err = store.OpenJournal(jp)
 			if err != nil {
-				log.Fatalf("midas-serve: %v", err)
+				logger.Fatalf("midas-serve: %v", err)
 			}
 			w.Journal = journal
 			w.Persist = func(name string, sum uint32) error {
@@ -186,35 +218,35 @@ func main() {
 			defer watchWG.Done()
 			w.Run(*watchIvl, stopWatch)
 		}()
-		log.Printf("watching %s every %v", *watchDir, *watchIvl)
+		logger.Infof("watching %s every %v", *watchDir, *watchIvl)
 	}
 
 	handler := srv.Handler()
 	if *savePath != "" {
-		handler = withStateSaving(handler, saveBundle)
+		handler = withStateSaving(handler, saveBundle, logger)
 	}
 
 	server := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
-	log.Printf("serving pattern panel on %s", *addr)
+	logger.Infof("serving pattern panel on %s", *addr)
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	select {
 	case err := <-errCh:
-		log.Fatalf("midas-serve: %v", err)
+		logger.Fatalf("midas-serve: %v", err)
 	case <-ctx.Done():
 	}
 
 	// Graceful shutdown: drain readiness, finish in-flight requests,
 	// stop the watcher, persist state, exit 0.
-	log.Printf("signal received; draining...")
+	logger.Infof("signal received; draining...")
 	srv.SetReady(false)
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer shutCancel()
 	if err := server.Shutdown(shutCtx); err != nil {
-		log.Printf("midas-serve: shutdown: %v", err)
+		logger.Warnf("midas-serve: shutdown: %v", err)
 	}
 	close(stopWatch)
 	watchWG.Wait()
@@ -223,22 +255,22 @@ func main() {
 	}
 	if *savePath != "" {
 		if err := saveBundle(); err != nil {
-			log.Fatalf("midas-serve: saving state on shutdown: %v", err)
+			logger.Fatalf("midas-serve: saving state on shutdown: %v", err)
 		}
-		log.Printf("state saved to %s", *savePath)
+		logger.Infof("state saved to %s", *savePath)
 	}
-	log.Printf("bye")
+	logger.Infof("bye")
 }
 
 // withStateSaving persists the bundle after each successful POST
 // /maintain so a restart picks up the maintained panel.
-func withStateSaving(next http.Handler, save func() error) http.Handler {
+func withStateSaving(next http.Handler, save func() error, logger *telemetry.Logger) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
 		if r.Method == http.MethodPost && r.URL.Path == "/maintain" && rec.status == http.StatusOK {
 			if err := save(); err != nil {
-				log.Printf("midas-serve: saving state: %v", err)
+				logger.Errorf("midas-serve: saving state: %v", err)
 			}
 		}
 	})

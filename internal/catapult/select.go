@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/midas-graph/midas/graph"
 	"github.com/midas-graph/midas/internal/cluster"
@@ -107,6 +108,7 @@ func (s *Selector) Weights(clusterID int) map[graph.Edge]float64 {
 // Select runs the full greedy loop and returns up to γ patterns, IDs
 // assigned from nextID upward.
 func (s *Selector) Select(nextID int) []*graph.Graph {
+	defer func(t0 time.Time) { flushSelect(time.Since(t0)) }(time.Now())
 	var selected []*graph.Graph
 	perSize := make(map[int]int)
 	cap := s.cfg.Budget.PerSizeCap()
@@ -144,7 +146,10 @@ func (c *Candidate) ClusterID() int { return c.clusterID }
 // edge (§2.3), subject to the pruner (§5.2). Duplicate structures are
 // removed.
 func (s *Selector) GenerateFCPs(clusterIDs []int) []*Candidate {
+	t0 := time.Now()
+	walks := 0
 	var out []*Candidate
+	defer func() { flushGenerate(time.Since(t0), len(out), walks) }()
 	seen := make(map[string]struct{})
 	for _, cid := range clusterIDs {
 		if s.cfg.Cancel != nil && s.cfg.Cancel() {
@@ -154,7 +159,8 @@ func (s *Selector) GenerateFCPs(clusterIDs []int) []*Candidate {
 		if sg == nil || sg.Size() == 0 {
 			continue
 		}
-		traversal := s.walk(sg, s.weights[cid])
+		traversal, taken := s.walk(sg, s.weights[cid])
+		walks += taken
 		starts := startEdges(sg, traversal, s.cfg.StartEdges)
 		for size := s.cfg.Budget.MinSize; size <= s.cfg.Budget.MaxSize; size++ {
 			for _, start := range starts {
@@ -175,12 +181,14 @@ func (s *Selector) GenerateFCPs(clusterIDs []int) []*Candidate {
 }
 
 // walk performs the weighted random walks and returns per-edge
-// traversal counts.
-func (s *Selector) walk(sg *csg.CSG, weights map[graph.Edge]float64) map[graph.Edge]float64 {
+// traversal counts plus the number of walks actually taken (the count
+// feeds the selection telemetry).
+func (s *Selector) walk(sg *csg.CSG, weights map[graph.Edge]float64) (map[graph.Edge]float64, int) {
 	counts := make(map[graph.Edge]float64, sg.Size())
+	taken := 0
 	edges := sg.Edges()
 	if len(edges) == 0 {
-		return counts
+		return counts, taken
 	}
 	for it := 0; it < s.cfg.Walks; it++ {
 		if s.cfg.Cancel != nil && s.cfg.Cancel() {
@@ -190,6 +198,7 @@ func (s *Selector) walk(sg *csg.CSG, weights map[graph.Edge]float64) map[graph.E
 		if !ok {
 			break
 		}
+		taken++
 		counts[cur]++
 		for step := 0; step < s.cfg.Budget.MaxSize; step++ {
 			adj := adjacentEdges(sg.G, cur)
@@ -201,7 +210,7 @@ func (s *Selector) walk(sg *csg.CSG, weights map[graph.Edge]float64) map[graph.E
 			cur = next
 		}
 	}
-	return counts
+	return counts, taken
 }
 
 // sampleEdge draws an edge proportionally to its weight; uniform when

@@ -1,0 +1,81 @@
+package catapult
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/midas-graph/midas/internal/telemetry"
+)
+
+// Process-wide selection counters: how often the CATAPULT selection
+// machinery ran, how long it spent, and how much work it proposed.
+// Accumulated locally per call and flushed with a few atomic adds.
+var selStats struct {
+	selectRuns    atomic.Uint64
+	selectNanos   atomic.Uint64
+	generateRuns  atomic.Uint64
+	generateNanos atomic.Uint64
+	candidates    atomic.Uint64
+	walks         atomic.Uint64
+}
+
+// SelStats is a snapshot of the selection counters.
+type SelStats struct {
+	// SelectRuns counts full greedy Select loops, SelectSeconds their
+	// cumulative wall clock.
+	SelectRuns    uint64
+	SelectSeconds float64
+	// GenerateRuns counts GenerateFCPs invocations (candidate
+	// generation), GenerateSeconds their cumulative wall clock.
+	GenerateRuns    uint64
+	GenerateSeconds float64
+	// Candidates counts FCPs proposed; Walks the random walks taken.
+	Candidates, Walks uint64
+}
+
+// Snapshot returns the current selection counters.
+func Snapshot() SelStats {
+	return SelStats{
+		SelectRuns:      selStats.selectRuns.Load(),
+		SelectSeconds:   float64(selStats.selectNanos.Load()) / 1e9,
+		GenerateRuns:    selStats.generateRuns.Load(),
+		GenerateSeconds: float64(selStats.generateNanos.Load()) / 1e9,
+		Candidates:      selStats.candidates.Load(),
+		Walks:           selStats.walks.Load(),
+	}
+}
+
+func flushSelect(d time.Duration) {
+	selStats.selectRuns.Add(1)
+	selStats.selectNanos.Add(uint64(d.Nanoseconds()))
+}
+
+func flushGenerate(d time.Duration, candidates, walks int) {
+	selStats.generateRuns.Add(1)
+	selStats.generateNanos.Add(uint64(d.Nanoseconds()))
+	selStats.candidates.Add(uint64(candidates))
+	selStats.walks.Add(uint64(walks))
+}
+
+// RegisterMetrics exposes the selection counters on reg in Prometheus
+// form. Registration is idempotent; a Nop registry is a no-op.
+func RegisterMetrics(reg *telemetry.Registry) {
+	reg.NewCounterFunc("midas_catapult_select_runs_total",
+		"Full greedy pattern-selection loops executed.",
+		func() float64 { return float64(selStats.selectRuns.Load()) })
+	reg.NewCounterFunc("midas_catapult_select_seconds_total",
+		"Cumulative wall-clock seconds spent in pattern selection.",
+		func() float64 { return float64(selStats.selectNanos.Load()) / 1e9 })
+	reg.NewCounterFunc("midas_catapult_generate_runs_total",
+		"Candidate-generation (GenerateFCPs) invocations.",
+		func() float64 { return float64(selStats.generateRuns.Load()) })
+	reg.NewCounterFunc("midas_catapult_generate_seconds_total",
+		"Cumulative wall-clock seconds spent generating candidates.",
+		func() float64 { return float64(selStats.generateNanos.Load()) / 1e9 })
+	reg.NewCounterFunc("midas_catapult_candidates_total",
+		"Final candidate patterns (FCPs) proposed.",
+		func() float64 { return float64(selStats.candidates.Load()) })
+	reg.NewCounterFunc("midas_catapult_walks_total",
+		"Weighted random walks taken over cluster summary graphs.",
+		func() float64 { return float64(selStats.walks.Load()) })
+}

@@ -143,7 +143,17 @@ type Report struct {
 	IndexTime     time.Duration // index maintenance
 	CandidateTime time.Duration // candidate generation (part of PGT)
 	SwapTime      time.Duration // swap loop (part of PGT)
+	SmallTime     time.Duration // small-pattern (η ≤ 2) refresh
 	Total         time.Duration // PMT
+
+	// Kernel work burned by this call, measured as deltas of the
+	// process-wide iso/ged counters around the pipeline. Under
+	// concurrent engines in one process the deltas include the other
+	// engines' work; within the usual one-engine deployment they are
+	// exact.
+	VF2Steps  uint64 // VF2 search-tree nodes explored
+	MCCSSteps uint64 // MCCS search nodes explored
+	GEDNodes  uint64 // A* GED nodes expanded
 }
 
 // PGT returns the pattern generation time: candidate generation plus
@@ -179,6 +189,10 @@ type Engine struct {
 	// been cancelled; it is installed for the duration of the pipeline
 	// and handed to the candidate selector.
 	cancel func() bool
+
+	// tel, when set via SetTelemetry, receives per-stage timings and
+	// outcomes of every Maintain call.
+	tel *maintainTelemetry
 
 	// LastReport is the report of the most recent Maintain call.
 	LastReport Report

@@ -7,7 +7,9 @@ import (
 	"github.com/midas-graph/midas/graph"
 	"github.com/midas-graph/midas/internal/catapult"
 	"github.com/midas-graph/midas/internal/faultinject"
+	"github.com/midas-graph/midas/internal/ged"
 	"github.com/midas-graph/midas/internal/graphlet"
+	"github.com/midas-graph/midas/internal/iso"
 )
 
 // stage gates each step of the maintenance pipeline: it surfaces
@@ -49,9 +51,16 @@ func (e *Engine) Maintain(u graph.Update) (Report, error) {
 // loops, so an expired ctx returns its error promptly.
 //
 // It returns the maintenance report (PMT and its breakdown).
-func (e *Engine) MaintainContext(ctx context.Context, u graph.Update) (Report, error) {
+func (e *Engine) MaintainContext(ctx context.Context, u graph.Update) (rep Report, err error) {
 	start := time.Now()
-	var rep Report
+	isoBefore, gedBefore := iso.Snapshot(), ged.Snapshot()
+	defer func() {
+		isoAfter, gedAfter := iso.Snapshot(), ged.Snapshot()
+		rep.VF2Steps = isoAfter.VF2Steps - isoBefore.VF2Steps
+		rep.MCCSSteps = isoAfter.MCCSSteps - isoBefore.MCCSSteps
+		rep.GEDNodes = gedAfter.ExactExpanded - gedBefore.ExactExpanded
+		e.tel.observe(e, rep, err)
+	}()
 
 	if err := e.ValidateUpdate(u); err != nil {
 		return rep, err
@@ -209,7 +218,9 @@ func (e *Engine) runPipeline(ctx context.Context, u graph.Update, rep *Report) e
 
 	// Small-pattern section (η ≤ 2): maintained directly from the FCT
 	// supports every time — the straightforward case of §3.1's remark.
+	tSmall := time.Now()
 	e.refreshSmallPatterns()
+	rep.SmallTime = time.Since(tSmall)
 	return stage(ctx, "small")
 }
 

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"github.com/midas-graph/midas/internal/core"
+)
+
+// BatchTrace is the machine-readable record of one maintained batch:
+// the maintenance cost with its per-stage breakdown, the kernel work
+// burned, and the resulting pattern-set quality. midas-bench -json
+// emits one per DefaultBatches spec; the schema is documented in
+// EXPERIMENTS.md.
+type BatchTrace struct {
+	Batch            string             `json:"batch"`
+	GraphletDistance float64            `json:"graphletDistance"`
+	Major            bool               `json:"major"`
+	Swaps            int                `json:"swaps"`
+	Candidates       int                `json:"candidates"`
+	Scans            int                `json:"scans"`
+	PMTMillis        float64            `json:"pmtMillis"`
+	PGTMillis        float64            `json:"pgtMillis"`
+	StageMillis      map[string]float64 `json:"stageMillis"`
+	VF2Steps         uint64             `json:"vf2Steps"`
+	MCCSSteps        uint64             `json:"mccsSteps"`
+	GEDNodes         uint64             `json:"gedNodes"`
+	Quality          TraceQuality       `json:"quality"`
+}
+
+// TraceQuality is the CPM objective vector plus the set score.
+type TraceQuality struct {
+	Scov  float64 `json:"scov"`
+	Lcov  float64 `json:"lcov"`
+	Div   float64 `json:"div"`
+	Cog   float64 `json:"cog"`
+	Score float64 `json:"score"`
+}
+
+// MaintainTrace maintains one MIDAS engine through every DefaultBatches
+// spec (each on a fresh database, as in Figures 13–15) and returns the
+// per-batch records.
+func MaintainTrace(s Scale) []BatchTrace {
+	out := make([]BatchTrace, 0, len(DefaultBatches()))
+	for _, spec := range DefaultBatches() {
+		db := aidsBase(s.Base)(s.Seed)
+		eng := core.NewEngine(db, s.config())
+		u := makeBatchUpdate(spec, s.Seed+hash32(spec.Name))(db)
+		rep, err := eng.Maintain(u)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, traceOf(spec.Name, rep, eng))
+	}
+	return out
+}
+
+func traceOf(name string, rep core.Report, eng *core.Engine) BatchTrace {
+	stages := make(map[string]float64, 7)
+	for _, st := range rep.Stages() {
+		stages[st.Name] = float64(st.Duration.Nanoseconds()) / 1e6
+	}
+	q := eng.Quality()
+	return BatchTrace{
+		Batch:            name,
+		GraphletDistance: rep.GraphletDistance,
+		Major:            rep.Major,
+		Swaps:            rep.Swaps,
+		Candidates:       rep.Candidates,
+		Scans:            rep.Scans,
+		PMTMillis:        float64(rep.Total.Nanoseconds()) / 1e6,
+		PGTMillis:        float64(rep.PGT().Nanoseconds()) / 1e6,
+		StageMillis:      stages,
+		VF2Steps:         rep.VF2Steps,
+		MCCSSteps:        rep.MCCSSteps,
+		GEDNodes:         rep.GEDNodes,
+		Quality: TraceQuality{
+			Scov: q.Scov, Lcov: q.Lcov, Div: q.Div, Cog: q.Cog,
+			Score: q.Score(),
+		},
+	}
+}

@@ -13,6 +13,7 @@ import (
 // classic anytime variant of the A* formulation used alongside the
 // bipartite approximation in the Riesen–Bunke family [32].
 func Beam(a, b *graph.Graph, width int) float64 {
+	kernelStats.beamCalls.Add(1)
 	if width < 1 {
 		width = 1
 	}

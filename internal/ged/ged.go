@@ -71,6 +71,7 @@ func intAbs(x int) int {
 // mismatch; the induced edit path cost is returned. It is an upper bound
 // on the exact GED.
 func Bipartite(a, b *graph.Graph) float64 {
+	kernelStats.bipartiteCalls.Add(1)
 	na, nb := a.Order(), b.Order()
 	n := na + nb
 	if n == 0 {
@@ -186,6 +187,8 @@ func ExactCancel(a, b *graph.Graph, maxNodes int, cancel func() bool) (float64, 
 	pq := &gedPQ{start}
 	heap.Init(pq)
 	expanded := 0
+	exact := true
+	defer func() { flushExact(expanded, !exact) }()
 	for pq.Len() > 0 {
 		cur := heap.Pop(pq).(*gedNode)
 		if cur.f >= upper {
@@ -205,9 +208,11 @@ func ExactCancel(a, b *graph.Graph, maxNodes int, cancel func() bool) (float64, 
 		}
 		expanded++
 		if expanded > maxNodes {
+			exact = false
 			return upper, false
 		}
 		if cancel != nil && expanded&0xFF == 0 && cancel() {
+			exact = false
 			return upper, false
 		}
 		av := orderA[len(cur.mapping)]

@@ -1,0 +1,68 @@
+package ged
+
+import (
+	"sync/atomic"
+
+	"github.com/midas-graph/midas/internal/telemetry"
+)
+
+// Process-wide GED kernel counters, maintained with one flush of atomic
+// adds per public call (the A* loop counts expansions locally). Like
+// internal/iso, per-batch attribution is done by diffing Snapshot()
+// around a unit of work.
+var kernelStats struct {
+	exactCalls     atomic.Uint64
+	exactExpanded  atomic.Uint64
+	exactCapHits   atomic.Uint64
+	bipartiteCalls atomic.Uint64
+	beamCalls      atomic.Uint64
+}
+
+// Stats is a snapshot of the package's counters.
+type Stats struct {
+	// ExactCalls counts A* GED computations, ExactExpanded the nodes
+	// they popped and expanded, ExactCapHits the searches that ran out
+	// of node budget (or were cancelled) and returned an upper bound.
+	ExactCalls, ExactExpanded, ExactCapHits uint64
+	// BipartiteCalls and BeamCalls count the approximation entry points.
+	BipartiteCalls, BeamCalls uint64
+}
+
+// Snapshot returns the current counters.
+func Snapshot() Stats {
+	return Stats{
+		ExactCalls:     kernelStats.exactCalls.Load(),
+		ExactExpanded:  kernelStats.exactExpanded.Load(),
+		ExactCapHits:   kernelStats.exactCapHits.Load(),
+		BipartiteCalls: kernelStats.bipartiteCalls.Load(),
+		BeamCalls:      kernelStats.beamCalls.Load(),
+	}
+}
+
+func flushExact(expanded int, capped bool) {
+	kernelStats.exactCalls.Add(1)
+	kernelStats.exactExpanded.Add(uint64(expanded))
+	if capped {
+		kernelStats.exactCapHits.Add(1)
+	}
+}
+
+// RegisterMetrics exposes the GED counters on reg in Prometheus form.
+// Registration is idempotent; a Nop registry is a no-op.
+func RegisterMetrics(reg *telemetry.Registry) {
+	reg.NewCounterFunc("midas_ged_exact_calls_total",
+		"A* graph edit distance computations.",
+		func() float64 { return float64(kernelStats.exactCalls.Load()) })
+	reg.NewCounterFunc("midas_ged_expanded_total",
+		"A* GED search nodes expanded.",
+		func() float64 { return float64(kernelStats.exactExpanded.Load()) })
+	reg.NewCounterFunc("midas_ged_cap_hits_total",
+		"GED searches stopped by the node budget or cancellation.",
+		func() float64 { return float64(kernelStats.exactCapHits.Load()) })
+	reg.NewCounterFunc("midas_ged_bipartite_calls_total",
+		"Bipartite (assignment) GED approximations computed.",
+		func() float64 { return float64(kernelStats.bipartiteCalls.Load()) })
+	reg.NewCounterFunc("midas_ged_beam_calls_total",
+		"Beam-search GED upper bounds computed.",
+		func() float64 { return float64(kernelStats.beamCalls.Load()) })
+}

@@ -106,6 +106,7 @@ outer:
 		}
 	}
 	res := MCCSResult{Edges: s.best, Mapping: s.bestMap, Exact: s.steps < s.budget}
+	flushMCCS(s.steps, !res.Exact)
 	if res.Mapping == nil {
 		res.Mapping = make([]int, 0)
 	}

@@ -1,0 +1,96 @@
+package iso
+
+import (
+	"sync/atomic"
+
+	"github.com/midas-graph/midas/internal/telemetry"
+)
+
+// Process-wide kernel counters. The matching kernels are the innermost
+// hot loops of the whole stack, so instrumentation follows one rule:
+// accumulate locally (the search state already counts steps), then
+// flush with a handful of atomic adds per public call. The counters are
+// monotonic and process-wide; per-batch attribution is done by callers
+// diffing Stats() around a unit of work (see core.Report).
+var kernelStats struct {
+	vf2Searches   atomic.Uint64
+	vf2Steps      atomic.Uint64
+	vf2Embeddings atomic.Uint64
+	vf2CapHits    atomic.Uint64
+
+	mccsSearches  atomic.Uint64
+	mccsSteps     atomic.Uint64
+	mccsBudgetHit atomic.Uint64
+}
+
+// Stats is a snapshot of the package's matching-kernel counters.
+type Stats struct {
+	// VF2Searches counts completed VF2 entry-point calls; VF2Steps the
+	// search-tree nodes they explored; VF2Embeddings the embeddings
+	// emitted; VF2CapHits the searches stopped by MaxSteps or Cancel.
+	VF2Searches, VF2Steps, VF2Embeddings, VF2CapHits uint64
+	// MCCSSearches counts MCCS calls; MCCSSteps their explored nodes;
+	// MCCSBudgetHits the searches that exhausted the step budget (or
+	// were cancelled) and returned a lower bound.
+	MCCSSearches, MCCSSteps, MCCSBudgetHits uint64
+}
+
+// Snapshot returns the current kernel counters.
+func Snapshot() Stats {
+	return Stats{
+		VF2Searches:    kernelStats.vf2Searches.Load(),
+		VF2Steps:       kernelStats.vf2Steps.Load(),
+		VF2Embeddings:  kernelStats.vf2Embeddings.Load(),
+		VF2CapHits:     kernelStats.vf2CapHits.Load(),
+		MCCSSearches:   kernelStats.mccsSearches.Load(),
+		MCCSSteps:      kernelStats.mccsSteps.Load(),
+		MCCSBudgetHits: kernelStats.mccsBudgetHit.Load(),
+	}
+}
+
+// flushVF2 records one finished VF2 search.
+func flushVF2(steps, embeddings int, capped bool) {
+	kernelStats.vf2Searches.Add(1)
+	kernelStats.vf2Steps.Add(uint64(steps))
+	if embeddings > 0 {
+		kernelStats.vf2Embeddings.Add(uint64(embeddings))
+	}
+	if capped {
+		kernelStats.vf2CapHits.Add(1)
+	}
+}
+
+// flushMCCS records one finished MCCS search.
+func flushMCCS(steps int, budgetHit bool) {
+	kernelStats.mccsSearches.Add(1)
+	kernelStats.mccsSteps.Add(uint64(steps))
+	if budgetHit {
+		kernelStats.mccsBudgetHit.Add(1)
+	}
+}
+
+// RegisterMetrics exposes the kernel counters on reg in Prometheus
+// form. Registration is idempotent; a Nop registry is a no-op.
+func RegisterMetrics(reg *telemetry.Registry) {
+	reg.NewCounterFunc("midas_vf2_searches_total",
+		"VF2 subgraph-isomorphism searches completed.",
+		func() float64 { return float64(kernelStats.vf2Searches.Load()) })
+	reg.NewCounterFunc("midas_vf2_steps_total",
+		"VF2 search-tree nodes explored.",
+		func() float64 { return float64(kernelStats.vf2Steps.Load()) })
+	reg.NewCounterFunc("midas_vf2_embeddings_total",
+		"Embeddings emitted by VF2 searches.",
+		func() float64 { return float64(kernelStats.vf2Embeddings.Load()) })
+	reg.NewCounterFunc("midas_vf2_cap_hits_total",
+		"VF2 searches stopped by the step cap or cancellation.",
+		func() float64 { return float64(kernelStats.vf2CapHits.Load()) })
+	reg.NewCounterFunc("midas_mccs_searches_total",
+		"MCCS (maximum connected common subgraph) searches completed.",
+		func() float64 { return float64(kernelStats.mccsSearches.Load()) })
+	reg.NewCounterFunc("midas_mccs_steps_total",
+		"MCCS search nodes explored.",
+		func() float64 { return float64(kernelStats.mccsSteps.Load()) })
+	reg.NewCounterFunc("midas_mccs_budget_hits_total",
+		"MCCS searches that exhausted their step budget (inexact result).",
+		func() float64 { return float64(kernelStats.mccsBudgetHit.Load()) })
+}

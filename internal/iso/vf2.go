@@ -225,6 +225,11 @@ func HasSubgraph(pattern, target *graph.Graph, opts Options) bool {
 		return false
 	})
 	s.search(0)
+	embeddings := 0
+	if found {
+		embeddings = 1
+	}
+	flushVF2(s.steps, embeddings, s.stepsCap)
 	return found
 }
 
@@ -245,6 +250,11 @@ func FindEmbedding(pattern, target *graph.Graph, opts Options) []int {
 		return false
 	})
 	s.search(0)
+	embeddings := 0
+	if result != nil {
+		embeddings = 1
+	}
+	flushVF2(s.steps, embeddings, s.stepsCap)
 	return result
 }
 
@@ -262,6 +272,7 @@ func CountEmbeddings(pattern, target *graph.Graph, opts Options) int {
 		return opts.Limit == 0 || count < opts.Limit
 	})
 	s.search(0)
+	flushVF2(s.steps, count, s.stepsCap)
 	return count
 }
 
@@ -274,6 +285,7 @@ func AllEmbeddings(pattern, target *graph.Graph, opts Options) [][]int {
 		return opts.Limit == 0 || len(out) < opts.Limit
 	})
 	s.search(0)
+	flushVF2(s.steps, len(out), s.stepsCap)
 	return out
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"runtime/debug"
 	"strconv"
 	"strings"
@@ -22,6 +23,7 @@ import (
 
 	"github.com/midas-graph/midas"
 	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/telemetry"
 )
 
 // Server wraps an engine with HTTP handlers. All handlers serialise on
@@ -43,8 +45,18 @@ type Server struct {
 	// ready gates /readyz; flipped off during shutdown drain.
 	ready atomic.Bool
 
+	// reg and tel are installed by SetTelemetry: reg backs /metrics and
+	// /debug/vars, tel the per-request middleware observations.
+	reg *telemetry.Registry
+	tel *serverTelemetry
+	// pprofOn exposes net/http/pprof under /debug/pprof/ (EnablePprof).
+	pprofOn bool
+	// logger, when set via SetLogger, receives leveled diagnostics.
+	logger *telemetry.Logger
+
 	// Logf, if set, receives diagnostic lines (e.g. log.Printf):
-	// recovered panics and response-encoding failures.
+	// recovered panics and response-encoding failures. Kept as a compat
+	// shim; SetLogger supersedes it.
 	Logf func(format string, args ...interface{})
 }
 
@@ -68,8 +80,11 @@ func (s *Server) SetRequestTimeout(d time.Duration) { s.timeout = d }
 // to a not-ready instance, letting shutdown drain gracefully.
 func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
 
-// Handler returns the route table wrapped in the recovery and timeout
-// middleware.
+// Handler returns the route table wrapped in the middleware chain:
+// metrics (outermost, also installs the double-write guard), panic
+// recovery, then the request deadline. /metrics and /debug/vars appear
+// when SetTelemetry was called, /debug/pprof/ when EnablePprof was —
+// otherwise those paths 404.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -79,18 +94,33 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
-	return s.withRecovery(s.withTimeout(mux))
+	if s.reg != nil {
+		mux.HandleFunc("/metrics", s.handleMetricsPage)
+		mux.HandleFunc("/debug/vars", s.handleVars)
+	}
+	if s.pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.withMetrics(s.withRecovery(s.withTimeout(mux)))
 }
 
 // withRecovery turns a handler panic into a 500 so one poisoned request
-// cannot take the serving process down.
+// cannot take the serving process down. The 500 goes through the
+// statusWriter guard, so a handler that already responded before
+// panicking does not get a second status line.
 func (s *Server) withRecovery(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
-				if s.Logf != nil {
-					s.Logf("panel: panic serving %s: %v\n%s", r.URL.Path, p, debug.Stack())
+				if s.tel != nil {
+					s.tel.panics.Inc()
 				}
+				s.countError("panic")
+				s.logf(telemetry.LevelError, "panel: panic serving %s: %v\n%s", r.URL.Path, p, debug.Stack())
 				http.Error(w, "internal server error", http.StatusInternalServerError)
 			}
 		}()
@@ -100,15 +130,27 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 
 // withTimeout applies the per-request deadline; handlers pass the
 // request context into MaintainContext / QueryContext, so the deadline
-// actually interrupts long engine work.
+// actually interrupts long engine work. A handler that honoured the
+// expired context answered 504 itself (errorOut); one that ignored it
+// and returned without responding gets the 504 written here. The
+// statusWriter guard makes the two cases mutually exclusive, so a
+// timed-out request never sees two status lines.
 func (s *Server) withTimeout(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.timeout > 0 {
-			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
-			defer cancel()
-			r = r.WithContext(ctx)
+		if s.timeout <= 0 {
+			next.ServeHTTP(w, r)
+			return
 		}
-		next.ServeHTTP(w, r)
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+		if ctx.Err() == nil {
+			return
+		}
+		if sw, ok := w.(*statusWriter); ok && !sw.wrote {
+			s.countError("timeout")
+			http.Error(sw, "request timed out", http.StatusGatewayTimeout)
+		}
 	})
 }
 
@@ -262,7 +304,7 @@ func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := s.engine.MaintainContext(r.Context(), u)
 	if err != nil {
-		http.Error(w, err.Error(), statusForError(err))
+		s.errorOut(w, err)
 		return
 	}
 	s.writeJSON(w, map[string]interface{}{
@@ -307,7 +349,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	results, stats, err := s.engine.Searcher().QueryContext(r.Context(), qs[0], limit)
 	if err != nil {
-		http.Error(w, err.Error(), statusForError(err))
+		s.errorOut(w, err)
 		return
 	}
 	ids := make([]int, len(results))
@@ -358,7 +400,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil && s.Logf != nil {
-		s.Logf("panel: encoding response: %v", err)
+	if err := enc.Encode(v); err != nil {
+		s.logf(telemetry.LevelWarn, "panel: encoding response: %v", err)
 	}
 }

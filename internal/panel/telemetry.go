@@ -1,0 +1,218 @@
+package panel
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/midas-graph/midas"
+	"github.com/midas-graph/midas/internal/telemetry"
+)
+
+// serverTelemetry holds the panel's HTTP metric families. It is nil
+// until SetTelemetry installs it; every record site nil-checks.
+type serverTelemetry struct {
+	requests *telemetry.CounterVec   // panel_http_requests_total{route,class}
+	latency  *telemetry.HistogramVec // panel_http_request_seconds{route}
+	inflight *telemetry.Gauge        // panel_http_inflight_requests
+	errors   *telemetry.CounterVec   // panel_errors_total{class}
+	panics   *telemetry.Counter      // panel_panics_total
+}
+
+// SetTelemetry attaches the server to reg: every request is observed by
+// the metrics middleware (count, latency, in-flight, status class per
+// route), and the next Handler() call additionally serves /metrics
+// (Prometheus text format) and /debug/vars (expvar-style JSON) from
+// reg. Neither endpoint takes the engine mutex, so scrapes answer even
+// while a Maintain request is in flight. Passing telemetry.Nop (or nil)
+// detaches. Call before Handler().
+func (s *Server) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil || reg == telemetry.Nop {
+		s.reg, s.tel = nil, nil
+		return
+	}
+	s.reg = reg
+	s.tel = &serverTelemetry{
+		requests: reg.NewCounterVec("panel_http_requests_total",
+			"Panel HTTP requests by route and status class.", "route", "class"),
+		latency: reg.NewHistogramVec("panel_http_request_seconds",
+			"Panel HTTP request latency by route.", nil, "route"),
+		inflight: reg.NewGauge("panel_http_inflight_requests",
+			"Panel HTTP requests currently being served."),
+		errors: reg.NewCounterVec("panel_errors_total",
+			"Panel request errors by class.", "class"),
+		panics: reg.NewCounter("panel_panics_total",
+			"Handler panics recovered by the panel middleware."),
+	}
+}
+
+// EnablePprof exposes net/http/pprof under /debug/pprof/ on the next
+// Handler() call. Off by default: the profiling endpoints reveal heap
+// and goroutine internals, so serving them is an explicit operator
+// choice (midas-serve -pprof).
+func (s *Server) EnablePprof() { s.pprofOn = true }
+
+// SetLogger routes the server's diagnostics through a leveled logger.
+// The legacy Logf hook keeps working when no logger is installed.
+func (s *Server) SetLogger(l *telemetry.Logger) { s.logger = l }
+
+// logf emits one diagnostic line at the given level, preferring the
+// structured logger over the legacy Logf hook.
+func (s *Server) logf(level telemetry.Level, format string, args ...interface{}) {
+	if s.logger != nil {
+		switch level {
+		case telemetry.LevelDebug:
+			s.logger.Debugf(format, args...)
+		case telemetry.LevelWarn:
+			s.logger.Warnf(format, args...)
+		case telemetry.LevelError:
+			s.logger.Errorf(format, args...)
+		default:
+			s.logger.Infof(format, args...)
+		}
+		return
+	}
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// statusWriter captures the response status and guards against double
+// WriteHeader calls: the first status wins and later ones are dropped.
+// The timeout middleware relies on the guard to add its 504 only when
+// the handler never responded.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.wrote {
+		return
+	}
+	w.wrote = true
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.wrote = true
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// statusClass buckets an HTTP status for the requests counter.
+func statusClass(code int) string {
+	switch {
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	}
+	return "5xx"
+}
+
+// routeLabel normalises a request path to a bounded route label so the
+// per-route metric families cannot grow without bound on junk paths.
+func routeLabel(path string) string {
+	switch path {
+	case "/":
+		return "index"
+	case "/patterns", "/quality", "/maintain", "/query",
+		"/healthz", "/readyz", "/metrics":
+		return strings.TrimPrefix(path, "/")
+	case "/debug/vars":
+		return "vars"
+	}
+	if strings.HasPrefix(path, "/debug/pprof") {
+		return "pprof"
+	}
+	return "other"
+}
+
+// withMetrics is the outermost middleware: it wraps the response writer
+// in the statusWriter guard (always — the timeout and recovery layers
+// depend on it) and, when telemetry is attached, observes the request.
+func (s *Server) withMetrics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		if s.tel == nil {
+			next.ServeHTTP(sw, r)
+			return
+		}
+		route := routeLabel(r.URL.Path)
+		s.tel.inflight.Inc()
+		start := time.Now()
+		defer func() {
+			s.tel.inflight.Dec()
+			status := sw.status
+			if !sw.wrote {
+				status = http.StatusOK
+			}
+			s.tel.requests.With(route, statusClass(status)).Inc()
+			s.tel.latency.With(route).ObserveSince(start)
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// countError bumps panel_errors_total{class} when telemetry is on.
+func (s *Server) countError(class string) {
+	if s.tel != nil {
+		s.tel.errors.With(class).Inc()
+	}
+}
+
+// errorClass labels an engine error for panel_errors_total.
+func errorClass(err error) string {
+	switch {
+	case errors.Is(err, midas.ErrConflict):
+		return "conflict"
+	case errors.Is(err, midas.ErrInvalidUpdate):
+		return "invalid"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	}
+	return "internal"
+}
+
+// errorOut counts an engine error by class and writes the mapped
+// status (statusForError).
+func (s *Server) errorOut(w http.ResponseWriter, err error) {
+	s.countError(errorClass(err))
+	http.Error(w, err.Error(), statusForError(err))
+}
+
+// handleMetricsPage serves the registry in Prometheus text exposition
+// format. Deliberately lock-free with respect to the engine mutex.
+func (s *Server) handleMetricsPage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.logf(telemetry.LevelWarn, "panel: writing /metrics: %v", err)
+	}
+}
+
+// handleVars serves the registry as expvar-style JSON.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := s.reg.WriteJSON(w); err != nil {
+		s.logf(telemetry.LevelWarn, "panel: writing /debug/vars: %v", err)
+	}
+}

@@ -1,0 +1,212 @@
+package panel
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/midas-graph/midas/internal/catapult"
+	"github.com/midas-graph/midas/internal/ged"
+	"github.com/midas-graph/midas/internal/iso"
+	"github.com/midas-graph/midas/internal/telemetry"
+)
+
+// TestMetricsScrapeDuringMaintain locks the engine mutex — exactly the
+// state an in-flight handleMaintain holds — and checks that /metrics
+// and /debug/vars still answer: the observability endpoints must never
+// queue behind engine work.
+func TestMetricsScrapeDuringMaintain(t *testing.T) {
+	s, eng := testServer(t)
+	reg := telemetry.NewRegistry()
+	s.SetTelemetry(reg)
+	eng.SetTelemetry(reg)
+	iso.RegisterMetrics(reg)
+	ged.RegisterMetrics(reg)
+	catapult.RegisterMetrics(reg)
+	h := s.Handler()
+
+	s.Locker().Lock()
+	defer s.Locker().Unlock()
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		done := make(chan *httptest.ResponseRecorder, 1)
+		go func() {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+			done <- rec
+		}()
+		select {
+		case rec := <-done:
+			if rec.Code != http.StatusOK {
+				t.Fatalf("%s while engine busy = %d", path, rec.Code)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s blocked behind the engine mutex", path)
+		}
+	}
+}
+
+// TestMetricsFamilyCount wires the full stack into one registry and
+// checks the scrape is valid-looking Prometheus text with at least the
+// twelve distinct families the operations docs promise.
+func TestMetricsFamilyCount(t *testing.T) {
+	s, eng := testServer(t)
+	reg := telemetry.NewRegistry()
+	s.SetTelemetry(reg)
+	eng.SetTelemetry(reg)
+	iso.RegisterMetrics(reg)
+	ged.RegisterMetrics(reg)
+	catapult.RegisterMetrics(reg)
+	h := s.Handler()
+
+	// Generate some traffic so the vec families have children.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/patterns", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/patterns = %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	families := 0
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families++
+		}
+	}
+	if families < 12 {
+		t.Fatalf("scrape exposes %d metric families, want >= 12:\n%s", families, body)
+	}
+	for _, want := range []string{
+		"midas_maintain_stage_seconds", "midas_vf2_steps_total",
+		"midas_mccs_steps_total", "panel_http_requests_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("scrape missing %s:\n%s", want, body)
+		}
+	}
+}
+
+// TestPprofDisabledByDefault: profiling endpoints leak process
+// internals, so they must 404 unless explicitly enabled.
+func TestPprofDisabledByDefault(t *testing.T) {
+	s, _ := testServer(t)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without EnablePprof = %d, want 404", rec.Code)
+	}
+
+	s.EnablePprof()
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ after EnablePprof = %d, want 200", rec.Code)
+	}
+}
+
+// headerCounter records how many times a status line was written; the
+// double-write regression tests assert it stays at one.
+type headerCounter struct {
+	*httptest.ResponseRecorder
+	headerWrites int
+}
+
+func (h *headerCounter) WriteHeader(code int) {
+	h.headerWrites++
+	h.ResponseRecorder.WriteHeader(code)
+}
+
+// TestTimeoutWritesOnce covers both halves of the timed-out contract:
+// a handler that ignores the expired deadline and never responds gets
+// the middleware's 504 (exactly one status line), and one that responds
+// late keeps its own status with no second write.
+func TestTimeoutWritesOnce(t *testing.T) {
+	s, _ := testServer(t)
+	reg := telemetry.NewRegistry()
+	s.SetTelemetry(reg)
+	s.SetRequestTimeout(5 * time.Millisecond)
+
+	chain := func(h http.HandlerFunc) http.Handler {
+		return s.withMetrics(s.withRecovery(s.withTimeout(h)))
+	}
+
+	// Handler ignores ctx and writes nothing: middleware answers 504.
+	silent := chain(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	})
+	rec := &headerCounter{ResponseRecorder: httptest.NewRecorder()}
+	silent.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/query", nil))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("silent timed-out handler = %d, want 504", rec.Code)
+	}
+	if rec.headerWrites != 1 {
+		t.Fatalf("silent timed-out handler wrote %d status lines, want 1", rec.headerWrites)
+	}
+	if got := s.tel.errors.With("timeout").Value(); got != 1 {
+		t.Fatalf(`panel_errors_total{class="timeout"} = %d, want 1`, got)
+	}
+
+	// Handler responds after the deadline: its status wins, the
+	// middleware adds nothing.
+	late := chain(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+		w.WriteHeader(http.StatusOK)
+	})
+	rec = &headerCounter{ResponseRecorder: httptest.NewRecorder()}
+	late.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/query", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("late-writing handler = %d, want its own 200", rec.Code)
+	}
+	if rec.headerWrites != 1 {
+		t.Fatalf("late-writing handler produced %d status lines, want 1", rec.headerWrites)
+	}
+	if got := s.tel.errors.With("timeout").Value(); got != 1 {
+		t.Fatalf(`late write incremented the timeout counter: %d, want still 1`, got)
+	}
+}
+
+// TestErrorClassCounters: engine-mapped failures land in
+// panel_errors_total under their class.
+func TestErrorClassCounters(t *testing.T) {
+	s, _ := testServer(t)
+	reg := telemetry.NewRegistry()
+	s.SetTelemetry(reg)
+	h := s.Handler()
+
+	// Deleting an unknown ID is an invalid update.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/maintain?delete=99999", strings.NewReader("")))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown delete = %d, want 400", rec.Code)
+	}
+	if got := s.tel.errors.With("invalid").Value(); got != 1 {
+		t.Fatalf(`panel_errors_total{class="invalid"} = %d, want 1`, got)
+	}
+
+	// A panic is recovered, counted, and classed.
+	panicky := s.withMetrics(s.withRecovery(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("poisoned")
+	})))
+	rec = httptest.NewRecorder()
+	panicky.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/patterns", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("recovered panic = %d, want 500", rec.Code)
+	}
+	if got := s.tel.panics.Value(); got != 1 {
+		t.Fatalf("panel_panics_total = %d, want 1", got)
+	}
+	if got := s.tel.errors.With("panic").Value(); got != 1 {
+		t.Fatalf(`panel_errors_total{class="panic"} = %d, want 1`, got)
+	}
+
+	// Requests were observed per route and status class.
+	if got := s.tel.requests.With("maintain", "4xx").Value(); got != 1 {
+		t.Fatalf(`panel_http_requests_total{route="maintain",class="4xx"} = %d, want 1`, got)
+	}
+}

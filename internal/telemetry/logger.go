@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity. Messages below the logger's level are
+// dropped before formatting.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// ParseLevel parses a level name ("debug", "info", "warn"/"warning",
+// "error"), case-insensitively.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("telemetry: unknown log level %q", s)
+}
+
+// LevelFromEnv reads MIDAS_LOG_LEVEL; unset or unparseable values fall
+// back to info.
+func LevelFromEnv() Level {
+	lvl, err := ParseLevel(os.Getenv("MIDAS_LOG_LEVEL"))
+	if err != nil {
+		return LevelInfo
+	}
+	return lvl
+}
+
+// Logger is a small leveled logger: timestamped lines to one writer,
+// with an atomically adjustable level. The zero value is unusable;
+// construct with NewLogger or NewLoggerFromEnv. A nil *Logger drops
+// everything, so optional logging needs no guards.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level atomic.Int32
+	// now is stubbed in tests.
+	now func() time.Time
+	// exit is stubbed in tests of Fatalf.
+	exit func(int)
+}
+
+// NewLogger returns a logger writing to w at the given level.
+func NewLogger(w io.Writer, level Level) *Logger {
+	l := &Logger{w: w, now: time.Now, exit: os.Exit}
+	l.level.Store(int32(level))
+	return l
+}
+
+// NewLoggerFromEnv returns a logger at the MIDAS_LOG_LEVEL level.
+func NewLoggerFromEnv(w io.Writer) *Logger {
+	return NewLogger(w, LevelFromEnv())
+}
+
+// SetLevel changes the level at runtime (safe under concurrency).
+func (l *Logger) SetLevel(level Level) {
+	if l == nil {
+		return
+	}
+	l.level.Store(int32(level))
+}
+
+// Enabled reports whether a message at the given level would be
+// emitted.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && int32(level) >= l.level.Load()
+}
+
+func (l *Logger) output(level Level, format string, args ...interface{}) {
+	if !l.Enabled(level) {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	line := fmt.Sprintf("%s %-5s %s", l.now().Format("2006/01/02 15:04:05"), strings.ToUpper(level.String()), msg)
+	if !strings.HasSuffix(line, "\n") {
+		line += "\n"
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.w, line)
+}
+
+// Debugf logs at debug level.
+func (l *Logger) Debugf(format string, args ...interface{}) { l.output(LevelDebug, format, args...) }
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...interface{}) { l.output(LevelInfo, format, args...) }
+
+// Warnf logs at warn level.
+func (l *Logger) Warnf(format string, args ...interface{}) { l.output(LevelWarn, format, args...) }
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...interface{}) { l.output(LevelError, format, args...) }
+
+// Printf logs at info level — the drop-in signature for code holding a
+// `func(string, ...interface{})` hook (Server.Logf, Watcher.Logf).
+func (l *Logger) Printf(format string, args ...interface{}) { l.Infof(format, args...) }
+
+// Fatalf logs at error level and exits with status 1, mirroring
+// log.Fatalf for the command-line shims.
+func (l *Logger) Fatalf(format string, args ...interface{}) {
+	l.output(LevelError, format, args...)
+	exit := os.Exit
+	if l != nil && l.exit != nil {
+		exit = l.exit
+	}
+	exit(1)
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLoggerLevels(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelWarn)
+	l.Debugf("d %d", 1)
+	l.Infof("i %d", 2)
+	l.Warnf("w %d", 3)
+	l.Errorf("e %d", 4)
+	out := b.String()
+	if strings.Contains(out, "d 1") || strings.Contains(out, "i 2") {
+		t.Fatalf("below-level lines emitted:\n%s", out)
+	}
+	if !strings.Contains(out, "WARN") || !strings.Contains(out, "w 3") {
+		t.Fatalf("warn line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ERROR") || !strings.Contains(out, "e 4") {
+		t.Fatalf("error line missing:\n%s", out)
+	}
+
+	l.SetLevel(LevelDebug)
+	l.Debugf("now visible")
+	if !strings.Contains(b.String(), "now visible") {
+		t.Fatal("SetLevel did not take effect")
+	}
+}
+
+func TestLoggerPrintfShim(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelInfo)
+	// The Printf method must satisfy the Server.Logf hook signature.
+	var hook func(string, ...interface{}) = l.Printf
+	hook("via shim: %s", "ok")
+	if !strings.Contains(b.String(), "via shim: ok") {
+		t.Fatalf("Printf shim did not log:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "INFO") {
+		t.Fatalf("Printf shim should log at info:\n%s", b.String())
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Infof("does not panic")
+	l.SetLevel(LevelDebug)
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger reports enabled")
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		lines = append(lines, string(p))
+		mu.Unlock()
+		return len(p), nil
+	})
+	l := NewLogger(w, LevelInfo)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Infof("worker %d line %d", n, j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(lines) != 400 {
+		t.Fatalf("lines = %d, want 400", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+			t.Fatalf("interleaved or unterminated line: %q", line)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "Warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "": LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Fatal("ParseLevel(verbose) should fail")
+	}
+}
+
+func TestLevelFromEnv(t *testing.T) {
+	t.Setenv("MIDAS_LOG_LEVEL", "error")
+	if got := LevelFromEnv(); got != LevelError {
+		t.Fatalf("LevelFromEnv = %v, want error", got)
+	}
+	t.Setenv("MIDAS_LOG_LEVEL", "nonsense")
+	if got := LevelFromEnv(); got != LevelInfo {
+		t.Fatalf("LevelFromEnv fallback = %v, want info", got)
+	}
+	os.Unsetenv("MIDAS_LOG_LEVEL")
+}
+
+func TestLoggerFatalf(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelInfo)
+	code := -1
+	l.exit = func(c int) { code = c }
+	l.Fatalf("fatal: %s", "boom")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(b.String(), "fatal: boom") {
+		t.Fatalf("fatal line missing:\n%s", b.String())
+	}
+}

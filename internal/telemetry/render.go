@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): HELP/TYPE headers, escaped
+// label values, cumulative histogram buckets with the implicit +Inf
+// bucket, and _sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.snapshotMetrics() {
+		fam := m.family()
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			fam.name, escapeHelp(fam.help), fam.name, fam.kind); err != nil {
+			return err
+		}
+		var err error
+		switch v := m.(type) {
+		case *Histogram:
+			err = writeHistogram(w, fam, nil, v)
+		case *HistogramVec:
+			for _, child := range v.children() {
+				if err = writeHistogram(w, fam, child.labels, child.h); err != nil {
+					break
+				}
+			}
+		default:
+			for _, s := range m.samples() {
+				if _, err = fmt.Fprintf(w, "%s%s %s\n",
+					fam.name, renderLabels(fam.labels, s.labels), formatValue(s.value)); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, fam familyMeta, labelValues []string, h *Histogram) error {
+	upper, cumulative, count, sum := h.bucketState()
+	for i, ub := range upper {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			fam.name, renderLabelsLe(fam.labels, labelValues, formatValue(ub)), cumulative[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		fam.name, renderLabelsLe(fam.labels, labelValues, "+Inf"), cumulative[len(cumulative)-1]); err != nil {
+		return err
+	}
+	base := renderLabels(fam.labels, labelValues)
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, base, formatValue(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.name, base, count)
+	return err
+}
+
+// renderLabels renders `{k1="v1",k2="v2"}` (empty string when there are
+// no labels), escaping values per the exposition format.
+func renderLabels(names, values []string) string {
+	if len(names) == 0 || len(values) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i >= len(values) {
+			break
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// renderLabelsLe renders labels with a trailing le="..." bucket bound.
+func renderLabelsLe(names, values []string, le string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i >= len(values) {
+			break
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	if len(names) > 0 && len(values) > 0 {
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="`)
+	b.WriteString(le)
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+// EscapeLabelValue escapes a label value for the Prometheus text
+// format: backslash, double-quote and newline must be escaped.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string (backslash and newline only; quotes
+// are legal there).
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// formatValue renders a float the way Prometheus expects: integers
+// without exponent or trailing zeros, +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders the registry as a single expvar-style JSON object:
+// metric name -> value for plain families, name -> {"<labels>": value}
+// for vectors, and name -> {count, sum, buckets} for histograms. It is
+// the /debug/vars payload.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := make(map[string]interface{})
+	for _, m := range r.snapshotMetrics() {
+		fam := m.family()
+		switch v := m.(type) {
+		case *Histogram:
+			doc[fam.name] = histJSON(v)
+		case *HistogramVec:
+			obj := make(map[string]interface{})
+			for _, child := range v.children() {
+				obj[jsonLabelKey(fam.labels, child.labels)] = histJSON(child.h)
+			}
+			doc[fam.name] = obj
+		case *CounterVec:
+			obj := make(map[string]interface{})
+			for _, s := range m.samples() {
+				obj[jsonLabelKey(fam.labels, s.labels)] = s.value
+			}
+			doc[fam.name] = obj
+		default:
+			ss := m.samples()
+			if len(ss) == 1 && len(ss[0].labels) == 0 {
+				doc[fam.name] = ss[0].value
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func jsonLabelKey(names, values []string) string {
+	parts := make([]string, 0, len(names))
+	for i, n := range names {
+		if i >= len(values) {
+			break
+		}
+		parts = append(parts, n+"="+values[i])
+	}
+	return strings.Join(parts, ",")
+}
+
+func histJSON(h *Histogram) map[string]interface{} {
+	upper, cumulative, count, sum := h.bucketState()
+	buckets := make(map[string]uint64, len(upper)+1)
+	for i, ub := range upper {
+		buckets["le="+formatValue(ub)] = cumulative[i]
+	}
+	buckets["le=+Inf"] = cumulative[len(cumulative)-1]
+	return map[string]interface{}{
+		"count":   count,
+		"sum":     sum,
+		"buckets": buckets,
+	}
+}

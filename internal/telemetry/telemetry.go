@@ -1,0 +1,529 @@
+// Package telemetry is the observability substrate of the MIDAS stack:
+// stdlib-only counters, gauges and fixed-bucket histograms with atomic
+// hot paths, a Registry that renders both Prometheus text format and
+// expvar-style JSON, a lightweight span/stage-timer API, and a small
+// leveled logger.
+//
+// Design rules:
+//
+//   - The hot path is an atomic add (plus a bucket scan for
+//     histograms); no locks, no allocations, no formatting.
+//   - Nop is a registry whose metrics are shared inert singletons:
+//     every operation on them is a single branch, so library users and
+//     tests that never ask for telemetry pay (almost) nothing.
+//   - Registration is idempotent by name: asking twice for the same
+//     metric returns the same object, so package-level wiring can run
+//     once per process or once per engine without double registration.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metric is one registered family: it knows how to emit its samples.
+// Histogram families return nil from samples and are rendered through
+// their bucket state instead.
+type metric interface {
+	family() familyMeta
+	samples() []sample
+}
+
+type familyMeta struct {
+	name   string
+	help   string
+	kind   string // "counter" | "gauge" | "histogram"
+	labels []string
+}
+
+type sample struct {
+	labels []string // label values aligned with familyMeta.labels
+	value  float64
+}
+
+// Registry holds a set of metric families. The zero value is not
+// usable; construct with NewRegistry, or use Nop.
+type Registry struct {
+	nop bool
+
+	mu      sync.Mutex
+	ordered []metric
+	byName  map[string]metric
+}
+
+// NewRegistry returns an empty collecting registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]metric)}
+}
+
+// Nop is the do-nothing registry: metrics created from it are shared
+// inert singletons, operations on them are single-branch no-ops, and
+// rendering produces no families. A nil *Registry behaves the same, so
+// optional telemetry can be threaded without guarding every call site.
+var Nop = &Registry{nop: true}
+
+func (r *Registry) isNop() bool { return r == nil || r.nop }
+
+// register installs m under its name, returning the already-registered
+// family when the name is taken (idempotent registration).
+func (r *Registry) register(m metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.byName[m.family().name]; ok {
+		return existing
+	}
+	r.byName[m.family().name] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Families returns the number of registered metric families.
+func (r *Registry) Families() int {
+	if r.isNop() {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ordered)
+}
+
+// snapshotMetrics returns the families in registration order.
+func (r *Registry) snapshotMetrics() []metric {
+	if r.isNop() {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]metric, len(r.ordered))
+	copy(out, r.ordered)
+	return out
+}
+
+func badType(name string) string {
+	return fmt.Sprintf("telemetry: %s already registered with a different type", name)
+}
+
+// ---------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	nop bool
+	v   atomic.Uint64
+	fam familyMeta
+}
+
+var nopCounter = &Counter{nop: true}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters are monotonic).
+func (c *Counter) Add(n int) {
+	if c == nil || c.nop || n <= 0 {
+		return
+	}
+	c.v.Add(uint64(n))
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil || c.nop {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) family() familyMeta { return c.fam }
+func (c *Counter) samples() []sample  { return []sample{{value: float64(c.v.Load())}} }
+
+// NewCounter registers (or returns the existing) counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	if r.isNop() {
+		return nopCounter
+	}
+	m := r.register(&Counter{fam: familyMeta{name: name, help: help, kind: "counter"}})
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(badType(name))
+	}
+	return c
+}
+
+// counterFunc exposes an externally maintained monotonic value (e.g. a
+// package-level atomic in a kernel package) as a counter family.
+type counterFunc struct {
+	fam familyMeta
+	fn  func() float64
+}
+
+func (c *counterFunc) family() familyMeta { return c.fam }
+func (c *counterFunc) samples() []sample  { return []sample{{value: c.fn()}} }
+
+// NewCounterFunc registers a counter whose value is read from fn at
+// scrape time. fn must be safe for concurrent use.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	if r.isNop() {
+		return
+	}
+	r.register(&counterFunc{fam: familyMeta{name: name, help: help, kind: "counter"}, fn: fn})
+}
+
+// ---------------------------------------------------------------------
+// Gauge
+
+// Gauge is a value that can go up and down (float64 bits, atomic).
+type Gauge struct {
+	nop  bool
+	bits atomic.Uint64
+	fam  familyMeta
+}
+
+var nopGauge = &Gauge{nop: true}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.nop {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (CAS loop; contention-safe).
+func (g *Gauge) Add(delta float64) {
+	if g == nil || g.nop {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds 1 and Dec subtracts 1; the pair tracks in-flight work.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil || g.nop {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) family() familyMeta { return g.fam }
+func (g *Gauge) samples() []sample  { return []sample{{value: g.Value()}} }
+
+// NewGauge registers (or returns the existing) gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	if r.isNop() {
+		return nopGauge
+	}
+	m := r.register(&Gauge{fam: familyMeta{name: name, help: help, kind: "gauge"}})
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(badType(name))
+	}
+	return g
+}
+
+// gaugeFunc exposes a callback-valued gauge (uptime, pool sizes, ...).
+type gaugeFunc struct {
+	fam familyMeta
+	fn  func() float64
+}
+
+func (g *gaugeFunc) family() familyMeta { return g.fam }
+func (g *gaugeFunc) samples() []sample  { return []sample{{value: g.fn()}} }
+
+// NewGaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	if r.isNop() {
+		return
+	}
+	r.register(&gaugeFunc{fam: familyMeta{name: name, help: help, kind: "gauge"}, fn: fn})
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+
+// DefBuckets are the default latency buckets (seconds): Prometheus's
+// classic spread widened upward for maintenance batches.
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counts.
+type Histogram struct {
+	nop    bool
+	upper  []float64       // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64 // len(upper)+1, last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+	fam    familyMeta
+}
+
+var nopHistogram = &Histogram{nop: true}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.nop {
+		return
+	}
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.ObserveDuration(time.Since(t0)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil || h.nop {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil || h.nop {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Span times one operation against a histogram.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Start opens a span; End observes the elapsed seconds.
+func (h *Histogram) Start() Span { return Span{h: h, start: time.Now()} }
+
+// End closes the span, records it, and returns the elapsed duration.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	s.h.ObserveDuration(d)
+	return d
+}
+
+func (h *Histogram) family() familyMeta { return h.fam }
+func (h *Histogram) samples() []sample  { return nil } // rendered from bucket state
+
+// bucketState snapshots the histogram for rendering: cumulative bucket
+// counts aligned with upper bounds, then total count and sum.
+func (h *Histogram) bucketState() (upper []float64, cumulative []uint64, count uint64, sum float64) {
+	cumulative = make([]uint64, len(h.counts))
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cumulative[i] = acc
+	}
+	return h.upper, cumulative, h.Count(), h.Sum()
+}
+
+func newHistogram(fam familyMeta, buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	up := append([]float64(nil), buckets...)
+	sort.Float64s(up)
+	return &Histogram{
+		upper:  up,
+		counts: make([]atomic.Uint64, len(up)+1),
+		fam:    fam,
+	}
+}
+
+// NewHistogram registers (or returns the existing) histogram. A nil or
+// empty buckets slice selects DefBuckets.
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	if r.isNop() {
+		return nopHistogram
+	}
+	m := r.register(newHistogram(familyMeta{name: name, help: help, kind: "histogram"}, buckets))
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(badType(name))
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------
+// Vector (labelled) families
+
+// labelKey renders label values into a canonical child key.
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// CounterVec is a counter family partitioned by label values. Label
+// values must be drawn from a bounded set — cardinality is the
+// caller's responsibility.
+type CounterVec struct {
+	nop    bool
+	fam    familyMeta
+	mu     sync.RWMutex
+	kids   map[string]*Counter
+	kidLbl map[string][]string
+}
+
+var nopCounterVec = &CounterVec{nop: true}
+
+func (v *CounterVec) family() familyMeta { return v.fam }
+
+func (v *CounterVec) samples() []sample {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]sample, 0, len(v.kids))
+	for k, c := range v.kids {
+		out = append(out, sample{labels: v.kidLbl[k], value: float64(c.Value())})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return labelKey(out[i].labels) < labelKey(out[j].labels)
+	})
+	return out
+}
+
+// With returns the child counter for the given label values (one per
+// declared label name, in order).
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil || v.nop {
+		return nopCounter
+	}
+	key := labelKey(values)
+	v.mu.RLock()
+	c, ok := v.kids[key]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.kids[key]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.kids[key] = c
+	v.kidLbl[key] = append([]string(nil), values...)
+	return c
+}
+
+// NewCounterVec registers a labelled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	if r.isNop() {
+		return nopCounterVec
+	}
+	m := r.register(&CounterVec{
+		fam:    familyMeta{name: name, help: help, kind: "counter", labels: labels},
+		kids:   make(map[string]*Counter),
+		kidLbl: make(map[string][]string),
+	})
+	v, ok := m.(*CounterVec)
+	if !ok {
+		panic(badType(name))
+	}
+	return v
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct {
+	nop     bool
+	fam     familyMeta
+	buckets []float64
+	mu      sync.RWMutex
+	kids    map[string]*Histogram
+	kidLbl  map[string][]string
+}
+
+var nopHistogramVec = &HistogramVec{nop: true}
+
+func (v *HistogramVec) family() familyMeta { return v.fam }
+func (v *HistogramVec) samples() []sample  { return nil } // rendered from children
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil || v.nop {
+		return nopHistogram
+	}
+	key := labelKey(values)
+	v.mu.RLock()
+	h, ok := v.kids[key]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.kids[key]; ok {
+		return h
+	}
+	h = newHistogram(v.fam, v.buckets)
+	v.kids[key] = h
+	v.kidLbl[key] = append([]string(nil), values...)
+	return h
+}
+
+type histChild struct {
+	labels []string
+	h      *Histogram
+}
+
+// children returns the child histograms sorted by label values.
+func (v *HistogramVec) children() []histChild {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]histChild, 0, len(v.kids))
+	for k, h := range v.kids {
+		out = append(out, histChild{labels: v.kidLbl[k], h: h})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return labelKey(out[i].labels) < labelKey(out[j].labels)
+	})
+	return out
+}
+
+// NewHistogramVec registers a labelled histogram family. A nil or empty
+// buckets slice selects DefBuckets.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r.isNop() {
+		return nopHistogramVec
+	}
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	m := r.register(&HistogramVec{
+		fam:     familyMeta{name: name, help: help, kind: "histogram", labels: labels},
+		buckets: buckets,
+		kids:    make(map[string]*Histogram),
+		kidLbl:  make(map[string][]string),
+	})
+	v, ok := m.(*HistogramVec)
+	if !ok {
+		panic(badType(name))
+	}
+	return v
+}

@@ -1,0 +1,255 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("test_events_total", "events")
+	vec := reg.NewCounterVec("test_labelled_total", "labelled events", "kind")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				vec.With("a").Inc()
+				vec.With("b").Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := vec.With("a").Value(); got != workers*perWorker {
+		t.Fatalf("vec[a] = %d, want %d", got, workers*perWorker)
+	}
+	if got := vec.With("b").Value(); got != 2*workers*perWorker {
+		t.Fatalf("vec[b] = %d, want %d", got, 2*workers*perWorker)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.NewGauge("test_inflight", "in-flight")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %v, want 0", got)
+	}
+	g.Set(42.5)
+	if got := g.Value(); got != 42.5 {
+		t.Fatalf("gauge = %v, want 42.5", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("test_latency_seconds", "latency", []float64{0.1, 1, 10})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				h.Observe(0.05) // first bucket
+				h.Observe(0.5)  // second
+				h.Observe(5)    // third
+				h.Observe(50)   // +Inf
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+	wantSum := 8 * 250 * (0.05 + 0.5 + 5 + 50)
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+	_, cum, _, _ := h.bucketState()
+	want := []uint64{2000, 4000, 6000, 8000}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("midas_a_total", "counts a").Add(3)
+	reg.NewGauge("midas_b", "gauge b").Set(1.5)
+	vec := reg.NewCounterVec("midas_c_total", "labelled", "route", "code")
+	vec.With("/maintain", "200").Add(2)
+	h := reg.NewHistogram("midas_d_seconds", "hist", []float64{0.5, 1})
+	h.Observe(0.2)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP midas_a_total counts a",
+		"# TYPE midas_a_total counter",
+		"midas_a_total 3",
+		"# TYPE midas_b gauge",
+		"midas_b 1.5",
+		`midas_c_total{route="/maintain",code="200"} 2`,
+		"# TYPE midas_d_seconds histogram",
+		`midas_d_seconds_bucket{le="0.5"} 1`,
+		`midas_d_seconds_bucket{le="1"} 1`,
+		`midas_d_seconds_bucket{le="+Inf"} 2`,
+		"midas_d_seconds_sum 2.2",
+		"midas_d_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.NewCounterVec("esc_total", "escaping", "path")
+	vec.With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped sample %q missing from:\n%s", want, b.String())
+	}
+	if got := EscapeLabelValue(`plain`); got != "plain" {
+		t.Fatalf("EscapeLabelValue(plain) = %q", got)
+	}
+}
+
+func TestJSONRendering(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("j_total", "j").Add(7)
+	vec := reg.NewCounterVec("jv_total", "jv", "kind")
+	vec.With("x").Inc()
+	reg.NewHistogram("jh_seconds", "jh", []float64{1}).Observe(0.5)
+	var b strings.Builder
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"j_total": 7`, `"kind=x": 1`, `"jh_seconds"`, `"count": 1`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.NewCounter("same_total", "x")
+	b := reg.NewCounter("same_total", "x")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("re-registered counter does not share state")
+	}
+	if reg.Families() != 1 {
+		t.Fatalf("families = %d, want 1", reg.Families())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type mismatch on an existing name should panic")
+		}
+	}()
+	reg.NewGauge("same_total", "x")
+}
+
+func TestNopRegistryIsInertAndAllocationFree(t *testing.T) {
+	c := Nop.NewCounter("nop_total", "nop")
+	g := Nop.NewGauge("nop_gauge", "nop")
+	h := Nop.NewHistogram("nop_seconds", "nop", nil)
+	v := Nop.NewCounterVec("nop_vec_total", "nop", "k")
+	hv := Nop.NewHistogramVec("nop_hv_seconds", "nop", nil, "k")
+
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(5)
+		g.Set(1)
+		g.Add(2)
+		h.Observe(0.1)
+		v.With("x").Inc()
+		hv.With("x").Observe(0.2)
+	})
+	if allocs != 0 {
+		t.Fatalf("nop hot path allocates: %v allocs/op", allocs)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nop metrics accumulated state")
+	}
+	if Nop.Families() != 0 {
+		t.Fatal("nop registry registered families")
+	}
+	var b strings.Builder
+	if err := Nop.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nop rendering: err=%v out=%q", err, b.String())
+	}
+
+	// A nil registry behaves like Nop.
+	var nilReg *Registry
+	nilReg.NewCounter("x_total", "x").Inc()
+	if nilReg.Families() != 0 {
+		t.Fatal("nil registry registered families")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("span_seconds", "span", nil)
+	sp := h.Start()
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d <= 0 {
+		t.Fatalf("span duration = %v", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("span did not observe: count=%d", h.Count())
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:            "0",
+		3:            "3",
+		1.5:          "1.5",
+		0.001:        "0.001",
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+	}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

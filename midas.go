@@ -30,6 +30,7 @@ import (
 	"github.com/midas-graph/midas/internal/catapult"
 	"github.com/midas-graph/midas/internal/cluster"
 	"github.com/midas-graph/midas/internal/core"
+	"github.com/midas-graph/midas/internal/telemetry"
 	"github.com/midas-graph/midas/internal/tree"
 )
 
@@ -151,15 +152,48 @@ type MaintenanceReport struct {
 	// generated.
 	Candidates int
 
+	// Scans is the number of swap scans executed (multi-scan strategy).
+	Scans int
+
 	// PMT is the total pattern maintenance time.
 	PMT time.Duration
 	// PGT is the pattern generation time (candidates + swapping).
 	PGT time.Duration
-	// ClusterTime, FCTTime, CSGTime and IndexTime break down PMT.
-	ClusterTime time.Duration
-	FCTTime     time.Duration
-	CSGTime     time.Duration
-	IndexTime   time.Duration
+	// ClusterTime through SmallTime break down PMT by pipeline stage.
+	ClusterTime   time.Duration
+	FCTTime       time.Duration
+	CSGTime       time.Duration
+	IndexTime     time.Duration
+	CandidateTime time.Duration
+	SwapTime      time.Duration
+	SmallTime     time.Duration
+
+	// VF2Steps, MCCSSteps and GEDNodes are the kernel work burned by
+	// this call (deltas of the process-wide iso/ged counters).
+	VF2Steps  uint64
+	MCCSSteps uint64
+	GEDNodes  uint64
+}
+
+// StageTiming is one named stage of a maintenance breakdown.
+type StageTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Stages returns the PMT breakdown in pipeline execution order. Stages
+// that did not run (candidates/swap on a minor modification) report
+// zero.
+func (r MaintenanceReport) Stages() []StageTiming {
+	return []StageTiming{
+		{"cluster", r.ClusterTime},
+		{"fct", r.FCTTime},
+		{"csg", r.CSGTime},
+		{"index", r.IndexTime},
+		{"candidates", r.CandidateTime},
+		{"swap", r.SwapTime},
+		{"small", r.SmallTime},
+	}
 }
 
 func fromReport(r core.Report) MaintenanceReport {
@@ -168,12 +202,19 @@ func fromReport(r core.Report) MaintenanceReport {
 		Major:            r.Major,
 		Swaps:            r.Swaps,
 		Candidates:       r.Candidates,
+		Scans:            r.Scans,
 		PMT:              r.Total,
 		PGT:              r.PGT(),
 		ClusterTime:      r.ClusterTime,
 		FCTTime:          r.FCTTime,
 		CSGTime:          r.CSGTime,
 		IndexTime:        r.IndexTime,
+		CandidateTime:    r.CandidateTime,
+		SwapTime:         r.SwapTime,
+		SmallTime:        r.SmallTime,
+		VF2Steps:         r.VF2Steps,
+		MCCSSteps:        r.MCCSSteps,
+		GEDNodes:         r.GEDNodes,
 	}
 }
 
@@ -192,6 +233,12 @@ func New(db *graph.Database, opts Options) *Engine {
 // Patterns returns the current canned pattern set. Pattern graphs are
 // owned by the engine and must not be mutated.
 func (e *Engine) Patterns() []*graph.Graph { return e.inner.Patterns() }
+
+// SetTelemetry attaches the engine to a telemetry registry: every
+// Maintain call records its per-stage timings, outcome, and swap and
+// candidate counts, and the pattern/database sizes are exported as
+// gauges. Pass telemetry.Nop (or nil) to detach.
+func (e *Engine) SetTelemetry(reg *telemetry.Registry) { e.inner.SetTelemetry(reg) }
 
 // DB returns the engine's current database.
 func (e *Engine) DB() *graph.Database { return e.inner.DB() }
