@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt race bench bench-smoke figures fuzz clean
+.PHONY: all build test vet fmt lint race bench bench-smoke figures fuzz clean
 
 all: build test
 
@@ -15,6 +15,11 @@ vet:
 # Fails when any file needs gofmt (the CI gate).
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# midas-lint: the project's own analyzers (docs/STATIC_ANALYSIS.md).
+# Exits non-zero on any finding not covered by .midas-lint-allow.
+lint:
+	$(GO) run ./cmd/midas-lint ./...
 
 test: vet
 	$(GO) test ./...

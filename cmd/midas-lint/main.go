@@ -1,0 +1,199 @@
+// midas-lint runs the project's static-analysis suite (internal/lint)
+// over the module: six stdlib-only analyzers enforcing the determinism,
+// cancellation, durability, lock-scope, registry-hygiene and
+// error-wrapping invariants the MIDAS stack depends on.
+//
+// Usage:
+//
+//	midas-lint [flags] [./... | dir ...]
+//
+// With no package arguments (or "./..."), every package in the module
+// containing the working directory is analyzed. Directory arguments
+// narrow the *reported* set; the whole module is always loaded, since
+// several analyzers are cross-package.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/midas-graph/midas/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut  = flag.Bool("json", false, "emit one midas-lint/1 JSON document instead of text")
+		enable   = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable  = flag.String("disable", "", "comma-separated analyzers to skip")
+		allow    = flag.String("allow", "", "allowlist file of deliberate exceptions (default: <module>/.midas-lint-allow when present)")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		strict   = flag.Bool("strict", false, "also fail on allowlisted findings and stale allowlist entries")
+		moduleIn = flag.String("module", ".", "directory inside the module to lint")
+	)
+	flag.Parse()
+
+	analyzers, err := lint.Select(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, err := findModuleRoot(*moduleIn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	m, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	diags := lint.Run(m, analyzers)
+	diags = filterToArgs(diags, flag.Args())
+
+	allowPath := *allow
+	if allowPath == "" {
+		if def := filepath.Join(root, ".midas-lint-allow"); fileExists(def) {
+			allowPath = def
+		}
+	}
+	var al *lint.Allowlist
+	if allowPath != "" {
+		al, err = lint.ParseAllowlist(allowPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		diags = al.Apply(diags)
+	}
+
+	failing := 0
+	for _, d := range diags {
+		if !d.Allowed {
+			failing++
+		}
+	}
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, m, analyzers, diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			if d.Allowed && !*strict {
+				continue
+			}
+			suffix := ""
+			if d.Allowed {
+				suffix = " [allowed]"
+			}
+			fmt.Printf("%s%s\n", d, suffix)
+		}
+	}
+
+	staleEntries := 0
+	if al != nil {
+		for _, e := range al.Unused() {
+			staleEntries++
+			fmt.Fprintf(os.Stderr, "midas-lint: stale allowlist entry %s:%d (%s %s) matches nothing; delete it\n",
+				al.Path, e.Line, e.Analyzer, e.Path)
+		}
+	}
+
+	switch {
+	case failing > 0:
+		fmt.Fprintf(os.Stderr, "midas-lint: %d finding(s)\n", failing)
+		return 1
+	case *strict && staleEntries > 0:
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if fileExists(filepath.Join(abs, "go.mod")) {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("midas-lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+func fileExists(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && !fi.IsDir()
+}
+
+// filterToArgs narrows diagnostics to the requested directories. The
+// patterns "./..." and "" keep everything; "dir" keeps findings in that
+// directory, "dir/..." its whole subtree.
+func filterToArgs(diags []lint.Diagnostic, args []string) []lint.Diagnostic {
+	var prefixes []string
+	var exact []string
+	for _, a := range args {
+		if a == "./..." || a == "..." || a == "." {
+			return diags
+		}
+		rec := false
+		if strings.HasSuffix(a, "/...") {
+			a, rec = strings.TrimSuffix(a, "/..."), true
+		}
+		abs, err := filepath.Abs(a)
+		if err != nil {
+			continue
+		}
+		if rec {
+			prefixes = append(prefixes, abs+string(filepath.Separator))
+		} else {
+			exact = append(exact, abs)
+		}
+	}
+	if len(prefixes) == 0 && len(exact) == 0 {
+		return diags
+	}
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		dir := filepath.Dir(d.Position.Filename)
+		keep := false
+		for _, e := range exact {
+			if dir == e {
+				keep = true
+			}
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(d.Position.Filename, p) {
+				keep = true
+			}
+		}
+		if keep {
+			out = append(out, d)
+		}
+	}
+	return out
+}

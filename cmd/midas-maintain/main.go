@@ -10,12 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"github.com/midas-graph/midas"
 	"github.com/midas-graph/midas/graph"
@@ -86,7 +89,12 @@ func main() {
 		return
 	}
 
-	rep, err := eng.Maintain(u)
+	// Ctrl-C / SIGTERM cancels the maintenance batch cleanly: the
+	// engine's transactional Maintain rolls back to the pre-batch
+	// snapshot instead of dying mid-pipeline.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	rep, err := eng.MaintainContext(ctx, u)
 	if err != nil {
 		fatal(err.Error())
 	}

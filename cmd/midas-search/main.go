@@ -8,9 +8,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/midas-graph/midas"
 	"github.com/midas-graph/midas/graph"
@@ -35,9 +39,19 @@ func main() {
 	fmt.Printf("database: %d graphs; %d queries\n", db.Len(), len(queries))
 
 	s := midas.NewSearcher(db, *supMin)
+	// Ctrl-C / SIGTERM cancels the in-flight query instead of leaving
+	// a VF2 search running to completion.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 	totalMatches, totalCand, totalPruned := 0, 0, 0
 	for _, q := range queries {
-		rs, st := s.Query(q, *limit)
+		rs, st, err := s.QueryContext(ctx, q, *limit)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fatal("interrupted")
+			}
+			fatal(err.Error())
+		}
 		totalMatches += st.Verified
 		totalCand += st.Candidates
 		totalPruned += st.Pruned

@@ -61,7 +61,7 @@ func Read(r io.Reader) ([]*Graph, error) {
 			}
 			id, err := strconv.Atoi(fields[1])
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad graph id: %v", line, err)
+				return nil, fmt.Errorf("graph: line %d: bad graph id: %w", line, err)
 			}
 			cur = New(id)
 			graphs = append(graphs, cur)
@@ -74,7 +74,7 @@ func Read(r io.Reader) ([]*Graph, error) {
 			}
 			id, err := strconv.Atoi(fields[1])
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad vertex id: %v", line, err)
+				return nil, fmt.Errorf("graph: line %d: bad vertex id: %w", line, err)
 			}
 			if id != cur.Order() {
 				return nil, fmt.Errorf("graph: line %d: vertex id %d out of order (want %d)", line, id, cur.Order())
@@ -89,11 +89,11 @@ func Read(r io.Reader) ([]*Graph, error) {
 			}
 			u, err := strconv.Atoi(fields[1])
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad endpoint: %v", line, err)
+				return nil, fmt.Errorf("graph: line %d: bad endpoint: %w", line, err)
 			}
 			v, err := strconv.Atoi(fields[2])
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad endpoint: %v", line, err)
+				return nil, fmt.Errorf("graph: line %d: bad endpoint: %w", line, err)
 			}
 			if !cur.AddEdge(u, v) {
 				return nil, fmt.Errorf("graph: line %d: invalid or duplicate edge (%d,%d)", line, u, v)

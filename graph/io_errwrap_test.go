@@ -1,0 +1,40 @@
+package graph_test
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+// Read must wrap the strconv failures with %w so callers can classify
+// parse errors (e.g. distinguish a corrupt id from an I/O error)
+// without string matching.
+func TestReadWrapsStrconvErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"graph id", "t abc\n"},
+		{"vertex id", "t 0\nv abc A\n"},
+		{"edge endpoint u", "t 0\nv 0 A\nv 1 A\ne abc 1\n"},
+		{"edge endpoint v", "t 0\nv 0 A\nv 1 A\ne 0 abc\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := graph.Read(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("Read(%q) succeeded, want parse error", tc.input)
+			}
+			var numErr *strconv.NumError
+			if !errors.As(err, &numErr) {
+				t.Fatalf("Read(%q) error %v does not wrap *strconv.NumError", tc.input, err)
+			}
+			if numErr.Num != "abc" {
+				t.Fatalf("wrapped NumError is for %q, want %q", numErr.Num, "abc")
+			}
+		})
+	}
+}

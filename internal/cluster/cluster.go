@@ -503,14 +503,16 @@ func (cl *Clustering) Silhouette() float64 {
 
 // meanDistTo returns the mean Euclidean distance from v to the members
 // of c, excluding member `skip` (pass -1 to include all). Singleton
-// own-clusters yield 0.
+// own-clusters yield 0. Members are visited in sorted-ID order: float
+// addition is not associative, so summing in map order would make the
+// silhouette differ in the low bits run to run.
 func meanDistTo(v []float64, c *Cluster, skip int) float64 {
 	sum, n := 0.0, 0
-	for id, w := range c.vecs {
+	for _, id := range c.MemberIDs() {
 		if id == skip {
 			continue
 		}
-		sum += euclid(v, w)
+		sum += euclid(v, c.vecs[id])
 		n++
 	}
 	if n == 0 {

@@ -1,0 +1,35 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+// meanDistTo must visit members in sorted-ID order: float addition is
+// not associative, so a map-order walk over mixed-magnitude distances
+// yields different low bits per run, which in turn makes Silhouette —
+// and any golden experiment output derived from it — flap.
+func TestMeanDistToDeterministic(t *testing.T) {
+	c := newCluster(0, 1)
+	// Mixed magnitudes so that the order of additions changes the
+	// rounded sum: (1e16 + 1) + 1 == 1e16 but 1e16 + (1 + 1) != 1e16.
+	vecs := [][]float64{{0}, {1e16}, {1}, {1}, {3}, {1e16}, {2}}
+	for i, v := range vecs {
+		c.add(graph.New(i), v)
+	}
+	probe := []float64{0}
+	first := meanDistTo(probe, c, -1)
+	for i := 0; i < 100; i++ {
+		if got := meanDistTo(probe, c, -1); got != first {
+			t.Fatalf("run %d: meanDistTo = %v, want %v (bit-identical)", i, got, first)
+		}
+	}
+	// Excluding a member must also stay stable.
+	firstSkip := meanDistTo(probe, c, 3)
+	for i := 0; i < 100; i++ {
+		if got := meanDistTo(probe, c, 3); got != firstSkip {
+			t.Fatalf("run %d with skip: meanDistTo = %v, want %v", i, got, firstSkip)
+		}
+	}
+}

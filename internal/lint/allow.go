@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// AllowEntry is one deliberate exception. A diagnostic is allowed when
+// the entry's analyzer matches (or is "*"), the entry's path is a
+// path-suffix of the diagnostic's file, and the entry's substring (when
+// present) occurs in the diagnostic message. Line numbers are
+// deliberately not part of the format — they rot on every edit.
+type AllowEntry struct {
+	Analyzer string
+	Path     string
+	Contains string
+	// Reason is the trailing "# ..." comment; entries without a reason
+	// are rejected so exceptions stay documented.
+	Reason string
+	Line   int
+	used   bool
+}
+
+// Allowlist filters diagnostics through deliberate exceptions.
+type Allowlist struct {
+	Path    string
+	Entries []*AllowEntry
+}
+
+// ParseAllowlist reads an allowlist file. Format, one entry per line:
+//
+//	<analyzer> <path-suffix> [substring...] # reason
+//
+// Blank lines and lines starting with # are ignored. The substring is
+// everything between the path and the # (optional; spaces allowed).
+// A missing "# reason" is an error: exceptions must say why.
+func ParseAllowlist(path string) (*Allowlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	al := &Allowlist{Path: path}
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		body, reason, found := strings.Cut(line, "#")
+		reason = strings.TrimSpace(reason)
+		if !found || reason == "" {
+			return nil, fmt.Errorf("%s:%d: allowlist entry needs a '# reason' comment", path, lineNo)
+		}
+		fields := strings.Fields(strings.TrimSpace(body))
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%s:%d: allowlist entry needs '<analyzer> <path-suffix>'", path, lineNo)
+		}
+		al.Entries = append(al.Entries, &AllowEntry{
+			Analyzer: fields[0],
+			Path:     fields[1],
+			Contains: strings.Join(fields[2:], " "),
+			Reason:   reason,
+			Line:     lineNo,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return al, nil
+}
+
+// Apply marks diagnostics matched by an entry as Allowed and returns
+// the list unchanged otherwise.
+func (al *Allowlist) Apply(diags []Diagnostic) []Diagnostic {
+	if al == nil {
+		return diags
+	}
+	for i := range diags {
+		for _, e := range al.Entries {
+			if e.matches(diags[i]) {
+				diags[i].Allowed = true
+				e.used = true
+				break
+			}
+		}
+	}
+	return diags
+}
+
+// Unused returns entries that matched nothing — stale exceptions that
+// should be deleted.
+func (al *Allowlist) Unused() []*AllowEntry {
+	if al == nil {
+		return nil
+	}
+	var out []*AllowEntry
+	for _, e := range al.Entries {
+		if !e.used {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (e *AllowEntry) matches(d Diagnostic) bool {
+	if e.Analyzer != "*" && e.Analyzer != d.Analyzer {
+		return false
+	}
+	if !pathSuffixMatch(d.Position.Filename, e.Path) {
+		return false
+	}
+	return e.Contains == "" || strings.Contains(d.Message, e.Contains)
+}
+
+// pathSuffixMatch reports whether suffix matches file on path-component
+// boundaries ("store/store.go" matches ".../internal/store/store.go"
+// but not ".../notstore/store.go" unless the suffix says so).
+func pathSuffixMatch(file, suffix string) bool {
+	file = filepath.ToSlash(file)
+	suffix = filepath.ToSlash(suffix)
+	if file == suffix {
+		return true
+	}
+	return strings.HasSuffix(file, "/"+suffix)
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeAllow(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "allow")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func diagAt(analyzer, file, msg string) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Position: token.Position{Filename: file, Line: 10, Column: 2},
+		Message:  msg,
+	}
+}
+
+func TestParseAllowlistRequiresReason(t *testing.T) {
+	_, err := ParseAllowlist(writeAllow(t, "errwrap graph/io.go\n"))
+	if err == nil || !strings.Contains(err.Error(), "# reason") {
+		t.Fatalf("entry without reason parsed; err = %v", err)
+	}
+}
+
+func TestParseAllowlistRequiresAnalyzerAndPath(t *testing.T) {
+	_, err := ParseAllowlist(writeAllow(t, "errwrap # lonely analyzer\n"))
+	if err == nil || !strings.Contains(err.Error(), "path-suffix") {
+		t.Fatalf("entry without path parsed; err = %v", err)
+	}
+}
+
+func TestParseAllowlistSkipsBlanksAndComments(t *testing.T) {
+	al, err := ParseAllowlist(writeAllow(t, "# header\n\nerrwrap graph/io.go # ok\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(al.Entries) != 1 {
+		t.Fatalf("got %d entries, want 1", len(al.Entries))
+	}
+	e := al.Entries[0]
+	if e.Analyzer != "errwrap" || e.Path != "graph/io.go" || e.Reason != "ok" {
+		t.Fatalf("parsed entry %+v", e)
+	}
+}
+
+func TestAllowlistMatching(t *testing.T) {
+	al, err := ParseAllowlist(writeAllow(t, strings.Join([]string{
+		"fsyncdiscipline panel/watcher.go noteFailure # quarantine rename",
+		"* cluster/cluster.go # anything in there",
+	}, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := al.Apply([]Diagnostic{
+		// Matches entry 0: analyzer, path suffix and substring all hit.
+		diagAt("fsyncdiscipline", "/repo/internal/panel/watcher.go", "os.Rename in (*Watcher).noteFailure without sync"),
+		// Same file, message lacks the substring: not allowed.
+		diagAt("fsyncdiscipline", "/repo/internal/panel/watcher.go", "os.Rename in (*Watcher).finishBatch without sync"),
+		// Wrong analyzer for entry 0; entry 1 is path-restricted elsewhere.
+		diagAt("errwrap", "/repo/internal/panel/watcher.go", "os.Rename in (*Watcher).noteFailure without sync"),
+		// Wildcard analyzer entry matches any analyzer in that file.
+		diagAt("mapdeterminism", "/repo/internal/cluster/cluster.go", "float accumulated across map iteration"),
+		// Suffix must match on path-component boundaries.
+		diagAt("mapdeterminism", "/repo/internal/notcluster/cluster.go", "float accumulated across map iteration"),
+	})
+	want := []bool{true, false, false, true, false}
+	for i, d := range diags {
+		if d.Allowed != want[i] {
+			t.Errorf("diag %d (%s %s): Allowed = %v, want %v", i, d.Analyzer, d.Position.Filename, d.Allowed, want[i])
+		}
+	}
+	if unused := al.Unused(); len(unused) != 0 {
+		t.Errorf("both entries matched, but Unused() = %v", unused)
+	}
+}
+
+func TestAllowlistUnused(t *testing.T) {
+	al, err := ParseAllowlist(writeAllow(t, "errwrap gone/file.go # the code this covered was deleted\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	al.Apply([]Diagnostic{diagAt("errwrap", "/repo/other/file.go", "msg")})
+	unused := al.Unused()
+	if len(unused) != 1 || unused[0].Path != "gone/file.go" {
+		t.Fatalf("Unused() = %+v, want the single stale entry", unused)
+	}
+}

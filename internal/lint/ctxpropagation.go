@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPropagation enforces the cancellation contract from PR 1: once a
+// function has taken a `ctx context.Context`, every long-running kernel
+// it reaches must observe that context. Concretely, inside a function
+// with a ctx parameter it flags
+//
+//   - calls to a module function or method F when the same package or
+//     receiver type also declares a cancellable variant (FContext,
+//     FCancel or FWithCancel) — the caller is silently dropping
+//     cancellation on the floor;
+//   - calls to context.Background() / context.TODO() — a fresh root
+//     context detaches the callee from the caller's deadline.
+//
+// The variant lookup is generic, so it tracks the repo's naming
+// (MaintainContext, ExactCancel, MCCSWithCancel, ...) without a
+// hard-coded table.
+var CtxPropagation = &Analyzer{
+	Name: "ctxpropagation",
+	Doc:  "functions with a ctx parameter must thread it into kernels that have a Context/Cancel variant and must not mint fresh root contexts",
+	Run:  runCtxPropagation,
+}
+
+var cancelSuffixes = []string{"Context", "WithCancel", "Cancel"}
+
+func runCtxPropagation(pass *Pass) {
+	for _, fb := range funcBodies(pass.Pkg) {
+		ctxName, ok := hasContextParam(pass.Pkg.Info, fb.Type)
+		if !ok {
+			continue
+		}
+		fb := fb
+		ast.Inspect(fb.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit != fb.Lit {
+				// A nested literal with its own ctx parameter is
+				// analyzed on its own; one without inherits ours.
+				if _, has := hasContextParam(pass.Pkg.Info, lit.Type); has {
+					return false
+				}
+				return true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCtxCall(pass, fb, ctxName, call)
+			return true
+		})
+	}
+}
+
+func checkCtxCall(pass *Pass, fb funcBody, ctxName string, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	obj := calleeOf(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	// Fresh root contexts inside a ctx-bearing function.
+	if fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+		(fn.Name() == "Background" || fn.Name() == "TODO") {
+		pass.Reportf(call.Pos(), "context.%s() inside %s, which already has %s; pass the caller's context instead of detaching", fn.Name(), fb.Name, ctxName)
+		return
+	}
+	if !inModulePkg(pass.Module, fn) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || signatureTakesContext(sig) {
+		return // already cancellable
+	}
+	if variant := cancellableVariant(fn); variant != "" {
+		pass.Reportf(call.Pos(), "%s ignores %s: %s exists; thread the context through it", callDesc(fn), ctxName, variant)
+	}
+}
+
+func signatureTakesContext(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	// A func()-bool cancel hook or an options struct with a Cancel
+	// field also counts as cancellable plumbing.
+	for i := 0; i < params.Len(); i++ {
+		if st, ok := deref(params.At(i).Type()).Underlying().(*types.Struct); ok {
+			for j := 0; j < st.NumFields(); j++ {
+				if st.Field(j).Name() == "Cancel" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// cancellableVariant returns the name of a Context/Cancel/WithCancel
+// sibling of fn (same package for functions, same receiver type for
+// methods), or "".
+func cancellableVariant(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		named, ok := deref(recv.Type()).(*types.Named)
+		if !ok {
+			return ""
+		}
+		for _, suf := range cancelSuffixes {
+			want := fn.Name() + suf
+			for i := 0; i < named.NumMethods(); i++ {
+				if m := named.Method(i); m.Name() == want && variantTakesCancellation(m) {
+					return recvName(named) + "." + want
+				}
+			}
+		}
+		return ""
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	scope := fn.Pkg().Scope()
+	for _, suf := range cancelSuffixes {
+		want := fn.Name() + suf
+		if obj, ok := scope.Lookup(want).(*types.Func); ok && variantTakesCancellation(obj) {
+			return fn.Pkg().Name() + "." + want
+		}
+	}
+	return ""
+}
+
+// variantTakesCancellation double-checks that the candidate variant
+// really accepts a context or cancel hook, so e.g. Foo/FooCancel pairs
+// with unrelated meanings don't pair up.
+func variantTakesCancellation(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		t := params.At(i).Type()
+		if isContextType(t) {
+			return true
+		}
+		if s, ok := t.Underlying().(*types.Signature); ok &&
+			s.Params().Len() == 0 && s.Results().Len() == 1 &&
+			isBoolType(s.Results().At(0).Type()) {
+			return true // cancel func() bool hook
+		}
+	}
+	return false
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+func recvName(named *types.Named) string {
+	if named.Obj().Pkg() != nil {
+		return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+	}
+	return named.Obj().Name()
+}
+
+func callDesc(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		if named, ok := deref(recv.Type()).(*types.Named); ok {
+			return recvName(named) + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

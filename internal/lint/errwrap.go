@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// ErrWrap enforces the Go 1.13+ error discipline the serving layer's
+// HTTP status mapping depends on (errors.Is(err, ErrConflict) → 409,
+// etc.): comparing an error to a sentinel with == breaks as soon as
+// any layer wraps the error with %w, and formatting an error with %v
+// strips the chain so downstream errors.Is sees nothing. It flags
+//
+//   - err == ErrSentinel / err != ErrSentinel where the sentinel is a
+//     package-level error variable — use errors.Is;
+//   - fmt.Errorf("... %v ...", err) with an error argument under a
+//     %v/%s verb — wrap with %w so the chain survives.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "sentinel errors must be compared with errors.Is, and fmt.Errorf must wrap error arguments with %w, not %v/%s",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, v)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, v)
+			}
+			return true
+		})
+	}
+}
+
+func checkSentinelCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if isSentinelError(pass, be.X) || isSentinelError(pass, be.Y) {
+		// Only when the other side is error-typed (not a sentinel-to-
+		// sentinel identity check, which is deliberate).
+		other := be.Y
+		sentinel := be.X
+		if !isSentinelError(pass, be.X) {
+			other, sentinel = be.X, be.Y
+		}
+		if t := pass.TypeOf(other); t == nil || !isErrorType(t) {
+			return
+		}
+		if isSentinelError(pass, other) {
+			return
+		}
+		pass.Reportf(be.Pos(), "error compared to sentinel %s with %s; a wrapped error never matches — use errors.Is", exprText(sentinel), be.Op)
+	}
+}
+
+// isSentinelError reports whether e denotes a package-level variable of
+// type error (the sentinel idiom, usually named Err*).
+func isSentinelError(pass *Pass, e ast.Expr) bool {
+	var id *ast.Ident
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	default:
+		return false
+	}
+	obj, ok := pass.Pkg.Info.ObjectOf(id).(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return false // not package-level
+	}
+	return isErrorType(obj.Type())
+}
+
+// checkErrorfWrap flags fmt.Errorf calls whose error-typed arguments
+// sit under a %v or %s verb instead of %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	obj := calleeOf(pass.Pkg.Info, call)
+	if !stdlibFunc(obj, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := stringArg(call, 0)
+	if !ok {
+		return
+	}
+	verbs := parseVerbs(format)
+	for _, verb := range verbs {
+		argIdx := 1 + verb.argIndex
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if verb.verb != 'v' && verb.verb != 's' {
+			continue
+		}
+		t := pass.TypeOf(call.Args[argIdx])
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		pass.Reportf(call.Args[argIdx].Pos(), "error argument formatted with %%%c in fmt.Errorf; use %%w so errors.Is/errors.As can unwrap it", verb.verb)
+	}
+}
+
+type fmtVerb struct {
+	verb     rune
+	argIndex int // 0-based operand index this verb consumes
+}
+
+// parseVerbs extracts the argument-consuming verbs of a fmt format
+// string, tracking '*' width/precision arguments and explicit [n]
+// argument indexes well enough to map verbs to arguments.
+func parseVerbs(format string) []fmtVerb {
+	var out []fmtVerb
+	consumed := 0 // implicit args consumed so far (including '*')
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		explicit := -1
+		// flags
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// width
+		if i < len(format) && format[i] == '*' {
+			consumed++
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// precision
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				consumed++
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		// explicit argument index [n]
+		if i < len(format) && format[i] == '[' {
+			j := strings.IndexByte(format[i:], ']')
+			if j < 0 {
+				break
+			}
+			if n, err := strconv.Atoi(format[i+1 : i+j]); err == nil {
+				explicit = n - 1
+			}
+			i += j + 1
+		}
+		if i >= len(format) {
+			break
+		}
+		r, size := utf8.DecodeRuneInString(format[i:])
+		i += size
+		if explicit >= 0 {
+			out = append(out, fmtVerb{verb: r, argIndex: explicit})
+			consumed = explicit + 1
+		} else {
+			out = append(out, fmtVerb{verb: r, argIndex: consumed})
+			consumed++
+		}
+	}
+	return out
+}

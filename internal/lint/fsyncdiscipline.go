@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// FsyncDiscipline enforces the durability discipline PR 1 established
+// in internal/store: data must be fsynced before it is renamed into
+// place, and durable artifacts (state bundles, journals) must be
+// written through the atomic-write helpers rather than ad-hoc file
+// calls. Concretely, in non-test code it flags
+//
+//   - an os.Rename call with no preceding (*os.File).Sync call in the
+//     same function — the rename can surface a file whose contents were
+//     never flushed, which is exactly the torn-bundle crash PR 1's
+//     fault-injection tests exist to prevent;
+//   - os.WriteFile and os.Create in the store package itself — every
+//     write there must flow through WriteAtomic or the journal's
+//     append-fsync path so the checksum and fsync rules hold.
+//
+// Renames that are deliberately non-durable (e.g. spool quarantine,
+// where journal replay makes the rename idempotent) belong in the
+// allowlist with their justification.
+var FsyncDiscipline = &Analyzer{
+	Name: "fsyncdiscipline",
+	Doc:  "os.Rename requires a prior File.Sync in the same function; the store package must use its atomic-write/journal helpers instead of raw file writes",
+	Run:  runFsyncDiscipline,
+}
+
+func runFsyncDiscipline(pass *Pass) {
+	if pass.Pkg.ForTest {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, fb := range funcBodies(pass.Pkg) {
+		if pass.Pkg.IsTestFile(fb.File) {
+			continue
+		}
+		fb := fb
+		ast.Inspect(fb.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeOf(info, call)
+			switch {
+			case stdlibFunc(obj, "os", "Rename"):
+				if !syncBefore(pass, fb, call) {
+					pass.Reportf(call.Pos(), "os.Rename in %s without a preceding File.Sync; an unflushed rename can surface torn data after a crash — fsync first or use store.WriteAtomic", fb.Name)
+				}
+			case pass.Pkg.Name == "store" && stdlibFunc(obj, "os", "WriteFile"):
+				pass.Reportf(call.Pos(), "os.WriteFile in the store package bypasses the fsync/checksum discipline; use WriteAtomic")
+			case pass.Pkg.Name == "store" && stdlibFunc(obj, "os", "Create"):
+				pass.Reportf(call.Pos(), "os.Create in the store package bypasses the fsync/checksum discipline; use WriteAtomic or os.CreateTemp with an explicit Sync")
+			}
+			return true
+		})
+	}
+}
+
+// syncBefore reports whether a Sync() call on an *os.File (or a call
+// into a helper of the store package, which is trusted to sync) occurs
+// lexically before call within the function body.
+func syncBefore(pass *Pass, fb funcBody, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(fb.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok || c.Pos() >= call.Pos() {
+			return true
+		}
+		if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Sync" {
+			if t := pass.TypeOf(sel.X); t != nil && namedTypePath(t, "os", "File") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden module under testdata/src seeds at least one violation
+// per analyzer, marked with `// want "regex"` comments on the
+// offending lines. The test fails on any diagnostic without a matching
+// want, and on any want without a matching diagnostic — so it pins
+// both the true-positive and the false-positive behaviour of every
+// analyzer.
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+type wantDiag struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+func collectWants(t *testing.T, root string) []*wantDiag {
+	t.Helper()
+	var wants []*wantDiag
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+				}
+				wants = append(wants, &wantDiag{file: path, line: i + 1, pattern: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) == 0 {
+		t.Fatalf("no want comments found under %s", root)
+	}
+	return wants
+}
+
+func TestGolden(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", root, err)
+	}
+	diags := Run(m, All())
+	wants := collectWants(t, root)
+	perAnalyzer := make(map[string]int)
+	for _, d := range diags {
+		perAnalyzer[d.Analyzer]++
+		found := false
+		for _, w := range wants {
+			if !w.matched && filepath.Clean(w.file) == filepath.Clean(d.Position.Filename) &&
+				w.line == d.Position.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q was produced", w.file, w.line, w.pattern)
+		}
+	}
+	for _, a := range All() {
+		if perAnalyzer[a.Name] == 0 {
+			t.Errorf("analyzer %s produced no findings on the golden module; its true-positive path is untested", a.Name)
+		}
+	}
+}

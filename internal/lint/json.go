@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// JSONSchema identifies the machine-readable output format; bump on
+// incompatible change (documented in EXPERIMENTS.md).
+const JSONSchema = "midas-lint/1"
+
+// jsonReport is the -json document.
+type jsonReport struct {
+	Schema    string     `json:"schema"`
+	Module    string     `json:"module"`
+	Analyzers []string   `json:"analyzers"`
+	Count     int        `json:"count"`   // findings that fail the run
+	Allowed   int        `json:"allowed"` // findings suppressed by the allowlist
+	Diags     []jsonDiag `json:"diagnostics"`
+}
+
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-relative when possible
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	Allowed  bool   `json:"allowed,omitempty"`
+}
+
+// WriteJSON renders diagnostics as one midas-lint/1 JSON document.
+func WriteJSON(w io.Writer, m *Module, analyzers []*Analyzer, diags []Diagnostic) error {
+	rep := jsonReport{
+		Schema: JSONSchema,
+		Module: m.Path,
+		Diags:  []jsonDiag{},
+	}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	for _, d := range diags {
+		file := d.Position.Filename
+		if rel, err := filepath.Rel(m.Dir, file); err == nil && !filepath.IsAbs(rel) &&
+			rel != ".." && !hasDotDotPrefix(rel) {
+			file = filepath.ToSlash(rel)
+		}
+		if d.Allowed {
+			rep.Allowed++
+		} else {
+			rep.Count++
+		}
+		rep.Diags = append(rep.Diags, jsonDiag{
+			Analyzer: d.Analyzer,
+			File:     file,
+			Line:     d.Position.Line,
+			Column:   d.Position.Column,
+			Message:  d.Message,
+			Allowed:  d.Allowed,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}

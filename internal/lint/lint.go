@@ -1,0 +1,169 @@
+// Package lint is midas-lint: a small, stdlib-only static-analysis
+// framework (go/parser + go/ast + go/types, no external dependencies)
+// that loads every package in the module and runs project-specific
+// analyzers enforcing the invariants the MIDAS stack depends on —
+// deterministic canonical codes and state bundles, context propagation
+// into the matching kernels, fsync-before-rename durability, lock
+// scope hygiene, failpoint/metric registry hygiene, and errors.Is/%w
+// discipline.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis in
+// miniature: an Analyzer has a name, a doc string and a Run function
+// over a type-checked Package; diagnostics carry a position and a
+// message and are filtered through an allowlist of deliberate
+// exceptions before they fail the build.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check. Run inspects a single type-checked
+// package and reports diagnostics through pass.Report. Analyzers that
+// need a whole-module view (e.g. registry hygiene) implement RunModule
+// instead, which is called once with every package loaded.
+type Analyzer struct {
+	Name string
+	// Doc is a one-line description shown by midas-lint -list.
+	Doc string
+	// Run is invoked once per loaded package (including its test
+	// files). Either Run or RunModule must be set.
+	Run func(pass *Pass)
+	// RunModule is invoked once per module with all packages.
+	RunModule func(m *Module, report func(Diagnostic))
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Module   *Module
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Module.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expr in this package, or nil.
+func (p *Pass) TypeOf(expr ast.Expr) types.Type {
+	if t := p.Pkg.Info.TypeOf(expr); t != nil {
+		return t
+	}
+	return nil
+}
+
+// ObjectOf returns the object denoted by ident, or nil.
+func (p *Pass) ObjectOf(ident *ast.Ident) types.Object {
+	return p.Pkg.Info.ObjectOf(ident)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+	// Allowed is set when an allowlist entry matched; allowed
+	// diagnostics are reported separately and do not fail the run.
+	Allowed bool
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)",
+		d.Position.Filename, d.Position.Line, d.Position.Column, d.Message, d.Analyzer)
+}
+
+// Module is every package loaded from one module root.
+type Module struct {
+	// Path is the module path from go.mod.
+	Path string
+	// Dir is the absolute module root directory.
+	Dir  string
+	Fset *token.FileSet
+	// Packages in deterministic (import-path) order. Each entry is one
+	// package directory: its non-test and in-package test files are
+	// type-checked together; external _test packages appear as their
+	// own entry with ForTest set.
+	Packages []*Package
+}
+
+// Package is one type-checked package.
+type Package struct {
+	// ImportPath is the package's import path within the module (the
+	// module path itself for the root package).
+	ImportPath string
+	// Dir is the absolute package directory.
+	Dir string
+	// Name is the package name ("store", "telemetry", ...).
+	Name string
+	// ForTest is true for external _test packages (package foo_test).
+	ForTest bool
+	// Files holds the parsed files: non-test files first, then
+	// in-package _test.go files. TestFileStart is the index of the
+	// first test file.
+	Files         []*ast.File
+	FileNames     []string
+	TestFileStart int
+	Types         *types.Package
+	Info          *types.Info
+}
+
+// IsTestFile reports whether the i'th file of the package is a _test.go
+// file (external test packages are test files throughout).
+func (p *Package) IsTestFile(i int) bool {
+	return p.ForTest || i >= p.TestFileStart
+}
+
+// TestFileFor reports whether the file containing pos is a test file.
+func (p *Package) TestFileFor(fset *token.FileSet, pos token.Pos) bool {
+	if p.ForTest {
+		return true
+	}
+	name := fset.Position(pos).Filename
+	for i, fn := range p.FileNames {
+		if fn == name {
+			return p.IsTestFile(i)
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over the module and returns diagnostics
+// sorted by file, line, column, then analyzer name.
+func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			a.RunModule(m, report)
+			continue
+		}
+		for _, pkg := range m.Packages {
+			pass := &Pass{Analyzer: a, Module: m, Pkg: pkg, report: report}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,331 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadModule parses and type-checks every package under the module
+// rooted at dir (the directory containing go.mod) using only the
+// standard library: go/parser for syntax, go/types for checking, and
+// the GOROOT source importer for standard-library dependencies.
+// Module-internal imports are resolved from the tree itself, so the
+// loader needs no build cache, no network and no go command.
+//
+// Each package directory yields one analysis Package containing the
+// non-test files plus the in-package _test.go files; external test
+// packages (package foo_test) become their own entry with ForTest set.
+func LoadModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:    token.NewFileSet(),
+		dir:     abs,
+		path:    modPath,
+		std:     importer.ForCompiler(token.NewFileSet(), "source", nil),
+		parsed:  make(map[string]*parsedDir),
+		checked: make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+	dirs, err := l.packageDirs()
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Path: modPath, Dir: abs, Fset: l.fset}
+	for _, d := range dirs {
+		pkgs, err := l.analyze(d)
+		if err != nil {
+			return nil, err
+		}
+		m.Packages = append(m.Packages, pkgs...)
+	}
+	sort.Slice(m.Packages, func(i, j int) bool {
+		a, b := m.Packages[i], m.Packages[j]
+		if a.ImportPath != b.ImportPath {
+			return a.ImportPath < b.ImportPath
+		}
+		return !a.ForTest // base package before its external test package
+	})
+	return m, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// parsedDir caches the parse of one package directory.
+type parsedDir struct {
+	name      string // package name of the non-test files
+	files     []*ast.File
+	fileNames []string
+	testStart int // index of first in-package test file
+	xtest     []*ast.File
+	xtestName []string
+}
+
+type loader struct {
+	fset    *token.FileSet
+	dir     string // module root
+	path    string // module path
+	std     types.Importer
+	parsed  map[string]*parsedDir     // package dir -> parse
+	checked map[string]*types.Package // import path -> pure (no test files) package
+	loading map[string]bool           // cycle detection
+}
+
+// packageDirs returns every directory under the module root containing
+// Go files, skipping testdata, vendor, VCS and hidden directories.
+func (l *loader) packageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.dir && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// importPathFor maps a package directory to its import path.
+func (l *loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.dir, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.path, nil
+	}
+	return l.path + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor maps a module-internal import path to its directory.
+func (l *loader) dirFor(importPath string) string {
+	if importPath == l.path {
+		return l.dir
+	}
+	rel := strings.TrimPrefix(importPath, l.path+"/")
+	return filepath.Join(l.dir, filepath.FromSlash(rel))
+}
+
+func (l *loader) isModulePath(path string) bool {
+	return path == l.path || strings.HasPrefix(path, l.path+"/")
+}
+
+// Import implements types.Importer: module-internal paths are resolved
+// from source in the tree; "unsafe" maps to types.Unsafe; everything
+// else (the standard library) goes through the GOROOT source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.isModulePath(path) {
+		return l.importModule(path)
+	}
+	return l.std.Import(path)
+}
+
+// importModule type-checks the pure (non-test) files of one module
+// package, memoized, with cycle detection.
+func (l *loader) importModule(path string) (*types.Package, error) {
+	if pkg, ok := l.checked[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	pd, err := l.parseDir(l.dirFor(path))
+	if err != nil {
+		return nil, err
+	}
+	pure := pd.files[:pd.testStart]
+	pkg, _, err := l.check(path, pd.name, pure)
+	if err != nil {
+		return nil, err
+	}
+	l.checked[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every .go file in dir once, splitting into package
+// files, in-package test files and external (xtest) files.
+func (l *loader) parseDir(dir string) (*parsedDir, error) {
+	if pd, ok := l.parsed[dir]; ok {
+		return pd, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	pd := &parsedDir{}
+	var nonTest, inTest []*ast.File
+	var nonTestN, inTestN []string
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", full, err)
+		}
+		pkgName := f.Name.Name
+		switch {
+		case strings.HasSuffix(name, "_test.go") && strings.HasSuffix(pkgName, "_test"):
+			pd.xtest = append(pd.xtest, f)
+			pd.xtestName = append(pd.xtestName, full)
+		case strings.HasSuffix(name, "_test.go"):
+			inTest = append(inTest, f)
+			inTestN = append(inTestN, full)
+		default:
+			nonTest = append(nonTest, f)
+			nonTestN = append(nonTestN, full)
+			pd.name = pkgName
+		}
+	}
+	if pd.name == "" && len(inTest) > 0 {
+		pd.name = inTest[0].Name.Name
+	}
+	pd.files = append(nonTest, inTest...)
+	pd.fileNames = append(nonTestN, inTestN...)
+	pd.testStart = len(nonTest)
+	l.parsed[dir] = pd
+	return pd, nil
+}
+
+// check type-checks one set of files as a package.
+func (l *loader) check(path, name string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			errs = append(errs, err)
+		},
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if len(errs) > 0 {
+		return nil, nil, fmt.Errorf("lint: type-checking %s: %w", path, errs[0])
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// analyze builds the analysis packages for one directory: the package
+// with its in-package test files, plus the external test package when
+// present.
+func (l *loader) analyze(dir string) ([]*Package, error) {
+	pd, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(pd.files) == 0 && len(pd.xtest) == 0 {
+		return nil, nil
+	}
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	if len(pd.files) > 0 {
+		// Make sure the pure package is memoized first so xtest files
+		// and downstream importers share one types.Package identity.
+		if _, err := l.importModule(path); err != nil {
+			return nil, err
+		}
+		tpkg, info, err := l.check(path, pd.name, pd.files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			ImportPath:    path,
+			Dir:           dir,
+			Name:          pd.name,
+			Files:         pd.files,
+			FileNames:     pd.fileNames,
+			TestFileStart: pd.testStart,
+			Types:         tpkg,
+			Info:          info,
+		})
+	}
+	if len(pd.xtest) > 0 {
+		xname := pd.xtest[0].Name.Name
+		tpkg, info, err := l.check(path+"_test", xname, pd.xtest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			ImportPath: path + "_test",
+			Dir:        dir,
+			Name:       xname,
+			ForTest:    true,
+			Files:      pd.xtest,
+			FileNames:  pd.xtestName,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return out, nil
+}

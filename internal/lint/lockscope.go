@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockScope enforces the engine-mutex rule PR 2's /metrics fix
+// established: while a sync.Mutex / sync.RWMutex is held, the critical
+// section must not run known-slow kernels or blocking I/O. A scrape
+// endpoint, a health check or a concurrent query queuing behind a lock
+// that is busy inside VF2 or an fsync is how the serving layer misses
+// its deadlines. Inside a Lock()..Unlock() region (or to the end of
+// the function after `defer Unlock()`) it flags calls to
+//
+//   - exported entry points of the kernel packages iso, ged and
+//     catapult (graph matching and selection are unbounded work);
+//   - the store package (every write there fsyncs);
+//   - net/http client calls, net.Dial*, and time.Sleep.
+//
+// Critical sections that hold the lock across such work by design
+// (e.g. the engine mutex serializing maintenance with state saves)
+// belong in the allowlist with their justification.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "no slow kernels (iso/ged/catapult), fsyncing store calls, or blocking I/O while a sync.Mutex/RWMutex is held",
+	Run:  runLockScope,
+}
+
+// slowModulePkgs are the module packages whose exported entry points
+// count as unbounded work.
+var slowModulePkgs = map[string]bool{"iso": true, "ged": true, "catapult": true, "store": true}
+
+func runLockScope(pass *Pass) {
+	for _, fb := range funcBodies(pass.Pkg) {
+		regions := lockRegions(pass, fb)
+		if len(regions) == 0 {
+			continue
+		}
+		goBodies := goStmtRanges(fb.Body)
+		ast.Inspect(fb.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, g := range goBodies {
+				if posWithin(call.Pos(), g[0], g[1]) {
+					return true // runs on its own goroutine, not under the caller's lock
+				}
+			}
+			for _, reg := range regions {
+				if !posWithin(call.Pos(), reg.lo, reg.hi) {
+					continue
+				}
+				if desc := slowCallDesc(pass, call); desc != "" {
+					pass.Reportf(call.Pos(), "%s called while %s is held in %s; move slow/blocking work outside the critical section", desc, reg.key, fb.Name)
+				}
+				break
+			}
+			return true
+		})
+	}
+}
+
+type lockRegion struct {
+	key    string // rendered lock expression, e.g. "s.mu"
+	lo, hi token.Pos
+}
+
+// lockRegions finds Lock/RLock calls on sync mutexes and pairs each
+// with its Unlock: an explicit Unlock bounds the region; `defer
+// Unlock()` extends it to the end of the function.
+func lockRegions(pass *Pass, fb funcBody) []lockRegion {
+	type ev struct {
+		pos      token.Pos
+		key      string
+		lock     bool
+		deferred bool
+	}
+	var evs []ev
+	deferredCalls := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fb.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferredCalls[d.Call] = true
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		deferred := deferredCalls[call]
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		isLock := name == "Lock" || name == "RLock"
+		isUnlock := name == "Unlock" || name == "RUnlock"
+		if !isLock && !isUnlock {
+			return true
+		}
+		t := pass.TypeOf(sel.X)
+		if t == nil || !(namedTypePath(t, "sync", "Mutex") || namedTypePath(t, "sync", "RWMutex")) {
+			return true
+		}
+		evs = append(evs, ev{pos: call.Pos(), key: exprText(sel.X), lock: isLock, deferred: deferred})
+		return true
+	})
+	var regions []lockRegion
+	open := make(map[string]token.Pos)
+	for _, e := range evs {
+		switch {
+		case e.lock:
+			if _, ok := open[e.key]; !ok {
+				open[e.key] = e.pos
+			}
+		case e.deferred:
+			// defer Unlock: the lock is held to the end of the function.
+			if lo, ok := open[e.key]; ok {
+				regions = append(regions, lockRegion{key: e.key, lo: lo, hi: fb.Body.End()})
+				delete(open, e.key)
+			}
+		default:
+			if lo, ok := open[e.key]; ok {
+				regions = append(regions, lockRegion{key: e.key, lo: lo, hi: e.pos})
+				delete(open, e.key)
+			}
+		}
+	}
+	// Lock with no visible Unlock (e.g. handed to a helper): treat as
+	// held to the end of the function. Sorted so diagnostics are
+	// deterministic — this linter eats its own dog food.
+	keys := make([]string, 0, len(open))
+	for key := range open {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		regions = append(regions, lockRegion{key: key, lo: open[key], hi: fb.Body.End()})
+	}
+	return regions
+}
+
+// goStmtRanges returns the position ranges of `go` statement bodies.
+func goStmtRanges(body *ast.BlockStmt) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			out = append(out, [2]token.Pos{g.Call.Pos(), g.Call.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// slowCallDesc classifies a call as slow/blocking, returning a
+// human-readable description or "".
+func slowCallDesc(pass *Pass, call *ast.CallExpr) string {
+	obj := calleeOf(pass.Pkg.Info, call)
+	if obj == nil {
+		return ""
+	}
+	// Kernel and store entry points from this module, by package name.
+	if inModulePkg(pass.Module, obj) && obj.Pkg().Name() != pass.Pkg.Name &&
+		slowModulePkgs[obj.Pkg().Name()] && ast.IsExported(obj.Name()) {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	if stdlibFunc(obj, "time", "Sleep") {
+		return "time.Sleep"
+	}
+	if pkg := objPkgPath(obj); pkg == "net/http" || pkg == "net" {
+		switch obj.Name() {
+		case "Get", "Post", "PostForm", "Head", "Do", "Dial", "DialTimeout", "DialTCP", "Listen", "ListenAndServe", "ListenAndServeTLS":
+			return pkg + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+func objPkgPath(obj types.Object) string {
+	if p := obj.Pkg(); p != nil {
+		return p.Path()
+	}
+	return ""
+}

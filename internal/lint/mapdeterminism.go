@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapDeterminism flags `range` over a map whose body has an
+// order-dependent effect: appending to a slice that is never sorted
+// afterwards in the same function, building a string, writing to an
+// io.Writer / hash / encoder, or accumulating a float. Go randomizes
+// map iteration order, so any of these makes canonical codes, state
+// bundles, telemetry renders or selection scores differ run to run —
+// exactly the class of bug that breaks bundle checksums and golden
+// tests. Fix by iterating sorted keys or sorting the collected slice.
+//
+// Test files are skipped: nondeterministic assertions surface as flaky
+// tests and are caught by `go test -count=2`.
+var MapDeterminism = &Analyzer{
+	Name: "mapdeterminism",
+	Doc:  "range over a map must not have order-dependent effects (append without sort, string build, writer/hash/encoder writes, float accumulation)",
+	Run:  runMapDeterminism,
+}
+
+func runMapDeterminism(pass *Pass) {
+	if pass.Pkg.ForTest {
+		return
+	}
+	for _, fb := range funcBodies(pass.Pkg) {
+		if pass.Pkg.IsTestFile(fb.File) {
+			continue
+		}
+		fb := fb
+		ast.Inspect(fb.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypeOf(rs.X); t == nil || !isMapType(t) {
+				return true
+			}
+			checkMapRangeBody(pass, fb, rs)
+			return true
+		})
+	}
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRangeBody(pass *Pass, fb funcBody, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false // has its own execution time; analyzed separately
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, fb, rs, v)
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, rs, v)
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags string builds, float accumulation and
+// unsorted append collection inside a map-range body.
+func checkMapRangeAssign(pass *Pass, fb funcBody, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			t := pass.TypeOf(lhs)
+			if t == nil {
+				continue
+			}
+			obj := rootIdentObj(info, lhs)
+			if obj == nil || declaredWithin(obj, rs) {
+				continue // loop-local accumulation dies with the iteration
+			}
+			basic, ok := t.Underlying().(*types.Basic)
+			if !ok {
+				continue
+			}
+			switch {
+			case basic.Info()&types.IsString != 0:
+				pass.Reportf(as.Pos(), "string built up across map iteration of %s; map order is random — iterate sorted keys", exprText(rs.X))
+			case basic.Kind() == types.Float32 || basic.Kind() == types.Float64:
+				pass.Reportf(as.Pos(), "float accumulated across map iteration of %s; float addition is not associative, so the result depends on map order — iterate sorted keys", exprText(rs.X))
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(info, call) || len(call.Args) == 0 {
+				continue
+			}
+			// The canonical collect idiom: keys = append(keys, k).
+			// Fine when the slice is sorted later in the same function.
+			target := as.Lhs[min(i, len(as.Lhs)-1)]
+			obj := rootIdentObj(info, target)
+			if obj == nil || declaredWithin(obj, rs) {
+				continue
+			}
+			if sortedAfter(pass, fb, obj, rs.End()) {
+				continue
+			}
+			pass.Reportf(as.Pos(), "%s collects values in map iteration order of %s and is never sorted in %s; sort it before use or iterate sorted keys", obj.Name(), exprText(rs.X), fb.Name)
+		}
+	}
+}
+
+// checkMapRangeCall flags direct writes to writers, hashes, string
+// builders and encoders inside a map-range body — those emit bytes in
+// map order with no later chance to sort.
+func checkMapRangeCall(pass *Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	// fmt.Fprint* / io.WriteString with a writer first argument.
+	if obj := calleeOf(info, call); obj != nil {
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+			name := fn.Name()
+			if fn.Pkg().Path() == "fmt" && (name == "Fprintf" || name == "Fprintln" || name == "Fprint") ||
+				fn.Pkg().Path() == "io" && name == "WriteString" {
+				pass.Reportf(call.Pos(), "%s.%s writes inside map iteration of %s; output order follows random map order — iterate sorted keys", fn.Pkg().Name(), name, exprText(rs.X))
+				return
+			}
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := pass.TypeOf(sel.X)
+	if recv == nil {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		if implementsWriter(recv) || namedTypePath(recv, "strings", "Builder") {
+			pass.Reportf(call.Pos(), "%s.%s inside map iteration of %s; bytes are emitted in random map order — iterate sorted keys", exprText(sel.X), sel.Sel.Name, exprText(rs.X))
+		}
+	case "Encode":
+		if namedTypePath(recv, "encoding/json", "Encoder") || namedTypePath(recv, "encoding/gob", "Encoder") {
+			pass.Reportf(call.Pos(), "%s.Encode inside map iteration of %s; records are encoded in random map order — iterate sorted keys", exprText(sel.X), exprText(rs.X))
+		}
+	case "Sum", "Sum32", "Sum64":
+		// Reading a hash inside a map loop is fine; writing is caught
+		// by the Write case above.
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() != token.NoPos && posWithin(obj.Pos(), node.Pos(), node.End())
+}
+
+// sortedAfter reports whether obj is passed to a sorting call after pos
+// in the same function: anything from package sort or slices, or a
+// helper whose name starts with "sort" (the sortInts-style local
+// wrappers common in this repo).
+func sortedAfter(pass *Pass, fb funcBody, obj types.Object, pos token.Pos) bool {
+	info := pass.Pkg.Info
+	found := false
+	ast.Inspect(fb.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		callee := calleeOf(info, call)
+		fn, ok := callee.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" && !sortLikeName(fn.Name()) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootIdentObj(info, arg) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sortLikeName matches local sorting helpers: sortInts, SortByWeight,
+// canonSort, ...
+func sortLikeName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "sort") || strings.HasSuffix(lower, "sort") || strings.HasSuffix(lower, "sorted")
+}

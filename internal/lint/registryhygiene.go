@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+)
+
+// RegistryHygiene cross-checks the two string-keyed registries the
+// stack depends on:
+//
+// Failpoints — a test arming faultinject.Enable("x") where no
+// production code calls faultinject.Hit("x") tests nothing: the
+// failpoint fires never, and the crash-safety property the test claims
+// to cover is unverified. Every name armed in a test must be declared
+// by a Hit call in non-test code.
+//
+// Telemetry metrics — names must be snake_case, counters must end in
+// _total, histograms must carry a unit suffix (_seconds, _bytes,
+// _ratio, _distance), and a name registered twice must agree on kind
+// and help (registration is idempotent by design, so a conflicting
+// re-registration would silently return the older family).
+var RegistryHygiene = &Analyzer{
+	Name:      "registryhygiene",
+	Doc:       "failpoint names armed in tests must exist in production Hit calls; telemetry metric names must be snake_case with unit suffixes and consistent kind/help",
+	RunModule: runRegistryHygiene,
+}
+
+var (
+	snakeCaseRe = regexp.MustCompile(`^[a-z][a-z0-9_]*[a-z0-9]$`)
+
+	histogramUnitSuffixes = []string{"_seconds", "_bytes", "_ratio", "_distance"}
+)
+
+// metricConstructors maps telemetry Registry constructor names to the
+// family kind they create.
+var metricConstructors = map[string]string{
+	"NewCounter":      "counter",
+	"NewCounterFunc":  "counter",
+	"NewCounterVec":   "counter",
+	"NewGauge":        "gauge",
+	"NewGaugeFunc":    "gauge",
+	"NewHistogram":    "histogram",
+	"NewHistogramVec": "histogram",
+}
+
+func runRegistryHygiene(m *Module, report func(Diagnostic)) {
+	checkFailpoints(m, report)
+	checkMetricNames(m, report)
+}
+
+// ---------------------------------------------------------------------
+// Failpoints
+
+func checkFailpoints(m *Module, report func(Diagnostic)) {
+	declared := make(map[string]bool)
+	type armSite struct {
+		pkg  *Package
+		call *ast.CallExpr
+		name string
+	}
+	var armed []armSite
+	for _, pkg := range m.Packages {
+		for i, f := range pkg.Files {
+			testFile := pkg.IsTestFile(i)
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := calleeOf(pkg.Info, call)
+				if obj == nil || !inModulePkg(m, obj) {
+					return true
+				}
+				switch {
+				case isPkgFunc(obj, "faultinject", "Hit") && !testFile:
+					if name, ok := stringArg(call, 0); ok {
+						declared[name] = true
+					}
+				case isPkgFunc(obj, "faultinject", "Enable") ||
+					isPkgFunc(obj, "faultinject", "EnableErr") ||
+					isPkgFunc(obj, "faultinject", "Disable"):
+					if testFile {
+						if name, ok := stringArg(call, 0); ok {
+							armed = append(armed, armSite{pkg: pkg, call: call, name: name})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, a := range armed {
+		if !declared[a.name] {
+			report(Diagnostic{
+				Analyzer: "registryhygiene",
+				Position: m.Fset.Position(a.call.Pos()),
+				Message: fmt.Sprintf("failpoint %q is armed in a test but no production code calls faultinject.Hit(%q); the test exercises nothing",
+					a.name, a.name),
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Metric names
+
+type metricSite struct {
+	pkg  *Package
+	call *ast.CallExpr
+	name string
+	kind string
+	help string
+}
+
+func checkMetricNames(m *Module, report func(Diagnostic)) {
+	var sites []metricSite
+	for _, pkg := range m.Packages {
+		if pkg.ForTest {
+			continue
+		}
+		for i, f := range pkg.Files {
+			if pkg.IsTestFile(i) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				kind, ok := metricConstructors[sel.Sel.Name]
+				if !ok {
+					return true
+				}
+				if t := pkg.Info.TypeOf(sel.X); t == nil || !namedType(t, "telemetry", "Registry") {
+					return true
+				}
+				name, ok := stringArg(call, 0)
+				if !ok {
+					return true
+				}
+				help, _ := stringArg(call, 1)
+				sites = append(sites, metricSite{pkg: pkg, call: call, name: name, kind: kind, help: help})
+				return true
+			})
+		}
+	}
+	reportf := func(s metricSite, format string, args ...interface{}) {
+		report(Diagnostic{
+			Analyzer: "registryhygiene",
+			Position: m.Fset.Position(s.call.Pos()),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	byName := make(map[string]metricSite)
+	for _, s := range sites {
+		if !snakeCaseRe.MatchString(s.name) {
+			reportf(s, "metric name %q is not snake_case ([a-z][a-z0-9_]*)", s.name)
+		}
+		switch s.kind {
+		case "counter":
+			if !hasSuffixIn(s.name, []string{"_total"}) {
+				reportf(s, "counter %q must end in _total (Prometheus naming: counters count events)", s.name)
+			}
+		case "gauge":
+			if hasSuffixIn(s.name, []string{"_total"}) {
+				reportf(s, "gauge %q must not end in _total; _total marks monotonic counters", s.name)
+			}
+		case "histogram":
+			if !hasSuffixIn(s.name, histogramUnitSuffixes) {
+				reportf(s, "histogram %q needs a unit suffix (one of %v)", s.name, histogramUnitSuffixes)
+			}
+		}
+		prev, seen := byName[s.name]
+		if !seen {
+			byName[s.name] = s
+			continue
+		}
+		if prev.kind != s.kind || prev.help != s.help {
+			reportf(s, "metric %q re-registered with different %s than at %s; idempotent registration would silently keep the first family",
+				s.name, disagreement(prev, s), m.Fset.Position(prev.call.Pos()))
+		}
+	}
+}
+
+func disagreement(a, b metricSite) string {
+	if a.kind != b.kind {
+		return "kind (" + a.kind + " vs " + b.kind + ")"
+	}
+	return "help text"
+}
+
+func hasSuffixIn(name string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if len(name) > len(s) && name[len(name)-len(s):] == s {
+			return true
+		}
+	}
+	return false
+}

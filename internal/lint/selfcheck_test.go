@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// The repo must be lint-clean under its own analyzers: every finding is
+// either fixed or carries a justified allowlist entry, and no allowlist
+// entry is stale. This is the same gate `make lint` and CI enforce;
+// having it as a test keeps `go test ./...` sufficient to catch
+// regressions. Skipped under -short: it type-checks the whole module.
+func TestRepoSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", root, err)
+	}
+	diags := Run(m, All())
+	al, err := ParseAllowlist(filepath.Join(root, ".midas-lint-allow"))
+	if err != nil {
+		t.Fatalf("ParseAllowlist: %v", err)
+	}
+	diags = al.Apply(diags)
+	for _, d := range diags {
+		if !d.Allowed {
+			t.Errorf("repo is not lint-clean: %s", d)
+		}
+	}
+	for _, e := range al.Unused() {
+		t.Errorf("%s:%d: stale allowlist entry (%s %s) matches nothing; delete it", al.Path, e.Line, e.Analyzer, e.Path)
+	}
+}

@@ -1,0 +1,40 @@
+// Package ctxprop seeds ctxpropagation violations: functions holding a
+// ctx that drop it on the floor when calling cancellable kernels.
+package ctxprop
+
+import (
+	"context"
+
+	"example.com/lintdata/iso"
+)
+
+type Engine struct{}
+
+func (e *Engine) Maintain() {}
+
+func (e *Engine) MaintainContext(ctx context.Context) { _ = ctx }
+
+func run(ctx context.Context, eng *Engine) int {
+	eng.Maintain()           // want "Engine.Maintain ignores ctx.*MaintainContext exists"
+	n := iso.MCCS(10)        // want "iso.MCCS ignores ctx.*iso.MCCSWithCancel exists"
+	_ = context.Background() // want "context.Background.. inside run, which already has ctx"
+	return n
+}
+
+// runOK threads cancellation everywhere and must not be flagged.
+func runOK(ctx context.Context, eng *Engine) int {
+	eng.MaintainContext(ctx)
+	return iso.MCCSWithCancel(10, func() bool { return ctx.Err() != nil })
+}
+
+// nested function literals with their own ctx are analyzed on their
+// own; this one inherits the outer ctx and is still a violation.
+func runNested(ctx context.Context) {
+	f := func() {
+		iso.MCCS(5) // want "iso.MCCS ignores ctx"
+	}
+	f()
+}
+
+// noCtx has no context parameter, so nothing to propagate.
+func noCtx() int { return iso.MCCS(10) }

@@ -1,0 +1,42 @@
+// Package errwrapbad seeds errwrap violations: sentinel comparisons
+// with == and error arguments formatted with %v.
+package errwrapbad
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrGone = errors.New("gone")
+	ErrBusy = errors.New("busy")
+)
+
+func classify(err error) string {
+	if err == ErrGone { // want "error compared to sentinel ErrGone with =="
+		return "gone"
+	}
+	if ErrBusy != err { // want "error compared to sentinel ErrBusy with !="
+		return "other"
+	}
+	return "busy"
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("maintain: %v", err) // want "error argument formatted with %v in fmt.Errorf"
+}
+
+func wrapIndexed(id int, err error) error {
+	return fmt.Errorf("graph %d: %s", id, err) // want "error argument formatted with %s in fmt.Errorf"
+}
+
+// wrapOK uses the blessed forms and must not be flagged.
+func wrapOK(err error) error {
+	if errors.Is(err, ErrGone) {
+		return err
+	}
+	if err == nil { // nil comparison is not a sentinel comparison
+		return nil
+	}
+	return fmt.Errorf("maintain: %w", err)
+}

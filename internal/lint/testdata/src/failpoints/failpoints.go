@@ -1,0 +1,20 @@
+// Package failpoints seeds the registryhygiene failpoint check: the
+// production path declares one failpoint; tests may only arm declared
+// names.
+package failpoints
+
+import (
+	"errors"
+
+	"example.com/lintdata/faultinject"
+)
+
+var errTorn = errors.New("injected: torn write")
+
+// Save is the production path whose failpoint tests may arm.
+func Save() error {
+	if faultinject.Hit("failpoints/save") {
+		return errTorn
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package failpoints
+
+import (
+	"testing"
+
+	"example.com/lintdata/faultinject"
+)
+
+func TestSaveFails(t *testing.T) {
+	faultinject.Enable("failpoints/save")
+	defer faultinject.Disable("failpoints/save")
+	if err := Save(); err == nil {
+		t.Fatal("want injected failure")
+	}
+	faultinject.Enable("failpoints/ghost") // want "failpoint .failpoints/ghost. is armed in a test but no production code calls"
+}

@@ -1,0 +1,21 @@
+// Package faultinject is a minimal stand-in for the repo's failpoint
+// harness: the analyzers match it by package name, so the golden module
+// can exercise registryhygiene without importing the real thing.
+package faultinject
+
+var enabled = map[string]error{}
+
+// Hit reports whether the named failpoint is armed.
+func Hit(name string) bool {
+	_, ok := enabled[name]
+	return ok
+}
+
+// Enable arms a failpoint.
+func Enable(name string) { enabled[name] = nil }
+
+// EnableErr arms a failpoint with a specific error.
+func EnableErr(name string, err error) { enabled[name] = err }
+
+// Disable disarms a failpoint.
+func Disable(name string) { delete(enabled, name) }

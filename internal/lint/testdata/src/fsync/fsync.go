@@ -1,0 +1,25 @@
+// Package fsync seeds fsyncdiscipline violations: renames that can
+// surface unflushed data after a crash.
+package fsync
+
+import "os"
+
+func swapBad(tmp, dst string) error {
+	return os.Rename(tmp, dst) // want "os.Rename in swapBad without a preceding File.Sync"
+}
+
+// swapOK fsyncs before renaming and must not be flagged.
+func swapOK(tmp, dst string) error {
+	f, err := os.OpenFile(tmp, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst)
+}

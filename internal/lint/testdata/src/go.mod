@@ -1,0 +1,3 @@
+module example.com/lintdata
+
+go 1.22

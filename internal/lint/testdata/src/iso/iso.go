@@ -1,0 +1,15 @@
+// Package iso is a stand-in for the repo's matching kernels: lockscope
+// treats its exported entry points as unbounded work, and
+// ctxpropagation pairs MCCS with its cancellable sibling.
+package iso
+
+// MCCS runs an unbounded search.
+func MCCS(budget int) int { return budget }
+
+// MCCSWithCancel is the cancellable variant of MCCS.
+func MCCSWithCancel(budget int, cancel func() bool) int {
+	if cancel != nil && cancel() {
+		return 0
+	}
+	return budget
+}

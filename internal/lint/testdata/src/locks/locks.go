@@ -1,0 +1,51 @@
+// Package locks seeds lockscope violations: slow or blocking work
+// while a sync mutex is held.
+package locks
+
+import (
+	"sync"
+	"time"
+
+	"example.com/lintdata/iso"
+)
+
+type server struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (s *server) sleepHeld() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep called while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *server) kernelHeld() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return iso.MCCS(100) // want "iso.MCCS called while s.mu is held"
+}
+
+func (s *server) readHeld() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return iso.MCCS(s.n) // want "iso.MCCS called while s.rw is held"
+}
+
+// unlockFirst releases the lock before the slow work and must not be
+// flagged.
+func (s *server) unlockFirst() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// spawned work runs on its own goroutine, not under the caller's lock.
+func (s *server) goroutineOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { time.Sleep(time.Millisecond) }()
+	s.n++
+}

@@ -1,0 +1,88 @@
+// Package mapdet seeds mapdeterminism violations: order-dependent
+// effects inside `range` over a map.
+package mapdet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func keyString(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want "string built up across map iteration of m"
+	}
+	return out
+}
+
+func checksum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want "float accumulated across map iteration of m"
+	}
+	return sum
+}
+
+func collectBad(m map[int]bool) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id) // want "ids collects values in map iteration order of m"
+	}
+	return ids
+}
+
+// collectOK is the canonical collect-then-sort idiom and must not be
+// flagged.
+func collectOK(m map[int]bool) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// collectHelperOK sorts through a local sort-like helper, which the
+// analyzer must also recognize.
+func collectHelperOK(m map[int]bool) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	return ids
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "fmt.Fprintf writes inside map iteration of m"
+	}
+}
+
+func render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "b.WriteString inside map iteration of m"
+	}
+	return b.String()
+}
+
+// loopLocalOK accumulates into a variable declared inside the loop;
+// the value dies with each iteration, so order cannot leak out.
+func loopLocalOK(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		if s > 1 {
+			n++
+		}
+	}
+	return n
+}

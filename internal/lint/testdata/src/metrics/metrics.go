@@ -1,0 +1,21 @@
+// Package metrics seeds the registryhygiene naming checks against the
+// stand-in telemetry registry.
+package metrics
+
+import "example.com/lintdata/telemetry"
+
+func register(r *telemetry.Registry) {
+	r.NewCounter("opsDone_total", "camelCase name")      // want "not snake_case"
+	r.NewCounter("requests_count", "counter sans total") // want "must end in _total"
+	r.NewGauge("queue_total", "gauge with counter name") // want "must not end in _total"
+	r.NewHistogram("latency", "no unit suffix", nil)     // want "needs a unit suffix"
+	r.NewCounter("dup_total", "old help")
+	r.NewCounter("dup_total", "new help") // want "re-registered with different help text"
+
+	// Clean registrations must not be flagged.
+	r.NewCounter("batches_applied_total", "fine")
+	r.NewGauge("journal_depth", "fine")
+	r.NewHistogram("swap_latency_seconds", "fine", nil)
+	r.NewHistogramVec("stage_seconds", "fine", nil, "stage")
+	r.NewCounterVec("kernel_steps_total", "fine", "kernel")
+}

@@ -1,0 +1,39 @@
+// Package store mirrors the repo's durability layer by name: inside a
+// package called "store", every raw file write bypasses the
+// fsync/checksum discipline and is a violation.
+package store
+
+import "os"
+
+func saveBad(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile in the store package"
+}
+
+func createBad(path string) error {
+	f, err := os.Create(path) // want "os.Create in the store package"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// WriteAtomic is the blessed path: temp file, fsync, rename. It must
+// not be flagged.
+func WriteAtomic(path string, data []byte) error {
+	f, err := os.CreateTemp("", "atomic-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// funcBody is one function-shaped region: a declaration or a literal.
+type funcBody struct {
+	Name string // "(*T).Method", "Func" or "func literal"
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	Body *ast.BlockStmt
+	Type *ast.FuncType
+	File int // index into pkg.Files
+}
+
+// funcBodies returns every function declaration and literal in the
+// package with a non-nil body.
+func funcBodies(pkg *Package) []funcBody {
+	var out []funcBody
+	for i, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					out = append(out, funcBody{Name: funcDeclName(fn), Decl: fn, Body: fn.Body, Type: fn.Type, File: i})
+				}
+			case *ast.FuncLit:
+				out = append(out, funcBody{Name: "func literal", Lit: fn, Body: fn.Body, Type: fn.Type, File: i})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func funcDeclName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	recv := exprText(fn.Recv.List[0].Type)
+	return "(" + recv + ")." + fn.Name.Name
+}
+
+// exprText renders simple expressions (idents, selector chains, stars,
+// indexes) for messages and region keys; it is not a full printer.
+func exprText(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprText(v.X) + "." + v.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprText(v.X)
+	case *ast.IndexExpr:
+		return exprText(v.X) + "[" + exprText(v.Index) + "]"
+	case *ast.CallExpr:
+		return exprText(v.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return "(" + exprText(v.X) + ")"
+	case *ast.BasicLit:
+		return v.Value
+	}
+	return "?"
+}
+
+// calleeOf resolves the called object of a call expression: a function,
+// method or builtin, or nil for indirect calls through variables.
+func calleeOf(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is a function named name declared in a
+// package whose *name* (not path) is pkgName. Matching by package name
+// lets the golden testdata packages stand in for the real ones.
+func isPkgFunc(obj types.Object, pkgName, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Name() == pkgName && fn.Name() == name
+}
+
+// stdlibFunc reports whether obj is the function path.name from the
+// standard library (exact import path match).
+func stdlibFunc(obj types.Object, path, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == path && fn.Name() == name
+}
+
+// stringArg returns the i'th argument when it is a string literal.
+func stringArg(call *ast.CallExpr, i int) (string, bool) {
+	if i >= len(call.Args) {
+		return "", false
+	}
+	lit, ok := ast.Unparen(call.Args[i]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// deref peels pointers off a type.
+func deref(t types.Type) types.Type {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// namedType reports whether t (after peeling pointers) is the named
+// type pkgName.typeName, matching the declaring package by name.
+func namedType(t types.Type, pkgName, typeName string) bool {
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Name() == pkgName && obj.Name() == typeName
+}
+
+// namedTypePath is namedType with an exact import-path match (stdlib).
+func namedTypePath(t types.Type, pkgPath, typeName string) bool {
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == typeName
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && namedTypePath(t, "context", "Context")
+}
+
+// hasContextParam reports whether the function type declares a
+// context.Context parameter and returns its name when it has one.
+func hasContextParam(info *types.Info, ft *ast.FuncType) (string, bool) {
+	if ft.Params == nil {
+		return "", false
+	}
+	for _, field := range ft.Params.List {
+		if t := info.TypeOf(field.Type); isContextType(t) {
+			name := "_"
+			if len(field.Names) > 0 {
+				name = field.Names[0].Name
+			}
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// ioWriter is a structural io.Writer built from universe types, so
+// implementsWriter needs no import of the real io package.
+var ioWriter = types.NewInterfaceType([]*types.Func{
+	types.NewFunc(token.NoPos, nil, "Write", types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(
+			types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+		), false)),
+}, nil).Complete()
+
+// implementsWriter reports whether t or *t implements io.Writer.
+func implementsWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if types.Implements(t, ioWriter) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), ioWriter)
+	}
+	return false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// rootIdentObj returns the object of the leftmost identifier of an
+// expression like x, x.f, x.f[i] — the variable whose state the
+// expression reads — or nil.
+func rootIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// inModulePkg reports whether obj is declared in a package belonging to
+// the analyzed module.
+func inModulePkg(m *Module, obj types.Object) bool {
+	return obj != nil && obj.Pkg() != nil &&
+		(obj.Pkg().Path() == m.Path || strings.HasPrefix(obj.Pkg().Path(), m.Path+"/"))
+}
+
+// posWithin reports whether pos lies within [lo, hi].
+func posWithin(pos, lo, hi token.Pos) bool { return pos >= lo && pos <= hi }

@@ -13,6 +13,10 @@ import (
 // text exposition format (version 0.0.4): HELP/TYPE headers, escaped
 // label values, cumulative histogram buckets with the implicit +Inf
 // bucket, and _sum/_count series.
+//
+// Output order is deterministic by contract: families are rendered in
+// name order and the children of labelled families in label-value
+// order, independent of registration or observation order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, m := range r.snapshotMetrics() {
 		fam := m.family()

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// The rendering contract: two registries holding the same families
+// produce byte-identical documents regardless of the order in which
+// the families were registered or the label children created. Package
+// init order is not deterministic across refactors, and golden tests
+// and scrape diffs must not depend on it.
+func TestRenderOrderIndependentOfRegistration(t *testing.T) {
+	type wiring func(r *Registry)
+	wire := []wiring{
+		func(r *Registry) { r.NewCounter("zz_events_total", "z help").Add(3) },
+		func(r *Registry) { r.NewGauge("aa_depth", "a help").Set(2.5) },
+		func(r *Registry) { r.NewHistogram("mm_latency_seconds", "m help", []float64{0.1, 1}).Observe(0.2) },
+		func(r *Registry) {
+			v := r.NewCounterVec("kk_ops_total", "k help", "op", "ok")
+			v.With("write", "true").Add(1)
+			v.With("read", "false").Add(2)
+			v.With("read", "true").Add(5)
+		},
+		func(r *Registry) {
+			v := r.NewHistogramVec("hh_span_seconds", "h help", []float64{0.5}, "stage")
+			v.With("swap").Observe(0.1)
+			v.With("cand").Observe(0.9)
+		},
+	}
+
+	render := func(r *Registry) string {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		return b.String()
+	}
+
+	forward := NewRegistry()
+	for _, w := range wire {
+		w(forward)
+	}
+	reversed := NewRegistry()
+	for i := len(wire) - 1; i >= 0; i-- {
+		wire[i](reversed)
+	}
+
+	got, want := render(reversed), render(forward)
+	if got != want {
+		t.Fatalf("render depends on registration order:\nforward:\n%s\nreversed:\n%s", want, got)
+	}
+
+	// Families must appear in name order (the documented contract).
+	names := []string{"aa_depth", "hh_span_seconds", "kk_ops_total", "mm_latency_seconds", "zz_events_total"}
+	last := -1
+	for _, name := range names {
+		idx := strings.Index(want, "# HELP "+name+" ")
+		if idx < 0 {
+			t.Fatalf("family %s missing from render:\n%s", name, want)
+		}
+		if idx < last {
+			t.Fatalf("family %s rendered out of name order:\n%s", name, want)
+		}
+		last = idx
+	}
+
+	// JSON rendering must be equally order-blind.
+	var j1, j2 strings.Builder
+	if err := forward.WriteJSON(&j1); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := reversed.WriteJSON(&j2); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if j1.String() != j2.String() {
+		t.Fatalf("JSON render depends on registration order:\n%s\nvs:\n%s", j1.String(), j2.String())
+	}
+}
+
+// Repeated renders of the same registry must be byte-identical: the
+// vec children live in maps, and a render that iterated them directly
+// would shuffle on every scrape.
+func TestRenderStableAcrossCalls(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("ops_total", "ops", "kind")
+	for _, k := range []string{"e", "c", "a", "d", "b"} {
+		v.With(k).Inc()
+	}
+	var first strings.Builder
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		var again strings.Builder
+		if err := r.WritePrometheus(&again); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		if again.String() != first.String() {
+			t.Fatalf("render %d differs:\n%s\nvs:\n%s", i, again.String(), first.String())
+		}
+	}
+}

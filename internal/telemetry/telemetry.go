@@ -92,7 +92,11 @@ func (r *Registry) Families() int {
 	return len(r.ordered)
 }
 
-// snapshotMetrics returns the families in registration order.
+// snapshotMetrics returns the families sorted by name. Sorted — not
+// registration — order is the rendering contract: two processes (or
+// two runs) that register the same families in different orders must
+// produce byte-identical /metrics documents, so scrape diffs and
+// golden tests never depend on package-init ordering.
 func (r *Registry) snapshotMetrics() []metric {
 	if r.isNop() {
 		return nil
@@ -101,6 +105,7 @@ func (r *Registry) snapshotMetrics() []metric {
 	defer r.mu.Unlock()
 	out := make([]metric, len(r.ordered))
 	copy(out, r.ordered)
+	sort.Slice(out, func(i, j int) bool { return out[i].family().name < out[j].family().name })
 	return out
 }
 
