@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt lint race bench bench-smoke figures fuzz clean
+.PHONY: all build test vet fmt lint race crashtest bench bench-smoke figures fuzz clean
 
 all: build test
 
@@ -29,6 +29,13 @@ test: vet
 # 600s per-package limit under the detector's slowdown.
 race:
 	$(GO) test -race -timeout 1800s ./...
+
+# Exhaustive crash-consistency model check: every crash point of every
+# storage workload, friendly and lossy, with every torn length of a
+# final write (docs/EXPERIMENTS.md). `go test -short` runs the same
+# sweep with crash points and tear lengths sampled.
+crashtest:
+	$(GO) test -race -v -run 'TestCrashSweep' ./internal/store/crashtest/
 
 # One testing.B benchmark per paper figure + ablations.
 bench:

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"github.com/midas-graph/midas"
 	"github.com/midas-graph/midas/graph"
 	"github.com/midas-graph/midas/internal/store"
+	"github.com/midas-graph/midas/internal/vfs"
 )
 
 func main() {
@@ -61,12 +63,23 @@ func main() {
 
 	var eng *midas.Engine
 	if *statePath != "" {
-		f, err := os.Open(*statePath)
+		// Salvage-mode restore: an interrupted save rolls forward or
+		// back to the nearest valid generation; damage is quarantined
+		// as *.corrupt instead of wedging the tool.
+		data, rep, err := store.LoadBundle(vfs.OS, *statePath, midas.VerifyState)
+		for _, q := range rep.Quarantined {
+			fmt.Fprintf(os.Stderr, "midas-maintain: state salvage: quarantined %s\n", q)
+		}
+		if rep.RolledForward {
+			fmt.Fprintf(os.Stderr, "midas-maintain: state salvage: rolled %s forward to its completed in-flight save\n", *statePath)
+		}
+		if rep.RolledBack {
+			fmt.Fprintf(os.Stderr, "midas-maintain: state salvage: rolled %s back to its previous generation\n", *statePath)
+		}
 		if err != nil {
 			fatal(err.Error())
 		}
-		eng, err = midas.LoadState(f)
-		f.Close()
+		eng, err = midas.LoadState(bytes.NewReader(data))
 		if err != nil {
 			fatal(err.Error())
 		}
@@ -121,8 +134,10 @@ func saveIfAsked(eng *midas.Engine, opts midas.Options, path string) {
 	if path == "" {
 		return
 	}
-	// Atomic write: a crash mid-save leaves the previous bundle intact.
-	err := store.WriteAtomic(path, func(w io.Writer) error {
+	// Generational save: a crash mid-save leaves a valid generation
+	// behind (the previous bundle is kept as *.prev until the new one
+	// is durable), and the next restore rolls to the nearest one.
+	err := store.SaveBundle(vfs.OS, path, func(w io.Writer) error {
 		return midas.SaveState(w, eng, opts)
 	})
 	if err != nil {

@@ -24,13 +24,20 @@
 // The process shuts down gracefully on SIGINT/SIGTERM: readiness flips
 // to draining, in-flight requests finish, the spool watcher stops, the
 // state bundle is saved (when -save is set), and the process exits 0.
-// State bundles are written atomically (tmp + fsync + rename) and
-// checksummed; with -watch and -save, a write-ahead journal gives spool
-// batches exactly-once application across crashes.
+// State bundles are written generationally (tmp + fsync + rename, with
+// the previous generation kept as *.prev) and checksummed; with -watch
+// and -save, a write-ahead journal gives spool batches exactly-once
+// application across crashes. On startup the bundle and journal are
+// salvaged: an interrupted save rolls forward or back to the nearest
+// valid generation, damaged bytes are quarantined as *.corrupt, and if
+// no generation survives the panel starts degraded (empty database)
+// rather than crash-looping.
 package main
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -50,6 +57,7 @@ import (
 	"github.com/midas-graph/midas/internal/panel"
 	"github.com/midas-graph/midas/internal/store"
 	"github.com/midas-graph/midas/internal/telemetry"
+	"github.com/midas-graph/midas/internal/vfs"
 )
 
 // Bundle metadata keys tying the saved state to the spool journal.
@@ -76,6 +84,8 @@ func main() {
 		reqTimeout = flag.Duration("timeout", 2*time.Minute, "per-request deadline (0 disables)")
 		retries    = flag.Int("retries", 3, "failing scans before a spool batch is quarantined as *.failed")
 		backoff    = flag.Duration("backoff", 5*time.Second, "base rescan backoff after a spool failure (doubles per consecutive failure)")
+		checkpoint = flag.Int64("checkpoint", 1<<20, "journal size in bytes above which it is compacted after a successful maintenance (0 disables)")
+		inflight   = flag.Int("max-inflight", 0, "maximum concurrent engine-bound requests; excess requests get an immediate 503 with Retry-After (0 disables shedding)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: leaks process internals)")
 	)
 	flag.Parse()
@@ -91,21 +101,34 @@ func main() {
 	}
 
 	var (
-		eng  *midas.Engine
-		meta map[string]string
+		eng      *midas.Engine
+		meta     map[string]string
+		degraded bool
 	)
+	if *statePath != "" {
+		// Salvage-mode restore: roll an interrupted save forward or back
+		// to the nearest valid generation, quarantining damage. Only an
+		// unrecoverable (or absent) bundle falls through.
+		data, rep, err := store.LoadBundle(vfs.OS, *statePath, midas.VerifyState)
+		logSalvage(logger, *statePath, rep)
+		degraded = rep.Degraded()
+		if err == nil {
+			eng, meta, err = midas.LoadStateMeta(bytes.NewReader(data))
+		}
+		switch {
+		case eng != nil:
+			logger.Infof("restored state: %d graphs, %d patterns", eng.DB().Len(), len(eng.Patterns()))
+		case errors.Is(err, store.ErrCorrupt):
+			logger.Errorf("midas-serve: state bundle unrecoverable, starting degraded: %v", err)
+			degraded = true
+		case errors.Is(err, os.ErrNotExist) && *dbPath != "":
+			logger.Infof("no state bundle at %s yet; bootstrapping from -db", *statePath)
+		default:
+			logger.Fatalf("midas-serve: %v", err)
+		}
+	}
 	switch {
-	case *statePath != "":
-		f, err := os.Open(*statePath)
-		if err != nil {
-			logger.Fatalf("midas-serve: %v", err)
-		}
-		eng, meta, err = midas.LoadStateMeta(f)
-		f.Close()
-		if err != nil {
-			logger.Fatalf("midas-serve: %v", err)
-		}
-		logger.Infof("restored state: %d graphs, %d patterns", eng.DB().Len(), len(eng.Patterns()))
+	case eng != nil:
 	case *dbPath != "":
 		f, err := os.Open(*dbPath)
 		if err != nil {
@@ -125,6 +148,13 @@ func main() {
 		logger.Infof("bootstrapping over %d graphs...", db.Len())
 		eng = midas.New(db, opts)
 		logger.Infof("selected %d patterns in %v", len(eng.Patterns()), eng.BootstrapTime())
+	case degraded:
+		// Every generation of the bundle was corrupt and there is no -db
+		// to rebuild from. Serve an empty panel instead of crash-looping:
+		// the spool watcher or POST /maintain can repopulate it, and the
+		// quarantined *.corrupt files hold the damage for post-mortem.
+		logger.Warnf("starting degraded with an empty database")
+		eng = midas.New(graph.NewDatabase(), opts)
 	default:
 		fmt.Fprintln(os.Stderr, "midas-serve: one of -db or -state is required")
 		os.Exit(1)
@@ -133,6 +163,7 @@ func main() {
 	srv := panel.New(eng, opts)
 	srv.SetLogger(logger)
 	srv.SetRequestTimeout(*reqTimeout)
+	srv.SetMaxInflight(*inflight)
 
 	// Telemetry: one registry backs /metrics and /debug/vars, fed by the
 	// panel middleware, the engine's maintenance pipeline, and the
@@ -143,10 +174,19 @@ func main() {
 	iso.RegisterMetrics(reg)
 	ged.RegisterMetrics(reg)
 	catapult.RegisterMetrics(reg)
+	store.RegisterMetrics(reg)
 	procStart := time.Now()
 	reg.NewGaugeFunc("midas_serve_uptime_seconds",
 		"Seconds since the serving process started.",
 		func() float64 { return time.Since(procStart).Seconds() })
+	reg.NewGaugeFunc("midas_serve_degraded",
+		"1 while the panel runs on a salvaged or empty state after losing bundle generations.",
+		func() float64 {
+			if degraded {
+				return 1
+			}
+			return 0
+		})
 	saveSeconds := reg.NewHistogram("midas_state_save_seconds",
 		"Wall-clock seconds per state-bundle save.", nil)
 	if *pprofOn {
@@ -172,7 +212,7 @@ func main() {
 		metaMu.Unlock()
 		sp := saveSeconds.Start()
 		defer sp.End()
-		return store.WriteAtomic(*savePath, func(w io.Writer) error {
+		return store.SaveBundle(vfs.OS, *savePath, func(w io.Writer) error {
 			return midas.SaveStateMeta(w, eng, opts, m)
 		})
 	}
@@ -199,6 +239,21 @@ func main() {
 			if err != nil {
 				logger.Fatalf("midas-serve: %v", err)
 			}
+			if s := journal.Salvage(); s.TailBytes > 0 {
+				logger.Warnf("journal salvage: %d torn byte(s) quarantined to %s", s.TailBytes, s.QuarantinePath)
+			}
+			journal.SetCheckpointThreshold(*checkpoint)
+			// Post-Maintain checkpoint hook: after every successful
+			// maintenance (spool batch or POST /maintain) compact the
+			// journal once it outgrows the -checkpoint threshold.
+			j := journal
+			eng.SetAfterMaintain(func(midas.MaintenanceReport) {
+				if ran, err := j.MaybeCheckpoint(); err != nil {
+					logger.Errorf("midas-serve: journal checkpoint: %v", err)
+				} else if ran {
+					logger.Infof("journal compacted to %d bytes", j.Size())
+				}
+			})
 			w.Journal = journal
 			w.Persist = func(name string, sum uint32) error {
 				metaMu.Lock()
@@ -260,6 +315,20 @@ func main() {
 		logger.Infof("state saved to %s", *savePath)
 	}
 	logger.Infof("bye")
+}
+
+// logSalvage narrates what LoadBundle had to repair so an operator can
+// tell a clean restart from a salvaged one.
+func logSalvage(logger *telemetry.Logger, path string, rep store.SalvageReport) {
+	for _, q := range rep.Quarantined {
+		logger.Warnf("state salvage: quarantined %s", q)
+	}
+	if rep.RolledForward {
+		logger.Warnf("state salvage: rolled %s forward to its completed in-flight save", path)
+	}
+	if rep.RolledBack {
+		logger.Warnf("state salvage: rolled %s back to its previous generation", path)
+	}
 }
 
 // withStateSaving persists the bundle after each successful POST

@@ -1,0 +1,27 @@
+package midas
+
+import (
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+// TestNewEmptyDatabase pins the degraded-start path of midas-serve: when
+// every bundle generation is lost, the panel boots over an empty
+// database and gets repopulated by maintenance batches.
+func TestNewEmptyDatabase(t *testing.T) {
+	eng := New(graph.NewDatabase(), Options{})
+	if got := len(eng.Patterns()); got != 0 {
+		t.Fatalf("empty database selected %d patterns, want 0", got)
+	}
+	g := graph.New(0)
+	a := g.AddVertex("C")
+	b := g.AddVertex("O")
+	g.AddEdge(a, b)
+	if _, err := eng.Maintain(graph.Update{Insert: []*graph.Graph{g}}); err != nil {
+		t.Fatalf("first Maintain on empty-bootstrapped engine: %v", err)
+	}
+	if eng.DB().Len() != 1 {
+		t.Fatalf("db len = %d, want 1", eng.DB().Len())
+	}
+}

@@ -2,33 +2,52 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
+	"path/filepath"
 )
 
-// FsyncDiscipline enforces the durability discipline PR 1 established
-// in internal/store: data must be fsynced before it is renamed into
-// place, and durable artifacts (state bundles, journals) must be
-// written through the atomic-write helpers rather than ad-hoc file
-// calls. Concretely, in non-test code it flags
+// FsyncDiscipline enforces the durability discipline of the storage
+// layer: data must be fsynced before it is renamed into place, and the
+// crash-consistency-critical zones must do ALL file I/O through the
+// vfs seam so the crash sweep (internal/store/crashtest) actually
+// exercises every operation they perform. Concretely, in non-test code
+// it flags
 //
 //   - an os.Rename call with no preceding (*os.File).Sync call in the
 //     same function — the rename can surface a file whose contents were
-//     never flushed, which is exactly the torn-bundle crash PR 1's
+//     never flushed, which is exactly the torn-bundle crash the
 //     fault-injection tests exist to prevent;
-//   - os.WriteFile and os.Create in the store package itself — every
-//     write there must flow through WriteAtomic or the journal's
-//     append-fsync path so the checksum and fsync rules hold.
+//   - any direct os file-I/O call (open/create/read/write/rename/
+//     remove/readdir/stat/...) inside the package store or inside
+//     internal/panel's watcher.go — those zones are model-checked by
+//     replaying their vfs op traces, so an os call there is invisible
+//     to the checker and silently exempt from crash testing. Route it
+//     through a vfs.FS.
 //
-// Renames that are deliberately non-durable (e.g. spool quarantine,
-// where journal replay makes the rename idempotent) belong in the
-// allowlist with their justification.
+// The vfs package itself is the seam's production passthrough and is
+// exempt. Renames that are deliberately non-durable (e.g. quarantine
+// paths made idempotent by journal replay) belong in the allowlist
+// with their justification.
 var FsyncDiscipline = &Analyzer{
 	Name: "fsyncdiscipline",
-	Doc:  "os.Rename requires a prior File.Sync in the same function; the store package must use its atomic-write/journal helpers instead of raw file writes",
+	Doc:  "os.Rename requires a prior File.Sync in the same function; store and the spool watcher must route all file I/O through the vfs seam",
 	Run:  runFsyncDiscipline,
 }
 
+// osFileIO is every os entry point that touches the filesystem. Inside
+// the seam-routed zones each one must go through vfs.FS instead.
+var osFileIO = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "Rename": true, "Remove": true,
+	"RemoveAll": true, "ReadDir": true, "Stat": true, "Lstat": true,
+	"Truncate": true, "Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Chmod": true, "Chtimes": true, "Link": true, "Symlink": true,
+}
+
 func runFsyncDiscipline(pass *Pass) {
-	if pass.Pkg.ForTest {
+	if pass.Pkg.ForTest || pass.Pkg.Name == "vfs" {
+		// The vfs package is the seam itself: its production
+		// passthrough is the one place allowed to call os directly.
 		return
 	}
 	info := pass.Pkg.Info
@@ -37,25 +56,51 @@ func runFsyncDiscipline(pass *Pass) {
 			continue
 		}
 		fb := fb
+		sealed := seamZone(pass.Pkg, fb.File)
 		ast.Inspect(fb.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
 			obj := calleeOf(info, call)
+			fn, isOsIO := osFileIOCall(obj)
 			switch {
+			case sealed && isOsIO:
+				pass.Reportf(call.Pos(), "os.%s in %s bypasses the vfs seam; the crash sweep cannot see this operation — take a vfs.FS and call it instead", fn, fb.Name)
 			case stdlibFunc(obj, "os", "Rename"):
 				if !syncBefore(pass, fb, call) {
 					pass.Reportf(call.Pos(), "os.Rename in %s without a preceding File.Sync; an unflushed rename can surface torn data after a crash — fsync first or use store.WriteAtomic", fb.Name)
 				}
-			case pass.Pkg.Name == "store" && stdlibFunc(obj, "os", "WriteFile"):
-				pass.Reportf(call.Pos(), "os.WriteFile in the store package bypasses the fsync/checksum discipline; use WriteAtomic")
-			case pass.Pkg.Name == "store" && stdlibFunc(obj, "os", "Create"):
-				pass.Reportf(call.Pos(), "os.Create in the store package bypasses the fsync/checksum discipline; use WriteAtomic or os.CreateTemp with an explicit Sync")
 			}
 			return true
 		})
 	}
+}
+
+// seamZone reports whether the i'th file of pkg must do all file I/O
+// through the vfs seam: the whole store package, and the spool watcher
+// inside the panel package.
+func seamZone(pkg *Package, file int) bool {
+	switch pkg.Name {
+	case "store":
+		return true
+	case "panel":
+		return filepath.Base(pkg.FileNames[file]) == "watcher.go"
+	}
+	return false
+}
+
+// osFileIOCall reports whether obj is one of the os package's
+// filesystem entry points, returning its name.
+func osFileIOCall(obj types.Object) (string, bool) {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return "", false
+	}
+	if osFileIO[fn.Name()] {
+		return fn.Name(), true
+	}
+	return "", false
 }
 
 // syncBefore reports whether a Sync() call on an *os.File (or a call

@@ -1,0 +1,14 @@
+// panel.go is NOT the watcher file, so the seam rule does not apply —
+// only the general rename-needs-fsync rule does.
+package panel
+
+import "os"
+
+func exportOK(path string, data []byte) error {
+	// Plain os file I/O outside watcher.go is allowed.
+	return os.WriteFile(path, data, 0o644)
+}
+
+func renameBad(tmp, dst string) error {
+	return os.Rename(tmp, dst) // want "os.Rename in renameBad without a preceding File.Sync"
+}

@@ -1,0 +1,14 @@
+// watcher.go is the seam-routed file of the panel package: the spool
+// watcher's operations are crash-tested by replaying vfs op traces, so
+// direct os file I/O here is invisible to the model checker.
+package panel
+
+import "os"
+
+func scanBad(dir string) ([]os.DirEntry, error) {
+	return os.ReadDir(dir) // want "os.ReadDir in scanBad bypasses the vfs seam"
+}
+
+func parkBad(name string) error {
+	return os.Rename(name, name+".failed") // want "os.Rename in parkBad bypasses the vfs seam"
+}

@@ -1,0 +1,15 @@
+// Package vfs mirrors the seam's production passthrough by name: it is
+// the one place allowed to call os directly — including renames whose
+// durability the caller controls via SyncDir. Nothing here may be
+// flagged.
+package vfs
+
+import "os"
+
+func passthroughRename(oldpath, newpath string) error {
+	return os.Rename(oldpath, newpath)
+}
+
+func passthroughWrite(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

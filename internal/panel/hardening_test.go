@@ -13,6 +13,7 @@ import (
 	"github.com/midas-graph/midas"
 	"github.com/midas-graph/midas/graph"
 	"github.com/midas-graph/midas/internal/dataset"
+	"github.com/midas-graph/midas/internal/telemetry"
 )
 
 func TestHealthEndpoints(t *testing.T) {
@@ -139,5 +140,81 @@ func TestQueryTimeoutReturns504(t *testing.T) {
 		httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(q)))
 	if rec.Code != http.StatusGatewayTimeout {
 		t.Fatalf("expired query deadline = %d, want 504; body=%s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestOverloadShedding saturates the in-flight bound and checks the
+// contract: excess engine-bound requests get an immediate 503 with
+// Retry-After (no queueing on the engine mutex), panel_shed_total
+// counts them, non-engine endpoints are never shed, and capacity is
+// reusable once the slot frees up.
+func TestOverloadShedding(t *testing.T) {
+	s, _ := testServer(t)
+	reg := telemetry.NewRegistry()
+	s.SetTelemetry(reg)
+	s.SetMaxInflight(1)
+	h := s.Handler()
+
+	// Saturate: hold the engine mutex so one request occupies the
+	// single slot indefinitely.
+	s.Locker().Lock()
+	done := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/patterns", nil))
+		done <- rec.Code
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.sem) == 0 {
+		if time.Now().After(deadline) {
+			s.Locker().Unlock()
+			t.Fatal("first request never took the in-flight slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Excess engine-bound request: shed immediately.
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/patterns", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		s.Locker().Unlock()
+		t.Fatalf("overload status = %d, want 503", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		s.Locker().Unlock()
+		t.Fatal("shed response missing Retry-After")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		s.Locker().Unlock()
+		t.Fatalf("shed took %v; must not queue on the engine mutex", elapsed)
+	}
+
+	// Health stays reachable while the engine is saturated.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		s.Locker().Unlock()
+		t.Fatalf("/healthz during overload = %d", rec.Code)
+	}
+
+	s.Locker().Unlock()
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("occupying request = %d, want 200", code)
+	}
+
+	// The freed slot serves again.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/patterns", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-overload request = %d, want 200", rec.Code)
+	}
+
+	var metrics strings.Builder
+	if err := reg.WritePrometheus(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics.String(), "panel_shed_total 1") {
+		t.Fatalf("panel_shed_total not incremented:\n%s", metrics.String())
 	}
 }

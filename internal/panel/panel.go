@@ -42,6 +42,9 @@ type Server struct {
 
 	// timeout bounds each request (0 = none). Set before serving.
 	timeout time.Duration
+	// sem bounds in-flight engine-bound requests (SetMaxInflight);
+	// nil = unbounded.
+	sem chan struct{}
 	// ready gates /readyz; flipped off during shutdown drain.
 	ready atomic.Bool
 
@@ -76,6 +79,69 @@ func (s *Server) Locker() sync.Locker { return &s.mu }
 // before serving traffic.
 func (s *Server) SetRequestTimeout(d time.Duration) { s.timeout = d }
 
+// SetMaxInflight bounds the engine-bound requests served concurrently
+// (0 disables). Excess requests are shed immediately with a 503 and a
+// Retry-After header instead of queueing on the engine mutex until the
+// per-request timeout fires — under overload, fast rejection keeps the
+// accepted requests inside their deadlines. Health, readiness and
+// metrics endpoints are never shed. Call before Handler().
+func (s *Server) SetMaxInflight(n int) {
+	if n <= 0 {
+		s.sem = nil
+		return
+	}
+	s.sem = make(chan struct{}, n)
+}
+
+// engineBound reports whether the path contends on the engine mutex —
+// the routes the shedding middleware protects.
+func engineBound(path string) bool {
+	switch path {
+	case "/", "/patterns", "/quality", "/maintain", "/query":
+		return true
+	}
+	return false
+}
+
+// withShedding rejects engine-bound requests beyond the SetMaxInflight
+// bound with an immediate 503 + Retry-After. It sits inside recovery
+// (a shed must be counted even if later middleware panics) and outside
+// the timeout (a shed request never starts its deadline).
+func (s *Server) withShedding(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sem := s.sem
+		if sem == nil || !engineBound(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, r)
+		default:
+			if s.tel != nil {
+				s.tel.shed.Inc()
+			}
+			s.countError("shed")
+			w.Header().Set("Retry-After", s.retryAfter())
+			http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
+		}
+	})
+}
+
+// retryAfter suggests when a shed client should come back: the request
+// timeout rounded up to whole seconds, or 1s when no timeout is set.
+func (s *Server) retryAfter() string {
+	secs := int64(1)
+	if s.timeout > 0 {
+		secs = int64((s.timeout + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 // SetReady flips the /readyz verdict; supervisors stop routing traffic
 // to a not-ready instance, letting shutdown drain gracefully.
 func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
@@ -105,7 +171,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return s.withMetrics(s.withRecovery(s.withTimeout(mux)))
+	return s.withMetrics(s.withRecovery(s.withShedding(s.withTimeout(mux))))
 }
 
 // withRecovery turns a handler panic into a 500 so one poisoned request

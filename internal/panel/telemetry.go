@@ -19,6 +19,7 @@ type serverTelemetry struct {
 	inflight *telemetry.Gauge        // panel_http_inflight_requests
 	errors   *telemetry.CounterVec   // panel_errors_total{class}
 	panics   *telemetry.Counter      // panel_panics_total
+	shed     *telemetry.Counter      // panel_shed_total
 }
 
 // SetTelemetry attaches the server to reg: every request is observed by
@@ -45,6 +46,8 @@ func (s *Server) SetTelemetry(reg *telemetry.Registry) {
 			"Panel request errors by class.", "class"),
 		panics: reg.NewCounter("panel_panics_total",
 			"Handler panics recovered by the panel middleware."),
+		shed: reg.NewCounter("panel_shed_total",
+			"Engine-bound requests shed with an immediate 503 by the in-flight bound."),
 	}
 }
 

@@ -2,6 +2,7 @@ package panel
 
 import (
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -13,6 +14,7 @@ import (
 	"github.com/midas-graph/midas"
 	"github.com/midas-graph/midas/graph"
 	"github.com/midas-graph/midas/internal/store"
+	"github.com/midas-graph/midas/internal/vfs"
 )
 
 // Watcher applies periodic batch updates from a spool directory — the
@@ -53,15 +55,40 @@ type Watcher struct {
 	LastApplied    string
 	LastAppliedSum uint32
 
-	// MaxRetries bounds how many failing scans a batch survives before
-	// it is quarantined (renamed *.failed) so it stops blocking the
-	// spool (0 = 3). Backoff delays rescans after a failure, doubling
-	// per consecutive failure (0 = none).
+	// FS is the filesystem seam for all spool I/O (nil = the real
+	// filesystem). The crash-consistency sweep runs the watcher's file
+	// protocol against the simulator through it.
+	FS vfs.FS
+
+	// MaxRetries bounds the retry budget: how many failing attempts a
+	// batch survives before it is parked (renamed *.failed with a
+	// sibling .reason file) so it stops blocking the spool (0 = 3).
+	// Backoff seeds the per-batch retry schedule: capped exponential
+	// growth per consecutive failure plus a deterministic per-file
+	// jitter (0 = retry immediately). It also drives Run's scan-level
+	// backoff after a failing scan.
 	MaxRetries int
 	Backoff    time.Duration
+	// Now, if set, replaces time.Now for the retry schedule (tests).
+	Now func() time.Time
 
 	retries  map[string]int
+	nextTry  map[string]time.Time
 	failures int // consecutive failing scans, drives Run's backoff
+}
+
+func (w *Watcher) fs() vfs.FS {
+	if w.FS == nil {
+		return vfs.OS
+	}
+	return w.FS
+}
+
+func (w *Watcher) now() time.Time {
+	if w.Now == nil {
+		return time.Now()
+	}
+	return w.Now()
 }
 
 func (w *Watcher) maxRetries() int {
@@ -78,31 +105,37 @@ func (w *Watcher) maxRetries() int {
 // has failed MaxRetries scans, after which it is renamed *.failed and
 // skipped.
 func (w *Watcher) Scan() (int, error) {
-	entries, err := os.ReadDir(w.Dir)
+	entries, err := w.fs().ReadDir(w.Dir)
 	if err != nil {
 		return 0, err
 	}
 	var names []string
 	for _, e := range entries {
-		if e.IsDir() {
+		if e.IsDir {
 			continue
 		}
-		name := e.Name()
-		if strings.HasSuffix(name, ".graphs") || strings.HasSuffix(name, ".delete") {
-			names = append(names, name)
+		if strings.HasSuffix(e.Name, ".graphs") || strings.HasSuffix(e.Name, ".delete") {
+			names = append(names, e.Name)
 		}
 	}
 	sort.Strings(names)
 	applied := 0
+	now := w.now()
 	for _, name := range names {
+		if t, ok := w.nextTry[name]; ok && now.Before(t) {
+			// The head batch is still in its backoff window; stop here
+			// so batch order is preserved.
+			break
+		}
 		ok, err := w.processBatch(name)
 		if err != nil {
 			if w.noteFailure(name, err) {
-				continue // quarantined; the spool is unblocked
+				continue // parked; the spool is unblocked
 			}
 			return applied, fmt.Errorf("panel: batch %s: %w", name, err)
 		}
 		delete(w.retries, name)
+		delete(w.nextTry, name)
 		if ok {
 			applied++
 		}
@@ -111,29 +144,94 @@ func (w *Watcher) Scan() (int, error) {
 	return applied, nil
 }
 
-// noteFailure counts a batch failure and quarantines the file once it
-// exhausts its retries. Reports whether the batch was quarantined.
+// retryDelay is the backoff before the named batch's next attempt after
+// its attempt'th consecutive failure: exponential growth from Backoff,
+// capped at 32×, plus a deterministic per-file jitter of up to 25% of
+// the capped delay so simultaneously-failing batches do not retry in
+// lockstep. The schedule is a pure function of (name, attempt), which
+// keeps recovery behaviour reproducible.
+func (w *Watcher) retryDelay(name string, attempt int) time.Duration {
+	if w.Backoff <= 0 || attempt < 1 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 5 {
+		shift = 5
+	}
+	base := w.Backoff << shift
+	span := int64(base / 4)
+	if span <= 0 {
+		return base
+	}
+	h := crc32.ChecksumIEEE([]byte(fmt.Sprintf("%s#%d", name, attempt)))
+	return base + time.Duration(int64(h)%span)
+}
+
+// noteFailure counts a batch failure, schedules its next retry, and
+// parks the file (*.failed plus a .reason sibling) once the retry
+// budget is spent. Reports whether the batch was parked.
 func (w *Watcher) noteFailure(name string, cause error) bool {
 	if w.retries == nil {
 		w.retries = make(map[string]int)
 	}
+	if w.nextTry == nil {
+		w.nextTry = make(map[string]time.Time)
+	}
 	w.retries[name]++
 	w.failures++
-	if w.retries[name] < w.maxRetries() {
+	attempt := w.retries[name]
+	if attempt < w.maxRetries() {
+		w.nextTry[name] = w.now().Add(w.retryDelay(name, attempt))
 		return false
 	}
-	path := filepath.Join(w.Dir, name)
-	if err := os.Rename(path, path+".failed"); err != nil {
-		if w.Logf != nil {
-			w.Logf("quarantining %s: %v", name, err)
-		}
+	if !w.park(name, attempt, cause) {
 		return false
 	}
 	delete(w.retries, name)
+	delete(w.nextTry, name)
+	return true
+}
+
+// park renames the exhausted batch to *.failed and writes a *.failed.reason
+// file recording why, so the operator sees the cause without digging
+// through logs. Reports whether the rename succeeded.
+func (w *Watcher) park(name string, attempts int, cause error) bool {
+	fsys := w.fs()
+	path := filepath.Join(w.Dir, name)
+	if err := fsys.Rename(path, path+".failed"); err != nil {
+		if w.Logf != nil {
+			w.Logf("parking %s: %v", name, err)
+		}
+		return false
+	}
+	reason := fmt.Sprintf("batch: %s\nattempts: %d\nerror: %v\n", name, attempts, cause)
+	if err := writeFileSync(fsys, path+".failed.reason", []byte(reason)); err != nil && w.Logf != nil {
+		w.Logf("writing reason for %s: %v", name, err)
+	}
+	if err := fsys.SyncDir(w.Dir); err != nil && w.Logf != nil {
+		w.Logf("syncing spool dir: %v", err)
+	}
 	if w.Logf != nil {
-		w.Logf("quarantined %s after %d attempts: %v", name, w.maxRetries(), cause)
+		w.Logf("parked %s after %d attempts: %v", name, attempts, cause)
 	}
 	return true
+}
+
+// writeFileSync durably writes a small file through the seam.
+func writeFileSync(fsys vfs.FS, path string, b []byte) error {
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // processBatch runs one spool file through parse → journal begin →
@@ -142,7 +240,7 @@ func (w *Watcher) noteFailure(name string, cause error) bool {
 // recovery found it already applied and only the rename was replayed).
 func (w *Watcher) processBatch(name string) (bool, error) {
 	path := filepath.Join(w.Dir, name)
-	data, err := os.ReadFile(path)
+	data, err := w.fs().ReadFile(path)
 	if err != nil {
 		return false, err
 	}
@@ -214,9 +312,14 @@ func (w *Watcher) alreadyApplied(name string, sum uint32) bool {
 	return name == w.LastApplied && sum == w.LastAppliedSum
 }
 
-// finishBatch renames the spool file out of the way and journals done.
+// finishBatch renames the spool file out of the way (making the rename
+// durable with a directory sync before the done record ties the journal
+// to it) and journals done.
 func (w *Watcher) finishBatch(name, path string) error {
-	if err := os.Rename(path, path+".done"); err != nil {
+	if err := w.fs().Rename(path, path+".done"); err != nil {
+		return err
+	}
+	if err := w.fs().SyncDir(w.Dir); err != nil {
 		return err
 	}
 	if w.Journal != nil {

@@ -1,12 +1,16 @@
 package store
 
 import (
-	"bufio"
+	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+
+	"github.com/midas-graph/midas/internal/vfs"
 )
 
 // EntryState is the lifecycle position of one journal entry.
@@ -21,7 +25,7 @@ const (
 	// the spool file must not be re-applied, only marked done.
 	Applied
 	// Done: fully processed (spool file renamed); kept only until the
-	// journal truncates.
+	// journal truncates or checkpoints.
 	Done
 )
 
@@ -42,6 +46,18 @@ type journalEntry struct {
 	sum   uint32
 }
 
+// JournalSalvage describes what OpenJournalFS had to repair: a torn or
+// corrupt tail (the crash signature of an interrupted append, or
+// bit rot) that was cut off the journal and quarantined for
+// post-mortem.
+type JournalSalvage struct {
+	// TailBytes is the number of bytes truncated off the journal.
+	TailBytes int
+	// QuarantinePath is the *.corrupt file holding the truncated bytes
+	// ("" when nothing was salvaged).
+	QuarantinePath string
+}
+
 // Journal is an append-fsync write-ahead log for spool batch
 // processing. Each batch goes through three durable records:
 //
@@ -55,90 +71,177 @@ type journalEntry struct {
 // what's on disk). The checksum ties the record to the batch file's
 // contents, so a same-named file with different content is treated as a
 // new batch. When every entry reaches Done the journal truncates
-// itself.
+// itself; long runs with always-pending entries are bounded by
+// checkpointing (SetCheckpointThreshold + MaybeCheckpoint).
+//
+// Journal is safe for concurrent use: the spool watcher appends records
+// while the post-Maintain checkpoint hook may compact from another
+// request goroutine.
 type Journal struct {
-	path    string
-	f       *os.File
-	entries map[string]*journalEntry
+	mu        sync.Mutex
+	fsys      vfs.FS
+	path      string
+	f         vfs.File
+	entries   map[string]*journalEntry
+	size      int64 // current journal file size in bytes
+	threshold int64 // MaybeCheckpoint compaction threshold (<=0: disabled)
+	salvage   JournalSalvage
 }
 
-// OpenJournal opens (creating if needed) the journal at path and
-// replays any existing records. A torn trailing line — the crash
-// signature of an interrupted append — is ignored.
+// OpenJournal opens (creating if needed) the journal at path on the
+// production filesystem. See OpenJournalFS.
 func OpenJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenJournalFS(vfs.OS, path)
+}
+
+// OpenJournalFS opens (creating if needed) the journal at path and
+// replays any existing records. The journal is trusted only up to the
+// last record that parses completely: a torn trailing line, a record
+// with a malformed checksum, or any other damage cuts the journal at
+// that point — the damaged tail is quarantined to path+".corrupt",
+// the journal file is truncated to the valid prefix, and the salvage is
+// reported via Salvage(). Recovery therefore never needs manual repair:
+// the valid prefix replays, and new appends continue after it.
+func OpenJournalFS(fsys vfs.FS, path string) (*Journal, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open journal: %w", err)
 	}
-	j := &Journal{path: path, f: f, entries: make(map[string]*journalEntry)}
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		j.replay(sc.Text())
-	}
-	if err := sc.Err(); err != nil {
+	data, err := fsys.ReadFile(path)
+	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("store: read journal: %w", err)
 	}
-	end, err := f.Seek(0, 2)
-	if err != nil {
+	j := &Journal{fsys: fsys, path: path, f: f, entries: make(map[string]*journalEntry)}
+
+	// Replay the maximal valid prefix. Everything from the first record
+	// that fails to parse — including any later lines, whose alignment
+	// can no longer be trusted — is the torn tail.
+	validEnd := 0
+	for validEnd < len(data) {
+		nl := bytes.IndexByte(data[validEnd:], '\n')
+		if nl < 0 {
+			break // unterminated final record
+		}
+		line := string(data[validEnd : validEnd+nl])
+		if !j.replay(line) {
+			break
+		}
+		validEnd += nl + 1
+	}
+	if validEnd < len(data) {
+		tail := data[validEnd:]
+		qp := path + corruptSuffix
+		if err := quarantineBytes(fsys, qp, tail); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: journal quarantine: %w", err)
+		}
+		if err := f.Truncate(int64(validEnd)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: journal repair: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: journal repair sync: %w", err)
+		}
+		j.salvage = JournalSalvage{TailBytes: len(tail), QuarantinePath: qp}
+		salvageStats.events.Add(1)
+		salvageStats.quarantinedFiles.Add(1)
+		salvageStats.journalTornBytes.Add(uint64(len(tail)))
+	}
+	if _, err := f.Seek(int64(validEnd), 0); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("store: seek journal: %w", err)
 	}
-	// Terminate a torn trailing line so later appends start fresh.
-	if end > 0 {
-		last := make([]byte, 1)
-		if _, err := f.ReadAt(last, end-1); err == nil && last[0] != '\n' {
-			if _, err := f.WriteString("\n"); err != nil {
-				f.Close()
-				return nil, fmt.Errorf("store: journal repair: %w", err)
-			}
-		}
-	}
+	j.size = int64(validEnd)
 	return j, nil
 }
 
-func (j *Journal) replay(line string) {
+// quarantineBytes durably writes b to path (overwriting a previous
+// quarantine of the same artifact).
+func quarantineBytes(fsys vfs.FS, path string, b []byte) error {
+	q, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := q.Write(b); err != nil {
+		q.Close()
+		return err
+	}
+	if err := q.Sync(); err != nil {
+		q.Close()
+		return err
+	}
+	return q.Close()
+}
+
+// replay applies one journal line, reporting whether it parsed as a
+// complete record. Records for unknown names ("applied"/"done" with no
+// prior "begin") parse fine and are ignored — they are leftovers of an
+// earlier truncation.
+func (j *Journal) replay(line string) bool {
 	fields := strings.Fields(line)
 	if len(fields) < 2 {
-		return // blank or torn line
+		return false
 	}
 	name := fields[1]
 	switch fields[0] {
 	case "begin":
-		if len(fields) < 3 {
-			return // torn: checksum missing
+		if len(fields) != 3 {
+			return false // torn: checksum missing
 		}
 		sum, err := strconv.ParseUint(fields[2], 16, 32)
 		if err != nil {
-			return
+			return false
 		}
 		j.entries[name] = &journalEntry{state: Begun, sum: uint32(sum)}
 	case "applied":
+		if len(fields) != 2 {
+			return false
+		}
 		if e := j.entries[name]; e != nil {
 			e.state = Applied
 		}
 	case "done":
+		if len(fields) != 2 {
+			return false
+		}
 		if e := j.entries[name]; e != nil {
 			e.state = Done
 		}
+	default:
+		return false
 	}
+	return true
 }
 
-func (j *Journal) append(line string) error {
-	if _, err := j.f.WriteString(line + "\n"); err != nil {
-		return fmt.Errorf("store: journal append: %w", err)
-	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("store: journal sync: %w", err)
-	}
-	return nil
+// Salvage reports what OpenJournalFS had to repair (zero value when the
+// journal was clean).
+func (j *Journal) Salvage() JournalSalvage { return j.salvage }
+
+// Size returns the journal file's current size in bytes.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// SetCheckpointThreshold sets the size in bytes above which
+// MaybeCheckpoint compacts the journal. A value <= 0 disables
+// checkpointing.
+func (j *Journal) SetCheckpointThreshold(n int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.threshold = n
 }
 
 // Begin durably records the intent to apply the named batch with the
 // given content checksum. Re-beginning a batch (e.g. a retry after a
 // failed Maintain) refreshes its checksum.
 func (j *Journal) Begin(name string, sum uint32) error {
-	if err := j.append(fmt.Sprintf("begin %s %08x", name, sum)); err != nil {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.appendRecord(fmt.Sprintf("begin %s %08x", name, sum)); err != nil {
 		return err
 	}
 	j.entries[name] = &journalEntry{state: Begun, sum: sum}
@@ -147,11 +250,13 @@ func (j *Journal) Begin(name string, sum uint32) error {
 
 // MarkApplied durably records that the batch's effects are persisted.
 func (j *Journal) MarkApplied(name string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	e := j.entries[name]
 	if e == nil {
 		return fmt.Errorf("store: MarkApplied(%s): no begin record", name)
 	}
-	if err := j.append("applied " + name); err != nil {
+	if err := j.appendRecord("applied " + name); err != nil {
 		return err
 	}
 	e.state = Applied
@@ -162,11 +267,13 @@ func (j *Journal) MarkApplied(name string) error {
 // When every tracked entry is done, the journal truncates to empty so
 // it never grows without bound.
 func (j *Journal) MarkDone(name string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	e := j.entries[name]
 	if e == nil {
 		return fmt.Errorf("store: MarkDone(%s): no begin record", name)
 	}
-	if err := j.append("done " + name); err != nil {
+	if err := j.appendRecord("done " + name); err != nil {
 		return err
 	}
 	e.state = Done
@@ -176,6 +283,17 @@ func (j *Journal) MarkDone(name string) error {
 		}
 	}
 	return j.truncate()
+}
+
+func (j *Journal) appendRecord(line string) error {
+	if _, err := io.WriteString(j.f, line+"\n"); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: journal sync: %w", err)
+	}
+	j.size += int64(len(line)) + 1
+	return nil
 }
 
 func (j *Journal) truncate() error {
@@ -189,11 +307,89 @@ func (j *Journal) truncate() error {
 		return fmt.Errorf("store: journal sync: %w", err)
 	}
 	j.entries = make(map[string]*journalEntry)
+	j.size = 0
+	return nil
+}
+
+// MaybeCheckpoint compacts the journal if a threshold is set and the
+// file has outgrown it. It reports whether a checkpoint ran.
+func (j *Journal) MaybeCheckpoint() (bool, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.threshold <= 0 || j.size < j.threshold {
+		return false, nil
+	}
+	return true, j.checkpoint()
+}
+
+// Checkpoint compacts the journal to the minimal record set that
+// replays to the same recovery decisions: Done entries (their spool
+// files are already renamed away) are dropped, and each live entry is
+// rewritten as a fresh begin (+ applied) pair. The new content is
+// written atomically (tmp + fsync + rename + dir fsync) and the journal
+// reopens the renamed file, so a crash at any operation leaves either
+// the old journal or the compacted one — never a mix.
+func (j *Journal) Checkpoint() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.checkpoint()
+}
+
+// checkpoint is Checkpoint with j.mu held.
+func (j *Journal) checkpoint() error {
+	var names []string
+	for name, e := range j.entries {
+		if e.state != Done {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	err := WriteAtomicFS(j.fsys, j.path, func(w io.Writer) error {
+		for _, name := range names {
+			e := j.entries[name]
+			if _, err := fmt.Fprintf(w, "begin %s %08x\n", name, e.sum); err != nil {
+				return err
+			}
+			if e.state == Applied {
+				if _, err := fmt.Fprintf(w, "applied %s\n", name); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: journal checkpoint: %w", err)
+	}
+	// The open handle still points at the replaced file; reopen the
+	// compacted journal by path and continue appending at its end.
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("store: journal checkpoint close: %w", err)
+	}
+	f, err := j.fsys.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: journal checkpoint reopen: %w", err)
+	}
+	size, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: journal checkpoint seek: %w", err)
+	}
+	j.f = f
+	j.size = size
+	for name, e := range j.entries {
+		if e.state == Done {
+			delete(j.entries, name)
+		}
+	}
+	salvageStats.checkpoints.Add(1)
 	return nil
 }
 
 // State reports the recorded state and checksum of a batch name.
 func (j *Journal) State(name string) (EntryState, uint32, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	e := j.entries[name]
 	if e == nil {
 		return 0, 0, false
@@ -204,6 +400,8 @@ func (j *Journal) State(name string) (EntryState, uint32, bool) {
 // Pending returns the names (sorted) of entries that are not Done —
 // the crash-recovery work list.
 func (j *Journal) Pending() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	var out []string
 	for name, e := range j.entries {
 		if e.state != Done {
@@ -215,4 +413,8 @@ func (j *Journal) Pending() []string {
 }
 
 // Close closes the journal file.
-func (j *Journal) Close() error { return j.f.Close() }
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,25 +1,42 @@
 // Package store provides the durability primitives of the serving
 // layer: atomic checksummed file writes (tmp + fsync + rename + parent
-// fsync) and an append-fsync batch journal giving the spool watcher
-// exactly-once semantics across crashes.
+// fsync), a generational state-bundle scheme with salvage-mode
+// recovery, and an append-fsync batch journal with torn-tail salvage
+// and size-bounded checkpointing, giving the spool watcher exactly-once
+// semantics across crashes.
+//
+// Every file operation in this package goes through the vfs seam
+// (internal/vfs) — never the os package directly — so the
+// crash-consistency sweep in internal/store/crashtest can replay every
+// prefix of the recorded operation trace into a simulated filesystem
+// and prove that recovery always lands on the complete pre-crash or
+// complete post-crash state. The fsyncdiscipline lint analyzer enforces
+// the seam.
 package store
 
 import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
+
+	"github.com/midas-graph/midas/internal/vfs"
 )
 
 // WriteAtomic durably replaces the file at path with the bytes produced
-// by write: the content goes to a temporary file in the same directory,
-// is fsynced, renamed over path, and the parent directory is fsynced so
-// the rename itself survives a crash. On any error the temporary file
-// is removed and path is left untouched.
+// by write, using the production filesystem. See WriteAtomicFS.
 func WriteAtomic(path string, write func(w io.Writer) error) error {
+	return WriteAtomicFS(vfs.OS, path, write)
+}
+
+// WriteAtomicFS durably replaces the file at path with the bytes
+// produced by write: the content goes to a temporary file in the same
+// directory, is fsynced, renamed over path, and the parent directory is
+// fsynced so the rename itself survives a crash. On any error the
+// temporary file is removed and path is left untouched.
+func WriteAtomicFS(fsys vfs.FS, path string, write func(w io.Writer) error) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("store: create temp for %s: %w", path, err)
 	}
@@ -27,7 +44,7 @@ func WriteAtomic(path string, write func(w io.Writer) error) error {
 	defer func() {
 		if tmpName != "" {
 			tmp.Close()
-			os.Remove(tmpName)
+			fsys.Remove(tmpName)
 		}
 	}()
 	if err := write(tmp); err != nil {
@@ -39,26 +56,13 @@ func WriteAtomic(path string, write func(w io.Writer) error) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: close %s: %w", path, err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		tmpName = ""
 		return fmt.Errorf("store: rename %s: %w", path, err)
 	}
 	tmpName = "" // renamed; nothing to clean up
-	return syncDir(dir)
-}
-
-// syncDir fsyncs a directory so a completed rename inside it is
-// durable. Filesystems that do not support directory fsync are
-// tolerated.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return nil
-	}
-	defer d.Close()
-	_ = d.Sync()
-	return nil
+	return fsys.SyncDir(dir)
 }
 
 // ChecksumBytes returns the IEEE CRC32 of b — the checksum family used
@@ -67,7 +71,12 @@ func ChecksumBytes(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
 
 // ChecksumFile returns the IEEE CRC32 of the file's contents.
 func ChecksumFile(path string) (uint32, error) {
-	f, err := os.Open(path)
+	return ChecksumFileFS(vfs.OS, path)
+}
+
+// ChecksumFileFS is ChecksumFile through the vfs seam.
+func ChecksumFileFS(fsys vfs.FS, path string) (uint32, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, err
 	}

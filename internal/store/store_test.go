@@ -153,8 +153,14 @@ func TestJournalIgnoresTornLine(t *testing.T) {
 	if _, _, ok := j.State("torn"); ok {
 		t.Fatal("torn record should be dropped")
 	}
-	// Appends after replay land after the torn bytes but still parse:
-	// each record is on its own line.
+	// The torn bytes are cut off the journal and quarantined; appends
+	// continue cleanly after the valid prefix.
+	if sal := j.Salvage(); sal.TailBytes != len("begin torn") {
+		t.Fatalf("salvage = %+v", sal)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("torn tail not quarantined: %v", err)
+	}
 	if err := j.Begin("next", 3); err != nil {
 		t.Fatal(err)
 	}

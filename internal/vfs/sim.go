@@ -1,0 +1,586 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// OpKind identifies one mutating filesystem operation in a Sim trace.
+type OpKind int
+
+const (
+	// OpCreate: path now names a brand-new empty inode (file creation,
+	// or truncate-on-open).
+	OpCreate OpKind = iota
+	// OpWrite: Data written at offset Off.
+	OpWrite
+	// OpSync: the file's content was flushed to durable storage.
+	OpSync
+	// OpTruncate: the file was resized to Off bytes.
+	OpTruncate
+	// OpRename: Path renamed to To.
+	OpRename
+	// OpRemove: Path unlinked.
+	OpRemove
+	// OpSyncDir: directory Path fsynced — its entries became durable.
+	OpSyncDir
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpTruncate:
+		return "truncate"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpSyncDir:
+		return "syncdir"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one recorded mutating operation. The record is self-contained
+// (paths and written bytes included) so a trace prefix can be replayed
+// into a fresh Sim to reconstruct the exact disk image a crash at that
+// point could expose.
+type Op struct {
+	Kind OpKind
+	Path string
+	To   string // rename destination
+	Off  int64  // write offset, or truncate size
+	Data []byte // bytes written
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpWrite:
+		return fmt.Sprintf("write %s @%d +%d", o.Path, o.Off, len(o.Data))
+	case OpRename:
+		return fmt.Sprintf("rename %s -> %s", o.Path, o.To)
+	case OpTruncate:
+		return fmt.Sprintf("truncate %s %d", o.Path, o.Off)
+	}
+	return o.Kind.String() + " " + o.Path
+}
+
+// CrashPlan describes which parts of the applied operations survive a
+// simulated crash.
+type CrashPlan struct {
+	// LoseUnsynced drops everything that was not explicitly made
+	// durable: file content reverts to the last Sync, directory entries
+	// (creations, renames, removals) to the last SyncDir. When false
+	// the crash is "friendly": the kernel had flushed everything.
+	LoseUnsynced bool
+	// TearFinalWrite, when >= 0, applies only that many bytes of the
+	// final write operation — a torn write that partially reached the
+	// platter. It lands in the durable image even under LoseUnsynced,
+	// because partial page flushes are exactly how torn writes happen.
+	// -1 disables tearing.
+	TearFinalWrite int
+}
+
+// inode is one file's content: data is the live (volatile) view,
+// synced the content as of the last fsync.
+type inode struct {
+	data   []byte
+	synced []byte
+}
+
+// Sim is the deterministic in-memory filesystem simulator. It models
+// the volatile/durable split of a page cache: writes, creations,
+// renames and removals are applied to the live view immediately but
+// only become durable through Sync (file content) and SyncDir
+// (directory entries). Every mutating operation is recorded in a
+// trace; ReplayCrash reconstructs the disk image of a crash after any
+// trace prefix. All methods are safe for concurrent use.
+type Sim struct {
+	mu      sync.Mutex
+	files   map[string]*inode // live directory view
+	durable map[string]*inode // entries that survive a lossy crash
+	trace   []Op
+	opSeq   int
+	failAt  map[int]error
+	tmpSeq  int
+}
+
+// NewSim returns an empty simulator.
+func NewSim() *Sim {
+	return &Sim{
+		files:   make(map[string]*inode),
+		durable: make(map[string]*inode),
+	}
+}
+
+var _ FS = (*Sim)(nil)
+
+func clip(b []byte) []byte { return append([]byte(nil), b...) }
+
+func norm(p string) string { return filepath.Clean(p) }
+
+// record appends op to the trace. Callers hold s.mu.
+func (s *Sim) record(op Op) { s.trace = append(s.trace, op) }
+
+// gate numbers the mutating operation and returns the injected error
+// when a failure is scheduled at this index. Callers hold s.mu.
+func (s *Sim) gate() error {
+	seq := s.opSeq
+	s.opSeq++
+	if err := s.failAt[seq]; err != nil {
+		return err
+	}
+	return nil
+}
+
+// FailAt schedules err to be returned by the n'th mutating operation
+// (0-based, counted since construction or the last ResetTrace /
+// SetDurable). The failed operation is not applied and not recorded —
+// the VFS equivalent of an armed failpoint, without hand-placed hooks.
+func (s *Sim) FailAt(n int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failAt == nil {
+		s.failAt = make(map[int]error)
+	}
+	s.failAt[n] = err
+}
+
+// Trace returns a copy of the recorded mutating-operation trace.
+func (s *Sim) Trace() []Op {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Op(nil), s.trace...)
+}
+
+// Ops returns the number of recorded mutating operations.
+func (s *Sim) Ops() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.trace)
+}
+
+// ResetTrace clears the trace and the operation counter (armed FailAt
+// schedules are dropped with it).
+func (s *Sim) ResetTrace() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trace, s.opSeq, s.failAt = nil, 0, nil
+}
+
+// SetDurable declares the current state fully durable — as if every
+// file and directory had been fsynced — and clears the trace. Crash
+// sweeps call it after preparing fixtures, so the sweep's crash states
+// only vary over the workload's own operations.
+func (s *Sim) SetDurable() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.durable = make(map[string]*inode, len(s.files))
+	for p, ino := range s.files {
+		ino.synced = clip(ino.data)
+		s.durable[p] = ino
+	}
+	s.trace, s.opSeq, s.failAt = nil, 0, nil
+}
+
+// Clone returns a deep copy sharing no state with s. Inode identity is
+// preserved across the live and durable views, so a clone crashes the
+// same way the original would.
+func (s *Sim) Clone() *Sim {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	memo := make(map[*inode]*inode)
+	cp := func(ino *inode) *inode {
+		if c, ok := memo[ino]; ok {
+			return c
+		}
+		c := &inode{data: clip(ino.data), synced: clip(ino.synced)}
+		memo[ino] = c
+		return c
+	}
+	out := NewSim()
+	for p, ino := range s.files {
+		out.files[p] = cp(ino)
+	}
+	for p, ino := range s.durable {
+		out.durable[p] = cp(ino)
+	}
+	out.trace = append([]Op(nil), s.trace...)
+	out.opSeq = s.opSeq
+	out.tmpSeq = s.tmpSeq
+	return out
+}
+
+// apply plays one operation into the live view. Callers hold s.mu.
+func (s *Sim) apply(op Op) {
+	switch op.Kind {
+	case OpCreate:
+		s.files[op.Path] = &inode{}
+	case OpWrite:
+		ino := s.files[op.Path]
+		if ino == nil {
+			ino = &inode{}
+			s.files[op.Path] = ino
+		}
+		ino.data = writeAt(ino.data, op.Off, op.Data)
+	case OpSync:
+		if ino := s.files[op.Path]; ino != nil {
+			ino.synced = clip(ino.data)
+		}
+	case OpTruncate:
+		if ino := s.files[op.Path]; ino != nil {
+			ino.data = writeAt(ino.data, op.Off, nil)[:op.Off]
+		}
+	case OpRename:
+		if ino := s.files[op.Path]; ino != nil {
+			s.files[op.To] = ino
+			delete(s.files, op.Path)
+		}
+	case OpRemove:
+		delete(s.files, op.Path)
+	case OpSyncDir:
+		s.syncDirLocked(op.Path)
+	}
+}
+
+// writeAt returns data with p written at offset off, zero-padding any
+// gap (a flushed block beyond a hole reads back as zeros).
+func writeAt(data []byte, off int64, p []byte) []byte {
+	need := int(off) + len(p)
+	for len(data) < need {
+		data = append(data, make([]byte, need-len(data))...)
+	}
+	copy(data[off:], p)
+	return data
+}
+
+func (s *Sim) syncDirLocked(dir string) {
+	dir = norm(dir)
+	// Entry durability only: the content an entry points at still
+	// reverts to its last Sync on a lossy crash.
+	for p, ino := range s.files {
+		if filepath.Dir(p) == dir {
+			s.durable[p] = ino
+		}
+	}
+	for p := range s.durable {
+		if filepath.Dir(p) == dir {
+			if _, ok := s.files[p]; !ok {
+				delete(s.durable, p)
+			}
+		}
+	}
+}
+
+// ReplayCrash applies a recorded trace prefix to s and then crashes it
+// according to plan: the live view is replaced by what the plan says
+// survived. Handles opened before the call are invalid afterwards. The
+// replayed operations are not re-recorded.
+func (s *Sim) ReplayCrash(ops []Op, plan CrashPlan) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var tornPath string
+	var tornOp Op
+	for i, op := range ops {
+		if i == len(ops)-1 && op.Kind == OpWrite && plan.TearFinalWrite >= 0 {
+			t := plan.TearFinalWrite
+			if t > len(op.Data) {
+				t = len(op.Data)
+			}
+			op.Data = op.Data[:t]
+			tornPath, tornOp = op.Path, op
+		}
+		s.apply(op)
+	}
+	if !plan.LoseUnsynced {
+		// Friendly crash: the kernel flushed everything applied.
+		s.durable = make(map[string]*inode, len(s.files))
+		for p, ino := range s.files {
+			ino.synced = clip(ino.data)
+			s.durable[p] = ino
+		}
+	} else if tornPath != "" {
+		// A torn write partially reached the platter: fold the torn
+		// bytes into the durable content of the inode it targeted, when
+		// that inode survives the crash at all.
+		for _, ino := range s.durable {
+			if ino == s.files[tornPath] {
+				ino.synced = writeAt(clip(ino.synced), tornOp.Off, tornOp.Data)
+			}
+		}
+	}
+	// The crash: the live view becomes exactly the durable image.
+	s.files = make(map[string]*inode, len(s.durable))
+	fresh := make(map[string]*inode, len(s.durable))
+	memo := make(map[*inode]*inode)
+	for p, ino := range s.durable {
+		c, ok := memo[ino]
+		if !ok {
+			c = &inode{data: clip(ino.synced), synced: clip(ino.synced)}
+			memo[ino] = c
+		}
+		s.files[p] = c
+		fresh[p] = c
+	}
+	s.durable = fresh
+}
+
+// ---------------------------------------------------------------------
+// FS implementation
+
+// simFile is one open handle.
+type simFile struct {
+	sim      *Sim
+	path     string
+	ino      *inode
+	off      int64
+	readOnly bool
+	closed   bool
+}
+
+func (s *Sim) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	name = norm(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ino, exists := s.files[name]
+	create := flag&os.O_CREATE != 0
+	trunc := flag&os.O_TRUNC != 0
+	switch {
+	case !exists && !create:
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	case !exists || trunc:
+		if err := s.gate(); err != nil {
+			return nil, &os.PathError{Op: "open", Path: name, Err: err}
+		}
+		s.record(Op{Kind: OpCreate, Path: name})
+		ino = &inode{}
+		s.files[name] = ino
+	}
+	f := &simFile{sim: s, path: name, ino: ino, readOnly: flag&(os.O_WRONLY|os.O_RDWR) == 0}
+	if flag&os.O_APPEND != 0 {
+		f.off = int64(len(ino.data))
+	}
+	return f, nil
+}
+
+func (s *Sim) Open(name string) (File, error) {
+	return s.OpenFile(name, os.O_RDONLY, 0)
+}
+
+func (s *Sim) CreateTemp(dir, pattern string) (File, error) {
+	s.mu.Lock()
+	s.tmpSeq++
+	seq := s.tmpSeq
+	s.mu.Unlock()
+	// Deterministic naming: the '*' is replaced by a sequence number, so
+	// a recorded trace replays against the same paths every time.
+	base := pattern
+	if i := strings.LastIndexByte(pattern, '*'); i >= 0 {
+		base = pattern[:i] + fmt.Sprintf("%06d", seq) + pattern[i+1:]
+	} else {
+		base = pattern + fmt.Sprintf("%06d", seq)
+	}
+	return s.OpenFile(filepath.Join(dir, base), os.O_RDWR|os.O_CREATE|os.O_TRUNC|os.O_EXCL, 0o600)
+}
+
+func (s *Sim) ReadFile(name string) ([]byte, error) {
+	name = norm(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ino := s.files[name]
+	if ino == nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return clip(ino.data), nil
+}
+
+func (s *Sim) Rename(oldname, newname string) error {
+	oldname, newname = norm(oldname), norm(newname)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[oldname]; !ok {
+		return &os.LinkError{Op: "rename", Old: oldname, New: newname, Err: os.ErrNotExist}
+	}
+	if err := s.gate(); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldname, New: newname, Err: err}
+	}
+	s.record(Op{Kind: OpRename, Path: oldname, To: newname})
+	s.apply(Op{Kind: OpRename, Path: oldname, To: newname})
+	return nil
+}
+
+func (s *Sim) Remove(name string) error {
+	name = norm(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	if err := s.gate(); err != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: err}
+	}
+	s.record(Op{Kind: OpRemove, Path: name})
+	s.apply(Op{Kind: OpRemove, Path: name})
+	return nil
+}
+
+func (s *Sim) Stat(name string) (int64, error) {
+	name = norm(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ino := s.files[name]
+	if ino == nil {
+		return 0, &os.PathError{Op: "stat", Path: name, Err: os.ErrNotExist}
+	}
+	return int64(len(ino.data)), nil
+}
+
+func (s *Sim) ReadDir(name string) ([]DirEntry, error) {
+	name = norm(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]bool)
+	var out []DirEntry
+	prefix := name + string(filepath.Separator)
+	if name == "." {
+		prefix = ""
+	}
+	for p := range s.files {
+		if !strings.HasPrefix(p, prefix) || p == name {
+			continue
+		}
+		rest := p[len(prefix):]
+		child := rest
+		isDir := false
+		if i := strings.IndexByte(rest, filepath.Separator); i >= 0 {
+			child, isDir = rest[:i], true
+		}
+		if seen[child] {
+			continue
+		}
+		seen[child] = true
+		out = append(out, DirEntry{Name: child, IsDir: isDir})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func (s *Sim) SyncDir(dir string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.gate(); err != nil {
+		return err
+	}
+	dir = norm(dir)
+	s.record(Op{Kind: OpSyncDir, Path: dir})
+	s.syncDirLocked(dir)
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// simFile
+
+func (f *simFile) Name() string { return f.path }
+
+func (f *simFile) Read(p []byte) (int, error) {
+	f.sim.mu.Lock()
+	defer f.sim.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	if f.off >= int64(len(f.ino.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.ino.data[f.off:])
+	f.off += int64(n)
+	return n, nil
+}
+
+func (f *simFile) Write(p []byte) (int, error) {
+	f.sim.mu.Lock()
+	defer f.sim.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	if f.readOnly {
+		return 0, &os.PathError{Op: "write", Path: f.path, Err: os.ErrPermission}
+	}
+	if err := f.sim.gate(); err != nil {
+		return 0, &os.PathError{Op: "write", Path: f.path, Err: err}
+	}
+	op := Op{Kind: OpWrite, Path: f.path, Off: f.off, Data: clip(p)}
+	f.sim.record(op)
+	f.ino.data = writeAt(f.ino.data, f.off, p)
+	f.off += int64(len(p))
+	return len(p), nil
+}
+
+func (f *simFile) Seek(offset int64, whence int) (int64, error) {
+	f.sim.mu.Lock()
+	defer f.sim.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	switch whence {
+	case io.SeekStart:
+		f.off = offset
+	case io.SeekCurrent:
+		f.off += offset
+	case io.SeekEnd:
+		f.off = int64(len(f.ino.data)) + offset
+	default:
+		return 0, fmt.Errorf("vfs: bad whence %d", whence)
+	}
+	if f.off < 0 {
+		f.off = 0
+	}
+	return f.off, nil
+}
+
+func (f *simFile) Sync() error {
+	f.sim.mu.Lock()
+	defer f.sim.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	if err := f.sim.gate(); err != nil {
+		return &os.PathError{Op: "sync", Path: f.path, Err: err}
+	}
+	f.sim.record(Op{Kind: OpSync, Path: f.path})
+	f.ino.synced = clip(f.ino.data)
+	return nil
+}
+
+func (f *simFile) Truncate(size int64) error {
+	f.sim.mu.Lock()
+	defer f.sim.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	if err := f.sim.gate(); err != nil {
+		return &os.PathError{Op: "truncate", Path: f.path, Err: err}
+	}
+	f.sim.record(Op{Kind: OpTruncate, Path: f.path, Off: size})
+	f.sim.apply(Op{Kind: OpTruncate, Path: f.path, Off: size})
+	return nil
+}
+
+func (f *simFile) Close() error {
+	f.sim.mu.Lock()
+	defer f.sim.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	f.closed = true
+	return nil
+}

@@ -1,0 +1,254 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// both runs a subtest against the simulator and the real filesystem,
+// pinning the Sim to OS semantics for the operations the store uses.
+func both(t *testing.T, name string, fn func(t *testing.T, fsys FS, dir string)) {
+	t.Helper()
+	t.Run(name+"/sim", func(t *testing.T) { fn(t, NewSim(), "d") })
+	t.Run(name+"/os", func(t *testing.T) { fn(t, OS, t.TempDir()) })
+}
+
+func write(t *testing.T, fsys FS, path, content string) {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(f, content); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSSemanticsMatchOS(t *testing.T) {
+	both(t, "write-read-rename", func(t *testing.T, fsys FS, dir string) {
+		p := filepath.Join(dir, "a")
+		write(t, fsys, p, "hello")
+		b, err := fsys.ReadFile(p)
+		if err != nil || string(b) != "hello" {
+			t.Fatalf("ReadFile = %q, %v", b, err)
+		}
+		if n, err := fsys.Stat(p); err != nil || n != 5 {
+			t.Fatalf("Stat = %d, %v", n, err)
+		}
+		q := filepath.Join(dir, "b")
+		if err := fsys.Rename(p, q); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fsys.ReadFile(p); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("old name after rename: %v", err)
+		}
+		if b, _ := fsys.ReadFile(q); string(b) != "hello" {
+			t.Fatalf("new name = %q", b)
+		}
+		if err := fsys.SyncDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsys.Remove(q); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fsys.Stat(q); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("Stat after remove: %v", err)
+		}
+	})
+	both(t, "readdir", func(t *testing.T, fsys FS, dir string) {
+		write(t, fsys, filepath.Join(dir, "b.graphs"), "x")
+		write(t, fsys, filepath.Join(dir, "a.graphs"), "y")
+		entries, err := fsys.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name)
+		}
+		for _, n := range []string{"a.graphs", "b.graphs"} {
+			found := false
+			for _, g := range names {
+				if g == n {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("ReadDir missing %s: %v", n, names)
+			}
+		}
+	})
+	both(t, "seek-append", func(t *testing.T, fsys FS, dir string) {
+		p := filepath.Join(dir, "log")
+		write(t, fsys, p, "one\n")
+		f, err := fsys.OpenFile(p, os.O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if pos, err := f.Seek(0, io.SeekEnd); err != nil || pos != 4 {
+			t.Fatalf("Seek end = %d, %v", pos, err)
+		}
+		if _, err := io.WriteString(f, "two\n"); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		b, _ := fsys.ReadFile(p)
+		if string(b) != "one\ntwo\n" {
+			t.Fatalf("appended = %q", b)
+		}
+		if err := f.Truncate(4); err != nil {
+			t.Fatal(err)
+		}
+		b, _ = fsys.ReadFile(p)
+		if string(b) != "one\n" {
+			t.Fatalf("truncated = %q", b)
+		}
+	})
+}
+
+func TestSimLossyCrashDropsUnsynced(t *testing.T) {
+	base := NewSim()
+	write(t, base, "d/f", "durable")
+	base.SetDurable()
+
+	work := base.Clone()
+	f, _ := work.OpenFile("d/f", os.O_WRONLY|os.O_TRUNC, 0o644)
+	io.WriteString(f, "volatile")
+	f.Close()
+	trace := work.Trace()
+	if len(trace) == 0 {
+		t.Fatal("no ops recorded")
+	}
+
+	// Lossy crash: the unsynced overwrite vanishes.
+	crash := base.Clone()
+	crash.ReplayCrash(trace, CrashPlan{LoseUnsynced: true, TearFinalWrite: -1})
+	if b, _ := crash.ReadFile("d/f"); string(b) != "durable" {
+		t.Fatalf("lossy crash kept unsynced data: %q", b)
+	}
+
+	// Friendly crash: everything applied survives.
+	crash = base.Clone()
+	crash.ReplayCrash(trace, CrashPlan{LoseUnsynced: false, TearFinalWrite: -1})
+	if b, _ := crash.ReadFile("d/f"); string(b) != "volatile" {
+		t.Fatalf("friendly crash lost applied data: %q", b)
+	}
+}
+
+func TestSimRenameNeedsSyncDir(t *testing.T) {
+	base := NewSim()
+	write(t, base, "d/old", "v1")
+	base.SetDurable()
+
+	work := base.Clone()
+	write(t, work, "d/new.tmp", "v2")
+	if err := work.Rename("d/new.tmp", "d/old"); err != nil {
+		t.Fatal(err)
+	}
+	trace := work.Trace()
+
+	// Without SyncDir the rename (and the temp file's creation) are
+	// volatile: a lossy crash reverts to v1.
+	crash := base.Clone()
+	crash.ReplayCrash(trace, CrashPlan{LoseUnsynced: true, TearFinalWrite: -1})
+	if b, _ := crash.ReadFile("d/old"); string(b) != "v1" {
+		t.Fatalf("un-dir-synced rename survived lossy crash: %q", b)
+	}
+
+	// With SyncDir the new generation is durable.
+	if err := work.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	crash = base.Clone()
+	crash.ReplayCrash(work.Trace(), CrashPlan{LoseUnsynced: true, TearFinalWrite: -1})
+	if b, _ := crash.ReadFile("d/old"); string(b) != "v2" {
+		t.Fatalf("dir-synced rename lost: %q", b)
+	}
+}
+
+func TestSimTornFinalWrite(t *testing.T) {
+	base := NewSim()
+	write(t, base, "d/log", "aaaa")
+	base.SetDurable()
+
+	work := base.Clone()
+	f, _ := work.OpenFile("d/log", os.O_RDWR, 0o644)
+	f.Seek(0, io.SeekEnd)
+	io.WriteString(f, "bbbb")
+	f.Close()
+
+	for tear := 0; tear <= 4; tear++ {
+		crash := base.Clone()
+		crash.ReplayCrash(work.Trace(), CrashPlan{LoseUnsynced: true, TearFinalWrite: tear})
+		want := "aaaa" + "bbbb"[:tear]
+		if b, _ := crash.ReadFile("d/log"); string(b) != want {
+			t.Fatalf("tear %d: %q, want %q", tear, b, want)
+		}
+	}
+}
+
+func TestSimFailAt(t *testing.T) {
+	s := NewSim()
+	boom := errors.New("boom")
+	// Op 0 is the create, op 1 the write: fail the write.
+	s.FailAt(1, boom)
+	f, err := s.OpenFile("d/f", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(f, "x"); !errors.Is(err, boom) {
+		t.Fatalf("write err = %v, want boom", err)
+	}
+	// The failed op was neither applied nor recorded.
+	if b, _ := s.ReadFile("d/f"); len(b) != 0 {
+		t.Fatalf("failed write applied: %q", b)
+	}
+	if got := s.Ops(); got != 1 {
+		t.Fatalf("trace ops = %d, want 1 (create only)", got)
+	}
+	// The next attempt succeeds.
+	if _, err := io.WriteString(f, "x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimCreateTempDeterministic(t *testing.T) {
+	a, b := NewSim(), NewSim()
+	fa, err := a.CreateTemp("d", "bundle.tmp*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.CreateTemp("d", "bundle.tmp*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.Name() != fb.Name() {
+		t.Fatalf("temp names diverge: %q vs %q", fa.Name(), fb.Name())
+	}
+}
+
+func TestSimCloneIsolated(t *testing.T) {
+	a := NewSim()
+	write(t, a, "d/f", "one")
+	a.SetDurable()
+	b := a.Clone()
+	write(t, b, "d/f", "two")
+	if got, _ := a.ReadFile("d/f"); string(got) != "one" {
+		t.Fatalf("clone write leaked into original: %q", got)
+	}
+	if got, _ := b.ReadFile("d/f"); string(got) != "two" {
+		t.Fatalf("clone = %q", got)
+	}
+}

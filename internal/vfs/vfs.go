@@ -1,0 +1,131 @@
+// Package vfs is the filesystem seam of the durability layer: a small
+// interface over the handful of file operations the store and the
+// spool watcher perform (open, write, sync, rename, remove, readdir,
+// directory fsync), a production passthrough to the os package (OS),
+// and a deterministic in-memory simulator (Sim) that records every
+// mutating operation, models the volatile/durable split of a real page
+// cache, and can tear writes at byte granularity or fail at any
+// operation index.
+//
+// Everything in internal/store and the panel watcher's spool handling
+// goes through this seam — enforced by the fsyncdiscipline lint
+// analyzer — so the crash-consistency sweep (internal/store/crashtest)
+// can enumerate every intermediate disk state a crash could expose and
+// prove recovery handles each one. The seam is deliberately narrower
+// than io/fs: it only carries what the durability code needs, which
+// keeps the simulator's operation model exhaustive.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is one open file handle. The subset mirrors *os.File; Sync is
+// part of the interface because the whole point of the seam is making
+// sync placement observable.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Seek repositions the handle (whence as in io.Seeker).
+	Seek(offset int64, whence int) (int64, error)
+	// Sync flushes the file's content to durable storage.
+	Sync() error
+	// Truncate resizes the file.
+	Truncate(size int64) error
+	// Name returns the path the handle was opened with.
+	Name() string
+}
+
+// DirEntry is one directory listing entry — the minimal shape the
+// spool watcher needs.
+type DirEntry struct {
+	Name  string
+	IsDir bool
+}
+
+// FS is the filesystem seam. Implementations must be safe for
+// concurrent use by multiple goroutines.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens a file read-only.
+	Open(name string) (File, error)
+	// CreateTemp creates a new temporary file in dir with os.CreateTemp
+	// naming semantics.
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile returns the file's contents.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname's file. Like a
+	// POSIX rename, the swap is atomic in the live view but only
+	// durable after SyncDir on the parent.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Stat returns the file's size, or an error satisfying
+	// os.IsNotExist semantics (errors.Is(err, os.ErrNotExist)).
+	Stat(name string) (size int64, err error)
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]DirEntry, error)
+	// SyncDir fsyncs a directory so completed renames, creations and
+	// removals inside it survive a crash. Filesystems without
+	// directory fsync are tolerated: the call must not fail the
+	// workload.
+	SyncDir(dir string) error
+}
+
+// OS is the production filesystem: a passthrough to the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Stat(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func (osFS) ReadDir(name string) ([]DirEntry, error) {
+	entries, err := os.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DirEntry, len(entries))
+	for i, e := range entries {
+		out[i] = DirEntry{Name: e.Name(), IsDir: e.IsDir()}
+	}
+	return out, nil
+}
+
+// SyncDir opens and fsyncs the directory. Filesystems that do not
+// support directory fsync (or cannot open directories) are tolerated:
+// the rename discipline degrades to rename-without-dir-durability,
+// which the recovery paths are verified to handle.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -279,6 +279,20 @@ func (e *Engine) SetQueryLogWeight(fn func(p *graph.Graph) float64) {
 	e.inner.SetQueryLogWeight(fn)
 }
 
+// SetAfterMaintain installs a hook that runs after every successful
+// Maintain/MaintainContext call with the call's report. The hook runs
+// on the calling goroutine while the engine is still under the caller's
+// lock, so it must not re-enter the engine; serving layers use it for
+// durability chores keyed to maintenance progress, such as compacting
+// the batch journal. Pass nil to remove.
+func (e *Engine) SetAfterMaintain(fn func(MaintenanceReport)) {
+	if fn == nil {
+		e.inner.SetAfterMaintain(nil)
+		return
+	}
+	e.inner.SetAfterMaintain(func(r core.Report) { fn(fromReport(r)) })
+}
+
 // EvaluatePatterns evaluates an arbitrary pattern set against the
 // engine's current database — e.g. a stale set for a no-maintenance
 // comparison.

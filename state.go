@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -105,15 +106,16 @@ func LoadState(r io.Reader) (*Engine, error) {
 	return e, err
 }
 
-// LoadStateMeta is LoadState returning the metadata map stored in the
-// bundle header (nil for v1 bundles or when none was saved). The
-// payload checksum is verified for v2 bundles before anything is
-// decoded.
-func LoadStateMeta(r io.Reader) (*Engine, map[string]string, error) {
+// parseStateEnvelope checks the bundle envelope — magic line, JSON
+// header, payload checksum for v2, section markers — and returns the
+// header plus the database and pattern sections. Corruption errors wrap
+// store.ErrCorrupt so recovery (store.LoadBundle / store.Recover) can
+// distinguish damaged bytes from I/O failures.
+func parseStateEnvelope(r io.Reader) (hdr stateHeader, dbText, patText string, err error) {
 	br := bufio.NewReader(r)
 	magic, err := br.ReadString('\n')
 	if err != nil {
-		return nil, nil, fmt.Errorf("midas: reading state magic: %w", err)
+		return hdr, "", "", fmt.Errorf("midas: reading state magic: %w", errors.Join(err, store.ErrCorrupt))
 	}
 	version := 0
 	switch strings.TrimSpace(magic) {
@@ -122,32 +124,34 @@ func LoadStateMeta(r io.Reader) (*Engine, map[string]string, error) {
 	case stateMagicV1:
 		version = 1
 	default:
-		return nil, nil, fmt.Errorf("midas: not a MIDAS state bundle (got %q)", strings.TrimSpace(magic))
+		return hdr, "", "", fmt.Errorf("midas: not a MIDAS state bundle (got %q): %w",
+			strings.TrimSpace(magic), store.ErrCorrupt)
 	}
 	hdrLine, err := br.ReadString('\n')
 	if err != nil {
-		return nil, nil, fmt.Errorf("midas: reading state header: %w", err)
+		return hdr, "", "", fmt.Errorf("midas: reading state header: %w", errors.Join(err, store.ErrCorrupt))
 	}
-	var hdr stateHeader
 	if err := json.Unmarshal([]byte(hdrLine), &hdr); err != nil {
-		return nil, nil, fmt.Errorf("midas: decoding state header: %w", err)
+		return hdr, "", "", fmt.Errorf("midas: decoding state header: %w", errors.Join(err, store.ErrCorrupt))
 	}
 
 	rest, err := io.ReadAll(br)
 	if err != nil {
-		return nil, nil, err
+		return hdr, "", "", err
 	}
 	if version >= 2 {
 		if hdr.CRC == "" {
-			return nil, nil, fmt.Errorf("midas: state bundle corrupt: v2 header missing checksum")
+			return hdr, "", "", fmt.Errorf("midas: state bundle corrupt: v2 header missing checksum: %w",
+				store.ErrCorrupt)
 		}
 		want, err := strconv.ParseUint(hdr.CRC, 16, 32)
 		if err != nil {
-			return nil, nil, fmt.Errorf("midas: state bundle corrupt: bad checksum %q", hdr.CRC)
+			return hdr, "", "", fmt.Errorf("midas: state bundle corrupt: bad checksum %q: %w",
+				hdr.CRC, store.ErrCorrupt)
 		}
 		if got := store.ChecksumBytes(rest); got != uint32(want) {
-			return nil, nil, fmt.Errorf("midas: state bundle corrupt: checksum %08x, header says %08x",
-				got, uint32(want))
+			return hdr, "", "", fmt.Errorf("midas: state bundle corrupt: checksum %08x, header says %08x: %w",
+				got, uint32(want), store.ErrCorrupt)
 		}
 	}
 	text := string(rest)
@@ -156,18 +160,39 @@ func LoadStateMeta(r io.Reader) (*Engine, map[string]string, error) {
 	di := strings.Index(text, dbMark)
 	pi := strings.Index(text, patMark)
 	if di < 0 || pi < 0 || pi < di {
-		return nil, nil, fmt.Errorf("midas: malformed state bundle: missing section markers")
+		return hdr, "", "", fmt.Errorf("midas: malformed state bundle: missing section markers: %w",
+			store.ErrCorrupt)
 	}
-	dbText := text[di+len(dbMark) : pi]
-	patText := text[pi+len(patMark):]
+	return hdr, text[di+len(dbMark) : pi], text[pi+len(patMark):], nil
+}
+
+// VerifyState is the cheap validity check used as the store.LoadBundle
+// validator: it verifies the envelope (magic, header, payload CRC,
+// section markers) without rebuilding an engine, so recovery can rank
+// bundle generations quickly. A nil return means LoadStateMeta will not
+// fail on crash damage (a valid CRC rules out truncation and bit rot).
+func VerifyState(b []byte) error {
+	_, _, _, err := parseStateEnvelope(bytes.NewReader(b))
+	return err
+}
+
+// LoadStateMeta is LoadState returning the metadata map stored in the
+// bundle header (nil for v1 bundles or when none was saved). The
+// payload checksum is verified for v2 bundles before anything is
+// decoded; corruption errors wrap store.ErrCorrupt.
+func LoadStateMeta(r io.Reader) (*Engine, map[string]string, error) {
+	hdr, dbText, patText, err := parseStateEnvelope(r)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	graphs, err := graph.Unmarshal(dbText)
 	if err != nil {
-		return nil, nil, fmt.Errorf("midas: decoding database section: %w", err)
+		return nil, nil, fmt.Errorf("midas: decoding database section: %w", errors.Join(err, store.ErrCorrupt))
 	}
 	if len(graphs) != hdr.Graphs {
-		return nil, nil, fmt.Errorf("midas: state bundle corrupt: %d graphs, header says %d",
-			len(graphs), hdr.Graphs)
+		return nil, nil, fmt.Errorf("midas: state bundle corrupt: %d graphs, header says %d: %w",
+			len(graphs), hdr.Graphs, store.ErrCorrupt)
 	}
 	db := graph.NewDatabase()
 	for _, g := range graphs {
@@ -177,11 +202,11 @@ func LoadStateMeta(r io.Reader) (*Engine, map[string]string, error) {
 	}
 	patterns, err := graph.Unmarshal(patText)
 	if err != nil {
-		return nil, nil, fmt.Errorf("midas: decoding patterns section: %w", err)
+		return nil, nil, fmt.Errorf("midas: decoding patterns section: %w", errors.Join(err, store.ErrCorrupt))
 	}
 	if len(patterns) != hdr.Patterns {
-		return nil, nil, fmt.Errorf("midas: state bundle corrupt: %d patterns, header says %d",
-			len(patterns), hdr.Patterns)
+		return nil, nil, fmt.Errorf("midas: state bundle corrupt: %d patterns, header says %d: %w",
+			len(patterns), hdr.Patterns, store.ErrCorrupt)
 	}
 	inner := core.NewEngineWithPatterns(db, hdr.Options.toCore(), patterns)
 	return &Engine{inner: inner}, hdr.Meta, nil

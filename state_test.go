@@ -1,11 +1,16 @@
 package midas
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"github.com/midas-graph/midas/graph"
 	"github.com/midas-graph/midas/internal/dataset"
+	"github.com/midas-graph/midas/internal/store"
+	"github.com/midas-graph/midas/internal/vfs"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -105,5 +110,76 @@ func TestSearcherAfterLoad(t *testing.T) {
 	q := graph.Path(0, "C", "C")
 	if s.Count(q) == 0 {
 		t.Fatal("searcher over loaded engine found nothing for C-C")
+	}
+}
+
+// TestVerifyStateDetectsDamage pins VerifyState as the cheap bundle
+// validator: truncation and bit flips anywhere in a v2 bundle must
+// surface as store.ErrCorrupt, and a bundle with no surviving
+// generation must name the offending path in the error.
+func TestVerifyStateDetectsDamage(t *testing.T) {
+	db := dataset.EMolLike().GenerateDB(12, 11)
+	opts := smallOptions()
+	e := New(db, opts)
+	var buf strings.Builder
+	if err := SaveState(&buf, e, opts); err != nil {
+		t.Fatal(err)
+	}
+	good := []byte(buf.String())
+	if err := VerifyState(good); err != nil {
+		t.Fatalf("pristine bundle rejected: %v", err)
+	}
+
+	// Truncation at representative depths: mid-header, mid-database,
+	// just before the final marker.
+	for _, cut := range []int{len(good) / 10, len(good) / 2, len(good) - 3} {
+		if err := VerifyState(good[:cut]); !errors.Is(err, store.ErrCorrupt) {
+			t.Fatalf("truncated at %d: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+	// A single flipped bit breaks the payload checksum.
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0x01
+	if err := VerifyState(flipped); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("bit flip: err = %v, want ErrCorrupt", err)
+	}
+
+	// Through the generational loader: with no valid generation left the
+	// error unwraps to ErrCorrupt and names the path; the damage is
+	// quarantined for post-mortem.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "panel.state")
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := store.LoadBundle(vfs.OS, path, VerifyState)
+	if !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("LoadBundle err = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error does not name the offending path: %v", err)
+	}
+	if len(rep.Quarantined) != 1 {
+		t.Fatalf("quarantined = %v", rep.Quarantined)
+	}
+
+	// With an intact previous generation the loader rolls back instead.
+	if err := os.WriteFile(path+".prev", good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, rep, err := store.LoadBundle(vfs.OS, path, VerifyState)
+	if err != nil {
+		t.Fatalf("rollback load: %v", err)
+	}
+	if !rep.RolledBack {
+		t.Fatal("salvage did not report a rollback")
+	}
+	if eng, loadErr := LoadState(strings.NewReader(string(data))); loadErr != nil {
+		t.Fatalf("rolled-back bundle unusable: %v", loadErr)
+	} else if eng.DB().Len() != 12 {
+		t.Fatalf("rolled-back db len = %d, want 12", eng.DB().Len())
 	}
 }
