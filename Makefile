@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt lint race crashtest bench bench-smoke figures fuzz clean
+.PHONY: all build test vet fmt lint race crashtest bench bench-smoke figures fuzz differential bench-compare clean
 
 all: build test
 
@@ -52,6 +52,20 @@ figures:
 fuzz:
 	$(GO) test ./graph -fuzz FuzzRead -fuzztime 30s
 	$(GO) test ./graph -fuzz FuzzJSON -fuzztime 30s
+	$(GO) test ./internal/store -fuzz FuzzJournalReplay -fuzztime 30s
+	$(GO) test ./internal/store -fuzz FuzzJournalAppendAfterReplay -fuzztime 30s
+
+# The sequential/parallel differential suite at a pinned GOMAXPROCS,
+# plus the race detector over every parallelized package (the CI gate
+# for the determinism contract).
+differential:
+	GOMAXPROCS=2 $(GO) test -run 'Differential|ByteIdentical|QueryIdentical|MidFanOut|AsyncCancel' . ./internal/core ./internal/cluster
+	$(GO) test -race -count=2 ./internal/cluster ./internal/iso ./internal/ged ./internal/parallel
+
+# Sequential vs -workers benchmark comparison (writes BENCH_PR5.json).
+bench-compare:
+	$(GO) run ./cmd/midas-bench -compare-workers 4 > BENCH_PR5.json
+	@cat BENCH_PR5.json
 
 clean:
 	$(GO) clean ./...

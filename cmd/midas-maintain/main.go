@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -41,6 +42,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		sample    = flag.Int("sample", 200, "scov sample size (0 = exact)")
 		strategy  = flag.String("strategy", "multiscan", "swap strategy: multiscan | random")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "maintenance kernel fan-out width (0 = sequential reference path); results are identical at every setting")
 		dump      = flag.Bool("patterns", false, "print the maintained pattern set in text format")
 		statePath = flag.String("state", "", "restore engine state from this bundle instead of bootstrapping")
 		savePath  = flag.String("save", "", "write the engine state bundle here before exiting")
@@ -59,6 +61,7 @@ func main() {
 		Seed:       *seed,
 		SampleSize: *sample,
 		Strategy:   midas.Strategy(*strategy),
+		Workers:    *workers,
 	}
 
 	var eng *midas.Engine
@@ -83,6 +86,8 @@ func main() {
 		if err != nil {
 			fatal(err.Error())
 		}
+		// The bundle header records the state, not the wall-clock knob.
+		eng.SetWorkers(*workers)
 		fmt.Printf("restored %d graphs, %d patterns in %v\n",
 			eng.DB().Len(), len(eng.Patterns()), eng.BootstrapTime().Round(timeUnit))
 	} else {

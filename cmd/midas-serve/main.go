@@ -44,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"sync"
 	"syscall"
@@ -55,6 +56,7 @@ import (
 	"github.com/midas-graph/midas/internal/ged"
 	"github.com/midas-graph/midas/internal/iso"
 	"github.com/midas-graph/midas/internal/panel"
+	"github.com/midas-graph/midas/internal/parallel"
 	"github.com/midas-graph/midas/internal/store"
 	"github.com/midas-graph/midas/internal/telemetry"
 	"github.com/midas-graph/midas/internal/vfs"
@@ -87,6 +89,7 @@ func main() {
 		checkpoint = flag.Int64("checkpoint", 1<<20, "journal size in bytes above which it is compacted after a successful maintenance (0 disables)")
 		inflight   = flag.Int("max-inflight", 0, "maximum concurrent engine-bound requests; excess requests get an immediate 503 with Retry-After (0 disables shedding)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: leaks process internals)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "maintenance kernel fan-out width (0 = sequential reference path); results are identical at every setting")
 	)
 	flag.Parse()
 
@@ -98,6 +101,7 @@ func main() {
 		SupMin:  *supMin,
 		Epsilon: *epsilon,
 		Seed:    *seed,
+		Workers: *workers,
 	}
 
 	var (
@@ -117,6 +121,8 @@ func main() {
 		}
 		switch {
 		case eng != nil:
+			// The bundle header records the state, not the wall-clock knob.
+			eng.SetWorkers(*workers)
 			logger.Infof("restored state: %d graphs, %d patterns", eng.DB().Len(), len(eng.Patterns()))
 		case errors.Is(err, store.ErrCorrupt):
 			logger.Errorf("midas-serve: state bundle unrecoverable, starting degraded: %v", err)
@@ -175,6 +181,7 @@ func main() {
 	ged.RegisterMetrics(reg)
 	catapult.RegisterMetrics(reg)
 	store.RegisterMetrics(reg)
+	parallel.RegisterMetrics(reg)
 	procStart := time.Now()
 	reg.NewGaugeFunc("midas_serve_uptime_seconds",
 		"Seconds since the serving process started.",

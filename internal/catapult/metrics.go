@@ -16,6 +16,7 @@ import (
 	"github.com/midas-graph/midas/internal/ged"
 	"github.com/midas-graph/midas/internal/index"
 	"github.com/midas-graph/midas/internal/iso"
+	"github.com/midas-graph/midas/internal/parallel"
 	"github.com/midas-graph/midas/internal/tree"
 )
 
@@ -63,13 +64,20 @@ type Metrics struct {
 	SampleSize int
 	Seed       int64
 
+	// Memo, when true, routes pairwise GED computations through the
+	// process-wide memo cache in internal/ged instead of the per-Metrics
+	// distCache, so distances survive engine rebuilds. Both caches are
+	// keyed by exact graph instances, so the computed values — and hence
+	// every score — are identical in either mode.
+	Memo bool
+
 	// mu guards the caches and the lazy sample so scoring can fan out
 	// across goroutines (scores are pure, so concurrency cannot change
 	// results — only which values end up memoised).
 	mu         sync.Mutex
 	sample     *graph.Database
 	coverCache map[string]map[int]struct{}
-	distCache  map[[2]string]float64
+	distCache  map[string]float64
 
 	// cancel, when set, is polled inside cover-set and diversity loops
 	// and handed down to the VF2/GED kernels so an in-flight
@@ -82,7 +90,7 @@ type Metrics struct {
 func NewMetrics(db *graph.Database, set *tree.Set, ix *index.Indices, sampleSize int, seed int64) *Metrics {
 	return &Metrics{DB: db, Set: set, Ix: ix, SampleSize: sampleSize, Seed: seed,
 		coverCache: make(map[string]map[int]struct{}),
-		distCache:  make(map[[2]string]float64)}
+		distCache:  make(map[string]float64)}
 }
 
 // scovDB returns the database scov is computed against: the full DB or
@@ -141,9 +149,13 @@ func (m *Metrics) InvalidateSample() {
 	m.coverCache = make(map[string]map[int]struct{})
 }
 
-// CoverSet returns G_scov(p) over the scov database.
+// CoverSet returns G_scov(p) over the scov database. The cache is keyed
+// by the exact graph instance (parallel.GraphKey), not the isomorphism
+// signature: the step-capped VF2 searches underneath depend on concrete
+// vertex numbering, so only instance-exact reuse is guaranteed to be
+// result-neutral when calls fan out across goroutines.
 func (m *Metrics) CoverSet(p *graph.Graph) map[int]struct{} {
-	sig := graph.Signature(p)
+	sig := parallel.GraphKey(p)
 	m.mu.Lock()
 	c, ok := m.coverCache[sig]
 	m.mu.Unlock()
@@ -247,6 +259,21 @@ func SetCog(ps []*graph.Graph) float64 {
 	return best
 }
 
+// distLookup consults the per-Metrics distance cache. Memo mode must
+// NOT look up the process-wide ged memo here: that cache outlives this
+// engine, and a warm hit would bypass the lb-prune in Div for a pair
+// this engine's own history never computed — the prune is part of the
+// algorithm (GED'_l is a heuristic bound, not guaranteed to sit below
+// the approximate distances), so the reference path and the memoised
+// path must skip exactly the same pairs.
+func (m *Metrics) distLookup(p, o *graph.Graph) (float64, bool) {
+	key := parallel.PairKey(p, o)
+	m.mu.Lock()
+	d, ok := m.distCache[key]
+	m.mu.Unlock()
+	return d, ok
+}
+
 // Div returns div(p, others) = min GED(p, p_i). With no others it is the
 // neutral 1 so that multiplicative scores stay meaningful.
 func (m *Metrics) Div(p *graph.Graph, others []*graph.Graph) float64 {
@@ -254,23 +281,21 @@ func (m *Metrics) Div(p *graph.Graph, others []*graph.Graph) float64 {
 		return 1
 	}
 	best := -1.0
-	sigP := graph.Signature(p)
 	cancel := m.cancelHook()
 	for _, o := range others {
 		if cancel != nil && cancel() {
 			break
 		}
-		// Distances between structure pairs repeat heavily across
-		// scoring rounds; cache by signature pair. (Signatures are
-		// isomorphism-invariant, and GED between isomorphic graphs of
-		// the small pattern sizes here is structure-determined.)
-		key := [2]string{sigP, graph.Signature(o)}
-		if key[0] > key[1] {
-			key[0], key[1] = key[1], key[0]
-		}
-		m.mu.Lock()
-		d, ok := m.distCache[key]
-		m.mu.Unlock()
+		// Distances between pattern pairs repeat heavily across scoring
+		// rounds; cache by the exact ordered instance pair. (The
+		// bipartite upper bound used for larger pairs is neither
+		// symmetric nor isomorphism-invariant, so directional
+		// instance-exact keys are the only reuse that provably preserves
+		// the sequential values.) The lookup/prune/compute order below
+		// is the algorithm's definition and is identical in both modes;
+		// Memo mode only swaps the compute step for the process-wide ged
+		// memo, which returns exactly what DistanceCancel would.
+		d, ok := m.distLookup(p, o)
 		if !ok {
 			if m.Ix != nil {
 				// Tighter lower bound GED'_l prunes exact computations:
@@ -280,8 +305,13 @@ func (m *Metrics) Div(p *graph.Graph, others []*graph.Graph) float64 {
 					continue
 				}
 			}
-			d = ged.DistanceCancel(p, o, cancel)
+			if m.Memo {
+				d = ged.DistanceCached(p, o, cancel)
+			} else {
+				d = ged.DistanceCancel(p, o, cancel)
+			}
 			if cancel == nil || !cancel() {
+				key := parallel.PairKey(p, o)
 				m.mu.Lock()
 				m.distCache[key] = d
 				m.mu.Unlock()

@@ -3,13 +3,13 @@ package catapult
 import (
 	"math/rand"
 	"sort"
-	"sync"
 	"time"
 
 	"github.com/midas-graph/midas/graph"
 	"github.com/midas-graph/midas/internal/cluster"
 	"github.com/midas-graph/midas/internal/csg"
 	"github.com/midas-graph/midas/internal/iso"
+	"github.com/midas-graph/midas/internal/parallel"
 )
 
 // Pruner lets MIDAS inject the coverage-based early-termination test of
@@ -381,35 +381,11 @@ func (s *Selector) pickBest(cands []*Candidate, selected []*graph.Graph, perSize
 		admissible[i] = perSize[c.p.Size()] < sizeCap && !isDuplicate(c.p, selected)
 	}
 	scores := make([]float64, len(cands))
-	scoreOne := func(i int) {
-		scores[i] = s.metrics.ScoreCATAPULT(cands[i].p, selected, s.ccov(cands[i].p))
-	}
-	if s.cfg.Parallel > 1 {
-		var wg sync.WaitGroup
-		work := make(chan int)
-		for w := 0; w < s.cfg.Parallel; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range work {
-					scoreOne(i)
-				}
-			}()
+	parallel.Do(s.cfg.Parallel, len(cands), s.cfg.Cancel, func(i int) {
+		if admissible[i] {
+			scores[i] = s.metrics.ScoreCATAPULT(cands[i].p, selected, s.ccov(cands[i].p))
 		}
-		for i := range cands {
-			if admissible[i] {
-				work <- i
-			}
-		}
-		close(work)
-		wg.Wait()
-	} else {
-		for i := range cands {
-			if admissible[i] {
-				scoreOne(i)
-			}
-		}
-	}
+	})
 	var best *Candidate
 	bestScore := -1.0
 	for i, c := range cands {

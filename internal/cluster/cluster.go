@@ -15,6 +15,7 @@ import (
 
 	"github.com/midas-graph/midas/graph"
 	"github.com/midas-graph/midas/internal/iso"
+	"github.com/midas-graph/midas/internal/parallel"
 	"github.com/midas-graph/midas/internal/tree"
 )
 
@@ -126,6 +127,13 @@ type Config struct {
 	// MCCSBudget bounds each MCCS search during fine clustering
 	// (default 20000 steps).
 	MCCSBudget int
+	// Workers selects the execution mode of fine clustering: 0 is the
+	// sequential reference path (plain loop, no memoization), >= 1 runs
+	// the per-pivot ω_MCCS computations through the internal/parallel
+	// pool with the process-wide MCCS memo cache. Results are identical
+	// at every setting (ordered fan-in, instance-exact memo keys); only
+	// wall-clock changes.
+	Workers int
 }
 
 func (c Config) withDefaults(dbLen int) Config {
@@ -163,6 +171,12 @@ type Clustering struct {
 // SetCancel installs (or, with nil, removes) the cancellation hook used
 // during fine clustering.
 func (cl *Clustering) SetCancel(fn func() bool) { cl.cancel = fn }
+
+// SetWorkers changes the fan-out width used by fine clustering after
+// construction — e.g. on a clustering restored from a state bundle,
+// where Config came from the bundle header rather than the command
+// line. Splits are identical at every setting.
+func (cl *Clustering) SetWorkers(n int) { cl.cfg.Workers = n }
 
 // Build partitions database d using FCT feature vectors from the mined
 // tree set (the CATAPULT++/MIDAS feature family). The random source
@@ -349,7 +363,17 @@ func (cl *Clustering) Keys() []string { return cl.keys }
 // (Algorithm 1 line 1) and returns that cluster's ID. With no clusters
 // yet, a fresh cluster is created.
 func (cl *Clustering) Assign(g *graph.Graph, set *tree.Set) int {
-	vec := set.FeatureVectorOf(cl.keys, g)
+	return cl.AssignWithVector(g, set.FeatureVectorOf(cl.keys, g))
+}
+
+// AssignWithVector is Assign with a precomputed feature vector (as
+// returned by tree.Set.FeatureVectorOf over Keys()). The maintenance
+// pipeline precomputes the vectors of a whole insertion batch in
+// parallel — the vectors depend only on the pre-update tree set, so
+// they are independent of assignment order — and then assigns
+// sequentially, which keeps centroid evolution identical to the plain
+// sequential loop.
+func (cl *Clustering) AssignWithVector(g *graph.Graph, vec []float64) int {
 	bestID, bestD := -1, math.MaxFloat64
 	for _, c := range cl.Clusters() {
 		if c.Len() == 0 {
@@ -430,10 +454,27 @@ func (cl *Clustering) fineSplit(c *Cluster) [][]*graph.Graph {
 			g   *graph.Graph
 			sim float64
 		}
+		// The pairwise ω_MCCS column is embarrassingly parallel: each
+		// task writes its own slot and the greedy grouping below reads
+		// the slots in submission order (ordered fan-in), so the split
+		// is identical at every worker count. Workers >= 1 additionally
+		// routes through the process-wide MCCS memo cache; its keys are
+		// instance-exact, so hits are result-neutral too.
+		sim := iso.MCCSSimilarityCancel
+		if cl.cfg.Workers >= 1 {
+			sim = iso.MCCSSimilarityCached
+		}
+		// Graphs are slotted before the fan-out: a fired cancel hook
+		// skips remaining similarity tasks, and the grouping below must
+		// still see valid members (the cancelled call rolls back, but
+		// only after this function returns).
 		ss := make([]scored, len(rest))
 		for i, g := range rest {
-			ss[i] = scored{g, iso.MCCSSimilarityCancel(pivot, g, cl.cfg.MCCSBudget, cl.cancel)}
+			ss[i].g = g
 		}
+		parallel.Do(cl.cfg.Workers, len(rest), cl.cancel, func(i int) {
+			ss[i].sim = sim(pivot, rest[i], cl.cfg.MCCSBudget, cl.cancel)
+		})
 		sort.SliceStable(ss, func(i, j int) bool { return ss[i].sim > ss[j].sim })
 		take := cl.cfg.MaxSize - 1
 		if take > len(ss) {

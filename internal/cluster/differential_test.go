@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+// clusterShape captures everything fine clustering decides: which
+// cluster owns each graph, and the sorted member lists per cluster.
+func clusterShape(cl *Clustering) map[int][]int {
+	out := make(map[int][]int)
+	for _, c := range cl.Clusters() {
+		out[c.ID] = c.MemberIDs()
+	}
+	return out
+}
+
+// TestRefineOversizedDifferentialAcrossWorkers: fine clustering (the
+// pairwise ω_MCCS fan-out) must produce identical splits at every
+// worker count and seed, with warm process-wide MCCS memo caches from
+// earlier runs included in the sweep.
+func TestRefineOversizedDifferentialAcrossWorkers(t *testing.T) {
+	build := func(seed int64, workers int) (*Clustering, []int) {
+		d := twoFamilyDB(9)
+		set := mineFor(d)
+		cfg := Config{K: 2, MaxSize: 4, MCCSBudget: 20000, Workers: workers}
+		cl := Build(d, set, cfg, rand.New(rand.NewSource(seed)))
+		created := cl.RefineOversized()
+		return cl, created
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		refCl, refCreated := build(seed, 0)
+		want := clusterShape(refCl)
+		for _, w := range []int{1, 2, 8} {
+			cl, created := build(seed, w)
+			if got := clusterShape(cl); !reflect.DeepEqual(got, want) {
+				t.Errorf("seed %d workers %d: split diverged\ngot  %v\nwant %v", seed, w, got, want)
+			}
+			if !reflect.DeepEqual(created, refCreated) {
+				t.Errorf("seed %d workers %d: created IDs %v, want %v", seed, w, created, refCreated)
+			}
+		}
+	}
+}
+
+// TestAssignDifferentialAcrossWorkers: incremental assignment on top of
+// a refined clustering must also be worker-independent.
+func TestAssignDifferentialAcrossWorkers(t *testing.T) {
+	run := func(workers int) map[int][]int {
+		d := twoFamilyDB(6)
+		set := mineFor(d)
+		cl := Build(d, set, Config{K: 2, MaxSize: 5, MCCSBudget: 20000, Workers: workers}, rand.New(rand.NewSource(9)))
+		cl.RefineOversized()
+		for i := 0; i < 6; i++ {
+			g := graph.Star(100+i, "B", "O", "O")
+			d.Add(g)
+			cl.Assign(g, set)
+		}
+		cl.RefineOversized()
+		return clusterShape(cl)
+	}
+	want := run(0)
+	for _, w := range []int{1, 2, 8} {
+		if got := run(w); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers %d: assignment diverged\ngot  %v\nwant %v", w, got, want)
+		}
+	}
+}

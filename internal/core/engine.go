@@ -57,8 +57,20 @@ type Config struct {
 	Walks      int
 	StartEdges int
 	// Parallel fans candidate scoring out over this many goroutines
-	// (default 1; results are identical at any setting).
+	// (default 1; results are identical at any setting). Superseded by
+	// Workers when that is set.
 	Parallel int
+	// Workers selects the execution mode of every parallelised
+	// maintenance kernel (fine-clustering ω_MCCS columns, batch feature
+	// vectors, cover-set fan-outs, candidate and swap scoring): 0 is the
+	// sequential reference path with no process-wide memoization; >= 1
+	// routes fan-outs through the internal/parallel pool (1 degenerates
+	// to an inline loop) and enables the instance-keyed MCCS/GED/VF2
+	// memo caches. The strict invariant — enforced by the differential
+	// test suite — is that Maintain and Query produce byte-identical
+	// state bundles and reports at every Workers setting; only
+	// wall-clock time may differ.
+	Workers int
 	// SampleSize enables lazy-sampled scov (0 = exact).
 	SampleSize int
 	// Seed drives all randomness.
@@ -228,16 +240,19 @@ func NewEngineWithPatterns(db *graph.Database, cfg Config, patterns []*graph.Gra
 	cfg = cfg.withDefaults()
 	cfg.UseClosedFeatures = true
 	cfg.UseIndices = true
+	cfg.Cluster.Workers = cfg.Workers
 	start := time.Now()
 	e := &Engine{cfg: cfg, db: db, sigma: 0.25}
 	e.set = tree.Mine(db, cfg.SupMin, cfg.MaxTreeEdges)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	e.cl = e.buildClustering(rng)
 	e.csgs = csg.NewManager(0)
+	e.csgs.SetMemo(cfg.Workers >= 1)
 	e.csgs.BuildAll(e.cl)
 	e.ix = index.Build(e.set, db, nil)
 	e.counter = graphlet.NewCounter(db)
 	e.metrics = catapult.NewMetrics(db, e.set, e.ix, cfg.SampleSize, cfg.Seed)
+	e.metrics.Memo = cfg.Workers >= 1
 	e.patterns = append([]*graph.Graph(nil), patterns...)
 	for _, p := range e.patterns {
 		if p.ID >= e.nextPatternID {
@@ -250,18 +265,21 @@ func NewEngineWithPatterns(db *graph.Database, cfg Config, patterns []*graph.Gra
 }
 
 func newEngine(db *graph.Database, cfg Config) *Engine {
+	cfg.Cluster.Workers = cfg.Workers
 	start := time.Now()
 	e := &Engine{cfg: cfg, db: db, sigma: 0.25}
 	e.set = tree.Mine(db, cfg.SupMin, cfg.MaxTreeEdges)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	e.cl = e.buildClustering(rng)
 	e.csgs = csg.NewManager(0)
+	e.csgs.SetMemo(cfg.Workers >= 1)
 	e.csgs.BuildAll(e.cl)
 	if cfg.UseIndices {
 		e.ix = index.Build(e.set, db, nil)
 	}
 	e.counter = graphlet.NewCounter(db)
 	e.metrics = catapult.NewMetrics(db, e.set, e.ix, cfg.SampleSize, cfg.Seed)
+	e.metrics.Memo = cfg.Workers >= 1
 	sel := catapult.NewSelector(e.metrics, e.cl, e.csgs, e.selectConfig(nil))
 	e.patterns = sel.Select(0)
 	e.nextPatternID = len(e.patterns)
@@ -288,15 +306,37 @@ func (e *Engine) buildClustering(rng *rand.Rand) *cluster.Clustering {
 }
 
 func (e *Engine) selectConfig(pruner catapult.Pruner) catapult.SelectConfig {
+	par := e.cfg.Parallel
+	if e.cfg.Workers > 0 {
+		par = e.cfg.Workers
+	}
 	return catapult.SelectConfig{
 		Budget:     e.selectBudget(),
 		Walks:      e.cfg.Walks,
 		StartEdges: e.cfg.StartEdges,
 		Seed:       e.cfg.Seed,
 		Pruner:     pruner,
-		Parallel:   e.cfg.Parallel,
+		Parallel:   par,
 		Cancel:     e.cancel,
 	}
+}
+
+// workers returns the fan-out width for the engine's parallel kernels
+// (0 keeps every fan-out on the inline sequential path).
+func (e *Engine) workers() int { return e.cfg.Workers }
+
+// SetWorkers reconfigures the execution mode of a live engine —
+// typically one restored from a state bundle, whose header records the
+// state rather than the wall-clock knob that produced it. Semantics
+// match constructing with the same Config.Workers: 0 is the sequential
+// reference path, >=1 enables the worker pool and the process-wide
+// kernel memos. Outputs are identical at every setting.
+func (e *Engine) SetWorkers(n int) {
+	e.cfg.Workers = n
+	e.cfg.Cluster.Workers = n
+	e.cl.SetWorkers(n)
+	e.csgs.SetMemo(n >= 1)
+	e.metrics.Memo = n >= 1
 }
 
 // DB returns the engine's current database.

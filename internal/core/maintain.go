@@ -10,6 +10,7 @@ import (
 	"github.com/midas-graph/midas/internal/ged"
 	"github.com/midas-graph/midas/internal/graphlet"
 	"github.com/midas-graph/midas/internal/iso"
+	"github.com/midas-graph/midas/internal/parallel"
 )
 
 // stage gates each step of the maintenance pipeline: it surfaces
@@ -70,9 +71,11 @@ func (e *Engine) MaintainContext(ctx context.Context, u graph.Update) (rep Repor
 	}
 
 	// ψ_D before and after (lines 3–4), computed incrementally from the
-	// cached per-graph counts. Pure reads — safe before the snapshot.
+	// cached per-graph counts; the per-graph censuses of the insertion
+	// batch fan out over the worker pool. Pure reads — safe before the
+	// snapshot.
 	psiBefore := e.counter.Distribution()
-	psiAfter := e.counter.DistributionAfter(u)
+	psiAfter := e.counter.DistributionAfterParallel(e.workers(), u)
 	rep.GraphletDistance = graphlet.DistanceWith(e.cfg.Distance, psiBefore, psiAfter)
 	rep.Major = rep.GraphletDistance >= e.cfg.Epsilon
 
@@ -124,8 +127,17 @@ func (e *Engine) runPipeline(ctx context.Context, u graph.Update, rep *Report) e
 			e.csgs.OnRemove(cid, id)
 		}
 	}
-	for _, g := range u.Insert {
-		cid := e.cl.Assign(g, e.set)
+	// Feature vectors of the whole insertion batch depend only on the
+	// pre-update tree set, so they fan out over the pool; the
+	// assignments themselves run sequentially in batch order, keeping
+	// centroid evolution identical to the plain loop. No cancel hook:
+	// AssignWithVector needs complete vectors, and a cancelled call is
+	// rolled back after the stage gate below anyway.
+	vecs := parallel.Map(e.workers(), len(u.Insert), nil, func(i int) []float64 {
+		return e.set.FeatureVectorOf(e.cl.Keys(), u.Insert[i])
+	})
+	for i, g := range u.Insert {
+		cid := e.cl.AssignWithVector(g, vecs[i])
 		affected[cid] = struct{}{}
 		e.csgs.OnAssign(cid, g)
 	}
@@ -138,7 +150,7 @@ func (e *Engine) runPipeline(ctx context.Context, u graph.Update, rep *Report) e
 	if err := e.db.Apply(u); err != nil {
 		return err
 	}
-	e.counter.Apply(u)
+	e.counter.ApplyParallel(e.workers(), u)
 	if err := stage(ctx, "apply"); err != nil {
 		return err
 	}
@@ -257,12 +269,17 @@ func (e *Engine) majorModification(ctx context.Context, evolved []int, rep *Repo
 }
 
 // coverSets returns the cover set of every current pattern over the
-// full database (via the indices when available).
+// full database (via the indices when available). Cover sets are pure
+// per-pattern functions behind a mutex-guarded cache, so they fan out
+// over the pool; slots land in pattern order regardless of completion
+// order. A fired cancel hook leaves nil slots, which downstream union
+// code treats as empty — harmless, since a cancelled Maintain rolls
+// back wholesale.
 func (e *Engine) coverSets() []map[int]struct{} {
 	out := make([]map[int]struct{}, len(e.patterns))
-	for i, p := range e.patterns {
-		out[i] = e.metrics.CoverSet(p)
-	}
+	parallel.Do(e.workers(), len(e.patterns), e.cancel, func(i int) {
+		out[i] = e.metrics.CoverSet(e.patterns[i])
+	})
 	return out
 }
 
@@ -338,16 +355,22 @@ func (e *Engine) promising(cands []*catapult.Candidate) []*catapult.Candidate {
 			minExcl = x
 		}
 	}
-	var out []*catapult.Candidate
-	for _, c := range cands {
-		cover := e.metrics.CoverSet(c.Pattern())
+	// Marginal coverage per candidate is independent (union is read-only
+	// here), so it fans out; the filter below appends in candidate order,
+	// keeping the surviving list identical to the sequential pass.
+	marginals := parallel.Map(e.workers(), len(cands), e.cancel, func(i int) int {
+		cover := e.metrics.CoverSet(cands[i].Pattern())
 		marginal := 0
 		for id := range cover {
 			if _, covered := union[id]; !covered {
 				marginal++
 			}
 		}
-		if float64(marginal) >= (1+e.cfg.Kappa)*float64(minExcl) {
+		return marginal
+	})
+	var out []*catapult.Candidate
+	for i, c := range cands {
+		if float64(marginals[i]) >= (1+e.cfg.Kappa)*float64(minExcl) {
 			out = append(out, c)
 		}
 	}

@@ -68,4 +68,5 @@ func (e *Engine) restore(s *snapshot) {
 	e.nextPatternID = s.nextPatternID
 	e.sigma = s.sigma
 	e.metrics = catapult.NewMetrics(e.db, e.set, e.ix, e.cfg.SampleSize, e.cfg.Seed)
+	e.metrics.Memo = e.cfg.Workers >= 1
 }

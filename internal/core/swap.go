@@ -6,6 +6,7 @@ import (
 
 	"github.com/midas-graph/midas/graph"
 	"github.com/midas-graph/midas/internal/catapult"
+	"github.com/midas-graph/midas/internal/parallel"
 	"github.com/midas-graph/midas/internal/stats"
 )
 
@@ -51,7 +52,10 @@ func (e *Engine) scanOnce(cands []*catapult.Candidate, kappa float64) int {
 		return 0
 	}
 	// PQ_Pc: candidates by decreasing s'_p (scored against the current
-	// pattern set).
+	// pattern set). Dedup runs sequentially (the seen-set is order
+	// dependent); scoring fans out into per-candidate slots, and the
+	// stable sort below reads them in submission order, so the queue is
+	// identical at any worker count.
 	queue := make([]scored, 0, len(cands))
 	seen := make(map[string]struct{})
 	for _, c := range cands {
@@ -61,8 +65,11 @@ func (e *Engine) scanOnce(cands []*catapult.Candidate, kappa float64) int {
 			continue
 		}
 		seen[sig] = struct{}{}
-		queue = append(queue, scored{p: p, score: e.swapScore(p, e.patterns)})
+		queue = append(queue, scored{p: p})
 	}
+	parallel.Do(e.scoreWorkers(), len(queue), e.cancel, func(i int) {
+		queue[i].score = e.swapScore(queue[i].p, e.patterns)
+	})
 	sort.SliceStable(queue, func(i, j int) bool { return queue[i].score > queue[j].score })
 
 	swaps := 0
@@ -92,16 +99,30 @@ func (e *Engine) scanOnce(cands []*catapult.Candidate, kappa float64) int {
 }
 
 // worstPatternIndex returns the index of the pattern with the lowest
-// s'_p, or -1 for an empty set.
+// s'_p, or -1 for an empty set. Per-pattern scores fan out; the argmin
+// runs sequentially in index order, so ties resolve exactly as in the
+// plain loop.
 func (e *Engine) worstPatternIndex() int {
+	scores := parallel.Map(e.workers(), len(e.patterns), e.cancel, func(i int) float64 {
+		return e.metrics.ScoreMIDAS(e.patterns[i], without(e.patterns, i))
+	})
 	best, idx := 0.0, -1
-	for i, p := range e.patterns {
-		s := e.metrics.ScoreMIDAS(p, without(e.patterns, i))
+	for i, s := range scores {
 		if idx == -1 || s < best {
 			best, idx = s, i
 		}
 	}
 	return idx
+}
+
+// scoreWorkers returns the fan-out width for swap-queue scoring: the
+// query-log weight hook is caller-supplied and not required to be
+// goroutine-safe, so its presence forces the inline path.
+func (e *Engine) scoreWorkers() int {
+	if e.logWeight != nil {
+		return 0
+	}
+	return e.workers()
 }
 
 // trySwap checks sw1, sw3–sw5, the per-size cap, duplicate structure,

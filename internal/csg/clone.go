@@ -4,7 +4,7 @@ import "github.com/midas-graph/midas/graph"
 
 // Clone returns a deep copy of the manager for transactional rollback.
 func (m *Manager) Clone() *Manager {
-	out := &Manager{csgs: make(map[int]*CSG, len(m.csgs)), budget: m.budget}
+	out := &Manager{csgs: make(map[int]*CSG, len(m.csgs)), budget: m.budget, memo: m.memo}
 	for id, s := range m.csgs {
 		out.csgs[id] = s.clone()
 	}
@@ -20,6 +20,7 @@ func (s *CSG) clone() *CSG {
 		G:         s.G.Clone(),
 		support:   make(map[graph.Edge]map[int]struct{}, len(s.support)),
 		budget:    s.budget,
+		memo:      s.memo,
 	}
 	for e, ids := range s.support {
 		ns := make(map[int]struct{}, len(ids))

@@ -34,6 +34,13 @@ type CSG struct {
 	// cancel, when set, is polled by the MCCS/VF2 alignment kernels so
 	// a cancelled maintenance call stops integrating promptly.
 	cancel func() bool
+	// memo, when set, routes the alignment kernels through the
+	// process-wide instance-keyed memo caches in internal/iso. Rebuilding
+	// a summary over the same members replays identical (g, summary)
+	// alignment queries, so the replay is nearly free; keys are
+	// instance-exact, so memoised alignments equal fresh ones and the
+	// resulting summary is byte-identical either way.
+	memo bool
 }
 
 // Build summarises the given member graphs (typically a cluster's
@@ -46,6 +53,10 @@ func Build(clusterID int, members []*graph.Graph, budget int) *CSG {
 // MCCS alignments; a cancelled build returns a partial summary, which
 // the caller is expected to discard (maintenance rolls back).
 func BuildWithCancel(clusterID int, members []*graph.Graph, budget int, cancel func() bool) *CSG {
+	return buildCSG(clusterID, members, budget, cancel, false)
+}
+
+func buildCSG(clusterID int, members []*graph.Graph, budget int, cancel func() bool, memo bool) *CSG {
 	if budget <= 0 {
 		budget = 20000
 	}
@@ -55,6 +66,7 @@ func BuildWithCancel(clusterID int, members []*graph.Graph, budget int, cancel f
 		support:   make(map[graph.Edge]map[int]struct{}),
 		budget:    budget,
 		cancel:    cancel,
+		memo:      memo,
 	}
 	ordered := append([]*graph.Graph(nil), members...)
 	sort.Slice(ordered, func(i, j int) bool {
@@ -103,15 +115,24 @@ func (s *CSG) align(g *graph.Graph) []int {
 	if s.G.Size() > 0 && g.Size() > 0 {
 		// Fast path: graphs from the same family usually embed wholly
 		// into a mature summary; a full VF2 embedding is far cheaper
-		// than the MCCS search and yields a perfect alignment.
-		if m := iso.FindEmbedding(g, s.G, iso.Options{MaxSteps: s.budget, Cancel: s.cancel}); m != nil {
+		// than the MCCS search and yields a perfect alignment. The memo
+		// variants key on the exact (g, summary) instance pair, and the
+		// summary mutates between integrations, so stale hits are
+		// impossible; cached mappings are read-only here.
+		embed := iso.FindEmbedding
+		mccs := iso.MCCSWithCancel
+		if s.memo {
+			embed = iso.FindEmbeddingCached
+			mccs = iso.MCCSCached
+		}
+		if m := embed(g, s.G, iso.Options{MaxSteps: s.budget, Cancel: s.cancel}); m != nil {
 			for gv, sv := range m {
 				mapping[gv] = sv
 				used[sv] = true
 			}
 			return mapping
 		}
-		res := iso.MCCSWithCancel(g, s.G, s.budget, s.cancel)
+		res := mccs(g, s.G, s.budget, s.cancel)
 		for gv, sv := range res.Mapping {
 			if sv >= 0 {
 				mapping[gv] = sv

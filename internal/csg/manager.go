@@ -16,6 +16,7 @@ type Manager struct {
 	csgs   map[int]*CSG
 	budget int
 	cancel func() bool
+	memo   bool
 }
 
 // NewManager returns a manager; budget caps each MCCS alignment
@@ -33,6 +34,17 @@ func (m *Manager) SetCancel(fn func() bool) {
 	}
 }
 
+// SetMemo enables (or disables) process-wide memoization of the MCCS/VF2
+// alignment kernels in all current and future summaries. Memoised and
+// fresh alignments are identical (instance-exact cache keys), so this
+// only affects wall-clock time.
+func (m *Manager) SetMemo(on bool) {
+	m.memo = on
+	for _, s := range m.csgs {
+		s.memo = on
+	}
+}
+
 // BuildAll constructs summaries for every cluster.
 func (m *Manager) BuildAll(cl *cluster.Clustering) {
 	for _, c := range cl.Clusters() {
@@ -41,7 +53,7 @@ func (m *Manager) BuildAll(cl *cluster.Clustering) {
 }
 
 func (m *Manager) build(clusterID int, members []*graph.Graph) *CSG {
-	return BuildWithCancel(clusterID, members, m.budget, m.cancel)
+	return buildCSG(clusterID, members, m.budget, m.cancel, m.memo)
 }
 
 // Get returns the summary of a cluster, or nil.

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/midas-graph/midas/internal/ged"
+	"github.com/midas-graph/midas/internal/iso"
+)
+
+// CompareResult is the sequential-vs-parallel benchmark document
+// (schema "midas-bench-compare/1", written by midas-bench
+// -compare-workers). Both modes replay the same maintenance trace for
+// the same number of rounds from a cold process-wide memo cache; the
+// deterministic per-batch facts are cross-checked between the modes
+// before any timing is reported, so a speedup from divergent work can
+// never be published.
+type CompareResult struct {
+	Schema  string `json:"schema"`
+	Scale   string `json:"scale"`
+	Seed    int64  `json:"seed"`
+	Workers int    `json:"workers"`
+	Rounds  int    `json:"rounds"`
+	// SequentialSeconds and ParallelSeconds are wall clock for the
+	// whole replay, bootstraps included — restart-and-replay is the
+	// workload the memo layer exists for.
+	SequentialSeconds float64 `json:"sequentialSeconds"`
+	ParallelSeconds   float64 `json:"parallelSeconds"`
+	Speedup           float64 `json:"speedup"`
+	// MaintainSpeedup isolates the Maintain calls (PMT only, no
+	// bootstrap).
+	SequentialMaintainMillis float64        `json:"sequentialMaintainMillis"`
+	ParallelMaintainMillis   float64        `json:"parallelMaintainMillis"`
+	MaintainSpeedup          float64        `json:"maintainSpeedup"`
+	Identical                bool           `json:"identical"`
+	Batches                  []CompareBatch `json:"batches"`
+}
+
+// CompareBatch is one batch of the final round, timed in both modes
+// with the deterministic facts that were verified equal.
+type CompareBatch struct {
+	Batch            string  `json:"batch"`
+	SequentialMillis float64 `json:"sequentialMillis"`
+	ParallelMillis   float64 `json:"parallelMillis"`
+	GraphletDistance float64 `json:"graphletDistance"`
+	Major            bool    `json:"major"`
+	Swaps            int     `json:"swaps"`
+	Candidates       int     `json:"candidates"`
+	Scans            int     `json:"scans"`
+}
+
+// CompareWorkers replays the standard maintenance trace `rounds` times
+// in the sequential reference mode (Workers=0, no memoization) and
+// again at the given worker count (pool + process-wide kernel memos),
+// each from a cold memo cache, verifying that every deterministic
+// per-batch fact agrees before reporting wall-clock numbers. An error
+// means the determinism contract was violated — the numbers are then
+// meaningless and none are returned.
+func CompareWorkers(s Scale, workers, rounds int) (CompareResult, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	if workers < 1 {
+		return CompareResult{}, fmt.Errorf("compare: workers must be >= 1, got %d", workers)
+	}
+	seq, par := s, s
+	seq.Workers = 0
+	par.Workers = workers
+
+	replay := func(sc Scale) ([][]BatchTrace, float64) {
+		iso.ResetMemo()
+		ged.ResetMemo()
+		start := time.Now()
+		traces := make([][]BatchTrace, rounds)
+		for r := range traces {
+			traces[r] = MaintainTrace(sc)
+		}
+		return traces, time.Since(start).Seconds()
+	}
+	seqTraces, seqSec := replay(seq)
+	parTraces, parSec := replay(par)
+
+	res := CompareResult{
+		Schema:            "midas-bench-compare/1",
+		Seed:              s.Seed,
+		Workers:           workers,
+		Rounds:            rounds,
+		SequentialSeconds: seqSec,
+		ParallelSeconds:   parSec,
+	}
+	for r := range seqTraces {
+		for i := range seqTraces[r] {
+			a, b := seqTraces[r][i], parTraces[r][i]
+			if a.GraphletDistance != b.GraphletDistance || a.Major != b.Major ||
+				a.Swaps != b.Swaps || a.Candidates != b.Candidates || a.Scans != b.Scans ||
+				a.Quality != b.Quality {
+				return res, fmt.Errorf("compare: round %d batch %s diverged between Workers=0 and Workers=%d:\nseq %+v\npar %+v",
+					r, a.Batch, workers, a, b)
+			}
+			res.SequentialMaintainMillis += a.PMTMillis
+			res.ParallelMaintainMillis += b.PMTMillis
+		}
+	}
+	res.Identical = true
+	if parSec > 0 {
+		res.Speedup = seqSec / parSec
+	}
+	if res.ParallelMaintainMillis > 0 {
+		res.MaintainSpeedup = res.SequentialMaintainMillis / res.ParallelMaintainMillis
+	}
+	last := len(seqTraces) - 1
+	for i := range seqTraces[last] {
+		a, b := seqTraces[last][i], parTraces[last][i]
+		res.Batches = append(res.Batches, CompareBatch{
+			Batch:            a.Batch,
+			SequentialMillis: a.PMTMillis,
+			ParallelMillis:   b.PMTMillis,
+			GraphletDistance: a.GraphletDistance,
+			Major:            a.Major,
+			Swaps:            a.Swaps,
+			Candidates:       a.Candidates,
+			Scans:            a.Scans,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,41 @@
+package ged
+
+import (
+	"github.com/midas-graph/midas/internal/parallel"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+// distMemo is the process-wide memo cache for DistanceCancel results.
+// Keys are instance-exact ordered pairs: the bipartite upper bound used
+// for larger graphs is not symmetric in its arguments and, like any
+// heuristic, depends on the concrete vertex numbering — so neither
+// direction collapsing nor isomorphism-invariant keying would be
+// result-neutral. See internal/iso/memo.go for the shared rationale.
+var distMemo = parallel.NewCache[float64]("ged_dist", 1<<16)
+
+// ResetMemo drops the package's memo cache (cold-cache benchmarking).
+func ResetMemo() { distMemo.Reset() }
+
+// MemoLookup returns the cached DistanceCancel value of the ordered
+// pair (a,b), if present. Callers that can prune a computation via a
+// cheaper lower bound check the cache first so pruning only applies to
+// values that would actually be computed.
+func MemoLookup(a, b *graph.Graph) (float64, bool) {
+	return distMemo.Get(parallel.PairKey(a, b))
+}
+
+// DistanceCached is DistanceCancel with process-wide memoization.
+// Results computed after the cancellation hook fired are not cached
+// (they are timing-dependent, not functions of the inputs).
+func DistanceCached(a, b *graph.Graph, cancel func() bool) float64 {
+	key := parallel.PairKey(a, b)
+	if d, ok := distMemo.Get(key); ok {
+		return d
+	}
+	d := DistanceCancel(a, b, cancel)
+	if cancel == nil || !cancel() {
+		distMemo.Put(key, d)
+	}
+	return d
+}

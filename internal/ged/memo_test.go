@@ -1,0 +1,64 @@
+package ged
+
+import (
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+// TestDistanceCachedMatchesUncached: every pair, both directions, cold
+// and warm — the memoised distance is exactly the plain kernel's.
+func TestDistanceCachedMatchesUncached(t *testing.T) {
+	ResetMemo()
+	gs := []*graph.Graph{
+		graph.Path(0, "C", "O", "C"),
+		graph.Path(1, "C", "O", "C", "O", "C"),
+		graph.Star(2, "C", "N", "N", "N"),
+		graph.Star(3, "B", "O", "O", "O"),
+	}
+	for _, a := range gs {
+		for _, b := range gs {
+			want := DistanceCancel(a, b, nil)
+			if got := DistanceCached(a, b, nil); got != want {
+				t.Fatalf("(%d,%d) cold: %v want %v", a.ID, b.ID, got, want)
+			}
+			if got := DistanceCached(a, b, nil); got != want {
+				t.Fatalf("(%d,%d) warm: %v want %v", a.ID, b.ID, got, want)
+			}
+			if d, ok := MemoLookup(a, b); !ok || d != want {
+				t.Fatalf("(%d,%d) MemoLookup: %v,%v want %v,true", a.ID, b.ID, d, ok, want)
+			}
+		}
+	}
+}
+
+// TestDistanceCachedNoCacheAfterCancel: a bipartite fallback forced by
+// a fired cancel hook must not be memoised as the pair's distance.
+func TestDistanceCachedNoCacheAfterCancel(t *testing.T) {
+	ResetMemo()
+	a := graph.Path(0, "C", "O", "C", "O", "C")
+	b := graph.Star(1, "N", "S", "S", "S")
+	DistanceCached(a, b, func() bool { return true })
+	if _, ok := MemoLookup(a, b); ok {
+		t.Fatal("cancelled computation was cached")
+	}
+	want := DistanceCancel(a, b, nil)
+	if got := DistanceCached(a, b, nil); got != want {
+		t.Fatalf("retry after cancel: %v want %v", got, want)
+	}
+}
+
+// TestMemoDirectional: the bipartite upper bound is asymmetric, so the
+// memo must never serve (b,a) for (a,b).
+func TestMemoDirectional(t *testing.T) {
+	ResetMemo()
+	a := graph.Path(0, "C", "O", "C")
+	b := graph.Star(1, "N", "S", "S", "S")
+	DistanceCached(a, b, nil)
+	if _, ok := MemoLookup(b, a); ok {
+		t.Fatal("reverse direction served from forward entry")
+	}
+	if got, want := DistanceCached(b, a, nil), DistanceCancel(b, a, nil); got != want {
+		t.Fatalf("reverse: %v want %v", got, want)
+	}
+}

@@ -1,0 +1,54 @@
+package graphlet
+
+import (
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/parallel"
+)
+
+// The batch census is embarrassingly parallel: Count is a pure function
+// of one graph, so the per-graph censuses of an insertion batch can fan
+// out across workers while every cache and total update stays
+// sequential in batch order. Integer counter addition is exact, so the
+// parallel variants below are byte-identical to their sequential
+// counterparts at any worker count.
+
+// countBatch computes Count for every inserted graph, fanning out over
+// the pool. No cancellation hook: a census is cheap and bounded, and
+// callers need complete slices.
+func countBatch(workers int, gs []*graph.Graph) []Counts {
+	return parallel.Map(workers, len(gs), nil, func(i int) Counts {
+		return Count(gs[i])
+	})
+}
+
+// DistributionAfterParallel is DistributionAfter with the insertion
+// censuses computed via the parallel pool.
+func (c *Counter) DistributionAfterParallel(workers int, u graph.Update) [NumTypes]float64 {
+	after := c.total
+	for _, id := range u.Delete {
+		if old, ok := c.perGraph[id]; ok {
+			after.Sub(old)
+		}
+	}
+	counts := countBatch(workers, u.Insert)
+	for _, cs := range counts {
+		after.Add(cs)
+	}
+	return after.Distribution()
+}
+
+// ApplyParallel is Apply with the insertion censuses computed via the
+// parallel pool.
+func (c *Counter) ApplyParallel(workers int, u graph.Update) {
+	for _, id := range u.Delete {
+		c.RemoveGraph(id)
+	}
+	counts := countBatch(workers, u.Insert)
+	for i, g := range u.Insert {
+		if old, ok := c.perGraph[g.ID]; ok {
+			c.total.Sub(old)
+		}
+		c.perGraph[g.ID] = counts[i]
+		c.total.Add(counts[i])
+	}
+}

@@ -89,7 +89,13 @@ func signatureTakesContext(sig *types.Signature) bool {
 	// A func()-bool cancel hook or an options struct with a Cancel
 	// field also counts as cancellable plumbing.
 	for i := 0; i < params.Len(); i++ {
-		if st, ok := deref(params.At(i).Type()).Underlying().(*types.Struct); ok {
+		t := params.At(i).Type()
+		if s, ok := t.Underlying().(*types.Signature); ok &&
+			s.Params().Len() == 0 && s.Results().Len() == 1 &&
+			isBoolType(s.Results().At(0).Type()) {
+			return true
+		}
+		if st, ok := deref(t).Underlying().(*types.Struct); ok {
 			for j := 0; j < st.NumFields(); j++ {
 				if st.Field(j).Name() == "Cancel" {
 					return true

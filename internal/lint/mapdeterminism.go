@@ -16,11 +16,18 @@ import (
 // exactly the class of bug that breaks bundle checksums and golden
 // tests. Fix by iterating sorted keys or sorting the collected slice.
 //
+// It also enforces the ordered fan-in rule of internal/parallel on
+// hand-rolled fan-outs: `range` over a channel that appends to (or
+// accumulates into) outer state merges worker results in completion
+// order, which varies with scheduling. Fan-outs must reduce in
+// submission order — write into index-addressed slots (parallel.Do /
+// parallel.Map) or sort the merged slice afterwards.
+//
 // Test files are skipped: nondeterministic assertions surface as flaky
 // tests and are caught by `go test -count=2`.
 var MapDeterminism = &Analyzer{
 	Name: "mapdeterminism",
-	Doc:  "range over a map must not have order-dependent effects (append without sort, string build, writer/hash/encoder writes, float accumulation)",
+	Doc:  "range over a map or result channel must not have order-dependent effects (append without sort, string build, writer/hash/encoder writes, float accumulation)",
 	Run:  runMapDeterminism,
 }
 
@@ -38,10 +45,16 @@ func runMapDeterminism(pass *Pass) {
 			if !ok {
 				return true
 			}
-			if t := pass.TypeOf(rs.X); t == nil || !isMapType(t) {
+			t := pass.TypeOf(rs.X)
+			if t == nil {
 				return true
 			}
-			checkMapRangeBody(pass, fb, rs)
+			switch {
+			case isMapType(t):
+				checkMapRangeBody(pass, fb, rs)
+			case isChanType(t):
+				checkChanRangeBody(pass, fb, rs)
+			}
 			return true
 		})
 	}
@@ -50,6 +63,83 @@ func runMapDeterminism(pass *Pass) {
 func isMapType(t types.Type) bool {
 	_, ok := t.Underlying().(*types.Map)
 	return ok
+}
+
+func isChanType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// checkChanRangeBody flags unordered fan-in merges: appending to (or
+// accumulating a float/string into) state declared outside a
+// range-over-channel loop. Channel receives arrive in worker completion
+// order, so the merged result depends on scheduling unless the slice is
+// sorted afterwards or results are written to index-addressed slots.
+func checkChanRangeBody(pass *Pass, fb funcBody, rs *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			switch v.Tok {
+			case token.ADD_ASSIGN:
+				for _, lhs := range v.Lhs {
+					t := pass.TypeOf(lhs)
+					if t == nil {
+						continue
+					}
+					obj := rootIdentObj(info, lhs)
+					if obj == nil || declaredWithin(obj, rs) {
+						continue
+					}
+					basic, ok := t.Underlying().(*types.Basic)
+					if !ok {
+						continue
+					}
+					switch {
+					case basic.Info()&types.IsString != 0:
+						pass.Reportf(v.Pos(), "string built up in channel arrival order of %s; completion order varies with scheduling — reduce in submission order (ordered fan-in)", exprText(rs.X))
+					case basic.Kind() == types.Float32 || basic.Kind() == types.Float64:
+						pass.Reportf(v.Pos(), "float accumulated in channel arrival order of %s; float addition is not associative, so the sum depends on completion order — reduce in submission order (ordered fan-in)", exprText(rs.X))
+					}
+				}
+			case token.ASSIGN, token.DEFINE:
+				for i, rhs := range v.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok || !isBuiltinAppend(info, call) || len(call.Args) == 0 {
+						continue
+					}
+					target := v.Lhs[min(i, len(v.Lhs)-1)]
+					obj := rootIdentObj(info, target)
+					if obj == nil || declaredWithin(obj, rs) {
+						continue
+					}
+					if indexAddressedAppend(call) {
+						continue
+					}
+					if sortedAfter(pass, fb, obj, rs.End()) {
+						continue
+					}
+					pass.Reportf(v.Pos(), "%s collects fan-out results in channel arrival order of %s and is never sorted in %s; reduce in submission order (ordered fan-in) — use index-addressed slots (parallel.Do/Map) or sort the merge", obj.Name(), exprText(rs.X), fb.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// indexAddressedAppend reports the benign slot pattern: the appended
+// value is taken from an index carried on the received item itself
+// (append(out, slots[it.idx])), which already fixes the order. Only the
+// plain `append(dst, receivedValue)` shape is unordered.
+func indexAddressedAppend(call *ast.CallExpr) bool {
+	for _, arg := range call.Args[1:] {
+		if _, ok := ast.Unparen(arg).(*ast.IndexExpr); !ok {
+			return false
+		}
+	}
+	return len(call.Args) > 1
 }
 
 func checkMapRangeBody(pass *Pass, fb funcBody, rs *ast.RangeStmt) {

@@ -1,0 +1,70 @@
+// Package parmerge seeds ordered fan-in violations: hand-rolled
+// fan-outs whose results are merged in channel arrival (completion)
+// order instead of submission order.
+package parmerge
+
+import (
+	"sort"
+	"sync"
+)
+
+type result struct {
+	idx   int
+	score float64
+}
+
+// mergeUnordered is the seeded violation: worker results are appended
+// as they arrive, so the output order depends on goroutine scheduling.
+func mergeUnordered(tasks []int, score func(int) float64) []result {
+	out := make(chan result, len(tasks))
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		wg.Add(1)
+		go func(i, t int) {
+			defer wg.Done()
+			out <- result{idx: i, score: score(t)}
+		}(i, t)
+	}
+	go func() { wg.Wait(); close(out) }()
+	var merged []result
+	for r := range out {
+		merged = append(merged, r) // want "merged collects fan-out results in channel arrival order of out"
+	}
+	return merged
+}
+
+// sumUnordered accumulates a float in arrival order; float addition is
+// not associative, so the sum varies run to run.
+func sumUnordered(out chan float64) float64 {
+	total := 0.0
+	for v := range out {
+		total += v // want "float accumulated in channel arrival order of out"
+	}
+	return total
+}
+
+// mergeSortedOK merges in arrival order but normalises afterwards, so
+// the result is deterministic and must not be flagged.
+func mergeSortedOK(out chan result) []result {
+	var merged []result
+	for r := range out {
+		merged = append(merged, r)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].idx < merged[j].idx })
+	return merged
+}
+
+// mergeSlotsOK drains the channel into index-addressed slots and then
+// reduces the slots in submission order (ordered fan-in); the final
+// append reads an indexed slot, which is the benign shape.
+func mergeSlotsOK(n int, out chan result) []result {
+	slots := make([]result, n)
+	for r := range out {
+		slots[r.idx] = r
+	}
+	var merged []result
+	for i := 0; i < n; i++ {
+		merged = append(merged, slots[i])
+	}
+	return merged
+}

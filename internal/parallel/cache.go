@@ -1,0 +1,81 @@
+package parallel
+
+import "sync"
+
+// Cache is a bounded, concurrency-safe memoization table for
+// deterministic computations. Keys must identify the computation's
+// concrete inputs exactly (see GraphKey/PairKey): a hit then returns
+// precisely the value a fresh computation would produce, which makes
+// cache fills — in any order, from any goroutine, with any eviction —
+// result-neutral. That property is what lets the sequential and
+// parallel maintenance paths share a cache and still emit byte-identical
+// state bundles.
+//
+// Values may contain slices or maps; they are returned by reference, so
+// callers must treat hits as immutable.
+//
+// When the table reaches its capacity the whole generation is dropped
+// (an O(1)-amortised reset) rather than evicting piecemeal; eviction
+// policy affects only hit rate, never values, so the simplest bounded
+// policy wins.
+type Cache[V any] struct {
+	name string
+	cap  int
+
+	mu sync.Mutex
+	m  map[string]V
+}
+
+// NewCache returns a cache holding at most capacity entries (values
+// below 1 select a default of 1<<15). The name labels telemetry.
+func NewCache[V any](name string, capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1 << 15
+	}
+	return &Cache[V]{name: name, cap: capacity, m: make(map[string]V)}
+}
+
+// Get returns the cached value for key, recording a hit or miss.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	v, ok := c.m[key]
+	c.mu.Unlock()
+	if ok {
+		cacheStats.hits.Add(1)
+	} else {
+		cacheStats.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put stores key -> v. At capacity the current generation is dropped
+// first, so the table never exceeds cap entries.
+func (c *Cache[V]) Put(key string, v V) {
+	c.mu.Lock()
+	if _, exists := c.m[key]; !exists && len(c.m) >= c.cap {
+		cacheStats.evictions.Add(uint64(len(c.m)))
+		cacheStats.entries.Add(-int64(len(c.m)))
+		c.m = make(map[string]V)
+	}
+	if _, exists := c.m[key]; !exists {
+		cacheStats.entries.Add(1)
+	}
+	c.m[key] = v
+	c.mu.Unlock()
+}
+
+// Len returns the current number of entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Reset drops every entry. Benchmarks use it to compare cold-cache
+// configurations fairly.
+func (c *Cache[V]) Reset() {
+	c.mu.Lock()
+	cacheStats.entries.Add(-int64(len(c.m)))
+	c.m = make(map[string]V)
+	c.mu.Unlock()
+}

@@ -1,0 +1,62 @@
+package parallel
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+// GraphKey serialises every kernel-visible part of a graph instance:
+// vertex labels in index order, the edge list in stored order, and the
+// adjacency lists in stored order. Two graphs with equal keys are
+// indistinguishable to the matching kernels (VF2, MCCS, GED), which
+// traverse labels, edges and adjacency exactly as stored — so a value
+// computed for one is exactly the value for the other, even when a step
+// budget truncated the search.
+//
+// The graph ID is deliberately excluded: kernels never read it, and
+// excluding it is what lets rebuilt engines (same data, fresh IDs for
+// patterns) share cached kernel results across maintenance batches.
+//
+// Deliberately NOT isomorphism-invariant: a budget-capped kernel result
+// depends on the concrete vertex numbering, so keying by a canonical
+// form (e.g. graph.Signature) could serve a value the sequential path
+// would not have computed, breaking byte-identity between the modes.
+func GraphKey(g *graph.Graph) string {
+	var b strings.Builder
+	b.Grow(16 + 8*g.Order() + 8*g.Size())
+	b.WriteString(strconv.Itoa(g.Order()))
+	for _, l := range g.Labels() {
+		b.WriteByte(';')
+		// Length-prefixed so label content cannot collide with the
+		// separators.
+		b.WriteString(strconv.Itoa(len(l)))
+		b.WriteByte(':')
+		b.WriteString(l)
+	}
+	b.WriteByte('|')
+	for _, e := range g.Edges() {
+		b.WriteString(strconv.Itoa(e.U))
+		b.WriteByte('-')
+		b.WriteString(strconv.Itoa(e.V))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	for v := 0; v < g.Order(); v++ {
+		for _, w := range g.Neighbors(v) {
+			b.WriteString(strconv.Itoa(w))
+			b.WriteByte(',')
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// PairKey keys an ordered pair of graph instances. Direction is
+// preserved: several kernels (bipartite GED, MCCS seeding) are not
+// symmetric in their arguments, so (a,b) and (b,a) must not share an
+// entry.
+func PairKey(a, b *graph.Graph) string {
+	return GraphKey(a) + "\x00" + GraphKey(b)
+}

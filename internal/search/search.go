@@ -13,11 +13,11 @@ package search
 import (
 	"context"
 	"sort"
-	"sync"
 
 	"github.com/midas-graph/midas/graph"
 	"github.com/midas-graph/midas/internal/index"
 	"github.com/midas-graph/midas/internal/iso"
+	"github.com/midas-graph/midas/internal/parallel"
 	"github.com/midas-graph/midas/internal/tree"
 )
 
@@ -184,37 +184,13 @@ func (e *Engine) QueryContext(ctx context.Context, q *graph.Graph, opts Options)
 	return results, stats, ctx.Err()
 }
 
-// verifyParallel fans verification across workers; the slice order is
-// normalised afterwards so output stays deterministic.
+// verifyParallel fans verification across the pool into per-candidate
+// slots; the ordered fan-in below reads them in candidate order, so
+// output is deterministic at any worker count.
 func verifyParallel(cand []int, verify func(int) *Result, workers int) []Result {
-	type item struct {
-		idx int
-		res *Result
-	}
-	in := make(chan int)
-	out := make(chan item, len(cand))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range in {
-				out <- item{idx: idx, res: verify(cand[idx])}
-			}
-		}()
-	}
-	go func() {
-		for i := range cand {
-			in <- i
-		}
-		close(in)
-		wg.Wait()
-		close(out)
-	}()
-	results := make([]*Result, len(cand))
-	for it := range out {
-		results[it.idx] = it.res
-	}
+	results := parallel.Map(workers, len(cand), nil, func(i int) *Result {
+		return verify(cand[i])
+	})
 	var flat []Result
 	for _, r := range results {
 		if r != nil {

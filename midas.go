@@ -87,6 +87,14 @@ type Options struct {
 	Walks int
 	// SampleSize enables lazy-sampled coverage estimation (0 = exact).
 	SampleSize int
+	// Workers selects the execution mode of the maintenance kernels:
+	// 0 runs the sequential reference path; n >= 1 fans the pairwise
+	// MCCS/GED computations, batch classification and swap scoring out
+	// over n pooled workers and enables process-wide kernel
+	// memoization. Maintain and Query produce byte-identical state and
+	// reports at every setting — the differential test suite enforces
+	// it — so Workers is purely a wall-clock knob.
+	Workers int
 	// Seed makes every stochastic component reproducible.
 	Seed int64
 	// Strategy selects the swap strategy (default multi-scan).
@@ -109,6 +117,7 @@ func (o Options) toCore() core.Config {
 		Lambda:     o.Lambda,
 		Walks:      o.Walks,
 		SampleSize: o.SampleSize,
+		Workers:    o.Workers,
 		Seed:       o.Seed,
 		Cluster:    cluster.Config{K: o.ClusterK, MaxSize: o.ClusterMaxSize},
 	}
@@ -242,6 +251,12 @@ func (e *Engine) SetTelemetry(reg *telemetry.Registry) { e.inner.SetTelemetry(re
 
 // DB returns the engine's current database.
 func (e *Engine) DB() *graph.Database { return e.inner.DB() }
+
+// SetWorkers reconfigures the maintenance kernels' fan-out width on a
+// live engine (see Options.Workers). State bundles record the pattern
+// state, not the knob, so callers restoring via LoadState apply the
+// desired width with this; outputs are identical at every setting.
+func (e *Engine) SetWorkers(n int) { e.inner.SetWorkers(n) }
 
 // Maintain applies the batch update ΔD (deletions then insertions) and
 // maintains the pattern set per Algorithm 1.
