@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt lint race crashtest bench bench-smoke figures fuzz differential bench-compare clean
+.PHONY: all build test vet fmt lint race crashtest bench bench-smoke figures fuzz differential bench-compare bench-sustained sustained-smoke clean
 
 all: build test
 
@@ -66,6 +66,17 @@ differential:
 bench-compare:
 	$(GO) run ./cmd/midas-bench -compare-workers 4 > BENCH_PR5.json
 	@cat BENCH_PR5.json
+
+# Sustained-serving comparison: read latency with mutex-serialised
+# serving vs atomically-swapped snapshots, idle and during a forced
+# major batch (writes BENCH_PR6.json).
+bench-sustained:
+	$(GO) run ./cmd/midas-bench -sustained -scale small
+
+# Quick version of the above for CI: tiny scale, short window, output
+# to a scratch file so the committed BENCH_PR6.json stays the real run.
+sustained-smoke:
+	$(GO) run ./cmd/midas-bench -sustained -scale tiny -sustained-window 500ms -sustained-out /tmp/bench_sustained_smoke.json
 
 clean:
 	$(GO) clean ./...

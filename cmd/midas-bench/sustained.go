@@ -1,0 +1,291 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/midas-graph/midas"
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/dataset"
+	"github.com/midas-graph/midas/internal/experiments"
+	"github.com/midas-graph/midas/internal/snapshot"
+)
+
+// The -sustained mode measures what the async pipeline actually buys:
+// read latency while maintenance is running. Two architectures serve
+// the identical engine and workload:
+//
+//   - mutex: the pre-pipeline design — every read takes the lock the
+//     maintenance batch holds, so a major batch stalls serving for its
+//     full duration.
+//   - snapshot: readers load an immutable snapshot from an atomic
+//     pointer; the pipeline applies the same batch and publishes a new
+//     snapshot when done.
+//
+// Each mode samples per-read latency over an idle window and then
+// during a forced major batch. The headline number is the p99 ratio
+// (during / idle) for snapshot serving.
+
+type latencyStats struct {
+	Reads     int     `json:"reads"`
+	QPS       float64 `json:"qps"`
+	P50Micros float64 `json:"p50Micros"`
+	P99Micros float64 `json:"p99Micros"`
+	MaxMicros float64 `json:"maxMicros"`
+}
+
+type sustainedMode struct {
+	Mode            string       `json:"mode"`
+	Idle            latencyStats `json:"idle"`
+	DuringMaintain  latencyStats `json:"duringMaintain"`
+	MaintainSeconds float64      `json:"maintainSeconds"`
+	Major           bool         `json:"major"`
+	Swaps           int          `json:"swaps"`
+	P99Ratio        float64      `json:"p99Ratio"`
+}
+
+type sustainedResults struct {
+	Schema        string          `json:"schema"`
+	Scale         string          `json:"scale"`
+	Seed          int64           `json:"seed"`
+	Readers       int             `json:"readers"`
+	WindowSeconds float64         `json:"windowSeconds"`
+	GoMaxProcs    int             `json:"gomaxprocs"`
+	Modes         []sustainedMode `json:"modes"`
+}
+
+func sustainedEngine(s experiments.Scale) *midas.Engine {
+	db := dataset.EMolLike().GenerateDB(s.Base, s.Seed)
+	return midas.New(db, midas.Options{
+		Budget:         midas.Budget{MinSize: s.MinSize, MaxSize: s.MaxSize, Count: s.Gamma},
+		SupMin:         0.4,
+		Epsilon:        0.02,
+		Walks:          s.Walks,
+		SampleSize:     s.SampleSize,
+		ClusterMaxSize: s.ClusterMaxSize,
+		Seed:           s.Seed,
+	})
+}
+
+// majorBatch builds an update large and distributionally different
+// enough to force the full (major) maintenance path: cross-profile
+// inserts shift the graphlet distribution past ε.
+func majorBatch(s experiments.Scale) graph.Update {
+	n := s.Delta * 4
+	if n < 40 {
+		n = 40
+	}
+	return graph.Update{Insert: dataset.BoronicEsters().Generate(n, 1_000_000, s.Seed+7)}
+}
+
+// pace is the gap between one reader's requests: without it the reader
+// goroutines are busy loops that starve the maintenance goroutine of
+// CPU, which no request-driven server does.
+const pace = 200 * time.Microsecond
+
+// sampleWindow runs readers goroutines hammering read() until stop is
+// closed (or, with stop nil, for window), then merges the per-reader
+// latency samples.
+func sampleWindow(readers int, window time.Duration, stop <-chan struct{}, read func()) []time.Duration {
+	if stop == nil {
+		timer := make(chan struct{})
+		time.AfterFunc(window, func() { close(timer) })
+		stop = timer
+	}
+	var wg sync.WaitGroup
+	samples := make([][]time.Duration, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			buf := make([]time.Duration, 0, 1<<16)
+			for {
+				select {
+				case <-stop:
+					samples[r] = buf
+					return
+				default:
+				}
+				t0 := time.Now()
+				read()
+				buf = append(buf, time.Since(t0))
+				time.Sleep(pace)
+			}
+		}(r)
+	}
+	wg.Wait()
+	var all []time.Duration
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	return all
+}
+
+func summarize(lat []time.Duration, window time.Duration) latencyStats {
+	if len(lat) == 0 || window <= 0 {
+		return latencyStats{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(lat)-1))
+		return float64(lat[i].Nanoseconds()) / 1e3
+	}
+	return latencyStats{
+		Reads:     len(lat),
+		QPS:       float64(len(lat)) / window.Seconds(),
+		P50Micros: pct(0.50),
+		P99Micros: pct(0.99),
+		MaxMicros: float64(lat[len(lat)-1].Nanoseconds()) / 1e3,
+	}
+}
+
+func runSustainedMode(mode string, s experiments.Scale, readers int, window time.Duration) (sustainedMode, error) {
+	eng := sustainedEngine(s)
+	u := majorBatch(s)
+
+	var (
+		read     func()
+		maintain func() (midas.MaintenanceReport, error)
+	)
+	switch mode {
+	case "mutex":
+		var mu sync.Mutex
+		var n int64
+		q := graph.Path(0, "C", "C")
+		read = func() {
+			mu.Lock()
+			defer mu.Unlock()
+			acc := 0
+			for _, p := range eng.Patterns() {
+				acc += p.Order() + p.Size()
+			}
+			_ = eng.Quality()
+			if n++; n%4 == 0 {
+				rs, _ := eng.Searcher().Query(q, 4)
+				acc += len(rs)
+			}
+			sink(acc)
+		}
+		maintain = func() (midas.MaintenanceReport, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return eng.Maintain(u)
+		}
+	case "snapshot":
+		h := snapshot.NewHandle()
+		h.Publish(snapshot.Build(eng, snapshot.BuildOptions{}))
+		pipe := snapshot.NewPipeline(eng, h, snapshot.Config{})
+		pipe.Start()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			pipe.Stop(ctx)
+		}()
+		var n int64
+		q := graph.Path(0, "C", "C")
+		read = func() {
+			snap := h.Load()
+			acc := 0
+			for _, p := range snap.Patterns {
+				acc += p.Order() + p.Size()
+			}
+			_ = snap.Quality
+			if v := atomic.AddInt64(&n, 1); v%4 == 0 {
+				rs, _ := snap.Searcher.Query(q, 4)
+				acc += len(rs)
+			}
+			sink(acc)
+		}
+		maintain = func() (midas.MaintenanceReport, error) {
+			tkt, err := pipe.Submit(snapshot.Batch{Name: "sustained-major", Update: u})
+			if err != nil {
+				return midas.MaintenanceReport{}, err
+			}
+			res := <-tkt.Done
+			return res.Report, res.Err
+		}
+	default:
+		return sustainedMode{}, fmt.Errorf("unknown sustained mode %q", mode)
+	}
+
+	idle := summarize(sampleWindow(readers, window, nil, read), window)
+
+	stop := make(chan struct{})
+	var (
+		rep   midas.MaintenanceReport
+		mErr  error
+		mTook time.Duration
+	)
+	go func() {
+		t0 := time.Now()
+		rep, mErr = maintain()
+		mTook = time.Since(t0)
+		close(stop)
+	}()
+	during := summarize(sampleWindow(readers, 0, stop, read), mTook)
+	if mErr != nil {
+		return sustainedMode{}, fmt.Errorf("%s maintain: %w", mode, mErr)
+	}
+
+	out := sustainedMode{
+		Mode:            mode,
+		Idle:            idle,
+		DuringMaintain:  during,
+		MaintainSeconds: mTook.Seconds(),
+		Major:           rep.Major,
+		Swaps:           rep.Swaps,
+	}
+	if idle.P99Micros > 0 {
+		out.P99Ratio = during.P99Micros / idle.P99Micros
+	}
+	return out, nil
+}
+
+func runSustained(s experiments.Scale, scaleName, outPath string, readers int, window time.Duration) error {
+	res := sustainedResults{
+		Schema:        "midas-bench-sustained/1",
+		Scale:         scaleName,
+		Seed:          s.Seed,
+		Readers:       readers,
+		WindowSeconds: window.Seconds(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+	}
+	for _, mode := range []string{"mutex", "snapshot"} {
+		m, err := runSustainedMode(mode, s, readers, window)
+		if err != nil {
+			return err
+		}
+		res.Modes = append(res.Modes, m)
+		fmt.Printf("%-9s idle: p50=%.1fµs p99=%.1fµs qps=%.0f | during %0.2fs maintain (major=%v): p50=%.1fµs p99=%.1fµs qps=%.0f | p99 ratio %.2fx\n",
+			mode, m.Idle.P50Micros, m.Idle.P99Micros, m.Idle.QPS,
+			m.MaintainSeconds, m.Major,
+			m.DuringMaintain.P50Micros, m.DuringMaintain.P99Micros, m.DuringMaintain.QPS,
+			m.P99Ratio)
+	}
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return err
+	}
+	fmt.Printf("sustained results written to %s\n", outPath)
+	return nil
+}
+
+var sinkVal int64
+
+// sink defeats dead-code elimination of the read loops; atomic because
+// snapshot-mode readers call it with no lock held.
+func sink(v int) { atomic.AddInt64(&sinkVal, int64(v)) }

@@ -13,17 +13,30 @@
 //	GET  /               HTML panel
 //	GET  /patterns?svg=1 pattern set as JSON (optionally with SVG)
 //	GET  /quality        pattern-set quality metrics
-//	POST /maintain       body: Δ+ graphs (text format); ?delete=1,2 for Δ-
+//	POST /maintain       body: Δ+ graphs (text format); ?delete=1,2 for Δ-;
+//	                     ?async=1 queues and returns 202 with the position
 //	POST /query?limit=N  body: one query graph (text format)
 //	GET  /healthz        liveness (always 200 while the process serves)
-//	GET  /readyz         readiness (503 while draining for shutdown)
+//	GET  /readyz         readiness (503 while draining or before any
+//	                     snapshot is published; stale-but-serving is 200)
 //	GET  /metrics        Prometheus text-format metrics
 //	GET  /debug/vars     the same metrics as expvar-style JSON
 //	GET  /debug/pprof/   net/http/pprof (only with -pprof)
 //
+// Serving is snapshot-based: all maintenance (POST /maintain and spool
+// batches) flows through one background pipeline bounded by
+// -maintain-queue (full queue → 429 + Retry-After), and each applied
+// batch publishes an immutable snapshot that read endpoints load
+// lock-free — reads never block on maintenance and always see the last
+// good generation, stamped into X-Midas-Generation / X-Midas-Staleness
+// response headers. Failing batches retry with capped exponential
+// backoff (-backoff, -retries) and are parked as poisoned when the
+// budget is spent; readers are unaffected throughout.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM: readiness flips
 // to draining, in-flight requests finish, the spool watcher stops, the
-// state bundle is saved (when -save is set), and the process exits 0.
+// maintenance queue drains, the state bundle is saved (when -save is
+// set), and the process exits 0.
 // State bundles are written generationally (tmp + fsync + rename, with
 // the previous generation kept as *.prev) and checksummed; with -watch
 // and -save, a write-ahead journal gives spool batches exactly-once
@@ -84,8 +97,9 @@ func main() {
 		watchIvl   = flag.Duration("interval", time.Minute, "spool polling interval")
 		jrnlPath   = flag.String("journal", "", "batch journal path for exactly-once spool recovery (default <save>.journal when -watch and -save are set)")
 		reqTimeout = flag.Duration("timeout", 2*time.Minute, "per-request deadline (0 disables)")
-		retries    = flag.Int("retries", 3, "failing scans before a spool batch is quarantined as *.failed")
-		backoff    = flag.Duration("backoff", 5*time.Second, "base rescan backoff after a spool failure (doubles per consecutive failure)")
+		retries    = flag.Int("retries", 3, "attempts before a failing maintenance batch is parked as poisoned (spool batches are then quarantined as *.failed)")
+		backoff    = flag.Duration("backoff", 5*time.Second, "base retry backoff for failing maintenance batches (capped exponential growth per consecutive failure)")
+		queueSize  = flag.Int("maintain-queue", 64, "maintenance queue bound: batches beyond it are rejected with 429 + Retry-After (backpressure)")
 		checkpoint = flag.Int64("checkpoint", 1<<20, "journal size in bytes above which it is compacted after a successful maintenance (0 disables)")
 		inflight   = flag.Int("max-inflight", 0, "maximum concurrent engine-bound requests; excess requests get an immediate 503 with Retry-After (0 disables shedding)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: leaks process internals)")
@@ -170,6 +184,12 @@ func main() {
 	srv.SetLogger(logger)
 	srv.SetRequestTimeout(*reqTimeout)
 	srv.SetMaxInflight(*inflight)
+	srv.SetMaintainQueue(*queueSize)
+	srv.SetMaintainRetry(*backoff, *retries)
+	// A degraded start (all bundle generations lost) is stamped into
+	// every published snapshot so clients see X-Midas-Degraded until an
+	// operator intervenes.
+	srv.SetDegraded(degraded)
 
 	// Telemetry: one registry backs /metrics and /debug/vars, fed by the
 	// panel middleware, the engine's maintenance pipeline, and the
@@ -223,6 +243,13 @@ func main() {
 			return midas.SaveStateMeta(w, eng, opts, m)
 		})
 	}
+	if *savePath != "" {
+		// Durability hook for HTTP batches: runs on the maintenance
+		// goroutine after each applied batch, before its generation is
+		// published — replaces the old save-after-200 middleware, which
+		// raced the response against the save.
+		srv.SetPostMaintain(func(midas.MaintenanceReport) error { return saveBundle() })
+	}
 
 	stopWatch := make(chan struct{})
 	var watchWG sync.WaitGroup
@@ -232,7 +259,7 @@ func main() {
 			Dir:        *watchDir,
 			Engine:     eng,
 			Logf:       logger.Printf,
-			Locker:     srv.Locker(),
+			Pipe:       srv.Pipeline(),
 			MaxRetries: *retries,
 			Backoff:    *backoff,
 		}
@@ -283,12 +310,7 @@ func main() {
 		logger.Infof("watching %s every %v", *watchDir, *watchIvl)
 	}
 
-	handler := srv.Handler()
-	if *savePath != "" {
-		handler = withStateSaving(handler, saveBundle, logger)
-	}
-
-	server := &http.Server{Addr: *addr, Handler: handler}
+	server := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
 	logger.Infof("serving pattern panel on %s", *addr)
@@ -312,6 +334,14 @@ func main() {
 	}
 	close(stopWatch)
 	watchWG.Wait()
+	// Drain the maintenance pipeline: queued batches finish (each one
+	// journalled and persisted as usual); past the deadline the
+	// in-flight batch is cancelled and rolls back cleanly.
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer drainCancel()
+	if err := srv.Close(drainCtx); err != nil {
+		logger.Warnf("midas-serve: pipeline drain cut short: %v", err)
+	}
 	if journal != nil {
 		journal.Close()
 	}
@@ -336,28 +366,4 @@ func logSalvage(logger *telemetry.Logger, path string, rep store.SalvageReport) 
 	if rep.RolledBack {
 		logger.Warnf("state salvage: rolled %s back to its previous generation", path)
 	}
-}
-
-// withStateSaving persists the bundle after each successful POST
-// /maintain so a restart picks up the maintained panel.
-func withStateSaving(next http.Handler, save func() error, logger *telemetry.Logger) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(rec, r)
-		if r.Method == http.MethodPost && r.URL.Path == "/maintain" && rec.status == http.StatusOK {
-			if err := save(); err != nil {
-				logger.Errorf("midas-serve: saving state: %v", err)
-			}
-		}
-	})
-}
-
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-}
-
-func (r *statusRecorder) WriteHeader(code int) {
-	r.status = code
-	r.ResponseWriter.WriteHeader(code)
 }

@@ -342,6 +342,28 @@ func (e *Engine) SetWorkers(n int) {
 // DB returns the engine's current database.
 func (e *Engine) DB() *graph.Database { return e.db }
 
+// ReadView returns an isolated copy of the structures a query engine
+// reads — database, tree set and indices — detached from the live
+// engine: later Maintain calls mutate the engine's own structures in
+// place and never touch the returned copies, so a view taken between
+// batches stays safe for concurrent readers indefinitely. Stored data
+// graphs are shared (the engine never structurally mutates them); the
+// container structures are cloned. Must be called while no Maintain is
+// in flight — the serving layer's snapshot publisher calls it from the
+// maintenance goroutine between batches.
+func (e *Engine) ReadView() (*graph.Database, *tree.Set, *index.Indices) {
+	db, err := e.db.ApplyToCopy(graph.Update{})
+	if err != nil {
+		db = e.db.Clone()
+	}
+	set := e.set.Clone()
+	var ix *index.Indices
+	if e.ix != nil {
+		ix = e.ix.Clone(set)
+	}
+	return db, set, ix
+}
+
 // Patterns returns the current canned pattern set P.
 func (e *Engine) Patterns() []*graph.Graph {
 	out := make([]*graph.Graph, len(e.patterns))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"github.com/midas-graph/midas/graph"
@@ -80,6 +81,20 @@ func (e *Engine) MaintainContext(ctx context.Context, u graph.Update) (rep Repor
 	rep.Major = rep.GraphletDistance >= e.cfg.Epsilon
 
 	snap := e.takeSnapshot()
+
+	// The rollback invariant must survive panics, not just error
+	// returns: a panic escaping the pipeline (a bug in a kernel, or one
+	// re-raised from a worker-pool fan-out) would otherwise leave the
+	// engine between states, poisoning every later batch. Restore the
+	// snapshot and surface the panic as an error so async callers (the
+	// serving pipeline) can retry or park the batch while readers keep
+	// serving the previous state.
+	defer func() {
+		if p := recover(); p != nil {
+			e.restore(snap)
+			err = fmt.Errorf("core: maintenance panicked: %v", p)
+		}
+	}()
 
 	// Install the cancellation hook into the metric and selection loops
 	// for the duration of the pipeline. Cleared via e.metrics at exit so

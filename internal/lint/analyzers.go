@@ -15,6 +15,7 @@ func All() []*Analyzer {
 		LockScope,
 		MapDeterminism,
 		RegistryHygiene,
+		SnapshotImmutability,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SnapshotImmutability enforces the serving contract PR 6's atomic
+// snapshot swap rests on: once a *snapshot.Snapshot is published,
+// every reader may hold it concurrently without synchronisation, which
+// is only sound if nobody writes to it. Construction happens inside
+// the snapshot package (Build populates the struct before Publish
+// makes it visible); everywhere else a Snapshot is read-only. The
+// analyzer flags, in any package other than a snapshot package itself,
+//
+//   - assignments to fields of a Snapshot (snap.Quality = 0),
+//   - writes through its slices or their elements
+//     (snap.Patterns[0] = g, snap.SVGs[i] += "…"),
+//   - increments/decrements of either.
+//
+// Mutating a published snapshot is a data race with every concurrent
+// reader even when it "works" in tests; the fix is always to build and
+// publish a fresh snapshot.
+var SnapshotImmutability = &Analyzer{
+	Name: "snapshotimmutability",
+	Doc:  "snapshot.Snapshot values are immutable after publish: no field or element writes outside the snapshot package",
+	Run:  runSnapshotImmutability,
+}
+
+func runSnapshotImmutability(pass *Pass) {
+	if isSnapshotPkgPath(pass.Pkg.ImportPath) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if st.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range st.Lhs {
+					checkSnapshotWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkSnapshotWrite(pass, st.X)
+			}
+			return true
+		})
+	}
+}
+
+// checkSnapshotWrite walks the written expression down its
+// selector/index chain; a Snapshot anywhere along the base means the
+// write mutates state reachable from a published snapshot.
+func checkSnapshotWrite(pass *Pass, lhs ast.Expr) {
+	expr := lhs
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if isSnapshotType(pass.TypeOf(e.X)) {
+				pass.Reportf(lhs.Pos(), "write to %s mutates a published snapshot; snapshots are immutable outside the snapshot package — build and publish a new one", exprText(lhs))
+				return
+			}
+			expr = e.X
+		default:
+			return
+		}
+	}
+}
+
+func isSnapshotPkgPath(path string) bool {
+	return path == "snapshot" || strings.HasSuffix(path, "/snapshot")
+}
+
+func isSnapshotType(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Snapshot" && obj.Pkg() != nil && isSnapshotPkgPath(obj.Pkg().Path())
+}

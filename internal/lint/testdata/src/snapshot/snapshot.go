@@ -1,0 +1,36 @@
+// Package snapshot is the golden-test stand-in for the real
+// internal/snapshot package: an immutable published view plus the
+// mutable submission types that legitimately get written by callers.
+package snapshot
+
+// Snapshot is the published read view. Immutable after Publish.
+type Snapshot struct {
+	Generation uint64
+	Quality    float64
+	Patterns   []int
+	SVGs       []string
+	Stats      []Stat
+}
+
+// Stat mirrors a per-pattern statistics row.
+type Stat struct {
+	Scov float64
+}
+
+// Batch is submission input, owned by the caller until Submit: writing
+// its fields is fine and must not be flagged.
+type Batch struct {
+	Name string
+}
+
+// Build constructs a snapshot; the snapshot package itself may write
+// fields freely (pre-publish construction).
+func Build(n int) *Snapshot {
+	s := &Snapshot{}
+	s.Generation = uint64(n)
+	s.Patterns = make([]int, n)
+	for i := range s.Patterns {
+		s.Patterns[i] = i
+	}
+	return s
+}

@@ -1,0 +1,36 @@
+// Package snapuse seeds the snapshotimmutability findings: consumers
+// of a published snapshot may read anything but write nothing.
+package snapuse
+
+import "example.com/lintdata/snapshot"
+
+func mutate(s *snapshot.Snapshot) {
+	s.Quality = 0.5       // want "mutates a published snapshot"
+	s.Patterns[0] = 9     // want "mutates a published snapshot"
+	s.SVGs[1] += "<svg/>" // want "mutates a published snapshot"
+	s.Stats[2].Scov = 1.0 // want "mutates a published snapshot"
+	s.Generation++        // want "mutates a published snapshot"
+	(*s).Quality = 0.25   // want "mutates a published snapshot"
+	// A struct copy still shares the published slices, and the
+	// analyzer treats every Snapshot value as published.
+	clone := *s
+	clone.Patterns[0] = 1 // want "mutates a published snapshot"
+	clone.Quality = 0     // want "mutates a published snapshot"
+	_ = clone
+}
+
+// Reads and writes to caller-owned submission types are legitimate.
+func legit(s *snapshot.Snapshot) int {
+	b := snapshot.Batch{Name: "ok"}
+	b.Name = "renamed" // caller owns the batch until Submit
+	total := int(s.Generation)
+	for _, p := range s.Patterns {
+		total += p
+	}
+	if len(s.Stats) > 0 {
+		total += int(s.Stats[0].Scov)
+	}
+	local := []int{1, 2, 3}
+	local[0] = 4 // unrelated slice writes stay clean
+	return total
+}

@@ -144,10 +144,10 @@ func TestQueryTimeoutReturns504(t *testing.T) {
 }
 
 // TestOverloadShedding saturates the in-flight bound and checks the
-// contract: excess engine-bound requests get an immediate 503 with
-// Retry-After (no queueing on the engine mutex), panel_shed_total
-// counts them, non-engine endpoints are never shed, and capacity is
-// reusable once the slot frees up.
+// contract: excess heavy requests (/maintain, /query) get an immediate
+// 503 with Retry-After, panel_shed_total counts them, snapshot reads
+// and health endpoints are never shed, and capacity is reusable once
+// the slot frees up.
 func TestOverloadShedding(t *testing.T) {
 	s, _ := testServer(t)
 	reg := telemetry.NewRegistry()
@@ -155,59 +155,41 @@ func TestOverloadShedding(t *testing.T) {
 	s.SetMaxInflight(1)
 	h := s.Handler()
 
-	// Saturate: hold the engine mutex so one request occupies the
-	// single slot indefinitely.
-	s.Locker().Lock()
-	done := make(chan int, 1)
-	go func() {
-		rec := httptest.NewRecorder()
-		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/patterns", nil))
-		done <- rec.Code
-	}()
-	deadline := time.Now().Add(5 * time.Second)
-	for len(s.sem) == 0 {
-		if time.Now().After(deadline) {
-			s.Locker().Unlock()
-			t.Fatal("first request never took the in-flight slot")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	// Saturate: occupy the single heavy slot directly, exactly as a
+	// long-running /query would.
+	s.sem <- struct{}{}
 
-	// Excess engine-bound request: shed immediately.
+	// Excess heavy request: shed immediately.
+	q := graph.Marshal([]*graph.Graph{graph.Path(0, "C", "C")})
 	start := time.Now()
 	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/patterns", nil))
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(q)))
 	if rec.Code != http.StatusServiceUnavailable {
-		s.Locker().Unlock()
 		t.Fatalf("overload status = %d, want 503", rec.Code)
 	}
 	if ra := rec.Header().Get("Retry-After"); ra == "" {
-		s.Locker().Unlock()
 		t.Fatal("shed response missing Retry-After")
 	}
 	if elapsed := time.Since(start); elapsed > time.Second {
-		s.Locker().Unlock()
-		t.Fatalf("shed took %v; must not queue on the engine mutex", elapsed)
+		t.Fatalf("shed took %v; must not queue", elapsed)
 	}
 
-	// Health stays reachable while the engine is saturated.
-	rec = httptest.NewRecorder()
-	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
-	if rec.Code != http.StatusOK {
-		s.Locker().Unlock()
-		t.Fatalf("/healthz during overload = %d", rec.Code)
-	}
-
-	s.Locker().Unlock()
-	if code := <-done; code != http.StatusOK {
-		t.Fatalf("occupying request = %d, want 200", code)
+	// Snapshot reads and health are never shed: they are lock-free
+	// pointer loads, immune to heavy-path saturation.
+	for _, path := range []string{"/patterns", "/quality", "/healthz", "/"} {
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s during overload = %d, want 200", path, rec.Code)
+		}
 	}
 
 	// The freed slot serves again.
+	<-s.sem
 	rec = httptest.NewRecorder()
-	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/patterns", nil))
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(q)))
 	if rec.Code != http.StatusOK {
-		t.Fatalf("post-overload request = %d, want 200", rec.Code)
+		t.Fatalf("post-overload request = %d, want 200; body=%s", rec.Code, rec.Body.String())
 	}
 
 	var metrics strings.Builder

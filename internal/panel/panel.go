@@ -23,12 +23,19 @@ import (
 
 	"github.com/midas-graph/midas"
 	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/snapshot"
 	"github.com/midas-graph/midas/internal/telemetry"
 )
 
-// Server wraps an engine with HTTP handlers. All handlers serialise on
-// one mutex: the engine is not safe for concurrent mutation, and panel
-// traffic is interactive-scale.
+// Server wraps an engine with HTTP handlers. Reads and writes are
+// decoupled: every engine mutation flows through a single background
+// maintenance pipeline (internal/snapshot), and each successful batch
+// publishes an immutable snapshot through an atomic generation pointer.
+// Read handlers (/, /patterns, /quality, /query) load that pointer
+// lock-free, so they never block on — or observe half of — an in-flight
+// batch; a slow, failing, panicking or poisoned batch leaves readers on
+// the last good generation, with the lag surfaced in the
+// X-Midas-Generation / X-Midas-Staleness response headers.
 //
 // The handler chain is hardened for unattended deployment: a panicking
 // handler is recovered to a 500 instead of killing the process, every
@@ -36,14 +43,30 @@ import (
 // propagates into Maintain and Query cancellation, and /healthz and
 // /readyz expose liveness and readiness for process supervisors.
 type Server struct {
-	mu     sync.Mutex
 	engine *midas.Engine
 	opts   midas.Options
 
+	// handle is the atomic generation pointer read handlers load; pipe
+	// is the single-writer pipeline that publishes to it. Both are
+	// finalised by ensurePipeline (first Handler or Pipeline call).
+	handle    *snapshot.Handle
+	pipe      *snapshot.Pipeline
+	startOnce sync.Once
+
+	// Pipeline knobs; fixed once ensurePipeline runs.
+	queueSize    int
+	retryBackoff time.Duration
+	maxAttempts  int
+	degraded     bool
+	postMaintain func(midas.MaintenanceReport) error
+
+	// batchSeq names HTTP-submitted batches for logs and poison records.
+	batchSeq atomic.Uint64
+
 	// timeout bounds each request (0 = none). Set before serving.
 	timeout time.Duration
-	// sem bounds in-flight engine-bound requests (SetMaxInflight);
-	// nil = unbounded.
+	// sem bounds in-flight heavy requests (SetMaxInflight); nil =
+	// unbounded.
 	sem chan struct{}
 	// ready gates /readyz; flipped off during shutdown drain.
 	ready atomic.Bool
@@ -66,25 +89,109 @@ type Server struct {
 // New wraps an engine. The server starts ready (the engine is already
 // bootstrapped by construction); SetReady(false) drains /readyz.
 func New(engine *midas.Engine, opts midas.Options) *Server {
-	s := &Server{engine: engine, opts: opts}
+	s := &Server{engine: engine, opts: opts, handle: snapshot.NewHandle()}
 	s.ready.Store(true)
 	return s
 }
-
-// Locker exposes the server's engine mutex so out-of-band writers (the
-// spool Watcher) can serialise with HTTP handlers.
-func (s *Server) Locker() sync.Locker { return &s.mu }
 
 // SetRequestTimeout bounds every request's context (0 disables). Call
 // before serving traffic.
 func (s *Server) SetRequestTimeout(d time.Duration) { s.timeout = d }
 
-// SetMaxInflight bounds the engine-bound requests served concurrently
-// (0 disables). Excess requests are shed immediately with a 503 and a
-// Retry-After header instead of queueing on the engine mutex until the
+// SetMaintainQueue bounds the async maintenance queue: batches beyond
+// it are rejected with 429 + Retry-After instead of accumulating
+// unboundedly (0 selects the pipeline default of 64). Call before
+// Handler() or Pipeline().
+func (s *Server) SetMaintainQueue(n int) { s.queueSize = n }
+
+// SetMaintainRetry configures the pipeline's retry discipline for
+// failing batches: capped exponential backoff seeded by backoff, parked
+// as poisoned after maxAttempts (zeros select immediate retry and 3
+// attempts). Call before Handler() or Pipeline().
+func (s *Server) SetMaintainRetry(backoff time.Duration, maxAttempts int) {
+	s.retryBackoff = backoff
+	s.maxAttempts = maxAttempts
+}
+
+// SetDegraded marks every published snapshot as serving degraded state
+// (midas-serve lost all bundle generations and started from salvage or
+// empty). Surfaces as Snapshot.Degraded and the X-Midas-Degraded
+// header. Call before Handler() or Pipeline().
+func (s *Server) SetDegraded(on bool) { s.degraded = on }
+
+// SetPostMaintain installs the durability hook run on the maintenance
+// goroutine after each successfully applied HTTP batch, before its
+// generation is published — midas-serve persists the state bundle here.
+// An error fails the batch attempt (the retry re-runs only this hook;
+// the applied update is not applied twice). Call before Handler() or
+// Pipeline().
+func (s *Server) SetPostMaintain(fn func(midas.MaintenanceReport) error) { s.postMaintain = fn }
+
+// renderPattern is the SVG renderer published snapshots pre-render
+// with, so read handlers serve bytes instead of computing markup.
+func renderPattern(g *graph.Graph) string { return SVG(g, 120) }
+
+// ensurePipeline finalises the serving plumbing exactly once: builds
+// the pipeline from the configured knobs, attaches telemetry, publishes
+// the bootstrap snapshot (generation 1, from the engine state as
+// constructed or restored) and starts the maintenance goroutine.
+func (s *Server) ensurePipeline() {
+	s.startOnce.Do(func() {
+		s.pipe = snapshot.NewPipeline(s.engine, s.handle, snapshot.Config{
+			QueueSize:   s.queueSize,
+			MaxAttempts: s.maxAttempts,
+			Backoff:     s.retryBackoff,
+			RenderSVG:   renderPattern,
+			Degraded:    s.degraded,
+			Logf: func(format string, args ...interface{}) {
+				s.logf(telemetry.LevelWarn, format, args...)
+			},
+		})
+		if s.reg != nil {
+			s.pipe.SetTelemetry(s.reg)
+		}
+		if s.handle.Generation() == 0 {
+			s.handle.Publish(snapshot.Build(s.engine, snapshot.BuildOptions{
+				RenderSVG: renderPattern,
+				Degraded:  s.degraded,
+			}))
+		}
+		s.pipe.Start()
+	})
+}
+
+// Pipeline returns the server's maintenance pipeline, finalising the
+// serving plumbing on first use — out-of-band producers (the spool
+// Watcher) submit through it so journal append order equals apply
+// order.
+func (s *Server) Pipeline() *snapshot.Pipeline {
+	s.ensurePipeline()
+	return s.pipe
+}
+
+// Handle returns the generation pointer the read handlers load.
+func (s *Server) Handle() *snapshot.Handle { return s.handle }
+
+// Close drains the maintenance pipeline: queued batches finish
+// normally until ctx expires, after which the in-flight batch is
+// cancelled (rolling back cleanly) and the rest are flushed. Callers
+// persist state after Close so the bundle reflects the final
+// generation.
+func (s *Server) Close(ctx context.Context) error {
+	if s.pipe == nil {
+		return nil
+	}
+	return s.pipe.Stop(ctx)
+}
+
+// SetMaxInflight bounds the heavy requests (/maintain, /query) served
+// concurrently (0 disables). Excess requests are shed immediately with
+// a 503 and a Retry-After header instead of queueing until the
 // per-request timeout fires — under overload, fast rejection keeps the
-// accepted requests inside their deadlines. Health, readiness and
-// metrics endpoints are never shed. Call before Handler().
+// accepted requests inside their deadlines. Snapshot reads, health,
+// readiness and metrics endpoints are never shed: they are lock-free
+// pointer loads and must stay observable while the pipeline grinds.
+// Call before Handler().
 func (s *Server) SetMaxInflight(n int) {
 	if n <= 0 {
 		s.sem = nil
@@ -93,24 +200,25 @@ func (s *Server) SetMaxInflight(n int) {
 	s.sem = make(chan struct{}, n)
 }
 
-// engineBound reports whether the path contends on the engine mutex —
-// the routes the shedding middleware protects.
-func engineBound(path string) bool {
+// heavyRoute reports whether the path does per-request engine-scale
+// work (batch submission, VF2 search) — the routes the shedding
+// middleware protects. Snapshot reads are deliberately excluded.
+func heavyRoute(path string) bool {
 	switch path {
-	case "/", "/patterns", "/quality", "/maintain", "/query":
+	case "/maintain", "/query":
 		return true
 	}
 	return false
 }
 
-// withShedding rejects engine-bound requests beyond the SetMaxInflight
-// bound with an immediate 503 + Retry-After. It sits inside recovery
-// (a shed must be counted even if later middleware panics) and outside
-// the timeout (a shed request never starts its deadline).
+// withShedding rejects heavy requests beyond the SetMaxInflight bound
+// with an immediate 503 + Retry-After. It sits inside recovery (a shed
+// must be counted even if later middleware panics) and outside the
+// timeout (a shed request never starts its deadline).
 func (s *Server) withShedding(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sem := s.sem
-		if sem == nil || !engineBound(r.URL.Path) {
+		if sem == nil || !heavyRoute(r.URL.Path) {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -148,10 +256,13 @@ func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
 
 // Handler returns the route table wrapped in the middleware chain:
 // metrics (outermost, also installs the double-write guard), panic
-// recovery, then the request deadline. /metrics and /debug/vars appear
-// when SetTelemetry was called, /debug/pprof/ when EnablePprof was —
+// recovery, then the request deadline. It also finalises the serving
+// plumbing: the first call publishes the bootstrap snapshot and starts
+// the maintenance goroutine. /metrics and /debug/vars appear when
+// SetTelemetry was called, /debug/pprof/ when EnablePprof was —
 // otherwise those paths 404.
 func (s *Server) Handler() http.Handler {
+	s.ensurePipeline()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/patterns", s.handlePatterns)
@@ -195,7 +306,7 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 }
 
 // withTimeout applies the per-request deadline; handlers pass the
-// request context into MaintainContext / QueryContext, so the deadline
+// request context into the pipeline and QueryContext, so the deadline
 // actually interrupts long engine work. A handler that honoured the
 // expired context answered 504 itself (errorOut); one that ignored it
 // and returned without responding gets the 504 written here. The
@@ -225,6 +336,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
+// handleReadyz distinguishes three states: draining (503, shutdown in
+// progress), never loaded (503, no snapshot published — nothing to
+// serve), and serving (200) — where a panel lagging behind enqueued
+// maintenance says so but stays ready: stale answers from the last good
+// generation are the design, not a failure.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if !s.ready.Load() {
@@ -232,7 +348,53 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "draining\n")
 		return
 	}
+	snap := s.handle.Load()
+	if snap == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "no snapshot published\n")
+		return
+	}
+	if st := s.staleness(); st > 0 {
+		fmt.Fprintf(w, "ready (stale: serving generation %d, %.3fs behind %d pending batch(es))\n",
+			snap.Generation, st.Seconds(), s.pipe.Depth())
+		return
+	}
 	io.WriteString(w, "ready\n")
+}
+
+// staleness is the serving lag behind submitted maintenance (0 when
+// idle or before the pipeline exists).
+func (s *Server) staleness() time.Duration {
+	if s.pipe == nil {
+		return 0
+	}
+	return s.pipe.Staleness()
+}
+
+// snapshotHeaders stamps every snapshot-served response with which
+// generation answered and how far it lags behind enqueued work, so
+// clients and probes can reason about freshness without a second
+// request.
+func (s *Server) snapshotHeaders(w http.ResponseWriter, snap *snapshot.Snapshot) {
+	h := w.Header()
+	h.Set("X-Midas-Generation", strconv.FormatUint(snap.Generation, 10))
+	h.Set("X-Midas-Staleness", strconv.FormatFloat(s.staleness().Seconds(), 'f', 3, 64))
+	if snap.Degraded {
+		h.Set("X-Midas-Degraded", "1")
+	}
+}
+
+// loadSnapshot returns the current snapshot for a read handler, or
+// answers 503 and returns nil when none was ever published (only
+// possible before Handler() ran).
+func (s *Server) loadSnapshot(w http.ResponseWriter) *snapshot.Snapshot {
+	snap := s.handle.Load()
+	if snap == nil {
+		s.countError("nosnapshot")
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return nil
+	}
+	return snap
 }
 
 // statusForError maps engine errors to HTTP statuses: ID conflicts are
@@ -267,19 +429,19 @@ type patternJSON struct {
 
 type extraJSON struct{}
 
-func patternToJSON(p *graph.Graph, withSVG bool) patternJSON {
+// patternToJSON renders one pattern; svg is the pre-rendered view from
+// the snapshot ("" omits it).
+func patternToJSON(p *graph.Graph, svg string) patternJSON {
 	pj := patternJSON{
 		ID:       p.ID,
 		Vertices: append([]string(nil), p.Labels()...),
 		Size:     p.Size(),
 		Cog:      p.CognitiveLoad(),
 		Text:     p.String(),
+		SVG:      svg,
 	}
 	for _, e := range p.Edges() {
 		pj.Edges = append(pj.Edges, [2]int{e.U, e.V})
-	}
-	if withSVG {
-		pj.SVG = SVG(p, 120)
 	}
 	return pj
 }
@@ -289,17 +451,20 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	snap := s.loadSnapshot(w)
+	if snap == nil {
+		return
+	}
+	s.snapshotHeaders(w, snap)
 	withSVG := r.URL.Query().Get("svg") == "1"
-	stats := s.engine.PatternStats()
-	patterns := s.engine.Patterns()
-	out := make([]patternJSON, 0, len(patterns))
-	for i, p := range patterns {
-		pj := patternToJSON(p, withSVG)
-		if i < len(stats) {
-			pj.Scov = stats[i].Scov
+	out := make([]patternJSON, 0, len(snap.Patterns))
+	for i, p := range snap.Patterns {
+		svg := ""
+		if withSVG {
+			svg = snap.SVG(i)
 		}
+		pj := patternToJSON(p, svg)
+		pj.Scov = snap.Scov(i)
 		out = append(out, pj)
 	}
 	s.writeJSON(w, out)
@@ -310,9 +475,12 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	q := s.engine.Quality()
+	snap := s.loadSnapshot(w)
+	if snap == nil {
+		return
+	}
+	s.snapshotHeaders(w, snap)
+	q := snap.Quality
 	s.writeJSON(w, map[string]float64{
 		"scov": q.Scov, "lcov": q.Lcov, "div": q.Div, "cog": q.Cog, "score": q.Score(),
 	})
@@ -320,8 +488,17 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 
 // handleMaintain accepts a batch update: the request body carries the
 // Δ+ graphs in the text format; ?delete=1,2,3 lists Δ- IDs. The update
-// is shape-validated before colliding insert IDs are remapped, so junk
-// input is rejected as-is rather than partially rewritten.
+// is shape-validated here (junk input is rejected without touching the
+// queue), then submitted to the maintenance pipeline, which remaps
+// colliding insert IDs on its own goroutine before applying.
+//
+// By default the handler waits for the batch's terminal result —
+// preserving the classic synchronous contract (200 with the report,
+// 400/409 on invalid updates, 504 when the request deadline expires
+// mid-batch). With ?async=1 it returns 202 immediately with the batch's
+// queue position; the batch then runs under the pipeline's lifetime
+// rather than the request's. Either way, a full queue is backpressure:
+// 429 with Retry-After, the engine untouched.
 func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -356,34 +533,70 @@ func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Remap colliding insert IDs; clients often renumber from zero. The
-	// batch has passed shape validation, so remapping cannot mask a
-	// malformed update.
-	next := s.engine.DB().NextID()
-	for _, g := range u.Insert {
-		if s.engine.DB().Has(g.ID) {
-			g.ID = next
-			next++
-		}
+	name := fmt.Sprintf("http-%d", s.batchSeq.Add(1))
+	batch := snapshot.Batch{Name: name, Update: u, After: s.postMaintain}
+	async := r.URL.Query().Get("async") == "1"
+	if !async {
+		// Synchronous: the request deadline bounds the batch itself.
+		batch.Ctx = r.Context()
 	}
-	rep, err := s.engine.MaintainContext(r.Context(), u)
+	tkt, err := s.pipe.Submit(batch)
 	if err != nil {
-		s.errorOut(w, err)
+		s.maintainRejected(w, err)
 		return
 	}
-	s.writeJSON(w, map[string]interface{}{
-		"inserted":         len(u.Insert),
-		"deleted":          len(u.Delete),
-		"graphletDistance": rep.GraphletDistance,
-		"major":            rep.Major,
-		"swaps":            rep.Swaps,
-		"pmtMillis":        rep.PMT.Milliseconds(),
-	})
+	if async {
+		w.Header().Set("X-Midas-Queue-Position", strconv.Itoa(tkt.Position))
+		s.writeJSONStatus(w, http.StatusAccepted, map[string]interface{}{
+			"queued":   true,
+			"batch":    name,
+			"position": tkt.Position,
+		})
+		return
+	}
+	select {
+	case res := <-tkt.Done:
+		if res.Err != nil {
+			s.errorOut(w, res.Err)
+			return
+		}
+		w.Header().Set("X-Midas-Generation", strconv.FormatUint(res.Generation, 10))
+		s.writeJSON(w, map[string]interface{}{
+			"inserted":         len(u.Insert),
+			"deleted":          len(u.Delete),
+			"graphletDistance": res.Report.GraphletDistance,
+			"major":            res.Report.Major,
+			"swaps":            res.Report.Swaps,
+			"pmtMillis":        res.Report.PMT.Milliseconds(),
+			"generation":       res.Generation,
+		})
+	case <-r.Context().Done():
+		// The batch outlived its request; it fails with the same context
+		// error on the pipeline goroutine and the engine rolls back.
+		s.errorOut(w, r.Context().Err())
+	}
 }
 
-// handleQuery executes a subgraph query given in the text format.
+// maintainRejected answers a submission the pipeline refused: a full
+// queue is backpressure (429 + Retry-After — the client's signal to
+// slow down, the engine untouched), a stopped pipeline means shutdown.
+func (s *Server) maintainRejected(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, snapshot.ErrQueueFull):
+		s.countError("backpressure")
+		w.Header().Set("Retry-After", s.retryAfter())
+		http.Error(w, "maintenance queue full, retry later", http.StatusTooManyRequests)
+	case errors.Is(err, snapshot.ErrStopped):
+		s.countError("cancelled")
+		http.Error(w, "maintenance pipeline stopped", http.StatusServiceUnavailable)
+	default:
+		s.errorOut(w, err)
+	}
+}
+
+// handleQuery executes a subgraph query given in the text format
+// against the current snapshot's isolated search structures — never
+// against the live engine, so a concurrent batch cannot race it.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -411,9 +624,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	results, stats, err := s.engine.Searcher().QueryContext(r.Context(), qs[0], limit)
+	snap := s.loadSnapshot(w)
+	if snap == nil {
+		return
+	}
+	s.snapshotHeaders(w, snap)
+	results, stats, err := snap.Searcher.QueryContext(r.Context(), qs[0], limit)
 	if err != nil {
 		s.errorOut(w, err)
 		return
@@ -435,24 +651,34 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	snap := s.loadSnapshot(w)
+	if snap == nil {
+		return
+	}
+	s.snapshotHeaders(w, snap)
 	var b strings.Builder
 	b.WriteString(`<!DOCTYPE html><html><head><title>MIDAS pattern panel</title>
 <style>body{font-family:sans-serif;background:#fafafa}
 .p{display:inline-block;margin:8px;padding:8px;background:#fff;border:1px solid #ccc;border-radius:6px;text-align:center}
 .p small{color:#666}</style></head><body>`)
-	q := s.engine.Quality()
-	fmt.Fprintf(&b, "<h1>Canned patterns (%d graphs in DB)</h1>", s.engine.DB().Len())
+	q := snap.Quality
+	fmt.Fprintf(&b, "<h1>Canned patterns (%d graphs in DB)</h1>", snap.DBLen)
 	fmt.Fprintf(&b, "<p>scov %.3f · lcov %.3f · div %.2f · cog %.2f</p>", q.Scov, q.Lcov, q.Div, q.Cog)
-	stats := s.engine.PatternStats()
-	for i, p := range s.engine.Patterns() {
-		scov := 0.0
-		if i < len(stats) {
-			scov = stats[i].Scov
+	fmt.Fprintf(&b, "<p><small>generation %d", snap.Generation)
+	if st := s.staleness(); st > 0 {
+		fmt.Fprintf(&b, " · %.1fs behind pending maintenance", st.Seconds())
+	}
+	if snap.Degraded {
+		b.WriteString(" · <b>degraded</b>")
+	}
+	b.WriteString("</small></p>")
+	for i, p := range snap.Patterns {
+		svg := snap.SVG(i)
+		if svg == "" {
+			svg = SVG(p, 120)
 		}
 		fmt.Fprintf(&b, `<div class="p">%s<br><small>#%d · %d edges · covers %.0f%%</small></div>`,
-			SVG(p, 120), p.ID, p.Size(), 100*scov)
+			svg, p.ID, p.Size(), 100*snap.Scov(i))
 	}
 	b.WriteString("</body></html>")
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -464,6 +690,18 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 // it is reported through Logf.
 func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.logf(telemetry.LevelWarn, "panel: encoding response: %v", err)
+	}
+}
+
+// writeJSONStatus is writeJSON with an explicit status line (headers
+// must be final before WriteHeader).
+func (s *Server) writeJSONStatus(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {

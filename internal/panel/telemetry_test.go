@@ -10,13 +10,14 @@ import (
 	"github.com/midas-graph/midas/internal/catapult"
 	"github.com/midas-graph/midas/internal/ged"
 	"github.com/midas-graph/midas/internal/iso"
+	"github.com/midas-graph/midas/internal/snapshot"
 	"github.com/midas-graph/midas/internal/telemetry"
 )
 
-// TestMetricsScrapeDuringMaintain locks the engine mutex — exactly the
-// state an in-flight handleMaintain holds — and checks that /metrics
-// and /debug/vars still answer: the observability endpoints must never
-// queue behind engine work.
+// TestMetricsScrapeDuringMaintain wedges the maintenance pipeline on an
+// in-flight batch — exactly the state a slow /maintain produces — and
+// checks that the observability endpoints AND the snapshot read paths
+// still answer: serving must never queue behind maintenance work.
 func TestMetricsScrapeDuringMaintain(t *testing.T) {
 	s, eng := testServer(t)
 	reg := telemetry.NewRegistry()
@@ -27,9 +28,28 @@ func TestMetricsScrapeDuringMaintain(t *testing.T) {
 	catapult.RegisterMetrics(reg)
 	h := s.Handler()
 
-	s.Locker().Lock()
-	defer s.Locker().Unlock()
-	for _, path := range []string{"/metrics", "/debug/vars"} {
+	// Wedge the pipeline: a batch whose Before hook blocks until
+	// released holds the maintenance goroutine mid-batch.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	tkt, err := s.Pipeline().Submit(snapshot.Batch{
+		Name: "wedge",
+		Before: func() error {
+			close(entered)
+			<-release
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	defer func() {
+		close(release)
+		<-tkt.Done
+	}()
+
+	for _, path := range []string{"/metrics", "/debug/vars", "/patterns", "/quality", "/readyz"} {
 		done := make(chan *httptest.ResponseRecorder, 1)
 		go func() {
 			rec := httptest.NewRecorder()
@@ -39,10 +59,10 @@ func TestMetricsScrapeDuringMaintain(t *testing.T) {
 		select {
 		case rec := <-done:
 			if rec.Code != http.StatusOK {
-				t.Fatalf("%s while engine busy = %d", path, rec.Code)
+				t.Fatalf("%s while pipeline busy = %d", path, rec.Code)
 			}
 		case <-time.After(5 * time.Second):
-			t.Fatalf("%s blocked behind the engine mutex", path)
+			t.Fatalf("%s blocked behind the maintenance pipeline", path)
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package panel
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -13,6 +15,7 @@ import (
 
 	"github.com/midas-graph/midas"
 	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/snapshot"
 	"github.com/midas-graph/midas/internal/store"
 	"github.com/midas-graph/midas/internal/vfs"
 )
@@ -34,8 +37,21 @@ import (
 type Watcher struct {
 	Dir    string
 	Engine *midas.Engine
-	// Locker, when the engine is shared with HTTP handlers, serialises
-	// batch application with them (pass Server.Locker()).
+	// Pipe, when set, routes each batch through the async maintenance
+	// pipeline instead of applying it inline: the journal Begin and the
+	// Persist hook run on the pipeline's single goroutine immediately
+	// around the apply, so journal append order equals apply order even
+	// when HTTP /maintain batches interleave with spool batches. The
+	// scan still blocks until the batch is terminal, preserving spool
+	// ordering; a batch the pipeline gave up on (its retry budget spent,
+	// or an unretryable rejection) is parked as *.failed immediately —
+	// the pipeline already retried, so the watcher's own budget is not
+	// re-spun on a lost cause. This is the serving-mode wiring (pass
+	// Server.Pipeline()).
+	Pipe *snapshot.Pipeline
+	// Locker, when the engine is shared with other inline writers,
+	// serialises batch application with them. Library/standalone mode
+	// only; serving mode uses Pipe.
 	Locker sync.Locker
 	// OnBatch, if set, observes each applied batch's report.
 	OnBatch func(file string, rep midas.MaintenanceReport)
@@ -43,10 +59,10 @@ type Watcher struct {
 	Logf func(format string, args ...interface{})
 
 	// Journal, if set, records each batch's lifecycle durably for
-	// exactly-once recovery. Persist is then called (under Locker)
-	// after every successful Maintain to save the state bundle; it
-	// receives the batch name and content checksum for the bundle
-	// metadata.
+	// exactly-once recovery. Persist is then called after every
+	// successful Maintain (inline under Locker, or on the pipeline
+	// goroutine in Pipe mode) to save the state bundle; it receives the
+	// batch name and content checksum for the bundle metadata.
 	Journal *store.Journal
 	Persist func(name string, sum uint32) error
 	// LastApplied/LastAppliedSum seed recovery from the state bundle's
@@ -258,6 +274,10 @@ func (w *Watcher) processBatch(name string) (bool, error) {
 		return false, nil
 	}
 
+	if w.Pipe != nil {
+		return w.processViaPipeline(name, path, string(data), sum)
+	}
+
 	if w.Locker != nil {
 		w.Locker.Lock()
 	}
@@ -334,10 +354,95 @@ func (w *Watcher) finishBatch(name, path string) error {
 	return nil
 }
 
+// processViaPipeline runs one spool batch through the async maintenance
+// pipeline: parse here, then journal begin → maintain → persist on the
+// pipeline goroutine (so the journal records batches in apply order),
+// then journal applied → rename → journal done back here once the
+// result arrives. Blocking on the result keeps spool ordering; the
+// pipeline owns the retry/backoff budget, so a terminal failure parks
+// the file immediately rather than re-spinning the watcher's budget.
+func (w *Watcher) processViaPipeline(name, path, data string, sum uint32) (bool, error) {
+	u, err := w.parseBatchShape(path, data)
+	if err != nil {
+		return false, err
+	}
+	tkt, err := w.Pipe.Submit(snapshot.Batch{
+		Name:   name,
+		Update: u,
+		Before: func() error {
+			if w.Journal != nil {
+				return w.Journal.Begin(name, sum)
+			}
+			return nil
+		},
+		After: func(midas.MaintenanceReport) error {
+			if w.Persist != nil {
+				return w.Persist(name, sum)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		// Queue full (HTTP traffic has the pipeline saturated) or
+		// shutdown: leave the file in place for the next scan.
+		return false, err
+	}
+	res := <-tkt.Done
+	if res.Err != nil {
+		if errors.Is(res.Err, snapshot.ErrStopped) ||
+			errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {
+			// Shutdown withdrew the batch, it did not fail: keep the file
+			// for the next process lifetime.
+			return false, res.Err
+		}
+		if !w.park(name, res.Attempts, res.Err) {
+			return false, res.Err
+		}
+		delete(w.retries, name)
+		delete(w.nextTry, name)
+		return false, nil
+	}
+	if w.Journal != nil {
+		if err := w.Journal.MarkApplied(name); err != nil {
+			return false, err
+		}
+	}
+	if err := w.finishBatch(name, path); err != nil {
+		return false, err
+	}
+	if w.Logf != nil {
+		w.Logf("applied %s via pipeline (generation %d): +%d/-%d graphs, major=%v, swaps=%d, pmt=%v",
+			name, res.Generation, len(u.Insert), len(u.Delete), res.Report.Major, res.Report.Swaps, res.Report.PMT)
+	}
+	if w.OnBatch != nil {
+		w.OnBatch(name, res.Report)
+	}
+	return true, nil
+}
+
 // parseBatch parses one spool file into an update, shape-validates it,
 // and only then remaps colliding insert IDs — junk input is rejected
-// before any rewriting.
+// before any rewriting. Inline mode only: in Pipe mode the pipeline
+// remaps on its own goroutine, the one place the live database may be
+// read.
 func (w *Watcher) parseBatch(path, data string) (graph.Update, error) {
+	u, err := w.parseBatchShape(path, data)
+	if err != nil {
+		return u, err
+	}
+	next := w.Engine.DB().NextID()
+	for _, g := range u.Insert {
+		if w.Engine.DB().Has(g.ID) {
+			g.ID = next
+			next++
+		}
+	}
+	return u, nil
+}
+
+// parseBatchShape parses and shape-validates one spool file without
+// touching the engine.
+func (w *Watcher) parseBatchShape(path, data string) (graph.Update, error) {
 	var u graph.Update
 	if strings.HasSuffix(path, ".delete") {
 		for _, line := range strings.Split(data, "\n") {
@@ -364,14 +469,6 @@ func (w *Watcher) parseBatch(path, data string) (graph.Update, error) {
 	u.Insert = ins
 	if err := midas.ValidateShape(u); err != nil {
 		return u, err
-	}
-	// Remap colliding IDs, as the HTTP endpoint does — after validation.
-	next := w.Engine.DB().NextID()
-	for _, g := range ins {
-		if w.Engine.DB().Has(g.ID) {
-			g.ID = next
-			next++
-		}
 	}
 	return u, nil
 }

@@ -1,0 +1,463 @@
+package snapshot
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/midas-graph/midas"
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/dataset"
+	"github.com/midas-graph/midas/internal/faultinject"
+)
+
+func newEngine(t *testing.T) *midas.Engine {
+	t.Helper()
+	db := dataset.EMolLike().GenerateDB(20, 3)
+	opts := midas.Options{
+		Budget:  midas.Budget{MinSize: 2, MaxSize: 4, Count: 5},
+		SupMin:  0.4,
+		Epsilon: 0.02,
+		Walks:   30,
+		Seed:    1,
+	}
+	return midas.New(db, opts)
+}
+
+// startPipeline builds a started pipeline with a published bootstrap
+// generation, mirroring what panel.Handler does.
+func startPipeline(t *testing.T, eng *midas.Engine, cfg Config) (*Pipeline, *Handle) {
+	t.Helper()
+	h := NewHandle()
+	h.Publish(Build(eng, BuildOptions{}))
+	p := NewPipeline(eng, h, cfg)
+	p.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		p.Stop(ctx)
+	})
+	return p, h
+}
+
+func TestHandlePublishAndLoad(t *testing.T) {
+	h := NewHandle()
+	if h.Load() != nil || h.Generation() != 0 {
+		t.Fatal("fresh handle must be empty")
+	}
+	if h.Age() != 0 {
+		t.Fatal("fresh handle must have zero age")
+	}
+	s := &Snapshot{DBLen: 7}
+	if gen := h.Publish(s); gen != 1 {
+		t.Fatalf("first publish generation = %d, want 1", gen)
+	}
+	got := h.Load()
+	if got != s || got.Generation != 1 || got.PublishedAt.IsZero() {
+		t.Fatalf("loaded snapshot not the published one: %+v", got)
+	}
+	if gen := h.Publish(&Snapshot{}); gen != 2 {
+		t.Fatalf("second publish generation = %d, want 2", gen)
+	}
+}
+
+func TestBuildCapturesEngineState(t *testing.T) {
+	eng := newEngine(t)
+	s := Build(eng, BuildOptions{RenderSVG: func(*graph.Graph) string { return "<svg/>" }})
+	if s.DBLen != eng.DB().Len() {
+		t.Fatalf("DBLen = %d, want %d", s.DBLen, eng.DB().Len())
+	}
+	if len(s.Patterns) != len(eng.Patterns()) || len(s.Stats) != len(s.Patterns) {
+		t.Fatalf("patterns/stats mismatch: %d patterns, %d stats", len(s.Patterns), len(s.Stats))
+	}
+	if len(s.SVGs) != len(s.Patterns) {
+		t.Fatalf("SVGs = %d, want %d", len(s.SVGs), len(s.Patterns))
+	}
+	if s.Searcher == nil {
+		t.Fatal("snapshot missing searcher")
+	}
+	if rs, _ := s.Searcher.Query(graph.Path(0, "C", "C"), 0); len(rs) == 0 {
+		t.Fatal("snapshot searcher found nothing for C-C")
+	}
+	// Totality of the tolerant accessors.
+	if s.SVG(len(s.Patterns)+5) != "" || s.Scov(len(s.Stats)+5) != 0 {
+		t.Fatal("out-of-range accessors must return zero values")
+	}
+}
+
+func TestPipelineAppliesAndPublishes(t *testing.T) {
+	eng := newEngine(t)
+	p, h := startPipeline(t, eng, Config{})
+	before := eng.DB().Len()
+
+	ins := dataset.BoronicEsters().Generate(4, 0, 9) // colliding IDs on purpose
+	tkt, err := p.Submit(Batch{Name: "b1", Update: graph.Update{Insert: ins}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tkt.Position != 1 {
+		t.Fatalf("position = %d, want 1", tkt.Position)
+	}
+	res := <-tkt.Done
+	if res.Err != nil || !res.Applied {
+		t.Fatalf("batch failed: %+v", res)
+	}
+	if res.Generation != 2 {
+		t.Fatalf("generation = %d, want 2 (after bootstrap)", res.Generation)
+	}
+	if eng.DB().Len() != before+4 {
+		t.Fatalf("db len = %d, want %d", eng.DB().Len(), before+4)
+	}
+	snap := h.Load()
+	if snap.Generation != 2 || snap.DBLen != before+4 {
+		t.Fatalf("published snapshot stale: gen=%d dblen=%d", snap.Generation, snap.DBLen)
+	}
+	if p.Depth() != 0 || p.Staleness() != 0 {
+		t.Fatalf("idle pipeline reports depth=%d staleness=%v", p.Depth(), p.Staleness())
+	}
+	if p.Applied() != 1 {
+		t.Fatalf("applied = %d, want 1", p.Applied())
+	}
+}
+
+func TestPipelineRejectsInvalidWithoutRetry(t *testing.T) {
+	eng := newEngine(t)
+	p, h := startPipeline(t, eng, Config{Backoff: time.Hour}) // a retry would hang the test
+	tkt, err := p.Submit(Batch{Name: "bad", Update: graph.Update{Delete: []int{99999}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-tkt.Done
+	if !errors.Is(res.Err, midas.ErrInvalidUpdate) {
+		t.Fatalf("err = %v, want ErrInvalidUpdate", res.Err)
+	}
+	if res.Attempts != 1 || res.Poisoned || res.Applied {
+		t.Fatalf("invalid update must fail once, unpoisoned: %+v", res)
+	}
+	if h.Generation() != 1 {
+		t.Fatalf("generation moved to %d on a rejected batch", h.Generation())
+	}
+}
+
+// TestPipelineRetryBackoffAndPoison drives a persistently failing batch
+// through the whole retry schedule with a deterministic clock: capped
+// exponential backoff with bounded jitter between attempts, a poison
+// record at exhaustion, readers and engine state untouched throughout.
+func TestPipelineRetryBackoffAndPoison(t *testing.T) {
+	eng := newEngine(t)
+	stage := "fct"
+	faultinject.EnableErr("core.maintain."+stage, fmt.Errorf("injected storage wobble"))
+	defer faultinject.Reset()
+
+	fixed := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	var sleeps []time.Duration
+	cfg := Config{
+		Backoff:     time.Second,
+		MaxAttempts: 3,
+		Now:         func() time.Time { return fixed },
+		Sleep: func(d time.Duration) bool {
+			mu.Lock()
+			sleeps = append(sleeps, d)
+			mu.Unlock()
+			return true
+		},
+	}
+	p, h := startPipeline(t, eng, cfg)
+	before := eng.DB().Len()
+
+	ins := dataset.BoronicEsters().Generate(2, 9000, 5)
+	tkt, err := p.Submit(Batch{Name: "wobbly", Update: graph.Update{Insert: ins}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-tkt.Done
+	if !res.Poisoned || res.Attempts != 3 || res.Err == nil {
+		t.Fatalf("want poisoned after 3 attempts, got %+v", res)
+	}
+	if res.Applied {
+		t.Fatal("poisoned batch must not report Applied")
+	}
+	if eng.DB().Len() != before {
+		t.Fatal("failed attempts leaked engine mutations (rollback broken)")
+	}
+	if h.Generation() != 1 {
+		t.Fatalf("generation moved to %d on a poisoned batch", h.Generation())
+	}
+	if p.Retries() != 2 {
+		t.Fatalf("retries = %d, want 2", p.Retries())
+	}
+
+	// Backoff schedule: attempt n sleeps in [base, base+base/4) with
+	// base = Backoff << (n-1); the jitter is a pure function of
+	// (name, attempt).
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sleeps) != 2 {
+		t.Fatalf("sleeps = %v, want 2 entries", sleeps)
+	}
+	for i, base := range []time.Duration{time.Second, 2 * time.Second} {
+		if sleeps[i] < base || sleeps[i] >= base+base/4 {
+			t.Fatalf("sleep %d = %v, want in [%v, %v)", i, sleeps[i], base, base+base/4)
+		}
+	}
+
+	recs := p.Poisoned()
+	if len(recs) != 1 || recs[0].Name != "wobbly" || recs[0].Attempts != 3 || !recs[0].At.Equal(fixed) {
+		t.Fatalf("poison record = %+v", recs)
+	}
+}
+
+// TestPipelineSplitAttemptRetry: once the engine mutation committed, a
+// failing After (persist) hook must retry ONLY the hook — re-applying
+// the batch would double the update.
+func TestPipelineSplitAttemptRetry(t *testing.T) {
+	eng := newEngine(t)
+	p, h := startPipeline(t, eng, Config{MaxAttempts: 3})
+	before := eng.DB().Len()
+
+	var afterCalls int
+	ins := dataset.BoronicEsters().Generate(3, 9100, 5)
+	tkt, err := p.Submit(Batch{
+		Name:   "flaky-persist",
+		Update: graph.Update{Insert: ins},
+		After: func(midas.MaintenanceReport) error {
+			afterCalls++
+			if afterCalls == 1 {
+				return fmt.Errorf("disk hiccup")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-tkt.Done
+	if res.Err != nil || res.Attempts != 2 {
+		t.Fatalf("want success on attempt 2, got %+v", res)
+	}
+	if afterCalls != 2 {
+		t.Fatalf("after hook ran %d times, want 2", afterCalls)
+	}
+	if eng.DB().Len() != before+3 {
+		t.Fatalf("db len = %d, want %d (applied exactly once)", eng.DB().Len(), before+3)
+	}
+	if h.Load().DBLen != before+3 {
+		t.Fatal("published snapshot missing the applied batch")
+	}
+}
+
+// TestPipelineHookPanicIsFailure: a panicking hook is a failed attempt,
+// not a dead pipeline — later batches still apply and publish.
+func TestPipelineHookPanicIsFailure(t *testing.T) {
+	eng := newEngine(t)
+	p, h := startPipeline(t, eng, Config{MaxAttempts: 2})
+	tkt, err := p.Submit(Batch{
+		Name:   "panicky",
+		Before: func() error { panic("hook bug") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-tkt.Done
+	if res.Err == nil || !res.Poisoned {
+		t.Fatalf("want poisoned panic failure, got %+v", res)
+	}
+	if h.Generation() != 1 {
+		t.Fatalf("generation moved to %d after panicking batch", h.Generation())
+	}
+
+	ins := dataset.BoronicEsters().Generate(2, 9200, 5)
+	tkt, err = p.Submit(Batch{Name: "healthy", Update: graph.Update{Insert: ins}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := <-tkt.Done; res.Err != nil || res.Generation != 2 {
+		t.Fatalf("pipeline dead after panic: %+v", res)
+	}
+}
+
+func TestPipelineQueueFullBackpressure(t *testing.T) {
+	eng := newEngine(t)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	p, _ := startPipeline(t, eng, Config{QueueSize: 1})
+
+	// Wedge the consumer, fill the one queue slot, then overflow.
+	wedge, err := p.Submit(Batch{Name: "wedge", Before: func() error {
+		close(entered)
+		<-release
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	queued, err := p.Submit(Batch{Name: "queued"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued.Position != 2 {
+		t.Fatalf("queued position = %d, want 2", queued.Position)
+	}
+	if _, err := p.Submit(Batch{Name: "overflow"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow err = %v, want ErrQueueFull", err)
+	}
+	if p.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", p.Depth())
+	}
+	if p.Staleness() <= 0 {
+		t.Fatal("staleness must be positive with pending batches")
+	}
+
+	close(release)
+	<-wedge.Done
+	<-queued.Done
+	if p.Depth() != 0 {
+		t.Fatalf("depth = %d after drain, want 0", p.Depth())
+	}
+}
+
+func TestPipelineStopDrainsQueuedBatches(t *testing.T) {
+	eng := newEngine(t)
+	h := NewHandle()
+	h.Publish(Build(eng, BuildOptions{}))
+	p := NewPipeline(eng, h, Config{})
+	p.Start()
+
+	var tickets []Ticket
+	for i := 0; i < 3; i++ {
+		ins := dataset.BoronicEsters().Generate(1, 9300+10*i, 5)
+		tkt, err := p.Submit(Batch{Name: fmt.Sprintf("drain-%d", i), Update: graph.Update{Insert: ins}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tkt)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Stop(ctx); err != nil {
+		t.Fatalf("drain cut short: %v", err)
+	}
+	for i, tkt := range tickets {
+		if res := <-tkt.Done; res.Err != nil {
+			t.Fatalf("drained batch %d failed: %v", i, res.Err)
+		}
+	}
+	if h.Generation() != 4 {
+		t.Fatalf("generation = %d, want 4 (bootstrap + 3 batches)", h.Generation())
+	}
+	if _, err := p.Submit(Batch{Name: "late"}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("submit after stop = %v, want ErrStopped", err)
+	}
+	// Stop is idempotent.
+	if err := p.Stop(ctx); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+}
+
+// TestPipelineStopHardCancel: when the drain deadline expires, the
+// in-flight batch is cancelled (rolling back) and queued batches are
+// flushed with terminal errors instead of being applied.
+func TestPipelineStopHardCancel(t *testing.T) {
+	eng := newEngine(t)
+	h := NewHandle()
+	h.Publish(Build(eng, BuildOptions{}))
+	cancelled := make(chan struct{})
+	p := NewPipeline(eng, h, Config{Logf: func(format string, args ...interface{}) {
+		if strings.Contains(format, "drain deadline expired") {
+			close(cancelled)
+		}
+	}})
+	p.Start()
+	before := eng.DB().Len()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	wedge, err := p.Submit(Batch{Name: "wedge", Before: func() error {
+		close(entered)
+		<-release
+		return nil
+	}, Update: graph.Update{Insert: dataset.BoronicEsters().Generate(1, 9400, 5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	queued, err := p.Submit(Batch{Name: "queued", Update: graph.Update{Insert: dataset.BoronicEsters().Generate(1, 9410, 5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	stopped := make(chan error, 1)
+	go func() { stopped <- p.Stop(ctx) }()
+	// Wait until Stop has actually hard-cancelled (racing on ctx.Done
+	// alone could release the hook first), then unblock it: the batch
+	// now applies under a dead context and must fail and roll back.
+	<-cancelled
+	close(release)
+	if err := <-stopped; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stop err = %v, want deadline exceeded", err)
+	}
+	if res := <-wedge.Done; res.Err == nil {
+		t.Fatal("hard-cancelled in-flight batch reported success")
+	}
+	if res := <-queued.Done; res.Err == nil {
+		t.Fatal("flushed queued batch reported success")
+	}
+	if eng.DB().Len() != before {
+		t.Fatal("hard cancel leaked engine mutations")
+	}
+	if h.Generation() != 1 {
+		t.Fatalf("generation = %d after hard cancel, want 1", h.Generation())
+	}
+}
+
+func TestPipelineStopWithoutStartFlushesQueue(t *testing.T) {
+	eng := newEngine(t)
+	p := NewPipeline(eng, NewHandle(), Config{})
+	tkt, err := p.Submit(Batch{Name: "never-run"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := p.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if res := <-tkt.Done; !errors.Is(res.Err, ErrStopped) {
+		t.Fatalf("unrun batch result = %+v, want ErrStopped", res)
+	}
+}
+
+// TestPipelineBatchContextCancellation: a synchronous submitter's
+// context bounds its batch — an expired context fails the batch without
+// retries and without touching the engine.
+func TestPipelineBatchContextCancellation(t *testing.T) {
+	eng := newEngine(t)
+	p, h := startPipeline(t, eng, Config{Backoff: time.Hour})
+	before := eng.DB().Len()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tkt, err := p.Submit(Batch{
+		Name:   "cancelled",
+		Ctx:    ctx,
+		Update: graph.Update{Insert: dataset.BoronicEsters().Generate(2, 9500, 5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-tkt.Done
+	if !errors.Is(res.Err, context.Canceled) || res.Attempts != 1 || res.Poisoned {
+		t.Fatalf("cancelled batch result = %+v", res)
+	}
+	if eng.DB().Len() != before || h.Generation() != 1 {
+		t.Fatal("cancelled batch touched engine or published")
+	}
+}

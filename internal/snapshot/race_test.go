@@ -1,0 +1,168 @@
+package snapshot
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/dataset"
+	"github.com/midas-graph/midas/internal/faultinject"
+)
+
+// fingerprint reduces everything a reader can observe through a
+// snapshot to a deterministic string. Two observations of the same
+// generation must produce the same fingerprint — a difference means a
+// reader saw a partially-applied batch.
+func fingerprint(s *Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gen=%d db=%d deg=%v q=%.6f|", s.Generation, s.DBLen, s.Degraded, s.Quality)
+	for i, p := range s.Patterns {
+		fmt.Fprintf(&b, "%d:%d/%d scov=%.6f;", p.ID, p.Order(), p.Size(), s.Scov(i))
+	}
+	return b.String()
+}
+
+// TestConcurrentReadsDuringMaintenance is the PR's core acceptance
+// test, meant to run under -race: reader goroutines hammer the handle
+// (pattern walks, stats, searcher queries) while the pipeline applies a
+// stream of insert/delete batches. Every observation is fingerprinted
+// by generation; a generation whose fingerprint ever changes means a
+// reader observed a half-applied batch. A failing batch is injected
+// mid-stream to check failures are invisible to readers too.
+func TestConcurrentReadsDuringMaintenance(t *testing.T) {
+	eng := newEngine(t)
+	p, h := startPipeline(t, eng, Config{Backoff: 1})
+
+	var (
+		prints sync.Map // generation -> fingerprint
+		stop   atomic.Bool
+		reads  atomic.Int64
+	)
+	record := func(s *Snapshot) error {
+		fp := fingerprint(s)
+		if prev, loaded := prints.LoadOrStore(s.Generation, fp); loaded && prev.(string) != fp {
+			return fmt.Errorf("generation %d observed with two fingerprints:\n%s\n%s", s.Generation, prev, fp)
+		}
+		return nil
+	}
+
+	const readers = 8
+	errCh := make(chan error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			q := graph.Path(0, "C", "C")
+			for !stop.Load() {
+				s := h.Load()
+				if s == nil {
+					continue
+				}
+				if err := record(s); err != nil {
+					errCh <- err
+					return
+				}
+				// Exercise the searcher on every fourth pass — it is
+				// the deepest shared structure in the snapshot.
+				if reads.Add(1)%4 == 0 {
+					rs, _ := s.Searcher.Query(q, 4)
+					_ = rs
+				}
+			}
+		}(r)
+	}
+
+	// Writer: a stream of applies with one injected mid-batch failure.
+	for i := 0; i < 6; i++ {
+		if i == 3 {
+			st := "csg"
+			faultinject.EnableErr("core.maintain."+st, fmt.Errorf("injected mid-stream"))
+			tkt, err := p.Submit(Batch{Name: "doomed", Update: graph.Update{
+				Insert: dataset.BoronicEsters().Generate(2, 8000, 5)}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := <-tkt.Done
+			faultinject.Reset()
+			if res.Err == nil {
+				t.Fatal("injected batch applied anyway")
+			}
+			continue
+		}
+		ins := dataset.BoronicEsters().Generate(2, 8100+20*i, 5)
+		tkt, err := p.Submit(Batch{Name: fmt.Sprintf("stream-%d", i), Update: graph.Update{Insert: ins}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := <-tkt.Done; res.Err != nil {
+			t.Fatalf("stream batch %d: %v", i, res.Err)
+		}
+	}
+
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// 1 bootstrap + 5 applied batches (the doomed one publishes
+	// nothing), and readers were actually running throughout.
+	if got := h.Generation(); got != 6 {
+		t.Fatalf("final generation = %d, want 6", got)
+	}
+	if reads.Load() == 0 {
+		t.Fatal("no reads recorded")
+	}
+}
+
+// TestFailedBatchInvisibleToReaders pins the old snapshot across a
+// mid-batch crash: the pointer a reader held before the failing batch
+// is the very pointer still published after it, byte-identical, and the
+// engine's database is back to its pre-batch state.
+func TestFailedBatchInvisibleToReaders(t *testing.T) {
+	eng := newEngine(t)
+	p, h := startPipeline(t, eng, Config{Backoff: 1, MaxAttempts: 2})
+
+	held := h.Load()
+	heldPrint := fingerprint(held)
+	before := eng.DB().Len()
+
+	st := "apply"
+	faultinject.EnableErr("core.maintain."+st, fmt.Errorf("injected crash"))
+	defer faultinject.Reset()
+	tkt, err := p.Submit(Batch{Name: "crashy", Update: graph.Update{
+		Insert: dataset.BoronicEsters().Generate(3, 8500, 5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-tkt.Done
+	if res.Err == nil || !res.Poisoned {
+		t.Fatalf("injected batch result = %+v, want poisoned failure", res)
+	}
+
+	if got := h.Load(); got != held {
+		t.Fatal("published snapshot pointer changed across a failed batch")
+	}
+	if fingerprint(h.Load()) != heldPrint {
+		t.Fatal("snapshot contents changed across a failed batch")
+	}
+	if eng.DB().Len() != before {
+		t.Fatal("failed batch leaked database mutations")
+	}
+
+	// The pipeline still works once the fault clears.
+	faultinject.Reset()
+	tkt, err = p.Submit(Batch{Name: "recovery", Update: graph.Update{
+		Insert: dataset.BoronicEsters().Generate(2, 8600, 5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := <-tkt.Done; res.Err != nil || res.Generation != 2 {
+		t.Fatalf("recovery batch = %+v", res)
+	}
+}

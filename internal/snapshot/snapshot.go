@@ -1,0 +1,171 @@
+// Package snapshot decouples the MIDAS read path from the write path:
+// maintenance runs in a single background goroutine against the engine
+// (Pipeline), and every successful batch publishes an immutable read
+// Snapshot through an atomic generation pointer (Handle) that serving
+// handlers load lock-free. Readers always observe either generation N
+// or generation N+1, never a partially-applied batch, and a slow,
+// failing, panicking or poisoned batch leaves them on the last good
+// generation — the RCU-style separation that makes p99 panel latency
+// independent of maintenance cost.
+//
+// Immutability contract: a Snapshot and everything reachable from its
+// exported fields is frozen at Publish time. Only this package may
+// write to a Snapshot (construction happens here, before the pointer
+// swap makes it visible); every other package is a reader. The
+// `snapshotimmutability` midas-lint analyzer enforces the field-write
+// half of that contract statically.
+package snapshot
+
+import (
+	"time"
+
+	"sync/atomic"
+
+	"github.com/midas-graph/midas"
+	"github.com/midas-graph/midas/graph"
+)
+
+// Snapshot is one published generation of the serving state: the
+// canned pattern set with its per-pattern statistics and pre-rendered
+// SVG views, the set-level quality, the database size, and a query
+// engine over an isolated copy of the search structures.
+//
+// All fields are written exactly once, before the snapshot is
+// published; after Publish the snapshot is immutable and safe for any
+// number of concurrent readers without synchronisation.
+type Snapshot struct {
+	// Generation numbers published snapshots from 1, monotonically.
+	Generation uint64
+	// PublishedAt is when this generation became visible to readers.
+	PublishedAt time.Time
+	// Degraded marks a snapshot published from salvaged or empty state
+	// (midas-serve lost every bundle generation and started anyway).
+	Degraded bool
+
+	// DBLen is the database size this generation was computed over.
+	DBLen int
+	// Patterns is the canned pattern set, in panel order. The graphs
+	// are shared with the engine and must not be mutated.
+	Patterns []*graph.Graph
+	// Stats holds per-pattern statistics, index-aligned with Patterns.
+	Stats []midas.PatternStat
+	// Quality is the set-level quality report.
+	Quality midas.Quality
+	// SVGs holds the pre-rendered SVG view per pattern, index-aligned
+	// with Patterns (nil when the builder had no renderer).
+	SVGs []string
+	// Searcher executes subgraph queries against an isolated copy of
+	// the generation's database and indices; it is safe for concurrent
+	// use and immune to later maintenance.
+	Searcher *midas.Searcher
+	// Report is the maintenance report of the batch that produced this
+	// generation (zero for the bootstrap generation).
+	Report midas.MaintenanceReport
+}
+
+// BuildOptions parameterises Build.
+type BuildOptions struct {
+	// RenderSVG, when set, pre-renders each pattern's SVG view into
+	// Snapshot.SVGs so read handlers serve bytes instead of rendering.
+	RenderSVG func(*graph.Graph) string
+	// Degraded marks the snapshot as serving salvaged/empty state.
+	Degraded bool
+	// Report is the maintenance report of the producing batch.
+	Report midas.MaintenanceReport
+}
+
+// Build captures an unpublished snapshot of the engine's current state.
+// It must be called while no Maintain is in flight — the pipeline calls
+// it from the maintenance goroutine after a batch commits, and serving
+// shells call it once at startup before traffic. The returned snapshot
+// has no generation yet; Handle.Publish assigns one.
+func Build(eng *midas.Engine, o BuildOptions) *Snapshot {
+	view := eng.ExportView()
+	s := &Snapshot{
+		Degraded: o.Degraded,
+		DBLen:    view.DBLen,
+		Patterns: view.Patterns,
+		Stats:    view.Stats,
+		Quality:  view.Quality,
+		Searcher: view.Searcher,
+		Report:   o.Report,
+	}
+	if o.RenderSVG != nil {
+		s.SVGs = make([]string, len(s.Patterns))
+		for i, p := range s.Patterns {
+			s.SVGs[i] = o.RenderSVG(p)
+		}
+	}
+	return s
+}
+
+// Scov returns the i'th pattern's subgraph coverage, tolerating a
+// stats slice shorter than the pattern slice (it cannot happen through
+// Build, but readers stay total).
+func (s *Snapshot) Scov(i int) float64 {
+	if i < len(s.Stats) {
+		return s.Stats[i].Scov
+	}
+	return 0
+}
+
+// SVG returns the i'th pattern's pre-rendered view, or "" when the
+// snapshot was built without a renderer.
+func (s *Snapshot) SVG(i int) string {
+	if i < len(s.SVGs) {
+		return s.SVGs[i]
+	}
+	return ""
+}
+
+// Handle is the atomic generation pointer readers load. The zero value
+// is NOT ready; use NewHandle.
+type Handle struct {
+	cur atomic.Pointer[Snapshot]
+	gen atomic.Uint64
+	// publishedAt mirrors the current snapshot's publish instant as
+	// unix nanoseconds so gauges can read it without loading the
+	// pointer (0 = never published).
+	publishedAt atomic.Int64
+}
+
+// NewHandle returns an empty handle: Load returns nil until the first
+// Publish — the "never loaded" state /readyz distinguishes from "stale
+// but serving".
+func NewHandle() *Handle { return &Handle{} }
+
+// Load returns the current snapshot, or nil before the first Publish.
+// It is a single atomic pointer load — safe and cheap on every read
+// path.
+func (h *Handle) Load() *Snapshot { return h.cur.Load() }
+
+// Generation returns the current generation number (0 before the first
+// Publish).
+func (h *Handle) Generation() uint64 { return h.gen.Load() }
+
+// Publish stamps s with the next generation number and the publish
+// instant, then atomically swaps it in as the current snapshot.
+// Readers holding the previous generation keep it alive until they
+// drop it; new loads observe s. Publish must only be called from the
+// single maintenance goroutine (or before serving begins) — it is the
+// one writer of the generation counter.
+func (h *Handle) Publish(s *Snapshot) uint64 {
+	gen := h.gen.Add(1)
+	s.Generation = gen
+	s.PublishedAt = time.Now()
+	h.publishedAt.Store(s.PublishedAt.UnixNano())
+	h.cur.Store(s)
+	return gen
+}
+
+// Age returns how long ago the current snapshot was published (0
+// before the first Publish). This is the snapshot's wall-clock age, not
+// its staleness: an idle panel's snapshot grows old without being
+// stale. Pipeline.Staleness measures lag behind enqueued work.
+func (h *Handle) Age() time.Duration {
+	ns := h.publishedAt.Load()
+	if ns == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - ns)
+}

@@ -1,0 +1,51 @@
+package snapshot
+
+import "github.com/midas-graph/midas/internal/telemetry"
+
+// pipelineTelemetry holds the pipeline's event-driven metric families.
+// It is nil until SetTelemetry installs it; every record site
+// nil-checks.
+type pipelineTelemetry struct {
+	retries        *telemetry.Counter    // midas_maintain_retries_total
+	batches        *telemetry.CounterVec // midas_maintain_batches_total{outcome}
+	publishSeconds *telemetry.Histogram  // midas_snapshot_publish_seconds
+}
+
+// SetTelemetry registers the snapshot/pipeline metric families on reg:
+// the published generation, how far serving lags behind submitted work,
+// queue depth, retry/outcome counters, and publish latency. Scraping
+// them is lock-free with respect to the maintenance goroutine — every
+// callback reads an atomic. Call before Start.
+func (p *Pipeline) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil || reg == telemetry.Nop {
+		p.tel = nil
+		return
+	}
+	reg.NewGaugeFunc("midas_snapshot_generation",
+		"Generation number of the currently served snapshot (0 = never published).",
+		func() float64 { return float64(p.handle.Generation()) })
+	reg.NewGaugeFunc("midas_snapshot_staleness_seconds",
+		"Age of the oldest maintenance batch not yet reflected in the served snapshot (0 = current).",
+		func() float64 { return p.Staleness().Seconds() })
+	reg.NewGaugeFunc("midas_snapshot_age_seconds",
+		"Wall-clock age of the served snapshot; grows on an idle panel without implying staleness.",
+		func() float64 { return p.handle.Age().Seconds() })
+	reg.NewGaugeFunc("midas_maintain_queue_depth",
+		"Maintenance batches queued or in flight in the async pipeline.",
+		func() float64 { return float64(p.Depth()) })
+	reg.NewGaugeFunc("midas_maintain_poisoned",
+		"Maintenance batches parked after exhausting their retry budget.",
+		func() float64 {
+			p.poisonMu.Lock()
+			defer p.poisonMu.Unlock()
+			return float64(len(p.poisoned))
+		})
+	p.tel = &pipelineTelemetry{
+		retries: reg.NewCounter("midas_maintain_retries_total",
+			"Maintenance batch retry attempts after retryable failures."),
+		batches: reg.NewCounterVec("midas_maintain_batches_total",
+			"Maintenance batches by terminal outcome.", "outcome"),
+		publishSeconds: reg.NewHistogram("midas_snapshot_publish_seconds",
+			"Time to build and publish a snapshot generation after a batch commits.", nil),
+	}
+}

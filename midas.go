@@ -308,6 +308,39 @@ func (e *Engine) SetAfterMaintain(fn func(MaintenanceReport)) {
 	e.inner.SetAfterMaintain(func(r core.Report) { fn(fromReport(r)) })
 }
 
+// PanelView is a coherent export of everything a serving layer needs to
+// answer panel reads: the pattern set, its per-pattern statistics, the
+// set-level quality, the database size, and a query engine over an
+// isolated copy of the search structures. Once exported, the view is
+// detached from the engine — later Maintain calls never mutate it — so
+// a serving layer can publish it to concurrent readers and keep serving
+// it while the next batch runs. Pattern graphs are shared with the
+// engine and must not be mutated (the engine never structurally mutates
+// stored graphs either, so sharing is safe).
+type PanelView struct {
+	Patterns []*graph.Graph
+	Stats    []PatternStat
+	Quality  Quality
+	DBLen    int
+	Searcher *Searcher
+}
+
+// ExportView captures a PanelView of the engine's current state. Like
+// SetAfterMaintain, it belongs to the maintenance side of the engine:
+// call it only while no Maintain is in flight (e.g. from the
+// maintenance goroutine right after a batch commits, or at startup
+// before serving begins). The returned view is then safe for any number
+// of concurrent readers.
+func (e *Engine) ExportView() PanelView {
+	return PanelView{
+		Patterns: e.Patterns(),
+		Stats:    e.PatternStats(),
+		Quality:  e.Quality(),
+		DBLen:    e.DB().Len(),
+		Searcher: e.SearcherSnapshot(),
+	}
+}
+
 // EvaluatePatterns evaluates an arbitrary pattern set against the
 // engine's current database — e.g. a stale set for a no-maintenance
 // comparison.

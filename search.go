@@ -39,6 +39,19 @@ func (e *Engine) Searcher() *Searcher {
 	return &Searcher{inner: search.New(e.inner.DB(), e.inner.TreeSet(), e.inner.Indices())}
 }
 
+// SearcherSnapshot returns a query engine over an isolated copy of the
+// engine's search structures (database, tree set, indices): unlike
+// Searcher, the returned engine is immune to later Maintain calls —
+// they mutate the live structures in place — so it stays consistent and
+// data-race-free for concurrent readers for as long as it is retained.
+// The copy shares the stored data graphs (never structurally mutated)
+// and clones the container structures, so taking one costs about as
+// much as the transactional snapshot Maintain already takes. Call it
+// only while no Maintain is in flight.
+func (e *Engine) SearcherSnapshot() *Searcher {
+	return &Searcher{inner: search.New(e.inner.ReadView())}
+}
+
 // NewSearcher builds a standalone query engine for a database, mining
 // its own features and indices (supMin as in Options.SupMin; pass 0 for
 // the 0.5 default).
