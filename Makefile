@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt lint race crashtest bench bench-smoke figures fuzz differential bench-compare bench-sustained sustained-smoke clean
+.PHONY: all build test vet fmt lint race crashtest bench bench-smoke figures fuzz differential bench-compare bench-sustained sustained-smoke bench-tenants tenants-smoke clean
 
 all: build test
 
@@ -77,6 +77,18 @@ bench-sustained:
 # to a scratch file so the committed BENCH_PR6.json stays the real run.
 sustained-smoke:
 	$(GO) run ./cmd/midas-bench -sustained -scale tiny -sustained-window 500ms -sustained-out /tmp/bench_sustained_smoke.json
+
+# Multi-tenant isolation benchmark: 4 shards behind one router, a
+# forced major batch on one, read p99 on the others vs idle (writes
+# BENCH_PR7.json; acceptance is worst victim p99 ratio <= 1.5x).
+bench-tenants:
+	$(GO) run ./cmd/midas-bench -tenants 4 -scale small
+
+# The CI gate for the tenant subsystem: boot 3 tenants behind one
+# router, maintain one, query all, assert isolation headers and that
+# only the maintained tenant's generation moves — under -race.
+tenants-smoke:
+	$(GO) test -race -run 'TestTenantsSmoke' -v ./internal/tenant/
 
 clean:
 	$(GO) clean ./...

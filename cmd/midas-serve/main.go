@@ -33,14 +33,23 @@
 // backoff (-backoff, -retries) and are parked as poisoned when the
 // budget is spent; readers are unaffected throughout.
 //
+// Multi-tenant mode (-tenants-dir, optionally -tenants manifest)
+// serves one isolated shard per dataset from
+// <tenants-dir>/<tenant>/{state,journal,spool} behind /t/{tenant}/...
+// routes (or an X-Midas-Tenant header): per-tenant metric labels on
+// every family, one shared maintenance-worker budget (-workers),
+// aggregated per-shard /readyz, consistent-hash placement across
+// -slots processes, and dynamic POST/DELETE /admin/tenants/{id}
+// lifecycle when -admin is on.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM: readiness flips
 // to draining, in-flight requests finish, the spool watcher stops, the
 // maintenance queue drains, the state bundle is saved (when -save is
 // set), and the process exits 0.
 // State bundles are written generationally (tmp + fsync + rename, with
-// the previous generation kept as *.prev) and checksummed; with -watch
-// and -save, a write-ahead journal gives spool batches exactly-once
-// application across crashes. On startup the bundle and journal are
+// the previous generation kept as *.prev) and checksummed; with -save,
+// a write-ahead journal gives maintenance batches (spool and HTTP)
+// exactly-once application across crashes. On startup the bundle and journal are
 // salvaged: an interrupted save rolls forward or back to the nearest
 // valid generation, damaged bytes are quarantined as *.corrupt, and if
 // no generation survives the panel starts degraded (empty database)
@@ -95,7 +104,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		watchDir   = flag.String("watch", "", "spool directory: apply *.graphs / *.delete files as periodic batches")
 		watchIvl   = flag.Duration("interval", time.Minute, "spool polling interval")
-		jrnlPath   = flag.String("journal", "", "batch journal path for exactly-once spool recovery (default <save>.journal when -watch and -save are set)")
+		jrnlPath   = flag.String("journal", "", "batch journal path for exactly-once batch recovery (default <save>.journal whenever -save is set; requires -save)")
 		reqTimeout = flag.Duration("timeout", 2*time.Minute, "per-request deadline (0 disables)")
 		retries    = flag.Int("retries", 3, "attempts before a failing maintenance batch is parked as poisoned (spool batches are then quarantined as *.failed)")
 		backoff    = flag.Duration("backoff", 5*time.Second, "base retry backoff for failing maintenance batches (capped exponential growth per consecutive failure)")
@@ -104,11 +113,56 @@ func main() {
 		inflight   = flag.Int("max-inflight", 0, "maximum concurrent engine-bound requests; excess requests get an immediate 503 with Retry-After (0 disables shedding)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: leaks process internals)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "maintenance kernel fan-out width (0 = sequential reference path); results are identical at every setting")
+
+		tenantsDir = flag.String("tenants-dir", "", "multi-tenant mode: serve one shard per tenant under <dir>/<tenant>/{state,journal,spool}; incompatible with -db/-state/-save/-watch/-journal")
+		tenantsMan = flag.String("tenants", "", "tenant manifest file (one tenant per line: id [key=value ...]); requires -tenants-dir")
+		adminOn    = flag.Bool("admin", true, "multi-tenant mode: expose POST/DELETE /admin/tenants/{id} for dynamic tenant lifecycle")
+		slots      = flag.Int("slots", 1, "multi-tenant mode: process slots in the placement ring")
+		slot       = flag.Int("slot", 0, "multi-tenant mode: this process's slot in the placement ring")
 	)
 	flag.Parse()
 
 	// Leveled stderr logging; MIDAS_LOG_LEVEL=debug|info|warn|error.
 	logger := telemetry.NewLoggerFromEnv(os.Stderr)
+
+	if *tenantsDir != "" {
+		runTenants(logger, tenantsConfig{
+			dir:        *tenantsDir,
+			manifest:   *tenantsMan,
+			addr:       *addr,
+			admin:      *adminOn,
+			slots:      *slots,
+			slot:       *slot,
+			timeout:    *reqTimeout,
+			inflight:   *inflight,
+			queueSize:  *queueSize,
+			retries:    *retries,
+			backoff:    *backoff,
+			checkpoint: *checkpoint,
+			watchIvl:   *watchIvl,
+			workers:    *workers,
+			engine: midas.Options{
+				Budget:  midas.Budget{MinSize: *minSize, MaxSize: *maxSize, Count: *gamma},
+				SupMin:  *supMin,
+				Epsilon: *epsilon,
+				Seed:    *seed,
+				Workers: *workers,
+			},
+			conflicts: map[string]bool{
+				"-db": *dbPath != "", "-state": *statePath != "", "-save": *savePath != "",
+				"-watch": *watchDir != "", "-journal": *jrnlPath != "", "-pprof": *pprofOn,
+			},
+		})
+		return
+	}
+	if *tenantsMan != "" {
+		logger.Fatalf("midas-serve: -tenants requires -tenants-dir")
+	}
+	// A journal without a bundle to reconcile against is meaningless:
+	// catch the misconfiguration at startup, not at the first batch.
+	if *jrnlPath != "" && *savePath == "" {
+		logger.Fatalf("midas-serve: -journal requires -save (the journal reconciles batches against the saved bundle)")
+	}
 
 	opts := midas.Options{
 		Budget:  midas.Budget{MinSize: *minSize, MaxSize: *maxSize, Count: *gamma},
@@ -251,9 +305,40 @@ func main() {
 		srv.SetPostMaintain(func(midas.MaintenanceReport) error { return saveBundle() })
 	}
 
+	// The write-ahead journal rides with -save alone: HTTP batches are
+	// journalled too (Begin before apply, MarkApplied/MarkDone after the
+	// bundle lands), so exactly-once recovery no longer requires -watch.
+	var journal *store.Journal
+	if *savePath != "" {
+		jp := *jrnlPath
+		if jp == "" {
+			jp = *savePath + ".journal"
+		}
+		var err error
+		journal, err = store.OpenJournal(jp)
+		if err != nil {
+			logger.Fatalf("midas-serve: %v", err)
+		}
+		if s := journal.Salvage(); s.TailBytes > 0 {
+			logger.Warnf("journal salvage: %d torn byte(s) quarantined to %s", s.TailBytes, s.QuarantinePath)
+		}
+		journal.SetCheckpointThreshold(*checkpoint)
+		// Post-Maintain checkpoint hook: after every successful
+		// maintenance (spool batch or POST /maintain) compact the
+		// journal once it outgrows the -checkpoint threshold.
+		j := journal
+		eng.SetAfterMaintain(func(midas.MaintenanceReport) {
+			if ran, err := j.MaybeCheckpoint(); err != nil {
+				logger.Errorf("midas-serve: journal checkpoint: %v", err)
+			} else if ran {
+				logger.Infof("journal compacted to %d bytes", j.Size())
+			}
+		})
+		srv.SetJournal(journal)
+	}
+
 	stopWatch := make(chan struct{})
 	var watchWG sync.WaitGroup
-	var journal *store.Journal
 	if *watchDir != "" {
 		w := &panel.Watcher{
 			Dir:        *watchDir,
@@ -263,31 +348,7 @@ func main() {
 			MaxRetries: *retries,
 			Backoff:    *backoff,
 		}
-		if *savePath != "" {
-			jp := *jrnlPath
-			if jp == "" {
-				jp = *savePath + ".journal"
-			}
-			var err error
-			journal, err = store.OpenJournal(jp)
-			if err != nil {
-				logger.Fatalf("midas-serve: %v", err)
-			}
-			if s := journal.Salvage(); s.TailBytes > 0 {
-				logger.Warnf("journal salvage: %d torn byte(s) quarantined to %s", s.TailBytes, s.QuarantinePath)
-			}
-			journal.SetCheckpointThreshold(*checkpoint)
-			// Post-Maintain checkpoint hook: after every successful
-			// maintenance (spool batch or POST /maintain) compact the
-			// journal once it outgrows the -checkpoint threshold.
-			j := journal
-			eng.SetAfterMaintain(func(midas.MaintenanceReport) {
-				if ran, err := j.MaybeCheckpoint(); err != nil {
-					logger.Errorf("midas-serve: journal checkpoint: %v", err)
-				} else if ran {
-					logger.Infof("journal compacted to %d bytes", j.Size())
-				}
-			})
+		if journal != nil {
 			w.Journal = journal
 			w.Persist = func(name string, sum uint32) error {
 				metaMu.Lock()

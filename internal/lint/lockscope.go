@@ -31,7 +31,7 @@ var LockScope = &Analyzer{
 
 // slowModulePkgs are the module packages whose exported entry points
 // count as unbounded work.
-var slowModulePkgs = map[string]bool{"iso": true, "ged": true, "catapult": true, "store": true, "parallel": true}
+var slowModulePkgs = map[string]bool{"iso": true, "ged": true, "catapult": true, "store": true, "parallel": true, "tenant": true}
 
 func runLockScope(pass *Pass) {
 	for _, fb := range funcBodies(pass.Pkg) {

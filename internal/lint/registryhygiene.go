@@ -40,6 +40,7 @@ var metricConstructors = map[string]string{
 	"NewCounterVec":   "counter",
 	"NewGauge":        "gauge",
 	"NewGaugeFunc":    "gauge",
+	"NewGaugeVec":     "gauge",
 	"NewHistogram":    "histogram",
 	"NewHistogramVec": "histogram",
 }

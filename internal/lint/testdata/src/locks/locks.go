@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"example.com/lintdata/iso"
+	"example.com/lintdata/tenant"
 )
 
 type server struct {
@@ -31,6 +32,27 @@ func (s *server) readHeld() int {
 	s.rw.RLock()
 	defer s.rw.RUnlock()
 	return iso.MCCS(s.n) // want "iso.MCCS called while s.rw is held"
+}
+
+// drainHeld holds the routing lock across a shard drain — the exact
+// mistake the real registry avoids by detaching under the lock and
+// draining outside it.
+func (s *server) drainHeld() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return tenant.Drain("aids") // want "tenant.Drain called while s.mu is held"
+}
+
+// drainOutside detaches under the lock and drains after releasing it:
+// the correct shape, never flagged.
+func (s *server) drainOutside() error {
+	s.mu.Lock()
+	s.n--
+	s.mu.Unlock()
+	if err := tenant.Add("aids"); err != nil {
+		return err
+	}
+	return tenant.Drain("aids")
 }
 
 // unlockFirst releases the lock before the slow work and must not be

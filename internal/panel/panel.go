@@ -24,6 +24,7 @@ import (
 	"github.com/midas-graph/midas"
 	"github.com/midas-graph/midas/graph"
 	"github.com/midas-graph/midas/internal/snapshot"
+	"github.com/midas-graph/midas/internal/store"
 	"github.com/midas-graph/midas/internal/telemetry"
 )
 
@@ -59,6 +60,13 @@ type Server struct {
 	maxAttempts  int
 	degraded     bool
 	postMaintain func(midas.MaintenanceReport) error
+	// journal, when set, records each HTTP batch's lifecycle in the
+	// write-ahead journal — on the maintenance goroutine, so journal
+	// append order equals apply order for HTTP and spool batches alike.
+	journal *store.Journal
+	// gate, when set, is acquired before each batch runs — the
+	// multi-tenant shared maintenance-worker budget.
+	gate func(ctx context.Context) (func(), error)
 
 	// batchSeq names HTTP-submitted batches for logs and poison records.
 	batchSeq atomic.Uint64
@@ -127,6 +135,21 @@ func (s *Server) SetDegraded(on bool) { s.degraded = on }
 // Pipeline().
 func (s *Server) SetPostMaintain(fn func(midas.MaintenanceReport) error) { s.postMaintain = fn }
 
+// SetJournal records each HTTP-submitted batch in the write-ahead
+// journal: Begin immediately before apply (on the maintenance
+// goroutine), MarkApplied and MarkDone after the batch and its
+// durability hook succeed. Spool batches are journalled by the Watcher
+// with the same discipline; both flow through the one pipeline, so the
+// journal stays in apply order. Call before Handler() or Pipeline().
+func (s *Server) SetJournal(j *store.Journal) { s.journal = j }
+
+// SetMaintainGate installs an admission gate acquired on the
+// maintenance goroutine before each batch's first attempt and released
+// when the batch is terminal — the seam a multi-tenant registry uses
+// to share one worker budget across shards. A gate error fails the
+// batch without retry. Call before Handler() or Pipeline().
+func (s *Server) SetMaintainGate(gate func(ctx context.Context) (func(), error)) { s.gate = gate }
+
 // renderPattern is the SVG renderer published snapshots pre-render
 // with, so read handlers serve bytes instead of computing markup.
 func renderPattern(g *graph.Graph) string { return SVG(g, 120) }
@@ -143,6 +166,7 @@ func (s *Server) ensurePipeline() {
 			Backoff:     s.retryBackoff,
 			RenderSVG:   renderPattern,
 			Degraded:    s.degraded,
+			Gate:        s.gate,
 			Logf: func(format string, args ...interface{}) {
 				s.logf(telemetry.LevelWarn, format, args...)
 			},
@@ -237,17 +261,40 @@ func (s *Server) withShedding(next http.Handler) http.Handler {
 	})
 }
 
-// retryAfter suggests when a shed client should come back: the request
-// timeout rounded up to whole seconds, or 1s when no timeout is set.
+// retryAfter suggests when a rejected client should come back,
+// proportionally to the work already ahead of it: the pipeline's
+// observed batch-duration EWMA times the current queue depth (plus the
+// slot the client will take), rounded up to whole seconds and clamped
+// to [1s, 10min]. Before any batch has completed — no EWMA yet — it
+// falls back to the request timeout, or 1s when none is set.
 func (s *Server) retryAfter() string {
-	secs := int64(1)
-	if s.timeout > 0 {
-		secs = int64((s.timeout + time.Second - 1) / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
+	var depth int
+	var ewma time.Duration
+	if s.pipe != nil {
+		depth = s.pipe.Depth()
+		ewma = s.pipe.BatchEWMA()
 	}
-	return strconv.FormatInt(secs, 10)
+	return strconv.FormatInt(retryAfterSeconds(depth, ewma, s.timeout), 10)
+}
+
+// retryAfterSeconds is the Retry-After arithmetic, factored out so the
+// clamping and rounding are unit-testable without a live pipeline.
+func retryAfterSeconds(depth int, ewma, fallback time.Duration) int64 {
+	var est time.Duration
+	if ewma > 0 {
+		est = time.Duration(depth+1) * ewma
+	}
+	if est <= 0 {
+		est = fallback
+	}
+	secs := int64((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 600 {
+		secs = 600
+	}
+	return secs
 }
 
 // SetReady flips the /readyz verdict; supervisors stop routing traffic
@@ -535,6 +582,24 @@ func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
 
 	name := fmt.Sprintf("http-%d", s.batchSeq.Add(1))
 	batch := snapshot.Batch{Name: name, Update: u, After: s.postMaintain}
+	if j := s.journal; j != nil {
+		sum := store.ChecksumBytes(body)
+		batch.Before = func() error { return j.Begin(name, sum) }
+		post := s.postMaintain
+		batch.After = func(rep midas.MaintenanceReport) error {
+			if post != nil {
+				if err := post(rep); err != nil {
+					return err
+				}
+			}
+			if err := j.MarkApplied(name); err != nil {
+				return err
+			}
+			// No spool file to rename for an HTTP batch: done follows
+			// applied immediately, completing the journal entry.
+			return j.MarkDone(name)
+		}
+	}
 	async := r.URL.Query().Get("async") == "1"
 	if !async {
 		// Synchronous: the request deadline bounds the batch itself.

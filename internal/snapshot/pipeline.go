@@ -111,6 +111,14 @@ type Config struct {
 	// Degraded marks published snapshots as serving degraded state
 	// (set when the process started from salvage).
 	Degraded bool
+	// Gate, when set, is acquired on the maintenance goroutine before a
+	// batch's first attempt and released once the batch is terminal. It
+	// is the shared-worker-budget seam for multi-tenant serving: a
+	// weighted semaphore here keeps one shard's major batch from
+	// starving every other shard of maintenance workers. The returned
+	// func releases the acquisition; an error fails the batch without
+	// retrying (the queue slot is consumed, the engine untouched).
+	Gate func(ctx context.Context) (func(), error)
 	// Logf, when set, receives diagnostic lines.
 	Logf func(format string, args ...interface{})
 	// Now and Sleep replace the wall clock for tests. Sleep must return
@@ -151,6 +159,12 @@ type Pipeline struct {
 	depth       atomic.Int64
 	retries     atomic.Uint64
 	applied     atomic.Uint64
+
+	// ewmaNanos tracks an exponentially weighted moving average of
+	// batch wall time (enqueue wait excluded), in nanoseconds. 0 = no
+	// batch has completed yet. Admission control reads it to size
+	// Retry-After hints proportionally to observed batch cost.
+	ewmaNanos atomic.Int64
 
 	poisonMu sync.Mutex
 	poisoned []PoisonRecord
@@ -319,6 +333,29 @@ func (p *Pipeline) Staleness() time.Duration {
 	return d
 }
 
+// BatchEWMA returns the moving average of successful batch wall time
+// (first attempt through publish, retries included), or 0 before any
+// batch completes. Admission control multiplies it by queue depth to
+// produce proportional Retry-After hints.
+func (p *Pipeline) BatchEWMA() time.Duration {
+	return time.Duration(p.ewmaNanos.Load())
+}
+
+// observeBatchDuration folds one completed batch into the EWMA. The
+// single-consumer loop is the only writer; α=0.3 follows recent
+// batches quickly without letting one outlier own the estimate.
+func (p *Pipeline) observeBatchDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	old := p.ewmaNanos.Load()
+	if old == 0 {
+		p.ewmaNanos.Store(int64(d))
+		return
+	}
+	p.ewmaNanos.Store(old + (int64(d)-old)*3/10)
+}
+
 // Retries returns the total retry attempts performed.
 func (p *Pipeline) Retries() uint64 { return p.retries.Load() }
 
@@ -360,12 +397,25 @@ func (p *Pipeline) run() {
 func (p *Pipeline) process(j *job) {
 	ctx, cancel := p.batchCtx(j.batch)
 	defer cancel()
+	if p.cfg.Gate != nil {
+		release, err := p.cfg.Gate(ctx)
+		if err != nil {
+			if p.tel != nil {
+				p.tel.batches.With("rejected").Inc()
+			}
+			p.finish(j, Result{Name: j.batch.Name, Attempts: j.attempts, Err: err})
+			return
+		}
+		defer release()
+	}
+	started := p.now()
 	for {
 		j.attempts++
 		err := p.attempt(ctx, j)
 		if err == nil {
 			gen := p.publish(j)
 			p.applied.Add(1)
+			p.observeBatchDuration(p.now().Sub(started))
 			if p.tel != nil {
 				p.tel.batches.With("applied").Inc()
 			}

@@ -33,6 +33,9 @@ func (p *Pipeline) SetTelemetry(reg *telemetry.Registry) {
 	reg.NewGaugeFunc("midas_maintain_queue_depth",
 		"Maintenance batches queued or in flight in the async pipeline.",
 		func() float64 { return float64(p.Depth()) })
+	reg.NewGaugeFunc("midas_maintain_batch_ewma_seconds",
+		"Moving average of successful maintenance batch wall time (0 = none yet).",
+		func() float64 { return p.BatchEWMA().Seconds() })
 	reg.NewGaugeFunc("midas_maintain_poisoned",
 		"Maintenance batches parked after exhausting their retry budget.",
 		func() float64 {

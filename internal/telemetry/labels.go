@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// This file adds labelled views over a Registry — the multi-tenant
+// telemetry seam. A view created with WithLabels behaves exactly like
+// the registry it derives from, except that every family created
+// through it carries the view's constant labels and every metric it
+// hands out is the child for the view's constant label values. Two
+// views of the same registry that create the same family share it: the
+// family is registered once with the constant label names, and each
+// view contributes its own children. Serving shells use this to give
+// each tenant shard a `tenant="..."`-labelled slice of every panel,
+// snapshot and engine metric family while scraping one registry.
+//
+// Views share the base registry's storage, so WritePrometheus and
+// WriteJSON on either render the same document.
+
+// WithLabels returns a labelled view of r: pairs is an alternating
+// name, value list (WithLabels("tenant", "pubchem")). Views compose —
+// a view of a view concatenates the constant labels. A Nop (or nil)
+// registry returns Nop; a malformed (odd-length or empty) pair list
+// panics, as this is a wiring error.
+func (r *Registry) WithLabels(pairs ...string) *Registry {
+	if r.isNop() {
+		return Nop
+	}
+	if len(pairs) == 0 || len(pairs)%2 != 0 {
+		panic("telemetry: WithLabels needs a non-empty, even-length name/value list")
+	}
+	base := r
+	var names, values []string
+	if r.base != nil {
+		base = r.base
+		names = append(names, r.constNames...)
+		values = append(values, r.constValues...)
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		names = append(names, pairs[i])
+		values = append(values, pairs[i+1])
+	}
+	return &Registry{base: base, constNames: names, constValues: values}
+}
+
+// ConstLabels returns the view's constant label names and values (nil
+// for a plain registry). Exposed for tests and diagnostics.
+func (r *Registry) ConstLabels() (names, values []string) {
+	return append([]string(nil), r.constNames...), append([]string(nil), r.constValues...)
+}
+
+// ---------------------------------------------------------------------
+// GaugeVec
+
+// GaugeVec is a gauge family partitioned by label values. Label values
+// must be drawn from a bounded set — cardinality is the caller's
+// responsibility.
+type GaugeVec struct {
+	nop    bool
+	fam    familyMeta
+	mu     sync.RWMutex
+	kids   map[string]*Gauge
+	kidLbl map[string][]string
+
+	// curry delegates a labelled view's vec to the registered base
+	// family with the view's constant label values prepended. A curried
+	// vec is never itself registered or rendered.
+	curry  *GaugeVec
+	prefix []string
+}
+
+var nopGaugeVec = &GaugeVec{nop: true}
+
+func (v *GaugeVec) family() familyMeta { return v.fam }
+
+func (v *GaugeVec) samples() []sample {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]sample, 0, len(v.kids))
+	for k, g := range v.kids {
+		out = append(out, sample{labels: v.kidLbl[k], value: g.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return labelKey(out[i].labels) < labelKey(out[j].labels)
+	})
+	return out
+}
+
+// With returns the child gauge for the given label values (one per
+// declared label name, in order).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil || v.nop {
+		return nopGauge
+	}
+	if v.curry != nil {
+		return v.curry.With(append(append([]string(nil), v.prefix...), values...)...)
+	}
+	key := labelKey(values)
+	v.mu.RLock()
+	g, ok := v.kids[key]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.kids[key]; ok {
+		return g
+	}
+	g = &Gauge{}
+	v.kids[key] = g
+	v.kidLbl[key] = append([]string(nil), values...)
+	return g
+}
+
+// NewGaugeVec registers a labelled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r.isNop() {
+		return nopGaugeVec
+	}
+	if r.base != nil {
+		base := r.base.NewGaugeVec(name, help, append(append([]string(nil), r.constNames...), labels...)...)
+		return &GaugeVec{curry: base, prefix: r.constValues}
+	}
+	m := r.register(&GaugeVec{
+		fam:    familyMeta{name: name, help: help, kind: "gauge", labels: labels},
+		kids:   make(map[string]*Gauge),
+		kidLbl: make(map[string][]string),
+	})
+	v, ok := m.(*GaugeVec)
+	if !ok {
+		panic(badType(name))
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------
+// funcVec: labelled callback families (view-created GaugeFunc /
+// CounterFunc children — one callback per label-value tuple)
+
+type funcVec struct {
+	fam    familyMeta
+	mu     sync.RWMutex
+	fns    map[string]func() float64
+	kidLbl map[string][]string
+}
+
+func (v *funcVec) family() familyMeta { return v.fam }
+
+func (v *funcVec) samples() []sample {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]sample, 0, len(v.fns))
+	for k, fn := range v.fns {
+		out = append(out, sample{labels: v.kidLbl[k], value: fn()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return labelKey(out[i].labels) < labelKey(out[j].labels)
+	})
+	return out
+}
+
+// setChild installs fn as the child for the given label values,
+// keeping the first registration (idempotent, matching register).
+func (v *funcVec) setChild(values []string, fn func() float64) {
+	key := labelKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.fns[key]; ok {
+		return
+	}
+	v.fns[key] = fn
+	v.kidLbl[key] = append([]string(nil), values...)
+}
+
+// newFuncChild registers (or fetches) the labelled callback family and
+// adds the view's child to it.
+func (r *Registry) newFuncChild(kind, name, help string, fn func() float64) {
+	m := r.base.register(&funcVec{
+		fam:    familyMeta{name: name, help: help, kind: kind, labels: r.constNames},
+		fns:    make(map[string]func() float64),
+		kidLbl: make(map[string][]string),
+	})
+	v, ok := m.(*funcVec)
+	if !ok {
+		panic(badType(name))
+	}
+	v.setChild(r.constValues, fn)
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// Two tenant views of one registry must share each family (registered
+// once, with the tenant label first) while keeping their children
+// separate.
+func TestWithLabelsSharedFamilies(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.WithLabels("tenant", "a")
+	b := reg.WithLabels("tenant", "b")
+
+	ca := a.NewCounter("widget_events_total", "Widget events.")
+	cb := b.NewCounter("widget_events_total", "Widget events.")
+	if ca == cb {
+		t.Fatal("tenant views handed out the same counter child")
+	}
+	ca.Add(3)
+	cb.Add(5)
+
+	ga := a.NewGauge("widget_depth", "Widget depth.")
+	ga.Set(7)
+	b.NewGauge("widget_depth", "Widget depth.").Set(9)
+
+	va := a.NewCounterVec("widget_requests_total", "Widget requests.", "route")
+	va.With("index").Inc()
+	vb := b.NewCounterVec("widget_requests_total", "Widget requests.", "route")
+	vb.With("index").Add(2)
+
+	a.NewGaugeFunc("widget_uptime_seconds", "Uptime.", func() float64 { return 1 })
+	b.NewGaugeFunc("widget_uptime_seconds", "Uptime.", func() float64 { return 2 })
+
+	a.NewHistogram("widget_wait_seconds", "Wait.", []float64{1}).Observe(0.5)
+
+	// Families registered once each, on the shared base.
+	if got, want := reg.Families(), 5; got != want {
+		t.Fatalf("Families() = %d, want %d", got, want)
+	}
+	if got := a.Families(); got != reg.Families() {
+		t.Fatalf("view Families() = %d, base = %d", got, reg.Families())
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	doc := sb.String()
+	for _, want := range []string{
+		`widget_events_total{tenant="a"} 3`,
+		`widget_events_total{tenant="b"} 5`,
+		`widget_depth{tenant="a"} 7`,
+		`widget_depth{tenant="b"} 9`,
+		`widget_requests_total{tenant="a",route="index"} 1`,
+		`widget_requests_total{tenant="b",route="index"} 2`,
+		`widget_uptime_seconds{tenant="a"} 1`,
+		`widget_uptime_seconds{tenant="b"} 2`,
+		`widget_wait_seconds_bucket{tenant="a",le="1"} 1`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("rendered document missing %q:\n%s", want, doc)
+		}
+	}
+
+	// A view renders the same document as its base (shared storage).
+	var sv strings.Builder
+	if err := a.WritePrometheus(&sv); err != nil {
+		t.Fatal(err)
+	}
+	if sv.String() != doc {
+		t.Fatal("view and base render different documents")
+	}
+}
+
+// Views compose: a view of a view concatenates constant labels.
+func TestWithLabelsCompose(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.WithLabels("tenant", "a").WithLabels("shard", "0")
+	names, values := v.ConstLabels()
+	if strings.Join(names, ",") != "tenant,shard" || strings.Join(values, ",") != "a,0" {
+		t.Fatalf("composed labels = %v=%v", names, values)
+	}
+	v.NewCounter("compose_events_total", "Events.").Inc()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `compose_events_total{tenant="a",shard="0"} 1`) {
+		t.Fatalf("composed child missing:\n%s", sb.String())
+	}
+}
+
+// Re-creating the same child through a view is idempotent, matching
+// plain registration semantics.
+func TestWithLabelsIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.WithLabels("tenant", "a")
+	c1 := a.NewCounter("idem_events_total", "Events.")
+	c2 := a.NewCounter("idem_events_total", "Events.")
+	if c1 != c2 {
+		t.Fatal("same view + same name must return the same child")
+	}
+	a.NewGaugeFunc("idem_value", "Value.", func() float64 { return 1 })
+	a.NewGaugeFunc("idem_value", "Value.", func() float64 { return 99 })
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `idem_value{tenant="a"} 1`) {
+		t.Fatalf("first callback must win:\n%s", sb.String())
+	}
+}
+
+// Nop stays inert through WithLabels.
+func TestWithLabelsNop(t *testing.T) {
+	v := Nop.WithLabels("tenant", "a")
+	if v != Nop {
+		t.Fatal("Nop.WithLabels must return Nop")
+	}
+	v.NewCounter("nop_events_total", "Events.").Inc()
+	v.NewGaugeVec("nop_depth", "Depth.", "k").With("v").Set(1)
+	if v.Families() != 0 {
+		t.Fatal("Nop view registered families")
+	}
+}

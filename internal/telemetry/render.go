@@ -180,7 +180,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				obj[jsonLabelKey(fam.labels, child.labels)] = histJSON(child.h)
 			}
 			doc[fam.name] = obj
-		case *CounterVec:
+		case *CounterVec, *GaugeVec, *funcVec:
 			obj := make(map[string]interface{})
 			for _, s := range m.samples() {
 				obj[jsonLabelKey(fam.labels, s.labels)] = s.value

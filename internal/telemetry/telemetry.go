@@ -54,6 +54,14 @@ type Registry struct {
 	mu      sync.Mutex
 	ordered []metric
 	byName  map[string]metric
+
+	// base/constNames/constValues make this registry a labelled view
+	// (WithLabels): families are registered on base with the constant
+	// label names, and New* hands out the child for the constant label
+	// values. nil base = plain registry.
+	base        *Registry
+	constNames  []string
+	constValues []string
 }
 
 // NewRegistry returns an empty collecting registry.
@@ -82,10 +90,15 @@ func (r *Registry) register(m metric) metric {
 	return m
 }
 
-// Families returns the number of registered metric families.
+// Families returns the number of registered metric families. A
+// labelled view reports its base registry's families — they share
+// storage.
 func (r *Registry) Families() int {
 	if r.isNop() {
 		return 0
+	}
+	if r.base != nil {
+		return r.base.Families()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -100,6 +113,9 @@ func (r *Registry) Families() int {
 func (r *Registry) snapshotMetrics() []metric {
 	if r.isNop() {
 		return nil
+	}
+	if r.base != nil {
+		return r.base.snapshotMetrics()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -147,10 +163,14 @@ func (c *Counter) Value() uint64 {
 func (c *Counter) family() familyMeta { return c.fam }
 func (c *Counter) samples() []sample  { return []sample{{value: float64(c.v.Load())}} }
 
-// NewCounter registers (or returns the existing) counter.
+// NewCounter registers (or returns the existing) counter. Through a
+// labelled view it returns the view's child of a labelled family.
 func (r *Registry) NewCounter(name, help string) *Counter {
 	if r.isNop() {
 		return nopCounter
+	}
+	if r.base != nil {
+		return r.base.NewCounterVec(name, help, r.constNames...).With(r.constValues...)
 	}
 	m := r.register(&Counter{fam: familyMeta{name: name, help: help, kind: "counter"}})
 	c, ok := m.(*Counter)
@@ -174,6 +194,10 @@ func (c *counterFunc) samples() []sample  { return []sample{{value: c.fn()}} }
 // scrape time. fn must be safe for concurrent use.
 func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
 	if r.isNop() {
+		return
+	}
+	if r.base != nil {
+		r.newFuncChild("counter", name, help, fn)
 		return
 	}
 	r.register(&counterFunc{fam: familyMeta{name: name, help: help, kind: "counter"}, fn: fn})
@@ -230,10 +254,14 @@ func (g *Gauge) Value() float64 {
 func (g *Gauge) family() familyMeta { return g.fam }
 func (g *Gauge) samples() []sample  { return []sample{{value: g.Value()}} }
 
-// NewGauge registers (or returns the existing) gauge.
+// NewGauge registers (or returns the existing) gauge. Through a
+// labelled view it returns the view's child of a labelled family.
 func (r *Registry) NewGauge(name, help string) *Gauge {
 	if r.isNop() {
 		return nopGauge
+	}
+	if r.base != nil {
+		return r.base.NewGaugeVec(name, help, r.constNames...).With(r.constValues...)
 	}
 	m := r.register(&Gauge{fam: familyMeta{name: name, help: help, kind: "gauge"}})
 	g, ok := m.(*Gauge)
@@ -255,6 +283,10 @@ func (g *gaugeFunc) samples() []sample  { return []sample{{value: g.fn()}} }
 // NewGaugeFunc registers a gauge read from fn at scrape time.
 func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
 	if r.isNop() {
+		return
+	}
+	if r.base != nil {
+		r.newFuncChild("gauge", name, help, fn)
 		return
 	}
 	r.register(&gaugeFunc{fam: familyMeta{name: name, help: help, kind: "gauge"}, fn: fn})
@@ -366,10 +398,14 @@ func newHistogram(fam familyMeta, buckets []float64) *Histogram {
 }
 
 // NewHistogram registers (or returns the existing) histogram. A nil or
-// empty buckets slice selects DefBuckets.
+// empty buckets slice selects DefBuckets. Through a labelled view it
+// returns the view's child of a labelled family.
 func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
 	if r.isNop() {
 		return nopHistogram
+	}
+	if r.base != nil {
+		return r.base.NewHistogramVec(name, help, buckets, r.constNames...).With(r.constValues...)
 	}
 	m := r.register(newHistogram(familyMeta{name: name, help: help, kind: "histogram"}, buckets))
 	h, ok := m.(*Histogram)
@@ -394,6 +430,12 @@ type CounterVec struct {
 	mu     sync.RWMutex
 	kids   map[string]*Counter
 	kidLbl map[string][]string
+
+	// curry delegates a labelled view's vec to the registered base
+	// family with the view's constant label values prepended. A curried
+	// vec is never itself registered or rendered.
+	curry  *CounterVec
+	prefix []string
 }
 
 var nopCounterVec = &CounterVec{nop: true}
@@ -419,6 +461,9 @@ func (v *CounterVec) With(values ...string) *Counter {
 	if v == nil || v.nop {
 		return nopCounter
 	}
+	if v.curry != nil {
+		return v.curry.With(append(append([]string(nil), v.prefix...), values...)...)
+	}
 	key := labelKey(values)
 	v.mu.RLock()
 	c, ok := v.kids[key]
@@ -437,10 +482,16 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return c
 }
 
-// NewCounterVec registers a labelled counter family.
+// NewCounterVec registers a labelled counter family. Through a
+// labelled view, the family carries the view's constant labels first
+// and With prepends the constant values.
 func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
 	if r.isNop() {
 		return nopCounterVec
+	}
+	if r.base != nil {
+		base := r.base.NewCounterVec(name, help, append(append([]string(nil), r.constNames...), labels...)...)
+		return &CounterVec{curry: base, prefix: r.constValues}
 	}
 	m := r.register(&CounterVec{
 		fam:    familyMeta{name: name, help: help, kind: "counter", labels: labels},
@@ -462,6 +513,10 @@ type HistogramVec struct {
 	mu      sync.RWMutex
 	kids    map[string]*Histogram
 	kidLbl  map[string][]string
+
+	// curry/prefix: see CounterVec.
+	curry  *HistogramVec
+	prefix []string
 }
 
 var nopHistogramVec = &HistogramVec{nop: true}
@@ -473,6 +528,9 @@ func (v *HistogramVec) samples() []sample  { return nil } // rendered from child
 func (v *HistogramVec) With(values ...string) *Histogram {
 	if v == nil || v.nop {
 		return nopHistogram
+	}
+	if v.curry != nil {
+		return v.curry.With(append(append([]string(nil), v.prefix...), values...)...)
 	}
 	key := labelKey(values)
 	v.mu.RLock()
@@ -512,10 +570,16 @@ func (v *HistogramVec) children() []histChild {
 }
 
 // NewHistogramVec registers a labelled histogram family. A nil or empty
-// buckets slice selects DefBuckets.
+// buckets slice selects DefBuckets. Through a labelled view, the family
+// carries the view's constant labels first and With prepends the
+// constant values.
 func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
 	if r.isNop() {
 		return nopHistogramVec
+	}
+	if r.base != nil {
+		base := r.base.NewHistogramVec(name, help, buckets, append(append([]string(nil), r.constNames...), labels...)...)
+		return &HistogramVec{curry: base, prefix: r.constValues}
 	}
 	if len(buckets) == 0 {
 		buckets = DefBuckets

@@ -1,0 +1,149 @@
+package tenant
+
+import (
+	"context"
+	"sync"
+)
+
+// Budget is the process-wide maintenance-worker budget: a weighted
+// semaphore every shard's pipeline gate acquires before running a
+// batch. One tenant's major batch (weight = its engine's worker count)
+// cannot take more than the whole budget, and while it holds its share
+// the remaining capacity still admits other shards — so a hot tenant
+// saturates its own pipeline, not the process. Waiters are served
+// FIFO: a wide batch parked behind the budget is not starved by a
+// stream of narrow ones.
+//
+// A nil Budget (or one built with capacity <= 0) admits everything
+// immediately; single-tenant serving costs nothing.
+type Budget struct {
+	capacity int
+
+	mu      sync.Mutex
+	used    int
+	waiters []*budgetWaiter
+}
+
+type budgetWaiter struct {
+	weight int
+	ready  chan struct{} // closed when the waiter's share is reserved
+}
+
+// NewBudget builds a budget of capacity worker slots. capacity <= 0
+// returns nil: an unlimited budget.
+func NewBudget(capacity int) *Budget {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Budget{capacity: capacity}
+}
+
+// Capacity returns the total worker slots (0 = unlimited).
+func (b *Budget) Capacity() int {
+	if b == nil {
+		return 0
+	}
+	return b.capacity
+}
+
+// InUse returns the worker slots currently held.
+func (b *Budget) InUse() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Waiting returns the number of acquisitions queued behind the budget.
+func (b *Budget) Waiting() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.waiters)
+}
+
+// Acquire reserves weight worker slots, blocking FIFO behind earlier
+// waiters until they fit or ctx expires. The returned release func is
+// idempotent and must be called exactly once conceptually (extra calls
+// are no-ops). Weights are clamped to [1, capacity], so a shard whose
+// engine is wider than the whole budget still runs — one batch at a
+// time, using everything.
+func (b *Budget) Acquire(ctx context.Context, weight int) (func(), error) {
+	if b == nil {
+		return func() {}, nil
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > b.capacity {
+		weight = b.capacity
+	}
+	b.mu.Lock()
+	if len(b.waiters) == 0 && b.used+weight <= b.capacity {
+		b.used += weight
+		b.mu.Unlock()
+		return b.releaseFunc(weight), nil
+	}
+	w := &budgetWaiter{weight: weight, ready: make(chan struct{})}
+	b.waiters = append(b.waiters, w)
+	b.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return b.releaseFunc(weight), nil
+	case <-ctx.Done():
+		b.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted while we were giving up: the share is ours to put
+			// back, and doing so may admit the next waiter.
+			b.used -= weight
+			b.admitLocked()
+		default:
+			b.removeWaiterLocked(w)
+		}
+		b.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc returns the idempotent release for a granted share.
+func (b *Budget) releaseFunc(weight int) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			b.mu.Lock()
+			b.used -= weight
+			b.admitLocked()
+			b.mu.Unlock()
+		})
+	}
+}
+
+// admitLocked grants queued waiters FIFO while they fit. Stopping at
+// the first waiter that does not fit keeps the order strict: narrow
+// latecomers cannot leapfrog a wide batch.
+func (b *Budget) admitLocked() {
+	for len(b.waiters) > 0 {
+		w := b.waiters[0]
+		if b.used+w.weight > b.capacity {
+			return
+		}
+		b.used += w.weight
+		b.waiters = b.waiters[1:]
+		close(w.ready)
+	}
+}
+
+func (b *Budget) removeWaiterLocked(target *budgetWaiter) {
+	for i, w := range b.waiters {
+		if w == target {
+			b.waiters = append(b.waiters[:i], b.waiters[i+1:]...)
+			return
+		}
+	}
+}

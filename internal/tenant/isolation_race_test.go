@@ -1,0 +1,180 @@
+package tenant
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/faultinject"
+	"github.com/midas-graph/midas/internal/snapshot"
+)
+
+// tenantFingerprint reduces everything a reader can observe through a
+// shard's snapshot to a deterministic string — the PR 6 read-hammer
+// harness, applied across the tenant boundary: if tenant B's failing
+// maintenance ever leaks into tenant A, some generation of A prints
+// two different fingerprints or A's generation moves.
+func tenantFingerprint(s *snapshot.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gen=%d db=%d deg=%v q=%.6f|", s.Generation, s.DBLen, s.Degraded, s.Quality)
+	for i, p := range s.Patterns {
+		fmt.Fprintf(&b, "%d:%d/%d scov=%.6f;", p.ID, p.Order(), p.Size(), s.Scov(i))
+	}
+	return b.String()
+}
+
+// p99 returns the 99th-percentile of observed latencies.
+func p99(lat []time.Duration) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[(len(lat)*99)/100]
+}
+
+// TestCrossTenantIsolationUnderFailingBatch is the PR's core isolation
+// test, meant to run under -race: reader goroutines hammer tenant A's
+// endpoints while tenant B grinds through a forced failing + retrying
+// major batch on the shared worker budget. Tenant A must be untouched:
+// its generation never moves, every observation of a generation is
+// byte-identical, and its read p99 stays in the same regime as idle
+// (the bound is deliberately loose — CI machines jitter — the
+// byte-identical fingerprints are the sharp assertion).
+func TestCrossTenantIsolationUnderFailingBatch(t *testing.T) {
+	opts := memoryOptions()
+	opts.Budget = NewBudget(1) // maximum contention on the shared budget
+	r := NewRegistry(opts)
+	shA := addTenant(t, r, "aids")
+	shB := addTenant(t, r, "emol")
+	rt := NewRouter(r, nil, nil)
+
+	handleA := shA.Server().Handle()
+	genBefore := handleA.Generation()
+
+	// Phase 1: idle read latency on A, no maintenance anywhere.
+	idle := hammerTenantReads(t, rt, handleA, nil, 150*time.Millisecond)
+
+	// Phase 2: B runs major failing batches that exhaust their retry
+	// budget while A keeps serving. The failpoint is armed globally but
+	// only B submits maintenance, so only B can hit it.
+	stage := "apply"
+	faultinject.EnableErr("core.maintain."+stage, fmt.Errorf("injected apply failure"))
+	defer faultinject.Reset()
+
+	big := make([]*graph.Graph, 0, 40)
+	for i := 0; i < 40; i++ {
+		big = append(big, graph.Path(1000+i, "C", "N", "O", "C"))
+	}
+	payload := graph.Marshal(big)
+	var wgB sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wgB.Add(1)
+		go func() {
+			defer wgB.Done()
+			req := httptest.NewRequest(http.MethodPost, "/t/emol/maintain?async=1", strings.NewReader(payload))
+			w := httptest.NewRecorder()
+			rt.ServeHTTP(w, req)
+			if w.Code != http.StatusAccepted && w.Code != http.StatusTooManyRequests {
+				t.Errorf("async maintain on emol = %d: %s", w.Code, w.Body.String())
+			}
+		}()
+	}
+
+	prints := &sync.Map{} // generation -> fingerprint
+	busy := hammerTenantReads(t, rt, handleA, prints, 400*time.Millisecond)
+	wgB.Wait()
+
+	// B's batches must have actually failed and been parked — the load
+	// was real.
+	waitFor(t, func() bool { return len(shB.Server().Pipeline().Poisoned()) > 0 })
+	if st := shB.Status(); st.State != "poisoned" {
+		t.Fatalf("tenant B state = %s, want poisoned", st.State)
+	}
+
+	// A: byte-identical fingerprints, frozen generation, still "ok".
+	if got := handleA.Generation(); got != genBefore {
+		t.Fatalf("tenant A generation moved %d → %d during B's failing batches", genBefore, got)
+	}
+	count := 0
+	prints.Range(func(_, _ interface{}) bool { count++; return true })
+	if count != 1 {
+		t.Fatalf("tenant A served %d generations during the hammer, want exactly 1", count)
+	}
+	if st := shA.Status(); st.State != "ok" || st.Poisoned != 0 {
+		t.Fatalf("tenant A status = %+v, want untouched ok", st)
+	}
+
+	idleP99, busyP99 := p99(idle), p99(busy)
+	t.Logf("tenant A read p99: idle=%v during-B-failure=%v (%d/%d samples)", idleP99, busyP99, len(idle), len(busy))
+	if floor := 200 * time.Microsecond; idleP99 < floor {
+		idleP99 = floor // avoid a zero/noise baseline on fast machines
+	}
+	if busyP99 > 100*idleP99 {
+		t.Fatalf("tenant A read p99 degraded from %v to %v while tenant B failed — isolation broken", p99(idle), busyP99)
+	}
+}
+
+// hammerTenantReads runs reader goroutines against tenant A through
+// the router for d, fingerprinting each observed snapshot into prints
+// (when non-nil) and returning per-request latencies.
+func hammerTenantReads(t *testing.T, rt *Router, h *snapshot.Handle, prints *sync.Map, d time.Duration) []time.Duration {
+	t.Helper()
+	const readers = 4
+	var (
+		stop atomic.Bool
+		mu   sync.Mutex
+		lats []time.Duration
+		wg   sync.WaitGroup
+	)
+	errCh := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			paths := []string{"/t/aids/patterns", "/t/aids/quality", "/t/aids/readyz"}
+			var local []time.Duration
+			for n := 0; !stop.Load(); n++ {
+				t0 := time.Now()
+				req := httptest.NewRequest(http.MethodGet, paths[n%len(paths)], nil)
+				w := httptest.NewRecorder()
+				rt.ServeHTTP(w, req)
+				local = append(local, time.Since(t0))
+				if w.Code != http.StatusOK {
+					errCh <- fmt.Errorf("read %s = %d", paths[n%len(paths)], w.Code)
+					return
+				}
+				if got := w.Header().Get("X-Midas-Tenant"); got != "aids" {
+					errCh <- fmt.Errorf("read answered by tenant %q, want aids", got)
+					return
+				}
+				if prints != nil {
+					s := h.Load()
+					fp := tenantFingerprint(s)
+					if prev, loaded := prints.LoadOrStore(s.Generation, fp); loaded && prev.(string) != fp {
+						errCh <- fmt.Errorf("generation %d observed with two fingerprints:\n%s\n%s", s.Generation, prev, fp)
+						return
+					}
+				}
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(i)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	return lats
+}

@@ -1,0 +1,165 @@
+package tenant
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Overrides carries a tenant's per-shard deviations from the process
+// defaults. Pointer fields distinguish "not set" from an explicit
+// zero, so a manifest line can pin exactly the knobs it cares about.
+type Overrides struct {
+	Gamma       *int     // -gamma: displayed pattern count γ
+	MinSize     *int     // -min: minimum pattern size
+	MaxSize     *int     // -max: maximum pattern size
+	SupMin      *float64 // -supmin: FCT support threshold
+	Epsilon     *float64 // -epsilon: evolution ratio threshold ε
+	Seed        *int64   // -seed
+	Workers     *int     // -workers: this shard's kernel fan-out (and budget weight)
+	MaxInflight *int     // -max-inflight: per-shard heavy-request shedding bound
+	QueueSize   *int     // -maintain-queue: per-shard maintenance queue bound
+}
+
+// ManifestEntry is one tenant declaration: an ID plus its overrides.
+type ManifestEntry struct {
+	ID        string
+	Overrides Overrides
+}
+
+// ParseManifest reads the -tenants manifest format: one tenant per
+// line — an ID followed by optional key=value overrides — with blank
+// lines and #-comments ignored.
+//
+//	# id [key=value ...]
+//	aids
+//	pubchem  gamma=30 supmin=0.3
+//	emol     workers=2 max-inflight=8
+//
+// Keys mirror the single-tenant flags: gamma, min, max, supmin,
+// epsilon, seed, workers, max-inflight, maintain-queue. Unknown keys
+// and malformed values are errors — a typo in a production manifest
+// must fail loudly at boot, not silently serve defaults.
+func ParseManifest(r io.Reader) ([]ManifestEntry, error) {
+	var out []ManifestEntry
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		id := fields[0]
+		if err := ValidateID(id); err != nil {
+			return nil, fmt.Errorf("tenant: manifest line %d: %w", lineNo, err)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("tenant: manifest line %d: duplicate tenant %q", lineNo, id)
+		}
+		seen[id] = true
+		ov, err := parseOverrides(fields[1:])
+		if err != nil {
+			return nil, fmt.Errorf("tenant: manifest line %d (%s): %w", lineNo, id, err)
+		}
+		out = append(out, ManifestEntry{ID: id, Overrides: ov})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tenant: reading manifest: %w", err)
+	}
+	return out, nil
+}
+
+// parseOverrides parses key=value tokens (the manifest's per-line tail
+// and the admin API's query parameters share this grammar).
+func parseOverrides(tokens []string) (Overrides, error) {
+	var ov Overrides
+	for _, tok := range tokens {
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok || val == "" {
+			return ov, fmt.Errorf("malformed override %q (want key=value)", tok)
+		}
+		if err := ov.Set(key, val); err != nil {
+			return ov, err
+		}
+	}
+	return ov, nil
+}
+
+// Set applies one key=value override; unknown keys and malformed
+// values are errors.
+func (o *Overrides) Set(key, val string) error {
+	switch key {
+	case "gamma", "min", "max", "workers", "max-inflight", "maintain-queue":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return fmt.Errorf("override %s=%q: want a non-negative integer", key, val)
+		}
+		switch key {
+		case "gamma":
+			o.Gamma = &n
+		case "min":
+			o.MinSize = &n
+		case "max":
+			o.MaxSize = &n
+		case "workers":
+			o.Workers = &n
+		case "max-inflight":
+			o.MaxInflight = &n
+		case "maintain-queue":
+			o.QueueSize = &n
+		}
+	case "supmin", "epsilon":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 {
+			return fmt.Errorf("override %s=%q: want a non-negative number", key, val)
+		}
+		if key == "supmin" {
+			o.SupMin = &f
+		} else {
+			o.Epsilon = &f
+		}
+	case "seed":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("override seed=%q: want an integer", val)
+		}
+		o.Seed = &n
+	default:
+		return fmt.Errorf("unknown override key %q", key)
+	}
+	return nil
+}
+
+// ValidateID rejects tenant IDs that cannot serve as a URL path
+// segment, a directory name and a metric label value at once:
+// lowercase letters, digits, '-' and '_', 1–64 bytes, not starting
+// with '-' or '.'.
+func ValidateID(id string) error {
+	if id == "" {
+		return fmt.Errorf("empty tenant id")
+	}
+	if len(id) > 64 {
+		return fmt.Errorf("tenant id %q too long (max 64)", id)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+		case c == '-':
+			if i == 0 {
+				return fmt.Errorf("tenant id %q starts with '-'", id)
+			}
+		default:
+			return fmt.Errorf("tenant id %q: character %q not allowed (want [a-z0-9_-])", id, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package tenant
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Placement maps tenants to process slots with a consistent-hash ring
+// — the seam toward multi-process deployment. This PR runs every
+// tenant in slot 0 of a one-slot ring, but the Router already rejects
+// tenants placed elsewhere (421 Misdirected Request), so splitting a
+// fleet is a config change, not a code change. Virtual nodes smooth
+// the distribution; adding or removing one slot moves only the tenants
+// whose arcs it owned, which is the property that makes rebalancing
+// cheap.
+type Placement struct {
+	slots  int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	slot int
+}
+
+// placementVnodes is the virtual-node fan-out per slot. 64 keeps the
+// largest/smallest arc ratio low single-digit percent at fleet sizes
+// this system targets.
+const placementVnodes = 64
+
+// NewPlacement builds a ring of n process slots (n < 1 is treated as
+// 1).
+func NewPlacement(n int) *Placement {
+	if n < 1 {
+		n = 1
+	}
+	p := &Placement{slots: n, points: make([]ringPoint, 0, n*placementVnodes)}
+	for slot := 0; slot < n; slot++ {
+		for v := 0; v < placementVnodes; v++ {
+			p.points = append(p.points, ringPoint{
+				hash: placementHash(fmt.Sprintf("slot-%d#%d", slot, v)),
+				slot: slot,
+			})
+		}
+	}
+	sort.Slice(p.points, func(i, j int) bool {
+		if p.points[i].hash != p.points[j].hash {
+			return p.points[i].hash < p.points[j].hash
+		}
+		return p.points[i].slot < p.points[j].slot
+	})
+	return p
+}
+
+// Slots returns the ring size.
+func (p *Placement) Slots() int {
+	if p == nil {
+		return 1
+	}
+	return p.slots
+}
+
+// Slot returns the process slot owning the tenant: the first ring
+// point clockwise of the tenant's hash.
+func (p *Placement) Slot(tenant string) int {
+	if p == nil || p.slots <= 1 {
+		return 0
+	}
+	h := placementHash(tenant)
+	i := sort.Search(len(p.points), func(i int) bool { return p.points[i].hash >= h })
+	if i == len(p.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	return p.points[i].slot
+}
+
+// placementHash is fnv-1a with a finalizing avalanche. Raw FNV of
+// near-identical keys ("slot-0#17" vs "slot-1#17") clusters by prefix
+// — whole slots end up owning contiguous ring regions — so the mix
+// step spreads the bits before they hit the ring.
+func placementHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective avalanche.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

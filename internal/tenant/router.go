@@ -1,0 +1,240 @@
+package tenant
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"github.com/midas-graph/midas/internal/telemetry"
+)
+
+// Router is the process front door for multi-tenant serving. It
+// resolves /t/{tenant}/... (or the X-Midas-Tenant request header) to a
+// shard and delegates to that shard's full single-tenant handler
+// chain, stamping X-Midas-Tenant on the response so clients and tests
+// can assert which shard answered. Process-level endpoints — /healthz,
+// the aggregated /readyz, /metrics and /debug/vars over the shared
+// registry, and the /admin/tenants lifecycle API — are served here,
+// outside any shard.
+type Router struct {
+	reg      *Registry
+	metrics  *telemetry.Registry
+	logger   *telemetry.Logger
+	adminOn  bool
+	draining atomic.Bool
+}
+
+// NewRouter fronts a registry. metrics, when non-nil, serves /metrics
+// and /debug/vars (pass the same base registry the shards label).
+func NewRouter(reg *Registry, metrics *telemetry.Registry, logger *telemetry.Logger) *Router {
+	return &Router{reg: reg, metrics: metrics, logger: logger}
+}
+
+// EnableAdmin exposes POST/DELETE /admin/tenants/{id} — the dynamic
+// add/drain API. Off by default: the admin surface mutates disk and
+// must be opted into.
+func (rt *Router) EnableAdmin() { rt.adminOn = true }
+
+// SetDraining flips the process-wide /readyz verdict during shutdown.
+func (rt *Router) SetDraining(on bool) { rt.draining.Store(on) }
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == "/healthz":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	case path == "/readyz":
+		rt.handleReadyz(w, r)
+	case path == "/metrics" && rt.metrics != nil:
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		rt.metrics.WritePrometheus(w)
+	case path == "/debug/vars" && rt.metrics != nil:
+		w.Header().Set("Content-Type", "application/json")
+		rt.metrics.WriteJSON(w)
+	case path == "/admin/tenants" || strings.HasPrefix(path, "/admin/tenants/"):
+		rt.handleAdmin(w, r)
+	case strings.HasPrefix(path, "/t/"):
+		id, rest := splitTenantPath(path)
+		rt.dispatch(w, r, id, rest)
+	case path == "/":
+		rt.handleIndex(w, r)
+	default:
+		// Header fallback: a reverse proxy that already consumed the
+		// path prefix addresses the tenant out of band.
+		if id := r.Header.Get("X-Midas-Tenant"); id != "" {
+			rt.dispatch(w, r, id, path)
+			return
+		}
+		http.NotFound(w, r)
+	}
+}
+
+// splitTenantPath splits "/t/{id}/rest" into (id, "/rest"); a bare
+// "/t/{id}" maps to the shard's index "/".
+func splitTenantPath(path string) (id, rest string) {
+	trimmed := strings.TrimPrefix(path, "/t/")
+	if i := strings.IndexByte(trimmed, '/'); i >= 0 {
+		return trimmed[:i], trimmed[i:]
+	}
+	return trimmed, "/"
+}
+
+// dispatch routes one request into a shard's handler chain with the
+// tenant prefix stripped, so shard handlers see the same paths as
+// single-tenant serving.
+func (rt *Router) dispatch(w http.ResponseWriter, r *http.Request, id, rest string) {
+	sh, ok := rt.reg.Get(id)
+	if !ok {
+		rt.rejectUnknown(w, id)
+		return
+	}
+	w.Header().Set("X-Midas-Tenant", id)
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = rest
+	if r2.URL.RawPath != "" {
+		r2.URL.RawPath = ""
+	}
+	sh.Handler().ServeHTTP(w, r2)
+}
+
+// rejectUnknown distinguishes "no such tenant" (404) from "tenant
+// placed on another process slot" (421 Misdirected Request — the
+// client or balancer should re-resolve placement).
+func (rt *Router) rejectUnknown(w http.ResponseWriter, id string) {
+	opts := rt.reg.Options()
+	if p := opts.Placement; p != nil && ValidateID(id) == nil {
+		if slot := p.Slot(id); slot != opts.Slot {
+			http.Error(w, fmt.Sprintf("tenant %s is placed on slot %d (this process is slot %d)", id, slot, opts.Slot),
+				http.StatusMisdirectedRequest)
+			return
+		}
+	}
+	http.Error(w, "unknown tenant", http.StatusNotFound)
+}
+
+// handleReadyz aggregates every shard's health: one line per shard
+// plus a worst-of summary. Degraded and poisoned shards stay ready —
+// serving the last good generation is the design — so the endpoint
+// answers 503 only while the process itself is draining.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if rt.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	sts := rt.reg.Statuses()
+	worst := "ok"
+	for _, st := range sts {
+		if stateRank(st.State) > stateRank(worst) {
+			worst = st.State
+		}
+	}
+	fmt.Fprintf(w, "%s (%d tenant(s))\n", worst, len(sts))
+	for _, st := range sts {
+		fmt.Fprintf(w, "%s: %s generation=%d patterns=%d depth=%d staleness=%.3fs poisoned=%d\n",
+			st.ID, st.State, st.Generation, st.Patterns, st.QueueDepth, st.StalenessSeconds, st.Poisoned)
+	}
+}
+
+// handleIndex lists the attached tenants as JSON — the discovery
+// endpoint a GUI uses to offer a dataset picker.
+func (rt *Router) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rt.writeJSON(w, http.StatusOK, map[string]interface{}{"tenants": rt.reg.Statuses()})
+}
+
+// handleAdmin is the tenant lifecycle API:
+//
+//	GET    /admin/tenants        list shard statuses
+//	GET    /admin/tenants/{id}   one shard's status
+//	POST   /admin/tenants/{id}   cold-start and attach (overrides via
+//	                             query params, e.g. ?gamma=30&workers=2)
+//	DELETE /admin/tenants/{id}   drain and detach
+func (rt *Router) handleAdmin(w http.ResponseWriter, r *http.Request) {
+	id := strings.Trim(strings.TrimPrefix(r.URL.Path, "/admin/tenants"), "/")
+	if strings.ContainsRune(id, '/') {
+		http.NotFound(w, r)
+		return
+	}
+	switch {
+	case r.Method == http.MethodGet && id == "":
+		rt.writeJSON(w, http.StatusOK, map[string]interface{}{"tenants": rt.reg.Statuses()})
+	case r.Method == http.MethodGet:
+		sh, ok := rt.reg.Get(id)
+		if !ok {
+			rt.rejectUnknown(w, id)
+			return
+		}
+		rt.writeJSON(w, http.StatusOK, sh.Status())
+	case r.Method == http.MethodPost && id != "":
+		if !rt.adminOn {
+			http.Error(w, "admin API disabled", http.StatusForbidden)
+			return
+		}
+		var ov Overrides
+		for key, vals := range r.URL.Query() {
+			for _, val := range vals {
+				if err := ov.Set(key, val); err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+			}
+		}
+		sh, err := rt.reg.Add(id, ov)
+		switch {
+		case errors.Is(err, ErrExists):
+			http.Error(w, err.Error(), http.StatusConflict)
+		case errors.Is(err, ErrMisplaced):
+			http.Error(w, err.Error(), http.StatusMisdirectedRequest)
+		case err != nil:
+			rt.logf("tenant admin: add %s: %v", id, err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		default:
+			rt.writeJSON(w, http.StatusCreated, sh.Status())
+		}
+	case r.Method == http.MethodDelete && id != "":
+		if !rt.adminOn {
+			http.Error(w, "admin API disabled", http.StatusForbidden)
+			return
+		}
+		// The request context bounds the drain: a client that gives up
+		// cancels the graceful phase and the in-flight batch rolls back.
+		err := rt.reg.Remove(r.Context(), id)
+		switch {
+		case errors.Is(err, ErrUnknown):
+			http.Error(w, "unknown tenant", http.StatusNotFound)
+		case err != nil:
+			rt.logf("tenant admin: drain %s: %v", id, err)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		default:
+			rt.writeJSON(w, http.StatusOK, map[string]interface{}{"drained": id})
+		}
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		rt.logf("tenant: encoding response: %v", err)
+	}
+}
+
+func (rt *Router) logf(format string, args ...interface{}) {
+	if rt.logger != nil {
+		rt.logger.Warnf(format, args...)
+	}
+}

@@ -1,0 +1,123 @@
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/midas-graph/midas/internal/telemetry"
+)
+
+// TestTenantsSmoke is the `make tenants-smoke` target: boot three
+// tenants behind one router over real HTTP, maintain exactly one of
+// them, query all three, and assert the isolation contract — every
+// response names its shard in X-Midas-Tenant, and only the maintained
+// tenant's generation moves.
+func TestTenantsSmoke(t *testing.T) {
+	opts := memoryOptions()
+	opts.Budget = NewBudget(2)
+	opts.Telemetry = telemetry.NewRegistry()
+	r := NewRegistry(opts)
+	ids := []string{"aids", "emol", "pubchem"}
+	for _, id := range ids {
+		addTenant(t, r, id)
+	}
+	srv := httptest.NewServer(NewRouter(r, opts.Telemetry, nil))
+	defer srv.Close()
+
+	// Baseline: query every tenant, record generations and headers.
+	genBefore := make(map[string]uint64, len(ids))
+	for _, id := range ids {
+		resp := httpGet(t, srv.URL+"/t/"+id+"/patterns")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /t/%s/patterns = %d", id, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Midas-Tenant"); got != id {
+			t.Fatalf("isolation header = %q, want %q", got, id)
+		}
+		genBefore[id] = parseGen(t, resp)
+		var patterns []map[string]interface{}
+		if err := json.NewDecoder(resp.Body).Decode(&patterns); err != nil {
+			t.Fatalf("decoding %s patterns: %v", id, err)
+		}
+		resp.Body.Close()
+		if len(patterns) == 0 {
+			t.Fatalf("tenant %s serves no patterns", id)
+		}
+	}
+
+	// Maintain exactly one tenant.
+	body := strings.NewReader("t 0\nv 0 C\nv 1 N\nv 2 O\ne 0 1\ne 1 2\n")
+	resp, err := http.Post(srv.URL+"/t/emol/maintain", "text/plain", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("maintain emol = %d: %s", resp.StatusCode, payload)
+	}
+	if got := resp.Header.Get("X-Midas-Tenant"); got != "emol" {
+		t.Fatalf("maintain isolation header = %q", got)
+	}
+
+	// Re-query all three: only emol's generation moved.
+	for _, id := range ids {
+		resp := httpGet(t, srv.URL+"/t/"+id+"/patterns")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		gen := parseGen(t, resp)
+		switch {
+		case id == "emol" && gen != genBefore[id]+1:
+			t.Fatalf("emol generation = %d, want %d", gen, genBefore[id]+1)
+		case id != "emol" && gen != genBefore[id]:
+			t.Fatalf("tenant %s generation moved %d → %d on emol's batch", id, genBefore[id], gen)
+		}
+	}
+
+	// The aggregated readyz names all three shards, worst-of ok.
+	resp = httpGet(t, srv.URL+"/readyz")
+	ready, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(ready), "ok (3 tenant(s))") {
+		t.Fatalf("readyz = %d:\n%s", resp.StatusCode, ready)
+	}
+	for _, id := range ids {
+		if !strings.Contains(string(ready), id+": ok") {
+			t.Fatalf("readyz missing %s:\n%s", id, ready)
+		}
+	}
+
+	// The shared /metrics carries all three tenant labels.
+	resp = httpGet(t, srv.URL+"/metrics")
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, id := range ids {
+		if !strings.Contains(string(metrics), fmt.Sprintf(`midas_snapshot_generation{tenant=%q}`, id)) {
+			t.Fatalf("/metrics missing tenant %s generation gauge", id)
+		}
+	}
+}
+
+func httpGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func parseGen(t *testing.T, resp *http.Response) uint64 {
+	t.Helper()
+	gen, err := strconv.ParseUint(resp.Header.Get("X-Midas-Generation"), 10, 64)
+	if err != nil {
+		t.Fatalf("bad X-Midas-Generation %q: %v", resp.Header.Get("X-Midas-Generation"), err)
+	}
+	return gen
+}
