@@ -1,7 +1,11 @@
 // midas-lint runs the project's static-analysis suite (internal/lint)
-// over the module: six stdlib-only analyzers enforcing the determinism,
-// cancellation, durability, lock-scope, registry-hygiene and
-// error-wrapping invariants the MIDAS stack depends on.
+// over the module: stdlib-only analyzers enforcing the determinism,
+// cancellation, durability, registry-hygiene and error-wrapping
+// invariants the MIDAS stack depends on, plus the interprocedural
+// concurrency checks built on the whole-module call graph — lock
+// acquisition order (lockorder), goroutine stop paths (goroleak),
+// atomic access hygiene (atomichygiene) and call-graph-aware lock
+// scope (lockscope).
 //
 // Usage:
 //
@@ -31,13 +35,14 @@ func main() {
 
 func run() int {
 	var (
-		jsonOut  = flag.Bool("json", false, "emit one midas-lint/1 JSON document instead of text")
-		enable   = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
-		disable  = flag.String("disable", "", "comma-separated analyzers to skip")
-		allow    = flag.String("allow", "", "allowlist file of deliberate exceptions (default: <module>/.midas-lint-allow when present)")
-		list     = flag.Bool("list", false, "list analyzers and exit")
-		strict   = flag.Bool("strict", false, "also fail on allowlisted findings and stale allowlist entries")
-		moduleIn = flag.String("module", ".", "directory inside the module to lint")
+		jsonOut   = flag.Bool("json", false, "emit one midas-lint/2 JSON document instead of text")
+		enable    = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable   = flag.String("disable", "", "comma-separated analyzers to skip")
+		allow     = flag.String("allow", "", "allowlist file of deliberate exceptions (default: <module>/.midas-lint-allow when present)")
+		list      = flag.Bool("list", false, "list analyzers and exit")
+		strict    = flag.Bool("strict", false, "also fail on allowlisted findings and stale allowlist entries")
+		lockGraph = flag.Bool("lockgraph", false, "print the derived mutex acquisition-order graph (text mode)")
+		moduleIn  = flag.String("module", ".", "directory inside the module to lint")
 	)
 	flag.Parse()
 
@@ -64,7 +69,7 @@ func run() int {
 		return 2
 	}
 
-	diags := lint.Run(m, analyzers)
+	diags, stats := lint.RunTimed(m, analyzers)
 	diags = filterToArgs(diags, flag.Args())
 
 	allowPath := *allow
@@ -91,7 +96,7 @@ func run() int {
 	}
 
 	if *jsonOut {
-		if err := lint.WriteJSON(os.Stdout, m, analyzers, diags); err != nil {
+		if err := lint.WriteJSON(os.Stdout, m, analyzers, diags, stats); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
@@ -105,6 +110,9 @@ func run() int {
 				suffix = " [allowed]"
 			}
 			fmt.Printf("%s%s\n", d, suffix)
+		}
+		if *lockGraph {
+			printLockGraph(m)
 		}
 	}
 
@@ -125,6 +133,26 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// printLockGraph renders lockorder's derived acquisition-order graph.
+func printLockGraph(m *lint.Module) {
+	lg := m.LockGraph()
+	if lg == nil {
+		fmt.Println("lock graph: not derived (lockorder did not run)")
+		return
+	}
+	fmt.Printf("lock graph: %d lock(s), %d ordered pair(s)\n", len(lg.Locks), len(lg.Edges))
+	for _, l := range lg.Locks {
+		fmt.Printf("  lock %-28s declared at %s:%d\n", l.Display, l.Pos.Filename, l.Pos.Line)
+	}
+	for _, e := range lg.Edges {
+		line := fmt.Sprintf("  order %s -> %s (witness %s", e.From, e.To, e.Witness)
+		if e.Via != "" {
+			line += " via " + e.Via
+		}
+		fmt.Println(line + ")")
+	}
 }
 
 // findModuleRoot walks up from dir to the nearest go.mod.

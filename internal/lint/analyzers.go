@@ -9,9 +9,12 @@ import (
 // All returns every analyzer in the suite, in stable name order.
 func All() []*Analyzer {
 	as := []*Analyzer{
+		AtomicHygiene,
 		CtxPropagation,
 		ErrWrap,
 		FsyncDiscipline,
+		GoroLeak,
+		LockOrder,
 		LockScope,
 		MapDeterminism,
 		RegistryHygiene,

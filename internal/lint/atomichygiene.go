@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicHygiene enforces the module's two atomicity contracts.
+//
+// Mixed access: once any code touches a variable through sync/atomic
+// (atomic.AddInt64(&x, ...), atomic.LoadUint64(&x), ...), every other
+// access to the same variable must also be atomic — a single plain
+// read or write reintroduces the data race the atomic was bought to
+// remove, and the race detector only sees it on schedules that
+// interleave. The same applies to values of the atomic wrapper types
+// (atomic.Bool/Int64/Pointer/Value, ...): they must be operated on
+// through their methods, never copied by assignment or by passing by
+// value (a copy forks the value and silently drops updates).
+//
+// Publisher monotonicity: a snapshot Handle's generation state (gen,
+// publishedAt, cur) advances only inside (*Handle).Publish — the
+// single writer the snapshot protocol's correctness argument rests on.
+// Any Store/Add/Swap/CompareAndSwap on those fields elsewhere breaks
+// the "readers observe monotonically increasing generations" invariant.
+var AtomicHygiene = &Analyzer{
+	Name:      "atomichygiene",
+	Doc:       "variables accessed via sync/atomic must never be accessed non-atomically; snapshot Handle generations advance only through Publish",
+	RunModule: runAtomicHygiene,
+}
+
+// handleGenFields are the snapshot.Handle fields owned by Publish.
+var handleGenFields = map[string]bool{"gen": true, "cur": true, "publishedAt": true}
+
+func runAtomicHygiene(m *Module, report func(Diagnostic)) {
+	g := m.CallGraph()
+
+	// Pass 1: find every variable passed as &x to a sync/atomic
+	// function, and remember the sanctioned &x expression spans.
+	atomicClasses := make(map[token.Pos]stateClass)
+	type span struct{ lo, hi token.Pos }
+	sanctioned := make(map[FuncID][]span)
+	for _, id := range g.IDs {
+		n := g.Nodes[id]
+		if n.Test || n.Pkg.ForTest {
+			continue
+		}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeOf(n.Pkg.Info, call)
+			if !isAtomicFunc(obj) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if c, ok := classOf(n.Pkg, addr.X); ok {
+				if _, seen := atomicClasses[c.ID]; !seen {
+					atomicClasses[c.ID] = c
+				}
+				sanctioned[id] = append(sanctioned[id], span{addr.Pos(), addr.End()})
+			}
+			return true
+		})
+	}
+
+	// Pass 2: every other use of an atomic class is a violation, and
+	// atomic wrapper values must not be copied. Also enforce the Handle
+	// publisher rule.
+	for _, id := range g.IDs {
+		n := g.Nodes[id]
+		if n.Test || n.Pkg.ForTest {
+			continue
+		}
+		spans := sanctioned[id]
+		inSanctioned := func(pos token.Pos) bool {
+			for _, s := range spans {
+				if posWithin(pos, s.lo, s.hi) {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			switch v := node.(type) {
+			case *ast.Ident:
+				vr, ok := n.Pkg.Info.Uses[v].(*types.Var)
+				if !ok {
+					return true
+				}
+				c, tracked := atomicClasses[vr.Pos()]
+				if !tracked || inSanctioned(v.Pos()) {
+					return true
+				}
+				report(Diagnostic{
+					Analyzer: "atomichygiene",
+					Position: m.Fset.Position(v.Pos()),
+					Message: strings.Join([]string{
+						c.Display, "is accessed with sync/atomic elsewhere; this plain access races with it — use the atomic API here too",
+					}, " "),
+				})
+			case *ast.AssignStmt:
+				for _, rhs := range v.Rhs {
+					reportAtomicCopy(m, n, rhs, "assignment copies", report)
+				}
+				if v.Tok != token.ASSIGN {
+					return true // := defines a fresh variable; the RHS copy is already flagged
+				}
+				for _, lhs := range v.Lhs {
+					// Writing THROUGH an atomic wrapper (h.gen = x) is
+					// equally wrong: it bypasses the atomic API.
+					if t := n.Pkg.Info.TypeOf(lhs); atomicWrapperType(t) != "" {
+						report(Diagnostic{
+							Analyzer: "atomichygiene",
+							Position: m.Fset.Position(lhs.Pos()),
+							Message:  "assignment to " + atomicWrapperType(n.Pkg.Info.TypeOf(lhs)) + " value bypasses the atomic API; use its Store method",
+						})
+					}
+				}
+			case *ast.CallExpr:
+				enforceHandlePublisher(m, n, v, report)
+				for _, arg := range v.Args {
+					reportAtomicCopy(m, n, arg, "passing by value copies", report)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportAtomicCopy flags expressions that copy an atomic wrapper value.
+// Only assignment right-hand sides and call arguments reach here, and
+// both copy; method-call receivers (h.gen.Load()) and &h.gen never do.
+func reportAtomicCopy(m *Module, n *CGNode, e ast.Expr, how string, report func(Diagnostic)) {
+	e = ast.Unparen(e)
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return
+	}
+	name := atomicWrapperType(n.Pkg.Info.TypeOf(e))
+	if name == "" {
+		return
+	}
+	report(Diagnostic{
+		Analyzer: "atomichygiene",
+		Position: m.Fset.Position(e.Pos()),
+		Message:  how + " a " + name + " value, forking its state; operate through its methods or pass a pointer",
+	})
+}
+
+// atomicWrapperType returns the display name ("atomic.Int64", ...)
+// when t is one of sync/atomic's wrapper types, else "".
+func atomicWrapperType(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		if a, ok := t.(*types.Alias); ok {
+			return atomicWrapperType(types.Unalias(a))
+		}
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	switch obj.Name() {
+	case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+		return "atomic." + obj.Name()
+	}
+	return ""
+}
+
+// isAtomicFunc reports whether obj is a sync/atomic package function.
+func isAtomicFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// enforceHandlePublisher flags Store/Add/Swap/CompareAndSwap method
+// calls on snapshot.Handle generation fields outside (*Handle).Publish.
+func enforceHandlePublisher(m *Module, n *CGNode, call *ast.CallExpr, report func(Diagnostic)) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Store", "Add", "Swap", "CompareAndSwap":
+	default:
+		return
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || !handleGenFields[inner.Sel.Name] {
+		return
+	}
+	if t := n.Pkg.Info.TypeOf(inner.X); t == nil || !namedType(t, "snapshot", "Handle") {
+		return
+	}
+	if n.Decl.Name.Name == "Publish" && n.Decl.Recv != nil {
+		if recvT := n.Pkg.Info.TypeOf(n.Decl.Recv.List[0].Type); recvT != nil && namedType(recvT, "snapshot", "Handle") {
+			return
+		}
+	}
+	report(Diagnostic{
+		Analyzer: "atomichygiene",
+		Position: m.Fset.Position(call.Pos()),
+		Message:  "snapshot.Handle." + inner.Sel.Name + " mutated outside (*Handle).Publish; generations must advance monotonically through the publisher",
+	})
+}

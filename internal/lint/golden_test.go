@@ -15,7 +15,7 @@ import (
 // both the true-positive and the false-positive behaviour of every
 // analyzer.
 
-var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+var wantRe = regexp.MustCompile("// want (?:\"([^\"]*)\"|`([^`]*)`)")
 
 type wantDiag struct {
 	file    string
@@ -40,9 +40,13 @@ func collectWants(t *testing.T, root string) []*wantDiag {
 		}
 		for i, line := range strings.Split(string(data), "\n") {
 			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
-				re, err := regexp.Compile(m[1])
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
 				if err != nil {
-					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, pat, err)
 				}
 				wants = append(wants, &wantDiag{file: path, line: i + 1, pattern: re})
 			}

@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// GoroLeak requires every `go` statement to have a provable stop path.
+// The maintenance loop runs for the lifetime of the process next to
+// the serving path; a goroutine with no termination condition is a
+// slow leak of memory and scheduler load that no test notices until
+// production. A launch is accepted when the spawned body (searched
+// through its synchronous module calls, with channel parameters bound
+// to the caller's arguments) provably stops:
+//
+//   - it receives from a context.Context's Done() channel;
+//   - it receives from / ranges over / selects on a channel that some
+//     non-test module function close()s;
+//   - it calls Done() on a sync.WaitGroup that is Wait()ed either in
+//     the launching function itself (structured concurrency) or in an
+//     owner method named like Stop/Shutdown/Drain/Close/Wait;
+//   - or it contains no loops at all (transitively), so it terminates
+//     by running off the end.
+//
+// Two launch shapes are exempt by design: test files (the test binary
+// exits) and `package main` (process-lifetime goroutines die with the
+// process). Everything else needs a proof or an allowlist entry with a
+// reason.
+var GoroLeak = &Analyzer{
+	Name:      "goroleak",
+	Doc:       "every go statement needs a provable stop path: ctx/done select, closed-channel receive, or an owner-joined WaitGroup",
+	RunModule: runGoroLeak,
+}
+
+var ownerJoinName = regexp.MustCompile(`(?i)stop|shutdown|drain|close|wait`)
+
+func runGoroLeak(m *Module, report func(Diagnostic)) {
+	g := m.CallGraph()
+	facts := collectLeakFacts(m, g)
+
+	for _, id := range g.IDs {
+		n := g.Nodes[id]
+		if n.Test || n.Pkg.Name == "main" || n.Pkg.ForTest {
+			continue
+		}
+		if n.Pkg.TestFileFor(m.Fset, n.Decl.Pos()) {
+			continue
+		}
+		for _, site := range n.GoSites {
+			if proveStop(g, facts, n, site) {
+				continue
+			}
+			report(Diagnostic{
+				Analyzer: "goroleak",
+				Position: m.Fset.Position(site.Pos),
+				Message:  "goroutine has no provable stop path; thread a context/done channel, consume a channel an owner closes, or join a WaitGroup in the launcher or an owner Stop/Shutdown/Drain",
+			})
+		}
+	}
+}
+
+// leakFacts are the module-wide facts the per-site proof consults.
+type leakFacts struct {
+	// closedChans holds the class IDs of channels some non-test module
+	// function passes to close().
+	closedChans map[token.Pos]bool
+	// wgWaiters maps a sync.WaitGroup class ID to the nodes that call
+	// Wait() on it (non-test module code).
+	wgWaiters map[token.Pos][]*CGNode
+}
+
+func collectLeakFacts(m *Module, g *CallGraph) *leakFacts {
+	f := &leakFacts{
+		closedChans: make(map[token.Pos]bool),
+		wgWaiters:   make(map[token.Pos][]*CGNode),
+	}
+	for _, id := range g.IDs {
+		n := g.Nodes[id]
+		if n.Test || n.Pkg.ForTest {
+			continue
+		}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+				if _, isBuiltin := n.Pkg.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+					if c, ok := classOf(n.Pkg, call.Args[0]); ok {
+						f.closedChans[c.ID] = true
+					}
+				}
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if t := n.Pkg.Info.TypeOf(sel.X); t != nil && namedTypePath(t, "sync", "WaitGroup") {
+					if c, ok := classOf(n.Pkg, sel.X); ok {
+						f.wgWaiters[c.ID] = append(f.wgWaiters[c.ID], n)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return f
+}
+
+// proveStop attempts each accepted proof for one go site.
+func proveStop(g *CallGraph, facts *leakFacts, launcher *CGNode, site GoSite) bool {
+	p := &leakProver{g: g, facts: facts, launcher: launcher, visited: make(map[token.Pos]bool)}
+	switch {
+	case site.Body != nil:
+		// Inline (or local-variable) function literal: arguments of the
+		// immediate call bind the literal's parameters.
+		binding := bindParams(launcher.Pkg, site.Body.Type, site.Call)
+		return p.search(launcher, site.Body.Body, binding)
+	case site.Callee != token.NoPos:
+		callee := g.Nodes[site.Callee]
+		if callee == nil {
+			return false
+		}
+		binding := bindParams(callee.Pkg, callee.Decl.Type, site.Call)
+		p.visited[callee.ID] = true
+		return p.search(callee, callee.Decl.Body, binding)
+	}
+	// Dynamic or external launch target: nothing to inspect.
+	return false
+}
+
+// bindParams maps channel-typed parameter object positions to the
+// class IDs of the caller's corresponding arguments, so a receive on a
+// parameter inside the spawned body resolves to the caller's channel.
+func bindParams(pkg *Package, ft *ast.FuncType, call *ast.CallExpr) map[token.Pos]token.Pos {
+	binding := make(map[token.Pos]token.Pos)
+	if ft == nil || ft.Params == nil || call == nil {
+		return binding
+	}
+	argIdx := 0
+	for _, field := range ft.Params.List {
+		names := field.Names
+		if len(names) == 0 {
+			argIdx++
+			continue
+		}
+		for _, name := range names {
+			if argIdx >= len(call.Args) {
+				return binding
+			}
+			obj := pkg.Info.ObjectOf(name)
+			if obj != nil {
+				if c, ok := classOf(pkg, call.Args[argIdx]); ok {
+					binding[obj.Pos()] = c.ID
+				}
+			}
+			argIdx++
+		}
+	}
+	return binding
+}
+
+type leakProver struct {
+	g        *CallGraph
+	facts    *leakFacts
+	launcher *CGNode
+	visited  map[token.Pos]bool
+	// loops records whether any searched body contains a loop that is
+	// not a bounded range (range over slice/map/array/int); used by the
+	// termination proof.
+	loops bool
+}
+
+// search walks one body (and, recursively, its synchronous module
+// callees) looking for a stop proof. binding maps parameter object
+// positions to caller-side class IDs.
+func (p *leakProver) search(n *CGNode, body ast.Node, binding map[token.Pos]token.Pos) bool {
+	if p.searchBody(n, body, binding) {
+		return true
+	}
+	// Termination proof: the whole transitive body ran without finding
+	// a loop, so the goroutine runs off the end.
+	return !p.loops
+}
+
+func (p *leakProver) searchBody(n *CGNode, body ast.Node, binding map[token.Pos]token.Pos) bool {
+	proven := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		if proven {
+			return false
+		}
+		switch v := node.(type) {
+		case *ast.GoStmt:
+			// A nested launch is its own go site with its own proof.
+			return false
+		case *ast.ForStmt:
+			p.loops = true
+		case *ast.RangeStmt:
+			if t := n.Pkg.Info.TypeOf(v.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					p.loops = true
+					if p.chanProven(n, v.X, binding) {
+						proven = true
+						return false
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW && p.recvProven(n, v.X, binding) {
+				proven = true
+				return false
+			}
+		case *ast.CallExpr:
+			if p.callProven(n, v, binding) {
+				proven = true
+				return false
+			}
+		}
+		return true
+	})
+	return proven
+}
+
+// recvProven handles `<-expr`: a Done() of a context, or a channel
+// closed by an owner.
+func (p *leakProver) recvProven(n *CGNode, expr ast.Expr, binding map[token.Pos]token.Pos) bool {
+	if call, ok := ast.Unparen(expr).(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			if isContextType(n.Pkg.Info.TypeOf(sel.X)) {
+				return true
+			}
+		}
+		return false
+	}
+	return p.chanProven(n, expr, binding)
+}
+
+// chanProven reports whether the channel expression resolves to a
+// class some owner close()s.
+func (p *leakProver) chanProven(n *CGNode, expr ast.Expr, binding map[token.Pos]token.Pos) bool {
+	c, ok := classOf(n.Pkg, expr)
+	if !ok {
+		return false
+	}
+	id := c.ID
+	if mapped, ok := binding[id]; ok {
+		id = mapped
+	}
+	return p.facts.closedChans[id]
+}
+
+// callProven handles calls inside the spawned body: wg.Done() with an
+// owner-joined WaitGroup, and recursion into synchronous module
+// callees.
+func (p *leakProver) callProven(n *CGNode, call *ast.CallExpr, binding map[token.Pos]token.Pos) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+		if t := n.Pkg.Info.TypeOf(sel.X); t != nil && namedTypePath(t, "sync", "WaitGroup") {
+			if c, ok := classOf(n.Pkg, sel.X); ok {
+				id := c.ID
+				if mapped, ok := binding[id]; ok {
+					id = mapped
+				}
+				for _, waiter := range p.facts.wgWaiters[id] {
+					if waiter.ID == p.launcher.ID {
+						return true // joined by the launching function itself
+					}
+					if ownerJoinName.MatchString(waiter.Decl.Name.Name) {
+						return true // joined by an owner's Stop/Shutdown/Drain/Close/Wait
+					}
+				}
+			}
+		}
+	}
+	// Recurse into synchronous module callees, binding their channel
+	// parameters to our arguments (depth-limited by the visited set).
+	obj := calleeOf(n.Pkg.Info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || !inModulePkg(p.g.Module, fn) {
+		return false
+	}
+	callee := p.g.Nodes[fn.Pos()]
+	if callee == nil || p.visited[callee.ID] {
+		return false
+	}
+	p.visited[callee.ID] = true
+	nested := bindParams(callee.Pkg, callee.Decl.Type, call)
+	// Compose bindings: the callee's param may be bound to OUR param,
+	// which the outer binding maps onward to the real channel.
+	for pos, target := range nested {
+		if mapped, ok := binding[target]; ok {
+			nested[pos] = mapped
+		}
+	}
+	return p.searchBody(callee, callee.Decl.Body, nested)
+}

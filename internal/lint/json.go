@@ -4,20 +4,58 @@ import (
 	"encoding/json"
 	"io"
 	"path/filepath"
+	"strconv"
 )
 
 // JSONSchema identifies the machine-readable output format; bump on
 // incompatible change (documented in EXPERIMENTS.md).
-const JSONSchema = "midas-lint/1"
+//
+// midas-lint/2 changed "analyzers" from a list of names to a list of
+// objects with per-analyzer wall-clock timing, and added "callgraph"
+// (interprocedural graph statistics) and "lockgraph" (the derived
+// mutex acquisition-order graph) when the respective analyzers ran.
+const JSONSchema = "midas-lint/2"
 
 // jsonReport is the -json document.
 type jsonReport struct {
-	Schema    string     `json:"schema"`
-	Module    string     `json:"module"`
-	Analyzers []string   `json:"analyzers"`
-	Count     int        `json:"count"`   // findings that fail the run
-	Allowed   int        `json:"allowed"` // findings suppressed by the allowlist
-	Diags     []jsonDiag `json:"diagnostics"`
+	Schema    string         `json:"schema"`
+	Module    string         `json:"module"`
+	Analyzers []jsonAnalyzer `json:"analyzers"`
+	Count     int            `json:"count"`   // findings that fail the run
+	Allowed   int            `json:"allowed"` // findings suppressed by the allowlist
+	Diags     []jsonDiag     `json:"diagnostics"`
+	CallGraph *jsonCallGraph `json:"callgraph,omitempty"`
+	LockGraph *jsonLockGraph `json:"lockgraph,omitempty"`
+}
+
+type jsonAnalyzer struct {
+	Name   string  `json:"name"`
+	Millis float64 `json:"ms"`
+}
+
+type jsonCallGraph struct {
+	Functions   int     `json:"functions"`
+	CallSites   int     `json:"call_sites"`
+	Edges       int     `json:"edges"`
+	IfaceEdges  int     `json:"iface_edges"`
+	BuildMillis float64 `json:"build_ms"`
+}
+
+type jsonLockGraph struct {
+	Locks []jsonLockNode `json:"locks"`
+	Edges []jsonLockEdge `json:"edges"`
+}
+
+type jsonLockNode struct {
+	Name string `json:"name"`
+	Decl string `json:"decl"` // "file:line" of the declaration
+}
+
+type jsonLockEdge struct {
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Witness string `json:"witness"`
+	Via     string `json:"via,omitempty"`
 }
 
 type jsonDiag struct {
@@ -29,21 +67,54 @@ type jsonDiag struct {
 	Allowed  bool   `json:"allowed,omitempty"`
 }
 
-// WriteJSON renders diagnostics as one midas-lint/1 JSON document.
-func WriteJSON(w io.Writer, m *Module, analyzers []*Analyzer, diags []Diagnostic) error {
+// WriteJSON renders diagnostics as one midas-lint/2 JSON document.
+// stats may be nil (e.g. from callers that only ran Run); analyzer
+// entries then carry zero timings.
+func WriteJSON(w io.Writer, m *Module, analyzers []*Analyzer, diags []Diagnostic, stats *RunStats) error {
 	rep := jsonReport{
 		Schema: JSONSchema,
 		Module: m.Path,
 		Diags:  []jsonDiag{},
 	}
+	timing := make(map[string]float64)
+	if stats != nil {
+		for _, at := range stats.Analyzers {
+			timing[at.Name] = at.Millis
+		}
+	}
 	for _, a := range analyzers {
-		rep.Analyzers = append(rep.Analyzers, a.Name)
+		rep.Analyzers = append(rep.Analyzers, jsonAnalyzer{Name: a.Name, Millis: timing[a.Name]})
+	}
+	if stats != nil && stats.CallGraph != nil {
+		rep.CallGraph = &jsonCallGraph{
+			Functions:   stats.CallGraph.Functions,
+			CallSites:   stats.CallGraph.CallSites,
+			Edges:       stats.CallGraph.Edges,
+			IfaceEdges:  stats.CallGraph.IfaceEdges,
+			BuildMillis: stats.CallGraph.BuildMillis,
+		}
+	}
+	if lg := m.LockGraph(); lg != nil {
+		jlg := &jsonLockGraph{Locks: []jsonLockNode{}, Edges: []jsonLockEdge{}}
+		for _, l := range lg.Locks {
+			decl := l.Pos.Filename
+			if rel := relPathForReport(m, decl); rel != "" {
+				decl = rel
+			}
+			jlg.Locks = append(jlg.Locks, jsonLockNode{
+				Name: l.Display,
+				Decl: decl + ":" + strconv.Itoa(l.Pos.Line),
+			})
+		}
+		for _, e := range lg.Edges {
+			jlg.Edges = append(jlg.Edges, jsonLockEdge{From: e.From, To: e.To, Witness: e.Witness, Via: e.Via})
+		}
+		rep.LockGraph = jlg
 	}
 	for _, d := range diags {
 		file := d.Position.Filename
-		if rel, err := filepath.Rel(m.Dir, file); err == nil && !filepath.IsAbs(rel) &&
-			rel != ".." && !hasDotDotPrefix(rel) {
-			file = filepath.ToSlash(rel)
+		if rel := relPathForReport(m, file); rel != "" {
+			file = rel
 		}
 		if d.Allowed {
 			rep.Allowed++
@@ -62,6 +133,16 @@ func WriteJSON(w io.Writer, m *Module, analyzers []*Analyzer, diags []Diagnostic
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// relPathForReport maps an absolute file path to a module-relative
+// slash path, or "" when the file is outside the module.
+func relPathForReport(m *Module, file string) string {
+	rel, err := filepath.Rel(m.Dir, file)
+	if err != nil || filepath.IsAbs(rel) || rel == ".." || hasDotDotPrefix(rel) {
+		return ""
+	}
+	return filepath.ToSlash(rel)
 }
 
 func hasDotDotPrefix(rel string) bool {

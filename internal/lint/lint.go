@@ -20,6 +20,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Analyzer is one named check. Run inspects a single type-checked
@@ -94,6 +95,13 @@ type Module struct {
 	// type-checked together; external _test packages appear as their
 	// own entry with ForTest set.
 	Packages []*Package
+
+	// cg memoizes the whole-module call graph (built on first use by
+	// any interprocedural analyzer; the driver is single-threaded).
+	cg *CallGraph
+	// lockGraph memoizes lockorder's derived acquisition-order graph
+	// for the -json report and -lockgraph printing.
+	lockGraph *LockGraph
 }
 
 // Package is one type-checked package.
@@ -107,6 +115,13 @@ type Package struct {
 	Name string
 	// ForTest is true for external _test packages (package foo_test).
 	ForTest bool
+	// PureTypes is the memoized no-test-files check of the same
+	// directory — the types.Package every *other* package's Info
+	// resolves this package's objects to. All PureTypes share one type
+	// universe, which makes cross-package method-set questions
+	// (interface implementation, promoted methods) answerable with
+	// types.Implements. Nil for external test packages.
+	PureTypes *types.Package
 	// Files holds the parsed files: non-test files first, then
 	// in-package _test.go files. TestFileStart is the index of the
 	// first test file.
@@ -137,19 +152,67 @@ func (p *Package) TestFileFor(fset *token.FileSet, pos token.Pos) bool {
 	return false
 }
 
+// AnalyzerTiming is one analyzer's wall-clock cost over the module.
+type AnalyzerTiming struct {
+	Name   string
+	Millis float64
+}
+
+// CallGraphStats summarizes the interprocedural call graph, when one
+// was built during the run.
+type CallGraphStats struct {
+	Functions   int
+	CallSites   int
+	Edges       int
+	IfaceEdges  int
+	BuildMillis float64
+}
+
+// RunStats is the per-run metadata surfaced in the midas-lint/2 JSON
+// report.
+type RunStats struct {
+	Analyzers []AnalyzerTiming
+	// CallGraph is nil when no interprocedural analyzer ran.
+	CallGraph *CallGraphStats
+}
+
 // Run executes the analyzers over the module and returns diagnostics
 // sorted by file, line, column, then analyzer name.
 func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(m, analyzers)
+	return diags
+}
+
+// RunTimed is Run plus per-analyzer wall-clock timing and call-graph
+// statistics. The first interprocedural analyzer to run pays the graph
+// construction cost inside its own timing; the build time is also
+// reported separately in the stats.
+func RunTimed(m *Module, analyzers []*Analyzer) ([]Diagnostic, *RunStats) {
 	var diags []Diagnostic
 	report := func(d Diagnostic) { diags = append(diags, d) }
+	stats := &RunStats{}
 	for _, a := range analyzers {
+		start := time.Now()
 		if a.RunModule != nil {
 			a.RunModule(m, report)
-			continue
+		} else {
+			for _, pkg := range m.Packages {
+				pass := &Pass{Analyzer: a, Module: m, Pkg: pkg, report: report}
+				a.Run(pass)
+			}
 		}
-		for _, pkg := range m.Packages {
-			pass := &Pass{Analyzer: a, Module: m, Pkg: pkg, report: report}
-			a.Run(pass)
+		stats.Analyzers = append(stats.Analyzers, AnalyzerTiming{
+			Name:   a.Name,
+			Millis: float64(time.Since(start).Microseconds()) / 1000,
+		})
+	}
+	if m.cg != nil {
+		stats.CallGraph = &CallGraphStats{
+			Functions:   m.cg.NumFuncs,
+			CallSites:   m.cg.NumCallSites,
+			Edges:       m.cg.NumEdges,
+			IfaceEdges:  m.cg.NumIfaceEdges,
+			BuildMillis: float64(m.cg.BuildTime.Microseconds()) / 1000,
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -165,5 +228,5 @@ func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	return diags, stats
 }

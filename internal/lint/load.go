@@ -292,7 +292,8 @@ func (l *loader) analyze(dir string) ([]*Package, error) {
 	if len(pd.files) > 0 {
 		// Make sure the pure package is memoized first so xtest files
 		// and downstream importers share one types.Package identity.
-		if _, err := l.importModule(path); err != nil {
+		pure, err := l.importModule(path)
+		if err != nil {
 			return nil, err
 		}
 		tpkg, info, err := l.check(path, pd.name, pd.files)
@@ -307,6 +308,7 @@ func (l *loader) analyze(dir string) ([]*Package, error) {
 			FileNames:     pd.fileNames,
 			TestFileStart: pd.testStart,
 			Types:         tpkg,
+			PureTypes:     pure,
 			Info:          info,
 		})
 	}

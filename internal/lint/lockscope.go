@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -20,18 +21,107 @@ import (
 //   - the store package (every write there fsyncs);
 //   - net/http client calls, net.Dial*, and time.Sleep.
 //
-// Critical sections that hold the lock across such work by design
-// (e.g. the engine mutex serializing maintenance with state saves)
-// belong in the allowlist with their justification.
+// The analyzer is call-graph-aware: besides direct calls inside a
+// critical section, it follows synchronous module calls (interface
+// dispatch resolved conservatively, `go`-launched work excluded) and
+// flags slow work reached through helper indirection, naming the call
+// path. Critical sections that hold the lock across such work by
+// design (e.g. the engine mutex serializing maintenance with state
+// saves) belong in the allowlist with their justification.
 var LockScope = &Analyzer{
-	Name: "lockscope",
-	Doc:  "no slow kernels (iso/ged/catapult), fsyncing store calls, or blocking I/O while a sync.Mutex/RWMutex is held",
-	Run:  runLockScope,
+	Name:      "lockscope",
+	Doc:       "no slow kernels (iso/ged/catapult), fsyncing store calls, or blocking I/O while a sync.Mutex/RWMutex is held — directly or through helpers",
+	RunModule: runLockScopeModule,
 }
 
 // slowModulePkgs are the module packages whose exported entry points
 // count as unbounded work.
 var slowModulePkgs = map[string]bool{"iso": true, "ged": true, "catapult": true, "store": true, "parallel": true, "tenant": true}
+
+func runLockScopeModule(m *Module, report func(Diagnostic)) {
+	// Direct pass: the original syntactic check, unchanged — every
+	// function body (literals included, test files included), slow
+	// calls lexically inside a lock region.
+	named := &Analyzer{Name: "lockscope"}
+	for _, pkg := range m.Packages {
+		runLockScope(&Pass{Analyzer: named, Module: m, Pkg: pkg, report: report})
+	}
+	// Transitive pass: slow work reached through helper calls made
+	// while a lock is held. Only non-test declarations; sites the
+	// direct pass already reports are skipped.
+	g := m.CallGraph()
+	slow := g.SlowSummaries()
+	for _, id := range g.IDs {
+		n := g.Nodes[id]
+		if n.Test || n.Pkg.ForTest {
+			continue
+		}
+		regions := heldRegions(n)
+		if len(regions) == 0 {
+			continue
+		}
+		seenSite := make(map[token.Pos]bool)
+		for ri := range regions {
+			r := &regions[ri]
+			for _, cs := range n.Calls {
+				if cs.GoCall || seenSite[cs.Pos] || !r.contains(n, cs.Pos) {
+					continue
+				}
+				if directlyReported(m, n, cs) {
+					continue // the direct pass owns this site
+				}
+				if desc, via, ok := firstSlowReach(g, slow, n, cs); ok {
+					seenSite[cs.Pos] = true
+					report(Diagnostic{
+						Analyzer: "lockscope",
+						Position: m.Fset.Position(cs.Pos),
+						Message: fmt.Sprintf("%s reachable via %s while %s is held in %s; move slow/blocking work outside the critical section",
+							desc, via, r.expr, n.Name),
+					})
+				}
+			}
+		}
+	}
+}
+
+// directlyReported mirrors the direct pass's decision for a call site:
+// when it fires there, the transitive pass stays quiet.
+func directlyReported(m *Module, n *CGNode, cs CallSite) bool {
+	desc, pkgName := slowCallDescObj(m, cs.Obj)
+	if desc == "" {
+		return false
+	}
+	return pkgName == "" || pkgName != n.Pkg.Name
+}
+
+// firstSlowReach picks, deterministically, one slow descriptor
+// reachable from the call site's targets, honouring the lock holder's
+// same-package exemption.
+func firstSlowReach(g *CallGraph, slow map[FuncID]map[string]slowReach, n *CGNode, cs CallSite) (desc, via string, ok bool) {
+	for _, callee := range cs.SyncTargets() {
+		cn := g.Nodes[callee]
+		if cn == nil {
+			continue
+		}
+		descs := make([]string, 0, len(slow[callee]))
+		for d := range slow[callee] {
+			descs = append(descs, d)
+		}
+		sort.Strings(descs)
+		for _, d := range descs {
+			sr := slow[callee][d]
+			if sr.Pkg != "" && sr.Pkg == n.Pkg.Name {
+				continue // same-package work is the implementation, not a foreign slow call
+			}
+			via := cn.Name
+			if sr.Via != "" {
+				via += " -> " + sr.Via
+			}
+			return d, via, true
+		}
+	}
+	return "", "", false
+}
 
 func runLockScope(pass *Pass) {
 	for _, fb := range funcBodies(pass.Pkg) {

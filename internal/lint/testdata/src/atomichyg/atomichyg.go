@@ -1,0 +1,54 @@
+// Package atomichyg seeds atomic-hygiene violations: variables that
+// mix sync/atomic access with plain reads and writes, and atomic
+// wrapper values copied instead of used through their methods.
+package atomichyg
+
+import "sync/atomic"
+
+type counter struct {
+	// n is accessed atomically in incr: every other access must be
+	// atomic too.
+	n int64
+	// plain is never touched by sync/atomic; ordinary access is fine.
+	plain int64
+}
+
+func (c *counter) incr() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) readRacy() int64 {
+	return c.n // want "atomichyg.counter.n is accessed with sync/atomic elsewhere"
+}
+
+func (c *counter) writeRacy() {
+	c.n = 0 // want "atomichyg.counter.n is accessed with sync/atomic elsewhere"
+}
+
+func (c *counter) readAtomic() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) plainOK() int64 {
+	c.plain++
+	return c.plain
+}
+
+// gauge wraps an atomic value type.
+type gauge struct {
+	v atomic.Int64
+}
+
+func copyGauge(g *gauge) int64 {
+	snap := g.v // want `assignment copies a atomic.Int64 value`
+	return snap.Load()
+}
+
+func passGauge(g *gauge, f func(atomic.Int64)) {
+	f(g.v) // want `passing by value copies a atomic.Int64 value`
+}
+
+func methodsOK(g *gauge) int64 {
+	g.v.Add(2)
+	return g.v.Load()
+}

@@ -1,0 +1,135 @@
+// Package goroleak seeds goroutine-leak violations: launches whose
+// bodies loop forever with no context, closable channel, or joined
+// WaitGroup in sight — next to every accepted stop-path shape, which
+// must stay silent.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// leakForever is the canonical leak: an unbounded loop nothing stops.
+func leakForever() {
+	go func() { // want "goroutine has no provable stop path"
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// ticker leaks through a named method: the loop in loop() has no exit
+// an owner controls.
+type ticker struct {
+	n int
+}
+
+func (t *ticker) Start() {
+	go t.loop() // want "goroutine has no provable stop path"
+}
+
+func (t *ticker) loop() {
+	for {
+		t.n++
+	}
+}
+
+// watchCtx is stopped by its context: accepted.
+func watchCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// owner's stop channel, closed by Stop: accepted.
+type worker struct {
+	stop chan struct{}
+	n    int
+}
+
+func (w *worker) Start() {
+	go func() {
+		for {
+			select {
+			case <-w.stop:
+				return
+			default:
+				w.n++
+			}
+		}
+	}()
+}
+
+func (w *worker) Stop() { close(w.stop) }
+
+// runLoop receives its stop channel as a parameter; the launcher binds
+// it to the owner's channel, which Shutdown closes: accepted.
+type pump struct {
+	quit chan struct{}
+	n    int
+}
+
+func (p *pump) Start() {
+	go runLoop(p.quit)
+}
+
+func runLoop(quit <-chan struct{}) {
+	for {
+		select {
+		case <-quit:
+			return
+		default:
+		}
+	}
+}
+
+func (p *pump) Shutdown() { close(p.quit) }
+
+// fanOut joins its workers in the launching function itself
+// (structured concurrency): accepted.
+func fanOut(items []int, f func(int)) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				f(it)
+			}
+		}(it)
+	}
+	wg.Wait()
+}
+
+// litOwner launches a literal held in a local variable; the range over
+// the owner's jobs channel, closed by Close, is the stop path:
+// accepted.
+type litOwner struct {
+	jobs chan int
+}
+
+func (o *litOwner) Start(f func(int)) {
+	run := func() {
+		for j := range o.jobs {
+			f(j)
+		}
+	}
+	go run()
+}
+
+func (o *litOwner) Close() { close(o.jobs) }
+
+// fireAndForget terminates by running off the end — no loop at all:
+// accepted.
+func fireAndForget(f func()) {
+	go func() {
+		f()
+	}()
+}

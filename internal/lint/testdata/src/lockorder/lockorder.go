@@ -1,0 +1,90 @@
+// Package lockorder seeds lock-ordering violations: an inconsistent
+// pairwise acquisition order (the deliberate 2-cycle the acceptance
+// test requires), a direct re-acquisition self-deadlock, and one
+// reached through a helper call.
+package lockorder
+
+import "sync"
+
+// A and B are two independent lock owners; the pair below acquires
+// them in both orders, which is exactly the deadlock recipe.
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+type pair struct {
+	a A
+	b B
+}
+
+// lockAB nests b under a. On its own this just records the edge
+// lockorder.A.mu -> lockorder.B.mu; together with lockBA it forms the
+// cycle, reported at the earlier of the two witnesses (here).
+func (p *pair) lockAB() {
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+	p.b.mu.Lock() // want "lock-order cycle between lockorder.A.mu, lockorder.B.mu"
+	p.b.n++
+	p.b.mu.Unlock()
+}
+
+// lockBA nests a under b: the inconsistent pairwise order.
+func (p *pair) lockBA() {
+	p.b.mu.Lock()
+	defer p.b.mu.Unlock()
+	p.a.mu.Lock()
+	p.a.n++
+	p.a.mu.Unlock()
+}
+
+// doubleLock re-acquires a mutex it already holds.
+func (a *A) doubleLock() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mu.Lock() // want "a.mu acquired again while already held in lockorder"
+	a.n++
+}
+
+// relockViaHelper reaches the re-acquisition through a helper call.
+func (b *B) relockViaHelper() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.bump() // want `b.mu may be acquired again via lockorder.\(\*B\).bump while already held`
+}
+
+func (b *B) bump() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// sequential acquisitions — one released before the next — order
+// nothing and must stay silent.
+func (p *pair) sequentialOK() {
+	p.a.mu.Lock()
+	p.a.n++
+	p.a.mu.Unlock()
+	p.b.mu.Lock()
+	p.b.n++
+	p.b.mu.Unlock()
+}
+
+// spawnedOK hands the second acquisition to another goroutine: no
+// ordering between the caller's lock and the goroutine's.
+func (p *pair) spawnedOK(done chan struct{}) {
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+	go func() {
+		p.b.mu.Lock()
+		p.b.n++
+		p.b.mu.Unlock()
+		close(done)
+	}()
+	p.a.n++
+}

@@ -1,0 +1,55 @@
+package locks
+
+import (
+	"example.com/lintdata/iso"
+)
+
+// The call-graph-aware lockscope: slow work hidden behind a helper (or
+// an interface) is still slow work under the lock.
+
+// helperHeld runs the kernel through one level of indirection while
+// holding the mutex; the syntactic pass cannot see it, the transitive
+// pass names the path.
+func (s *server) helperHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slowHelper() // want `iso.MCCS reachable via locks.\(\*server\).slowHelper while s.mu is held`
+}
+
+func (s *server) slowHelper() {
+	s.n = iso.MCCS(s.n)
+}
+
+// worker hides the kernel behind an interface; conservative dispatch
+// resolution still finds the implementation.
+type worker interface {
+	Work(n int) int
+}
+
+type slowWorker struct{}
+
+func (slowWorker) Work(n int) int { return iso.MCCS(n) }
+
+func (s *server) ifaceHeld(w worker) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return w.Work(s.n) // want `iso.MCCS reachable via locks.\(slowWorker\).Work while s.mu is held`
+}
+
+// helperAfterUnlock calls the same helper outside the critical
+// section: silent.
+func (s *server) helperAfterUnlock() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.slowHelper()
+}
+
+// spawnedHelper hands the helper to its own goroutine; it does not run
+// under the caller's lock. (The goroutine terminates — no loops — so
+// goroleak accepts it too.)
+func (s *server) spawnedHelper() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.slowHelper()
+}

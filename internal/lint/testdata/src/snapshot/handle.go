@@ -1,0 +1,31 @@
+package snapshot
+
+import "sync/atomic"
+
+// Handle mirrors the real snapshot.Handle: generation state owned
+// exclusively by Publish. atomichygiene pins the publisher invariant
+// by package and type name, so this stand-in exercises it.
+type Handle struct {
+	gen         atomic.Uint64
+	publishedAt atomic.Int64
+	cur         atomic.Pointer[Snapshot]
+}
+
+// Publish is the single writer: advancing gen/publishedAt/cur here is
+// the sanctioned path.
+func (h *Handle) Publish(s *Snapshot) {
+	h.cur.Store(s)
+	h.gen.Add(1)
+	h.publishedAt.Store(int64(s.Generation))
+}
+
+// Current reads are always fine.
+func (h *Handle) Current() *Snapshot {
+	return h.cur.Load()
+}
+
+// Rollback mutates the generation outside Publish — the seeded
+// violation.
+func (h *Handle) Rollback() {
+	h.gen.Store(0) // want `snapshot.Handle.gen mutated outside \(\*Handle\).Publish`
+}

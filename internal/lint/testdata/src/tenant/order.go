@@ -1,0 +1,40 @@
+package tenant
+
+import "sync"
+
+// Registry and Shard mirror the real tenant types closely enough for
+// lockorder's canonical table (which matches lock classes by
+// pkg.Type.field display name) to apply to them.
+type Registry struct {
+	mu sync.RWMutex
+	n  int
+}
+
+type Shard struct {
+	metaMu sync.Mutex
+	n      int
+}
+
+// lockedAdd touches both locks sequentially — never nested, so it
+// contributes no ordering edge and stays silent. (A nested
+// registry->shard acquisition would be canonical but, combined with
+// backwardsRefresh below, would also be a genuine 2-cycle; the real
+// registry drains shards outside its lock for exactly that reason.)
+func (r *Registry) lockedAdd(s *Shard) {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+	s.metaMu.Lock()
+	s.n++
+	s.metaMu.Unlock()
+}
+
+// backwardsRefresh grabs the registry lock while holding a shard's
+// metaMu: against the documented canonical order.
+func (s *Shard) backwardsRefresh(r *Registry) {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	r.mu.Lock() // want "tenant.Registry.mu acquired while tenant.Shard.metaMu is held, against the canonical lock order"
+	r.n++
+	r.mu.Unlock()
+}

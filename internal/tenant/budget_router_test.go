@@ -1,0 +1,203 @@
+package tenant
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestBudgetWaiterRemovedWhileQueued pins the shard-removal path
+// through the weighted FIFO: draining a shard cancels its pipeline
+// context, which must pull its queued acquisition out of the budget
+// without disturbing the waiters around it — no slot leaks, no
+// reordering, no stuck neighbours.
+func TestBudgetWaiterRemovedWhileQueued(t *testing.T) {
+	b := NewBudget(2)
+	ctx := context.Background()
+
+	hold, err := b.Acquire(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue three waiters in a known order; the middle one belongs to
+	// the shard being removed.
+	type grant struct {
+		name string
+		rel  func()
+	}
+	grants := make(chan grant, 2)
+	enqueue := func(name string, weight int, ctx context.Context, errCh chan error) {
+		go func() {
+			rel, err := b.Acquire(ctx, weight)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			grants <- grant{name, rel}
+		}()
+	}
+
+	removedCtx, removeShard := context.WithCancel(ctx)
+	removedErr := make(chan error, 1)
+	enqueue("a", 2, ctx, nil)
+	waitFor(t, func() bool { return b.Waiting() == 1 })
+	enqueue("removed", 2, removedCtx, removedErr)
+	waitFor(t, func() bool { return b.Waiting() == 2 })
+	enqueue("c", 1, ctx, nil)
+	waitFor(t, func() bool { return b.Waiting() == 3 })
+
+	// The shard is removed while parked mid-queue.
+	removeShard()
+	if err := <-removedErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("removed waiter's Acquire = %v, want context.Canceled", err)
+	}
+	if got := b.Waiting(); got != 2 {
+		t.Fatalf("Waiting after removal = %d, want 2", got)
+	}
+
+	// The survivors are admitted in their original order once capacity
+	// frees. Their weights (2, then 1) cannot fit together, so the
+	// admissions are serialized and the order is observable.
+	hold()
+	g1 := <-grants
+	if g1.name != "a" {
+		t.Fatalf("first grant went to %s, want a", g1.name)
+	}
+	if got := b.Waiting(); got != 1 {
+		t.Fatalf("Waiting while a holds = %d, want 1", got)
+	}
+	g1.rel()
+	g2 := <-grants
+	if g2.name != "c" {
+		t.Fatalf("second grant went to %s, want c", g2.name)
+	}
+	g2.rel()
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("InUse after releases = %d, want 0", got)
+	}
+	if got := b.Waiting(); got != 0 {
+		t.Fatalf("Waiting after releases = %d, want 0", got)
+	}
+}
+
+// TestBudgetZeroWeightOneWorkerNoStarvation drives the degenerate
+// configuration — a one-worker budget with zero-weight (clamped to 1)
+// acquisitions — through a full FIFO rotation: every waiter must be
+// admitted, in arrival order, with the budget fully accounted at each
+// step.
+func TestBudgetZeroWeightOneWorkerNoStarvation(t *testing.T) {
+	b := NewBudget(1)
+	ctx := context.Background()
+
+	hold, err := b.Acquire(ctx, 0) // clamps to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.InUse(); got != 1 {
+		t.Fatalf("zero-weight InUse = %d, want 1", got)
+	}
+
+	const n = 8
+	admitted := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			rel, err := b.Acquire(ctx, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			admitted <- i
+			rel()
+		}()
+		// Sequential enqueue makes the FIFO order deterministic.
+		waitFor(t, func() bool { return b.Waiting() == i+1 })
+	}
+
+	hold()
+	for i := 0; i < n; i++ {
+		if got := <-admitted; got != i {
+			t.Fatalf("admission %d went to waiter %d; FIFO order broken", i, got)
+		}
+	}
+	if got, waiting := b.InUse(), b.Waiting(); got != 0 || waiting != 0 {
+		t.Fatalf("after rotation InUse = %d, Waiting = %d; want 0, 0", got, waiting)
+	}
+}
+
+// TestRouterPathHeaderPrecedence pins tenant resolution: the /t/{id}
+// path prefix always wins over the X-Midas-Tenant header — including
+// when the path names an unknown tenant — and the header-only fallback
+// 404s tenants the registry does not hold.
+func TestRouterPathHeaderPrecedence(t *testing.T) {
+	r := NewRegistry(memoryOptions())
+	addTenant(t, r, "alpha")
+	addTenant(t, r, "beta")
+	rt := NewRouter(r, nil, nil)
+
+	// Path and header disagree: the path's tenant answers.
+	w := get(t, rt, "/t/alpha/patterns", map[string]string{"X-Midas-Tenant": "beta"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("path+header GET = %d, want 200", w.Code)
+	}
+	if got := w.Header().Get("X-Midas-Tenant"); got != "alpha" {
+		t.Fatalf("answered by %q, want alpha (path must beat header)", got)
+	}
+
+	// An unknown path tenant is not rescued by a valid header.
+	w = get(t, rt, "/t/ghost/patterns", map[string]string{"X-Midas-Tenant": "alpha"})
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("unknown path tenant = %d, want 404 even with a valid header", w.Code)
+	}
+
+	// Header-only fallback reaches the named shard...
+	w = get(t, rt, "/patterns", map[string]string{"X-Midas-Tenant": "beta"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("header-only GET = %d, want 200", w.Code)
+	}
+	if got := w.Header().Get("X-Midas-Tenant"); got != "beta" {
+		t.Fatalf("header-only answered by %q, want beta", got)
+	}
+
+	// ...and 404s unknown tenants rather than guessing.
+	w = get(t, rt, "/patterns", map[string]string{"X-Midas-Tenant": "ghost"})
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("header-only unknown tenant = %d, want 404", w.Code)
+	}
+}
+
+// TestWatcherStopsOnDrain is the goroutine-leak regression for the
+// shard's spool watcher (the shape goroleak verifies statically): the
+// watcher goroutine must be running after Add and provably gone once
+// Drain returns — Drain closes stopWatch and joins watchWG, so a
+// surviving panel.(*Watcher).Run frame after Drain is a leak.
+func TestWatcherStopsOnDrain(t *testing.T) {
+	opts := diskOptions(t.TempDir())
+	r := NewRegistry(opts)
+	if _, err := r.Add("aids", Overrides{}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+
+	const watcherFrame = "panel.(*Watcher).Run"
+	stacks := func() []byte {
+		buf := make([]byte, 1<<20)
+		return buf[:runtime.Stack(buf, true)]
+	}
+	waitFor(t, func() bool { return bytes.Contains(stacks(), []byte(watcherFrame)) })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := r.Remove(ctx, "aids"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	// Drain joins watchWG before returning, so the frame must already
+	// be gone — no polling window needed.
+	if bytes.Contains(stacks(), []byte(watcherFrame)) {
+		t.Fatal("spool watcher goroutine still running after Drain")
+	}
+}
