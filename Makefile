@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt lint race crashtest bench bench-smoke figures fuzz differential bench-compare bench-sustained sustained-smoke bench-tenants tenants-smoke clean
+.PHONY: all build test vet fmt lint race crashtest bench bench-smoke figures fuzz differential bench-compare bench-sustained sustained-smoke bench-tenants tenants-smoke replica-smoke clean
 
 all: build test
 
@@ -91,6 +91,12 @@ bench-tenants:
 # only the maintained tenant's generation moves — under -race.
 tenants-smoke:
 	$(GO) test -race -run 'TestTenantsSmoke' -v ./internal/tenant/
+
+# The CI gate for the replication subsystem: primary + follower over
+# real HTTP, writes replicate, follower reads carry the replica
+# headers, promotion fences the old primary — under -race.
+replica-smoke:
+	$(GO) test -race -run 'TestSmokeFailoverHTTP' -v ./internal/replica/
 
 clean:
 	$(GO) clean ./...

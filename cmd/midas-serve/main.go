@@ -42,6 +42,18 @@
 // -slots processes, and dynamic POST/DELETE /admin/tenants/{id}
 // lifecycle when -admin is on.
 //
+// Replication mode (-replica-dir) makes the process one node of a
+// primary/warm-standby pair: the primary journals every committed
+// batch into a framed, CRC'd, epoch-tagged replication log under
+// -replica-dir and serves it on /replica/* (optionally on a dedicated
+// -replica-listen address), pushing to -replica-peers; a follower
+// (-replicate-from URL) cold-starts from the primary's bundle,
+// re-applies the streamed log through its own snapshot pipeline, and
+// serves all read endpoints lock-free with X-Midas-Replica /
+// X-Midas-Replication-Lag headers while fencing writes to the primary
+// (503 + Retry-After + X-Midas-Primary). POST /replica/promote and
+// /replica/demote are the epoch-fenced failover verbs.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM: readiness flips
 // to draining, in-flight requests finish, the spool watcher stops, the
 // maintenance queue drains, the state bundle is saved (when -save is
@@ -114,6 +126,11 @@ func main() {
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: leaks process internals)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "maintenance kernel fan-out width (0 = sequential reference path); results are identical at every setting")
 
+		replicaDir    = flag.String("replica-dir", "", "replication mode: node state directory (state bundle + replication log); serves /replica/* and journals every committed batch")
+		replicateFrom = flag.String("replicate-from", "", "start as a warm-standby follower of this primary base URL (requires -replica-dir); reads serve locally, writes are fenced with 503 + X-Midas-Primary")
+		replicaListen = flag.String("replica-listen", "", "serve the /replica/* endpoints on this separate address instead of -addr (requires -replica-dir)")
+		replicaPeers  = flag.String("replica-peers", "", "comma-separated name=URL follower list the primary pushes its log to (requires -replica-dir)")
+
 		tenantsDir = flag.String("tenants-dir", "", "multi-tenant mode: serve one shard per tenant under <dir>/<tenant>/{state,journal,spool}; incompatible with -db/-state/-save/-watch/-journal")
 		tenantsMan = flag.String("tenants", "", "tenant manifest file (one tenant per line: id [key=value ...]); requires -tenants-dir")
 		adminOn    = flag.Bool("admin", true, "multi-tenant mode: expose POST/DELETE /admin/tenants/{id} for dynamic tenant lifecycle")
@@ -124,6 +141,43 @@ func main() {
 
 	// Leveled stderr logging; MIDAS_LOG_LEVEL=debug|info|warn|error.
 	logger := telemetry.NewLoggerFromEnv(os.Stderr)
+
+	if *replicaDir != "" {
+		runReplica(logger, replicaConfig{
+			dir:      *replicaDir,
+			from:     *replicateFrom,
+			listen:   *replicaListen,
+			peers:    *replicaPeers,
+			addr:     *addr,
+			db:       *dbPath,
+			timeout:  *reqTimeout,
+			inflight: *inflight,
+			queue:    *queueSize,
+			retries:  *retries,
+			backoff:  *backoff,
+			pprofOn:  *pprofOn,
+			engine: midas.Options{
+				Budget:  midas.Budget{MinSize: *minSize, MaxSize: *maxSize, Count: *gamma},
+				SupMin:  *supMin,
+				Epsilon: *epsilon,
+				Seed:    *seed,
+				Workers: *workers,
+			},
+			conflicts: map[string]bool{
+				"-state": *statePath != "", "-save": *savePath != "", "-watch": *watchDir != "",
+				"-journal": *jrnlPath != "", "-tenants-dir": *tenantsDir != "",
+			},
+		})
+		return
+	}
+	for name, set := range map[string]bool{
+		"-replicate-from": *replicateFrom != "", "-replica-listen": *replicaListen != "",
+		"-replica-peers": *replicaPeers != "",
+	} {
+		if set {
+			logger.Fatalf("midas-serve: %s requires -replica-dir", name)
+		}
+	}
 
 	if *tenantsDir != "" {
 		runTenants(logger, tenantsConfig{

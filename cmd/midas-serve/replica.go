@@ -1,0 +1,195 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/midas-graph/midas"
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/catapult"
+	"github.com/midas-graph/midas/internal/ged"
+	"github.com/midas-graph/midas/internal/iso"
+	"github.com/midas-graph/midas/internal/panel"
+	"github.com/midas-graph/midas/internal/parallel"
+	"github.com/midas-graph/midas/internal/replica"
+	"github.com/midas-graph/midas/internal/store"
+	"github.com/midas-graph/midas/internal/telemetry"
+	"github.com/midas-graph/midas/internal/vfs"
+)
+
+// replicaConfig carries the replication flags into runReplica.
+type replicaConfig struct {
+	dir      string // -replica-dir: node state (bundle + replication log)
+	from     string // -replicate-from: primary base URL (follower mode)
+	listen   string // -replica-listen: separate address for /replica/*
+	peers    string // -replica-peers: name=URL[,name=URL...] push targets
+	addr     string
+	db       string
+	timeout  time.Duration
+	inflight int
+	queue    int
+	retries  int
+	backoff  time.Duration
+	pprofOn  bool
+	engine   midas.Options
+	// conflicts maps flags the replication node owns itself (it manages
+	// its own bundle and journal) to whether they were set.
+	conflicts map[string]bool
+}
+
+// runReplica is midas-serve's replicated mode: one replica.Node owns
+// the engine, the snapshot handle, the maintenance pipeline and the
+// durable state under -replica-dir; the panel server routes over it.
+// Without -replicate-from the node is the primary — it accepts writes,
+// appends each committed batch to its replication log and ships it to
+// -replica-peers; with it, the node is a warm-standby follower — it
+// cold-starts from the primary's bundle, re-applies the streamed log
+// through its own pipeline, serves reads lock-free with
+// X-Midas-Replica: follower, and fences writes to the primary. The
+// /replica/* endpoints (bundle, records, push, status, and the
+// promote/demote admin verbs) are mounted on -addr, or on their own
+// listener when -replica-listen is set.
+func runReplica(logger *telemetry.Logger, cfg replicaConfig) {
+	var conflicting []string
+	for name, set := range cfg.conflicts {
+		if set {
+			conflicting = append(conflicting, name)
+		}
+	}
+	if len(conflicting) > 0 {
+		sort.Strings(conflicting)
+		logger.Fatalf("midas-serve: -replica-dir is incompatible with %v (the replication node owns its state under -replica-dir)", conflicting)
+	}
+	if err := os.MkdirAll(cfg.dir, 0o755); err != nil {
+		logger.Fatalf("midas-serve: %v", err)
+	}
+
+	reg := telemetry.NewRegistry()
+	iso.RegisterMetrics(reg)
+	ged.RegisterMetrics(reg)
+	catapult.RegisterMetrics(reg)
+	store.RegisterMetrics(reg)
+	parallel.RegisterMetrics(reg)
+
+	ncfg := replica.Config{
+		FS:      vfs.OS,
+		Dir:     cfg.dir,
+		Options: cfg.engine,
+		Bootstrap: func() (*midas.Engine, error) {
+			if cfg.db == "" {
+				return nil, errors.New("primary cold start needs -db (no bundle under -replica-dir yet)")
+			}
+			f, err := os.Open(cfg.db)
+			if err != nil {
+				return nil, err
+			}
+			graphs, err := graph.Read(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			db := graph.NewDatabase()
+			for _, g := range graphs {
+				if err := db.Add(g); err != nil {
+					return nil, err
+				}
+			}
+			logger.Infof("bootstrapping over %d graphs...", db.Len())
+			return midas.New(db, cfg.engine), nil
+		},
+		QueueSize:   cfg.queue,
+		MaxAttempts: cfg.retries,
+		Backoff:     cfg.backoff,
+		RenderSVG:   func(g *graph.Graph) string { return panel.SVG(g, 120) },
+		Telemetry:   reg,
+		Logf:        logger.Printf,
+	}
+	if cfg.from != "" {
+		ncfg.Upstream = &replica.HTTPTransport{Base: cfg.from}
+		ncfg.PrimaryURL = cfg.from
+	}
+	if cfg.peers != "" {
+		ncfg.Peers = map[string]replica.Transport{}
+		for _, tok := range strings.Split(cfg.peers, ",") {
+			name, url, ok := strings.Cut(strings.TrimSpace(tok), "=")
+			if !ok || name == "" || url == "" {
+				logger.Fatalf("midas-serve: bad -replica-peers entry %q (want name=URL)", tok)
+			}
+			ncfg.Peers[name] = &replica.HTTPTransport{Base: url}
+		}
+	}
+
+	node := replica.NewNode(ncfg)
+	startCtx, startCancel := context.WithCancel(context.Background())
+	defer startCancel()
+	if err := node.Start(startCtx); err != nil {
+		logger.Fatalf("midas-serve: replica start: %v", err)
+	}
+	logger.Infof("replication node up: role=%s epoch=%d lsn=%d", node.Role(), node.Epoch(), node.LastLSN())
+
+	srv := node.Panel()
+	srv.SetLogger(logger)
+	srv.SetRequestTimeout(cfg.timeout)
+	srv.SetMaxInflight(cfg.inflight)
+	srv.SetTelemetry(reg)
+	if cfg.pprofOn {
+		srv.EnablePprof()
+		logger.Warnf("pprof endpoints enabled on /debug/pprof/")
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	var repSrv *http.Server
+	if cfg.listen == "" {
+		mux.Handle("/replica/", node.Handler())
+	} else {
+		repSrv = &http.Server{Addr: cfg.listen, Handler: node.Handler()}
+		go func() {
+			if err := repSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Fatalf("midas-serve: replica listener: %v", err)
+			}
+		}()
+		logger.Infof("replication endpoints on %s", cfg.listen)
+	}
+
+	server := &http.Server{Addr: cfg.addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	logger.Infof("serving replicated pattern panel on %s (%s)", cfg.addr, node.Role())
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	select {
+	case err := <-errCh:
+		logger.Fatalf("midas-serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	logger.Infof("signal received; draining...")
+	srv.SetReady(false)
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer shutCancel()
+	if err := server.Shutdown(shutCtx); err != nil {
+		logger.Warnf("midas-serve: shutdown: %v", err)
+	}
+	if repSrv != nil {
+		if err := repSrv.Shutdown(shutCtx); err != nil {
+			logger.Warnf("midas-serve: replica listener shutdown: %v", err)
+		}
+	}
+	// Node.Stop drains the pipeline and closes the log; its bundle was
+	// saved after every committed record, so no final save is needed.
+	stopCtx, stopCancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer stopCancel()
+	if err := node.Stop(stopCtx); err != nil {
+		logger.Warnf("midas-serve: replica stop: %v", err)
+	}
+	logger.Infof("bye (role=%s epoch=%d lsn=%d)", node.Role(), node.Epoch(), node.LastLSN())
+}

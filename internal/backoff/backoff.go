@@ -1,0 +1,57 @@
+// Package backoff is the repo's one retry-delay policy: capped
+// exponential growth with deterministic per-key jitter. The spool
+// watcher (PR 4), the maintenance pipeline (PR 6) and the replication
+// loop all retry transient failures on unattended paths, and all three
+// need the same two properties: consecutive failures must spread out
+// (exponential growth, capped so a poison input cannot push the delay
+// unboundedly), and simultaneously-failing work items must not retry
+// in lockstep (jitter) while staying reproducible in tests and crash
+// recovery (the jitter is a pure function of the key and attempt
+// number, never a live RNG).
+package backoff
+
+import (
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// maxShift caps the exponential growth at base << maxShift (32×).
+const maxShift = 5
+
+// Delay returns the wait before the key'd work item's next attempt
+// after its attempt'th consecutive failure (attempt counts from 1):
+// exponential growth from base, capped at 32×, plus a deterministic
+// jitter of up to 25% of the capped delay derived from (key, attempt).
+// A base <= 0 or attempt < 1 means retry immediately.
+func Delay(base time.Duration, key string, attempt int) time.Duration {
+	if base <= 0 || attempt < 1 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > maxShift {
+		shift = maxShift
+	}
+	d := base << shift
+	span := int64(d / 4)
+	if span <= 0 {
+		return d
+	}
+	h := crc32.ChecksumIEEE([]byte(fmt.Sprintf("%s#%d", key, attempt)))
+	return d + time.Duration(int64(h)%span)
+}
+
+// Scan returns the keyless scan-level delay after failures consecutive
+// failing scans: the same capped exponential schedule without jitter
+// (one scanner has nothing to desynchronise from). Zero failures or a
+// base <= 0 mean no delay.
+func Scan(base time.Duration, failures int) time.Duration {
+	if base <= 0 || failures <= 0 {
+		return 0
+	}
+	shift := failures - 1
+	if shift > maxShift {
+		shift = maxShift
+	}
+	return base << shift
+}

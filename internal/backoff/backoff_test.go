@@ -1,0 +1,83 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayTable(t *testing.T) {
+	const base = 100 * time.Millisecond
+	cases := []struct {
+		name    string
+		base    time.Duration
+		key     string
+		attempt int
+		min     time.Duration // inclusive lower bound (the capped exponential)
+		max     time.Duration // exclusive upper bound (bound + 25% jitter)
+	}{
+		{"zero base", 0, "a", 3, 0, 1},
+		{"attempt zero", base, "a", 0, 0, 1},
+		{"negative attempt", base, "a", -2, 0, 1},
+		{"first attempt", base, "a", 1, base, base + base/4},
+		{"second attempt", base, "a", 2, 2 * base, 2*base + 2*base/4},
+		{"growth caps at 32x", base, "a", 6, 32 * base, 32*base + 32*base/4},
+		{"beyond the cap stays capped", base, "a", 60, 32 * base, 32*base + 32*base/4},
+		{"tiny base skips jitter", 3, "a", 1, 3, 4},
+	}
+	for _, c := range cases {
+		got := Delay(c.base, c.key, c.attempt)
+		if got < c.min || got >= c.max {
+			t.Errorf("%s: Delay(%v, %q, %d) = %v, want in [%v, %v)",
+				c.name, c.base, c.key, c.attempt, got, c.min, c.max)
+		}
+	}
+}
+
+func TestDelayDeterministic(t *testing.T) {
+	const base = 50 * time.Millisecond
+	for attempt := 1; attempt <= 8; attempt++ {
+		a := Delay(base, "batch-7.graphs", attempt)
+		b := Delay(base, "batch-7.graphs", attempt)
+		if a != b {
+			t.Fatalf("attempt %d: jitter is not deterministic: %v vs %v", attempt, a, b)
+		}
+	}
+}
+
+func TestDelayJitterSpreadsKeys(t *testing.T) {
+	// Different keys must not retry in lockstep: at least two of a
+	// handful of keys should land on different delays at the same
+	// attempt. (The jitter is a hash — collisions are possible for any
+	// two keys, vanishingly unlikely across five.)
+	const base = time.Second
+	keys := []string{"a", "b", "c", "d", "e"}
+	seen := map[time.Duration]bool{}
+	for _, k := range keys {
+		seen[Delay(base, k, 1)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all %d keys produced the same delay; jitter is not spreading", len(keys))
+	}
+}
+
+func TestScanTable(t *testing.T) {
+	const base = 100 * time.Millisecond
+	cases := []struct {
+		base     time.Duration
+		failures int
+		want     time.Duration
+	}{
+		{0, 3, 0},
+		{base, 0, 0},
+		{base, -1, 0},
+		{base, 1, base},
+		{base, 2, 2 * base},
+		{base, 6, 32 * base},
+		{base, 100, 32 * base},
+	}
+	for _, c := range cases {
+		if got := Scan(c.base, c.failures); got != c.want {
+			t.Errorf("Scan(%v, %d) = %v, want %v", c.base, c.failures, got, c.want)
+		}
+	}
+}

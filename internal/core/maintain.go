@@ -132,6 +132,43 @@ func (e *Engine) MaintainContext(ctx context.Context, u graph.Update) (rep Repor
 // return means the engine is in an intermediate state and the caller
 // must restore the pre-batch snapshot.
 func (e *Engine) runPipeline(ctx context.Context, u graph.Update, rep *Report) error {
+	affected, err := e.applyStructural(ctx, u, rep)
+	if err != nil {
+		return err
+	}
+
+	// Lines 8–11: major modification triggers candidate generation and
+	// swapping over the evolved summaries only.
+	if rep.Major {
+		evolved := make([]int, 0, len(affected))
+		for cid := range affected {
+			if e.csgs.Get(cid) != nil {
+				evolved = append(evolved, cid)
+			}
+		}
+		sortInts(evolved)
+		if err := e.majorModification(ctx, evolved, rep); err != nil {
+			return err
+		}
+	}
+
+	// Small-pattern section (η ≤ 2): maintained directly from the FCT
+	// supports every time — the straightforward case of §3.1's remark.
+	tSmall := time.Now()
+	e.refreshSmallPatterns()
+	rep.SmallTime = time.Since(tSmall)
+	return stage(ctx, "small")
+}
+
+// applyStructural runs the structural stages shared by normal
+// maintenance and replicated apply: cluster bookkeeping, the database
+// and graphlet-cache delta, FCT maintenance, cluster/CSG upkeep and
+// index maintenance — everything except the pattern-set decisions
+// (candidate generation, swapping, small-pattern refresh). It returns
+// the set of affected cluster IDs for the caller's swap stage. An
+// error leaves the engine in an intermediate state; the caller must
+// restore the pre-batch snapshot.
+func (e *Engine) applyStructural(ctx context.Context, u graph.Update, rep *Report) (map[int]struct{}, error) {
 	// Lines 1–2: cluster assignment and removal. Assignment uses the
 	// pre-update feature space, as in Algorithm 1.
 	affected := make(map[int]struct{})
@@ -158,16 +195,16 @@ func (e *Engine) runPipeline(ctx context.Context, u graph.Update, rep *Report) e
 	}
 	rep.ClusterTime = time.Since(tCluster)
 	if err := stage(ctx, "cluster"); err != nil {
-		return err
+		return nil, err
 	}
 
 	// Apply the update to the database and graphlet cache.
 	if err := e.db.Apply(u); err != nil {
-		return err
+		return nil, err
 	}
 	e.counter.ApplyParallel(e.workers(), u)
 	if err := stage(ctx, "apply"); err != nil {
-		return err
+		return nil, err
 	}
 
 	// Line 5: FCT maintenance.
@@ -175,7 +212,7 @@ func (e *Engine) runPipeline(ctx context.Context, u graph.Update, rep *Report) e
 	e.set.Update(e.db, u)
 	rep.FCTTime = time.Since(tFCT)
 	if err := stage(ctx, "fct"); err != nil {
-		return err
+		return nil, err
 	}
 
 	// Lines 6–7: cluster-set and CSG-set maintenance. Oversized
@@ -207,7 +244,7 @@ func (e *Engine) runPipeline(ctx context.Context, u graph.Update, rep *Report) e
 	e.csgs.Sync(e.cl)
 	rep.CSGTime = time.Since(tCSG)
 	if err := stage(ctx, "csg"); err != nil {
-		return err
+		return nil, err
 	}
 
 	// The metrics sample and cover cache are stale after any update.
@@ -228,30 +265,9 @@ func (e *Engine) runPipeline(ctx context.Context, u graph.Update, rep *Report) e
 	}
 	rep.IndexTime = time.Since(tIx)
 	if err := stage(ctx, "index"); err != nil {
-		return err
+		return nil, err
 	}
-
-	// Lines 8–11: major modification triggers candidate generation and
-	// swapping over the evolved summaries only.
-	if rep.Major {
-		evolved := make([]int, 0, len(affected))
-		for cid := range affected {
-			if e.csgs.Get(cid) != nil {
-				evolved = append(evolved, cid)
-			}
-		}
-		sortInts(evolved)
-		if err := e.majorModification(ctx, evolved, rep); err != nil {
-			return err
-		}
-	}
-
-	// Small-pattern section (η ≤ 2): maintained directly from the FCT
-	// supports every time — the straightforward case of §3.1's remark.
-	tSmall := time.Now()
-	e.refreshSmallPatterns()
-	rep.SmallTime = time.Since(tSmall)
-	return stage(ctx, "small")
+	return affected, nil
 }
 
 // majorModification generates pruned candidates from the evolved

@@ -1,0 +1,108 @@
+// Package replica mirrors the replication node's stream/apply
+// concurrency: the ship and pull goroutines must carry a provable
+// stop path, and applyMu — the serialization point for record
+// installs — must not hold slow kernel work the way the real node's
+// allowlisted sections are documented to.
+package replica
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"example.com/lintdata/iso"
+)
+
+// node mirrors the replication node: one applyMu serializing record
+// installs, background ship/pull streams owned through stop+wg.
+type node struct {
+	applyMu sync.Mutex
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	lsn     int
+}
+
+// startShipLeak launches a ship stream nothing can stop: no context,
+// no owner-closed channel, no joined WaitGroup — the retry loop would
+// outlive the node.
+func (n *node) startShipLeak() {
+	go n.shipLoop() // want "goroutine has no provable stop path"
+}
+
+func (n *node) shipLoop() {
+	for {
+		n.lsn++
+	}
+}
+
+// startAckLeak leaks through an inline literal: the ack fan-in loop
+// blocks on a channel no owner ever closes.
+func (n *node) startAckLeak(acks chan int) {
+	go func() { // want "goroutine has no provable stop path"
+		for a := range acks {
+			n.lsn = a
+		}
+	}()
+}
+
+// startPull is the accepted shape the real pull loop uses: the
+// goroutine exits when the owner closes stop, and Stop joins it
+// through the WaitGroup.
+func (n *node) startPull() {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			select {
+			case <-n.stop:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// Stop closes the stream channels and joins the loops: the owner-side
+// half of startPull's proof.
+func (n *node) Stop() {
+	close(n.stop)
+	n.wg.Wait()
+}
+
+// watchUpstream is stopped by its context: accepted.
+func watchUpstream(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// applyHeld is the bug the real node's allowlist documents its way
+// around: unbounded kernel work inside the apply critical section.
+func (n *node) applyHeld() int {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	return iso.MCCS(n.lsn) // want "iso.MCCS called while n.applyMu is held"
+}
+
+// backoffHeld sleeps out a retry backoff without releasing applyMu,
+// stalling every concurrent record install.
+func (n *node) backoffHeld() {
+	n.applyMu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep called while n.applyMu is held"
+	n.applyMu.Unlock()
+}
+
+// applyOutside is the accepted shape: the slow work runs before the
+// lock, only the cheap install happens under it.
+func (n *node) applyOutside(rec int) {
+	cost := iso.MCCS(rec)
+	n.applyMu.Lock()
+	n.lsn += cost
+	n.applyMu.Unlock()
+}

@@ -54,6 +54,16 @@ type Server struct {
 	pipe      *snapshot.Pipeline
 	startOnce sync.Once
 
+	// extPipe, when set (NewReplicated), resolves the externally-owned
+	// maintenance pipeline on every use. A replication node swaps its
+	// pipeline across divergence re-bootstraps, so the pointer cannot
+	// be cached here; the accessor indirection keeps every submission
+	// on the node's current pipeline.
+	extPipe func() *snapshot.Pipeline
+	// replica, when set, stamps replication role and lag onto every
+	// snapshot-served response and the /readyz detail line.
+	replica *ReplicaInfo
+
 	// Pipeline knobs; fixed once ensurePipeline runs.
 	queueSize    int
 	retryBackoff time.Duration
@@ -101,6 +111,43 @@ func New(engine *midas.Engine, opts midas.Options) *Server {
 	s.ready.Store(true)
 	return s
 }
+
+// NewReplicated wraps externally-owned serving plumbing: the snapshot
+// handle and maintenance pipeline belong to a replication node, which
+// bootstraps the engine, publishes generations, and rebuilds the
+// pipeline after a divergence re-bootstrap. The server only routes:
+// reads load the handle lock-free exactly as in the self-owned mode,
+// and /maintain submits through pipe() — whose admission hook fences
+// writes when the node is a follower, surfaced to clients as 503 +
+// Retry-After + X-Midas-Primary. Close is a no-op; the node owns the
+// pipeline lifecycle. Pair with SetReplicaInfo for the role headers.
+func NewReplicated(opts midas.Options, handle *snapshot.Handle, pipe func() *snapshot.Pipeline) *Server {
+	s := &Server{opts: opts, handle: handle, extPipe: pipe}
+	s.ready.Store(true)
+	return s
+}
+
+// ReplicaInfo surfaces a replication node's identity to clients. All
+// fields are functions because the answers change at runtime —
+// promotion bumps the role, every applied record moves the LSN, and a
+// partition grows the lag. Nil funcs are treated as absent.
+type ReplicaInfo struct {
+	// Role is "primary" or "follower", stamped into X-Midas-Replica.
+	Role func() string
+	// LSN is the last replication-log position applied locally.
+	LSN func() uint64
+	// Lag is the staleness behind the primary (0 on the primary),
+	// stamped into X-Midas-Replication-Lag.
+	Lag func() time.Duration
+	// Primary is the primary's base URL ("" when unknown or self) —
+	// the X-Midas-Primary redirect hint on fenced writes.
+	Primary func() string
+}
+
+// SetReplicaInfo installs the replication identity stamped onto
+// responses (X-Midas-Replica, X-Midas-Replication-Lag, and
+// X-Midas-Primary on fenced writes). Call before serving traffic.
+func (s *Server) SetReplicaInfo(info *ReplicaInfo) { s.replica = info }
 
 // SetRequestTimeout bounds every request's context (0 disables). Call
 // before serving traffic.
@@ -159,6 +206,11 @@ func renderPattern(g *graph.Graph) string { return SVG(g, 120) }
 // the bootstrap snapshot (generation 1, from the engine state as
 // constructed or restored) and starts the maintenance goroutine.
 func (s *Server) ensurePipeline() {
+	if s.extPipe != nil {
+		// Replicated mode: the node built, published and started the
+		// plumbing before handing it to us.
+		return
+	}
 	s.startOnce.Do(func() {
 		s.pipe = snapshot.NewPipeline(s.engine, s.handle, snapshot.Config{
 			QueueSize:   s.queueSize,
@@ -189,7 +241,21 @@ func (s *Server) ensurePipeline() {
 // Watcher) submit through it so journal append order equals apply
 // order.
 func (s *Server) Pipeline() *snapshot.Pipeline {
+	if s.extPipe != nil {
+		return s.extPipe()
+	}
 	s.ensurePipeline()
+	return s.pipe
+}
+
+// currentPipe resolves the maintenance pipeline without finalising the
+// plumbing: the externally-owned one in replicated mode (re-resolved
+// per call — the node swaps it across re-bootstraps), otherwise the
+// server's own (nil before the first Handler/Pipeline call).
+func (s *Server) currentPipe() *snapshot.Pipeline {
+	if s.extPipe != nil {
+		return s.extPipe()
+	}
 	return s.pipe
 }
 
@@ -202,6 +268,10 @@ func (s *Server) Handle() *snapshot.Handle { return s.handle }
 // persist state after Close so the bundle reflects the final
 // generation.
 func (s *Server) Close(ctx context.Context) error {
+	if s.extPipe != nil {
+		// The replication node owns the pipeline lifecycle (Node.Stop).
+		return nil
+	}
 	if s.pipe == nil {
 		return nil
 	}
@@ -270,9 +340,9 @@ func (s *Server) withShedding(next http.Handler) http.Handler {
 func (s *Server) retryAfter() string {
 	var depth int
 	var ewma time.Duration
-	if s.pipe != nil {
-		depth = s.pipe.Depth()
-		ewma = s.pipe.BatchEWMA()
+	if pipe := s.currentPipe(); pipe != nil {
+		depth = pipe.Depth()
+		ewma = pipe.BatchEWMA()
 	}
 	return strconv.FormatInt(retryAfterSeconds(depth, ewma, s.timeout), 10)
 }
@@ -401,21 +471,51 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "no snapshot published\n")
 		return
 	}
+	// The detail clause carries the journal position and last-publish
+	// generation so a probe can tell how far a lagging shard is behind
+	// without a second request.
+	detail := fmt.Sprintf("generation=%d lsn=%d", snap.Generation, s.lsn())
+	if ri := s.replica; ri != nil {
+		if ri.Role != nil {
+			detail += " role=" + ri.Role()
+		}
+		if ri.Lag != nil {
+			detail += fmt.Sprintf(" lag=%.3fs", ri.Lag().Seconds())
+		}
+	}
 	if st := s.staleness(); st > 0 {
-		fmt.Fprintf(w, "ready (stale: serving generation %d, %.3fs behind %d pending batch(es))\n",
-			snap.Generation, st.Seconds(), s.pipe.Depth())
+		depth := 0
+		if pipe := s.currentPipe(); pipe != nil {
+			depth = pipe.Depth()
+		}
+		fmt.Fprintf(w, "ready (stale: serving generation %d, %.3fs behind %d pending batch(es); %s)\n",
+			snap.Generation, st.Seconds(), depth, detail)
 		return
 	}
-	io.WriteString(w, "ready\n")
+	fmt.Fprintf(w, "ready (%s)\n", detail)
 }
 
 // staleness is the serving lag behind submitted maintenance (0 when
 // idle or before the pipeline exists).
 func (s *Server) staleness() time.Duration {
-	if s.pipe == nil {
+	pipe := s.currentPipe()
+	if pipe == nil {
 		return 0
 	}
-	return s.pipe.Staleness()
+	return pipe.Staleness()
+}
+
+// lsn is the shard's current journal position: the replication-log
+// LSN when replicated, otherwise the count of batches applied by the
+// pipeline (each applied batch is one journal entry).
+func (s *Server) lsn() uint64 {
+	if ri := s.replica; ri != nil && ri.LSN != nil {
+		return ri.LSN()
+	}
+	if pipe := s.currentPipe(); pipe != nil {
+		return pipe.Applied()
+	}
+	return 0
 }
 
 // snapshotHeaders stamps every snapshot-served response with which
@@ -428,6 +528,14 @@ func (s *Server) snapshotHeaders(w http.ResponseWriter, snap *snapshot.Snapshot)
 	h.Set("X-Midas-Staleness", strconv.FormatFloat(s.staleness().Seconds(), 'f', 3, 64))
 	if snap.Degraded {
 		h.Set("X-Midas-Degraded", "1")
+	}
+	if ri := s.replica; ri != nil {
+		if ri.Role != nil {
+			h.Set("X-Midas-Replica", ri.Role())
+		}
+		if ri.Lag != nil {
+			h.Set("X-Midas-Replication-Lag", strconv.FormatFloat(ri.Lag().Seconds(), 'f', 3, 64))
+		}
 	}
 }
 
@@ -444,10 +552,17 @@ func (s *Server) loadSnapshot(w http.ResponseWriter) *snapshot.Snapshot {
 	return snap
 }
 
-// statusForError maps engine errors to HTTP statuses: ID conflicts are
-// 409, other invalid updates 400, deadline expiry 504, client
-// cancellation 503, anything else 500.
+// statusForError maps engine errors to HTTP statuses: errors that
+// carry their own verdict (replication fencing's 503) win, then ID
+// conflicts are 409, other invalid updates 400, deadline expiry 504,
+// client cancellation 503, anything else 500.
 func statusForError(err error) int {
+	// An error that knows its own status — the replica package's
+	// not-primary fence, without importing it here.
+	var hs interface{ HTTPStatus() int }
+	if errors.As(err, &hs) {
+		return hs.HTTPStatus()
+	}
 	switch {
 	case errors.Is(err, midas.ErrConflict):
 		return http.StatusConflict
@@ -605,7 +720,7 @@ func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
 		// Synchronous: the request deadline bounds the batch itself.
 		batch.Ctx = r.Context()
 	}
-	tkt, err := s.pipe.Submit(batch)
+	tkt, err := s.Pipeline().Submit(batch)
 	if err != nil {
 		s.maintainRejected(w, err)
 		return

@@ -175,7 +175,12 @@ func (s *Server) countError(class string) {
 
 // errorClass labels an engine error for panel_errors_total.
 func errorClass(err error) string {
+	var hs interface{ HTTPStatus() int }
 	switch {
+	case errors.As(err, &hs):
+		// Replication fencing: a write reached a follower or demoted
+		// shard.
+		return "fenced"
 	case errors.Is(err, midas.ErrConflict):
 		return "conflict"
 	case errors.Is(err, midas.ErrInvalidUpdate):
@@ -189,9 +194,21 @@ func errorClass(err error) string {
 }
 
 // errorOut counts an engine error by class and writes the mapped
-// status (statusForError).
+// status (statusForError). A fenced write (replication: this shard is
+// a follower or was demoted) additionally carries Retry-After and,
+// when known, X-Midas-Primary — the client's redirect hint to the
+// shard that does take writes.
 func (s *Server) errorOut(w http.ResponseWriter, err error) {
 	s.countError(errorClass(err))
+	var hs interface{ HTTPStatus() int }
+	if errors.As(err, &hs) {
+		w.Header().Set("Retry-After", s.retryAfter())
+		if ri := s.replica; ri != nil && ri.Primary != nil {
+			if pri := ri.Primary(); pri != "" {
+				w.Header().Set("X-Midas-Primary", pri)
+			}
+		}
+	}
 	http.Error(w, err.Error(), statusForError(err))
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -15,6 +14,7 @@ import (
 
 	"github.com/midas-graph/midas"
 	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/backoff"
 	"github.com/midas-graph/midas/internal/snapshot"
 	"github.com/midas-graph/midas/internal/store"
 	"github.com/midas-graph/midas/internal/vfs"
@@ -161,26 +161,12 @@ func (w *Watcher) Scan() (int, error) {
 }
 
 // retryDelay is the backoff before the named batch's next attempt after
-// its attempt'th consecutive failure: exponential growth from Backoff,
-// capped at 32×, plus a deterministic per-file jitter of up to 25% of
-// the capped delay so simultaneously-failing batches do not retry in
-// lockstep. The schedule is a pure function of (name, attempt), which
-// keeps recovery behaviour reproducible.
+// its attempt'th consecutive failure: the shared capped-exponential
+// schedule with deterministic per-file jitter (internal/backoff), a
+// pure function of (name, attempt) so recovery behaviour stays
+// reproducible.
 func (w *Watcher) retryDelay(name string, attempt int) time.Duration {
-	if w.Backoff <= 0 || attempt < 1 {
-		return 0
-	}
-	shift := attempt - 1
-	if shift > 5 {
-		shift = 5
-	}
-	base := w.Backoff << shift
-	span := int64(base / 4)
-	if span <= 0 {
-		return base
-	}
-	h := crc32.ChecksumIEEE([]byte(fmt.Sprintf("%s#%d", name, attempt)))
-	return base + time.Duration(int64(h)%span)
+	return backoff.Delay(w.Backoff, name, attempt)
 }
 
 // noteFailure counts a batch failure, schedules its next retry, and
@@ -508,12 +494,5 @@ func (w *Watcher) Run(interval time.Duration, stop <-chan struct{}) {
 // backoffDelay doubles Backoff per consecutive failing scan, capped at
 // 32× so a poison batch cannot push the delay unboundedly.
 func (w *Watcher) backoffDelay() time.Duration {
-	if w.Backoff <= 0 || w.failures == 0 {
-		return 0
-	}
-	shift := w.failures - 1
-	if shift > 5 {
-		shift = 5
-	}
-	return w.Backoff << shift
+	return backoff.Scan(w.Backoff, w.failures)
 }

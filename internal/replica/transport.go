@@ -1,0 +1,182 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/midas-graph/midas/internal/store"
+)
+
+// Transport is a node's view of one peer — the seam between the
+// replication protocol and the network, mirroring internal/vfs: the
+// production implementation speaks HTTP, tests inject drops,
+// duplicates, reorders, torn frames and stalls behind the same
+// interface.
+type Transport interface {
+	// Push delivers a batch of records to the peer and returns its ack.
+	// The peer's AppliedLSN tells the sender where to resume: a
+	// duplicate delivery acks the existing position, a gap acks the
+	// position before it, so the sender rewinds instead of guessing.
+	Push(ctx context.Context, req PushRequest) (PushResponse, error)
+	// Bundle fetches the peer's current state bundle — the follower's
+	// cold-start and re-bootstrap source.
+	Bundle(ctx context.Context) (BundleResponse, error)
+	// Records fetches records with LSN > after from the peer's
+	// replication log (pull repair and follower catch-up). A peer that
+	// compacted past the requested position returns an error wrapping
+	// store.ErrCompacted.
+	Records(ctx context.Context, after uint64, max int) ([]store.RepRecord, error)
+}
+
+// PushRequest is one replication stream delivery.
+type PushRequest struct {
+	// Epoch is the sender's primacy epoch — the fencing token. A
+	// receiver on a higher epoch rejects the push.
+	Epoch   uint64
+	Records []store.RepRecord
+}
+
+// PushResponse acknowledges a push.
+type PushResponse struct {
+	// AppliedLSN is the receiver's durable replication position after
+	// processing the push.
+	AppliedLSN uint64
+	// Epoch is the receiver's current epoch.
+	Epoch uint64
+	// Fenced reports that the push was rejected because the sender's
+	// epoch is stale. A sender seeing Fenced with a higher responder
+	// epoch must demote itself.
+	Fenced bool
+}
+
+// BundleResponse carries a state bundle and the replication position
+// it reflects.
+type BundleResponse struct {
+	Data  []byte
+	LSN   uint64
+	Epoch uint64
+}
+
+// Wire header names shared by the HTTP transport's two ends.
+const (
+	headerEpoch = "X-Midas-Replica-Epoch"
+	headerLSN   = "X-Midas-Replica-LSN"
+)
+
+// HTTPTransport speaks the replication protocol to a peer's
+// /replica/* endpoints (served by Node.Handler).
+type HTTPTransport struct {
+	// Base is the peer's base URL, e.g. "http://10.0.0.2:8081".
+	Base string
+	// Client defaults to a client with a 30s timeout.
+	Client *http.Client
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (t *HTTPTransport) url(path string, q url.Values) string {
+	u := strings.TrimRight(t.Base, "/") + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	return u
+}
+
+// Push POSTs the framed records to /replica/push.
+func (t *HTTPTransport) Push(ctx context.Context, req PushRequest) (PushResponse, error) {
+	body := store.EncodeRecords(req.Records)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, t.url("/replica/push", nil), strings.NewReader(string(body)))
+	if err != nil {
+		return PushResponse{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	hreq.Header.Set(headerEpoch, strconv.FormatUint(req.Epoch, 10))
+	resp, err := t.client().Do(hreq)
+	if err != nil {
+		return PushResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return PushResponse{}, fmt.Errorf("replica: push: %s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	var out PushResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return PushResponse{}, fmt.Errorf("replica: decoding push ack: %w", err)
+	}
+	return out, nil
+}
+
+// Bundle GETs /replica/bundle.
+func (t *HTTPTransport) Bundle(ctx context.Context) (BundleResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, t.url("/replica/bundle", nil), nil)
+	if err != nil {
+		return BundleResponse{}, err
+	}
+	resp, err := t.client().Do(hreq)
+	if err != nil {
+		return BundleResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return BundleResponse{}, fmt.Errorf("replica: bundle: %s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return BundleResponse{}, err
+	}
+	lsn, _ := strconv.ParseUint(resp.Header.Get(headerLSN), 10, 64)
+	epoch, _ := strconv.ParseUint(resp.Header.Get(headerEpoch), 10, 64)
+	return BundleResponse{Data: data, LSN: lsn, Epoch: epoch}, nil
+}
+
+// Records GETs /replica/records. A 410 Gone (the peer compacted past
+// the requested position) is returned as an error wrapping
+// store.ErrCompacted so the caller re-bootstraps.
+func (t *HTTPTransport) Records(ctx context.Context, after uint64, max int) ([]store.RepRecord, error) {
+	q := url.Values{}
+	q.Set("after", strconv.FormatUint(after, 10))
+	if max > 0 {
+		q.Set("max", strconv.Itoa(max))
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, t.url("/replica/records", q), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.client().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		return nil, fmt.Errorf("replica: records after %d: %w", after, store.ErrCompacted)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return nil, fmt.Errorf("replica: records: %s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return store.DecodeRecords(data)
+}
+
+// errGap is the follower's rejection of a push that skips past its
+// applied position; the ack's AppliedLSN already tells the sender
+// where to rewind, so this never crosses the wire as a failure.
+var errGap = errors.New("replica: push leaves a log gap")

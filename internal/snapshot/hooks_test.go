@@ -1,0 +1,163 @@
+package snapshot
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/midas-graph/midas"
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/dataset"
+)
+
+func TestAdmitRejectsTerminally(t *testing.T) {
+	eng := newEngine(t)
+	errFenced := errors.New("fenced: not primary")
+	var attempts atomic.Int64
+	p, h := startPipeline(t, eng, Config{
+		Backoff: time.Hour, // a retry would hang the test
+		Admit: func(b Batch) error {
+			if !b.FromReplica {
+				return errFenced
+			}
+			return nil
+		},
+		OnApplied: func(Batch, midas.MaintenanceReport) error {
+			attempts.Add(1)
+			return nil
+		},
+	})
+	before := eng.DB().Len()
+	genBefore := h.Generation()
+
+	// A client write is rejected terminally — no retry, no poison, no
+	// engine mutation, no publish.
+	tkt, err := p.Submit(Batch{Name: "client", Update: graph.Update{Insert: dataset.BoronicEsters().Generate(2, 9000, 5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-tkt.Done
+	if !errors.Is(res.Err, errFenced) || res.Applied || res.Poisoned {
+		t.Fatalf("fenced write result: %+v", res)
+	}
+	if eng.DB().Len() != before || h.Generation() != genBefore {
+		t.Fatal("fenced write touched the engine or published")
+	}
+	if len(p.Poisoned()) != 0 {
+		t.Fatal("admission rejection must not park a poison record")
+	}
+
+	// A replica install passes the same gate.
+	tkt, err = p.Submit(Batch{Name: "replica", FromReplica: true,
+		Update: graph.Update{Insert: dataset.BoronicEsters().Generate(2, 9100, 5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = <-tkt.Done
+	if res.Err != nil || !res.Applied {
+		t.Fatalf("replica install failed: %+v", res)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("OnApplied ran %d times, want 1", attempts.Load())
+	}
+}
+
+func TestFromReplicaSkipsRemap(t *testing.T) {
+	eng := newEngine(t)
+	p, _ := startPipeline(t, eng, Config{})
+
+	// IDs that collide with the seeded database [0, 20): a client batch
+	// would be remapped off them; a replica batch must keep them and
+	// fail the engine's conflict check instead — proof the verbatim
+	// path is taken.
+	ins := dataset.BoronicEsters().Generate(1, 3, 5)
+	if !eng.DB().Has(ins[0].ID) {
+		t.Fatalf("test premise broken: ID %d not occupied", ins[0].ID)
+	}
+	tkt, err := p.Submit(Batch{Name: "verbatim", FromReplica: true, Update: graph.Update{Insert: ins}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-tkt.Done
+	if !errors.Is(res.Err, midas.ErrInvalidUpdate) {
+		t.Fatalf("colliding verbatim insert: err = %v, want ErrInvalidUpdate (remap must not run)", res.Err)
+	}
+
+	// The same payload without FromReplica is remapped and applies.
+	ins2 := dataset.BoronicEsters().Generate(1, 3, 5)
+	tkt, err = p.Submit(Batch{Name: "remapped", Update: graph.Update{Insert: ins2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := <-tkt.Done; res.Err != nil || !res.Applied {
+		t.Fatalf("client batch failed: %+v", res)
+	}
+}
+
+func TestOnAppliedOrderingAndRetry(t *testing.T) {
+	eng := newEngine(t)
+	var afterRuns, onAppliedRuns atomic.Int64
+	var sawRemappedIDs atomic.Bool
+	var genAtHook atomic.Uint64
+	failFirst := make(chan struct{}, 1)
+	failFirst <- struct{}{}
+
+	var h *Handle
+	p, handle := startPipeline(t, eng, Config{
+		Backoff: time.Millisecond,
+		OnApplied: func(b Batch, rep midas.MaintenanceReport) error {
+			onAppliedRuns.Add(1)
+			// Publish has not happened yet for this batch.
+			genAtHook.Store(h.Generation())
+			// The hook sees post-remap IDs: every insert must hold a slot
+			// in the live database (apply committed before the hook).
+			ok := true
+			for _, g := range b.Update.Insert {
+				if !eng.DB().Has(g.ID) {
+					ok = false
+				}
+			}
+			sawRemappedIDs.Store(ok)
+			select {
+			case <-failFirst:
+				return errors.New("transient commit-slot failure")
+			default:
+				return nil
+			}
+		},
+	})
+	h = handle
+
+	// Colliding IDs force a remap so the hook's post-remap check means
+	// something.
+	ins := dataset.BoronicEsters().Generate(2, 0, 5)
+	tkt, err := p.Submit(Batch{
+		Name:   "commit-slot",
+		Update: graph.Update{Insert: ins},
+		After:  func(midas.MaintenanceReport) error { afterRuns.Add(1); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-tkt.Done
+	if res.Err != nil || !res.Applied {
+		t.Fatalf("batch failed: %+v", res)
+	}
+	if got := onAppliedRuns.Load(); got != 2 {
+		t.Fatalf("OnApplied ran %d times, want 2 (fail + retry)", got)
+	}
+	if got := afterRuns.Load(); got != 2 {
+		t.Fatalf("After ran %d times, want 2 (re-run with OnApplied on retry)", got)
+	}
+	if !sawRemappedIDs.Load() {
+		t.Fatal("OnApplied observed pre-remap (unapplied) insert IDs")
+	}
+	if genAtHook.Load() != res.Generation-1 {
+		t.Fatalf("OnApplied ran at generation %d; batch published %d — hook must precede publish",
+			genAtHook.Load(), res.Generation)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", res.Attempts)
+	}
+}

@@ -4,13 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/midas-graph/midas"
 	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/backoff"
 )
 
 // Submission errors. ErrQueueFull is backpressure — the caller should
@@ -48,6 +48,20 @@ type Batch struct {
 	// attempt, but the retry re-runs only After: the batch is already
 	// applied and must not be applied twice.
 	After func(midas.MaintenanceReport) error
+	// FromReplica marks a batch installed from a replication stream:
+	// its insert IDs are applied verbatim (the primary already remapped
+	// them, and the follower's database — a deterministic replay of the
+	// primary's — has the same occupancy, so remapping again would
+	// diverge). Admission hooks use it to distinguish replica installs
+	// from client writes when fencing a follower. FromReplica batches
+	// apply via Engine.ApplyReplicated — the database delta plus the
+	// shipped ReplicaPatterns — never a local re-run of pattern
+	// maintenance, whose decisions are not reproducible from serialized
+	// state.
+	FromReplica bool
+	// ReplicaPatterns is the primary's post-apply pattern set, installed
+	// verbatim. Only read when FromReplica is set.
+	ReplicaPatterns []*graph.Graph
 }
 
 // Result is the terminal outcome of one submitted batch, delivered
@@ -111,6 +125,24 @@ type Config struct {
 	// Degraded marks published snapshots as serving degraded state
 	// (set when the process started from salvage).
 	Degraded bool
+	// Admit, when set, is consulted on the maintenance goroutine before
+	// a batch's first attempt. A non-nil error rejects the batch
+	// terminally — no retry, no poison record — with that error as the
+	// result. It is the role-fencing seam: a follower's pipeline rejects
+	// client writes (batches without FromReplica) while its replication
+	// stream keeps flowing, and a demoted primary rejects everything
+	// that has not shipped.
+	Admit func(Batch) error
+	// OnApplied, when set, runs on the maintenance goroutine after a
+	// batch's After hook succeeds and before the new generation is
+	// published — the replication commit slot. It observes the batch
+	// exactly as applied (Update carries post-remap insert IDs) plus the
+	// maintenance report; a primary encodes and appends the record to
+	// its replication log here, so log order equals apply order by
+	// construction. An error fails the attempt; the retry re-runs only
+	// After and OnApplied (the engine mutation is already committed), so
+	// the hook must be idempotent.
+	OnApplied func(Batch, midas.MaintenanceReport) error
 	// Gate, when set, is acquired on the maintenance goroutine before a
 	// batch's first attempt and released once the batch is terminal. It
 	// is the shared-worker-budget seam for multi-tenant serving: a
@@ -397,6 +429,15 @@ func (p *Pipeline) run() {
 func (p *Pipeline) process(j *job) {
 	ctx, cancel := p.batchCtx(j.batch)
 	defer cancel()
+	if p.cfg.Admit != nil {
+		if err := p.cfg.Admit(j.batch); err != nil {
+			if p.tel != nil {
+				p.tel.batches.With("rejected").Inc()
+			}
+			p.finish(j, Result{Name: j.batch.Name, Attempts: j.attempts, Err: err})
+			return
+		}
+	}
 	if p.cfg.Gate != nil {
 		release, err := p.cfg.Gate(ctx)
 		if err != nil {
@@ -488,8 +529,14 @@ func (p *Pipeline) attempt(ctx context.Context, j *job) (err error) {
 				return err
 			}
 		}
-		p.remapInsertIDs(j.batch.Update)
-		rep, err := p.eng.MaintainContext(ctx, j.batch.Update)
+		var rep midas.MaintenanceReport
+		var err error
+		if j.batch.FromReplica {
+			rep, err = p.eng.ApplyReplicated(ctx, j.batch.Update, j.batch.ReplicaPatterns)
+		} else {
+			p.remapInsertIDs(j.batch.Update)
+			rep, err = p.eng.MaintainContext(ctx, j.batch.Update)
+		}
 		if err != nil {
 			return err
 		}
@@ -498,6 +545,11 @@ func (p *Pipeline) attempt(ctx context.Context, j *job) (err error) {
 	}
 	if j.batch.After != nil {
 		if err := j.batch.After(j.rep); err != nil {
+			return err
+		}
+	}
+	if p.cfg.OnApplied != nil {
+		if err := p.cfg.OnApplied(j.batch, j.rep); err != nil {
 			return err
 		}
 	}
@@ -593,23 +645,10 @@ func retryable(err error) bool {
 	return true
 }
 
-// retryDelay is the backoff before the batch's next attempt: capped
-// exponential growth from Backoff plus a deterministic per-batch
-// jitter of up to 25% — the spool watcher's schedule, a pure function
-// of (name, attempt) so recovery behaviour is reproducible.
+// retryDelay is the backoff before the batch's next attempt: the
+// shared capped-exponential schedule with deterministic per-batch
+// jitter (internal/backoff), a pure function of (name, attempt) so
+// recovery behaviour is reproducible.
 func (p *Pipeline) retryDelay(name string, attempt int) time.Duration {
-	if p.cfg.Backoff <= 0 || attempt < 1 {
-		return 0
-	}
-	shift := attempt - 1
-	if shift > 5 {
-		shift = 5
-	}
-	base := p.cfg.Backoff << shift
-	span := int64(base / 4)
-	if span <= 0 {
-		return base
-	}
-	h := crc32.ChecksumIEEE([]byte(fmt.Sprintf("%s#%d", name, attempt)))
-	return base + time.Duration(int64(h)%span)
+	return backoff.Delay(p.cfg.Backoff, name, attempt)
 }

@@ -30,6 +30,7 @@ func Workloads() []Workload {
 		journalAppendWorkload(),
 		journalCheckpointWorkload(),
 		spoolBatchWorkload(),
+		followerInstallWorkload(),
 	}
 }
 
@@ -411,6 +412,143 @@ func recoverSpool(fsys vfs.FS) (string, error) {
 	sort.Strings(names)
 	return fmt.Sprintf("state=%s last=%s %s spool=[%s]",
 		fm.content, fm.last, journalFingerprint(j), strings.Join(names, ",")), nil
+}
+
+// --- workload: follower bundle-fetch + journal-suffix install -----------
+
+// The on-disk layout of a replication follower (internal/replica):
+// a state bundle plus the replication log it tails.
+const (
+	followerState = "d/fstate"
+	followerLog   = "d/freplog"
+)
+
+// followerInstallWorkload models the follower's cold-start install
+// path: fetch the primary's bundle (here a constant — the upstream is
+// not on the swept filesystem), seed a fresh replication log at the
+// bundle's position, then per streamed record append it to the log and
+// roll the bundle forward. A crash at any point must leave the
+// follower able to restart the catch-up with no manual repair: the
+// recovery path is open-with-salvage on both artifacts, then replay
+// the log suffix past the bundle's LSN — exactly the node's
+// replaySuffix discipline.
+func followerInstallWorkload() Workload {
+	const (
+		upLSN   = 2 // the upstream bundle's position
+		upEpoch = 1
+	)
+	// The streamed journal suffix: two committed batches past the
+	// bundle.
+	recs := []store.RepRecord{
+		{Kind: store.RecData, LSN: 3, Epoch: upEpoch, Name: "r3", Data: []byte("r3")},
+		{Kind: store.RecData, LSN: 4, Epoch: upEpoch, Name: "r4", Data: []byte("r4")},
+	}
+
+	// The bundle's last/sum fields carry the replication position, as
+	// the real bundle's metadata does.
+	saveAt := func(fsys vfs.FS, content string, lsn uint64) error {
+		return store.SaveBundle(fsys, followerState, func(w io.Writer) error {
+			_, err := w.Write(encodeBundle(bundleMeta{
+				content: content, last: fmt.Sprintf("lsn%d", lsn), lastSum: uint32(lsn)}))
+			return err
+		})
+	}
+	appendRec := func(fsys vfs.FS, rec store.RepRecord) error {
+		l, err := store.OpenRepLogFS(fsys, followerLog)
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		return l.AppendRecord(rec)
+	}
+
+	return Workload{
+		Name:    "follower-install",
+		Prepare: func(fsys vfs.FS) error { return nil },
+		Steps: []Step{
+			// Install the fetched upstream bundle.
+			func(fsys vfs.FS) error { return saveAt(fsys, "u", upLSN) },
+			// Seed a fresh log at the bundle's position.
+			func(fsys vfs.FS) error {
+				l, err := store.OpenRepLogFS(fsys, followerLog)
+				if err != nil {
+					return err
+				}
+				defer l.Close()
+				return l.Seed(upLSN, upEpoch)
+			},
+			// Per record: durable log append, then roll the bundle
+			// forward. A crash between the two leaves the log ahead of
+			// the bundle — the replay suffix closes the gap.
+			func(fsys vfs.FS) error { return appendRec(fsys, recs[0]) },
+			func(fsys vfs.FS) error { return saveAt(fsys, "u+r3", 3) },
+			func(fsys vfs.FS) error { return appendRec(fsys, recs[1]) },
+			func(fsys vfs.FS) error { return saveAt(fsys, "u+r3+r4", 4) },
+		},
+		Recover: recoverFollower,
+	}
+}
+
+// recoverFollower is the follower's restart path: salvage the
+// replication log (torn tail quarantined and truncated) and the bundle
+// (torn save rolled back to the previous generation), re-seed an empty
+// log at the bundle's position, replay the log suffix past the
+// bundle's LSN, and persist the rolled-forward bundle so a second
+// recovery is a no-op. A follower with no bundle at all restarts the
+// catch-up from scratch — a legal state, never an error.
+func recoverFollower(fsys vfs.FS) (string, error) {
+	l, err := store.OpenRepLogFS(fsys, followerLog)
+	if err != nil {
+		return "", err
+	}
+	defer l.Close()
+
+	data, _, err := store.LoadBundle(fsys, followerState, validateBundle)
+	if errors.Is(err, os.ErrNotExist) || errors.Is(err, store.ErrCorrupt) {
+		// Nothing installed before the crash — or the very first
+		// install was torn with no previous generation to salvage.
+		// Unlike a primary's state, the follower's is reproducible: it
+		// re-fetches the upstream bundle and restarts the catch-up from
+		// scratch.
+		return "fresh", nil
+	}
+	if err != nil {
+		return "", err
+	}
+	m, err := decodeBundle(data)
+	if err != nil {
+		return "", err
+	}
+	lsn := uint64(m.lastSum)
+
+	if l.LastLSN() == 0 {
+		// The crash hit between the bundle install and the log seed.
+		if err := l.Seed(lsn, 1); err != nil {
+			return "", err
+		}
+	}
+	suffix, err := l.ReadFrom(lsn, 0)
+	if err != nil {
+		return "", err
+	}
+	for _, rec := range suffix {
+		if rec.Kind != store.RecData {
+			continue
+		}
+		m.content += "+" + string(rec.Data)
+		lsn = rec.LSN
+	}
+	if len(suffix) > 0 {
+		if err := store.SaveBundle(fsys, followerState, func(w io.Writer) error {
+			_, err := w.Write(encodeBundle(bundleMeta{
+				content: m.content, last: fmt.Sprintf("lsn%d", lsn), lastSum: uint32(lsn)}))
+			return err
+		}); err != nil {
+			return "", err
+		}
+	}
+	return fmt.Sprintf("state=%s lsn=%d log=%d..%d@%d",
+		m.content, lsn, l.FirstLSN(), l.LastLSN(), l.Epoch()), nil
 }
 
 func spoolBatchWorkload() Workload {

@@ -1,0 +1,328 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/midas-graph/midas/internal/vfs"
+)
+
+func TestRepRecordRoundTrip(t *testing.T) {
+	recs := []RepRecord{
+		{Kind: RecData, LSN: 1, Epoch: 1, Name: "batch-1.graphs", Fingerprint: 0xdeadbeef, Data: []byte(`{"insert":"g"}`)},
+		{Kind: RecEpoch, LSN: 2, Epoch: 2},
+		{Kind: RecData, LSN: 3, Epoch: 2, Name: "batch-2.graphs", Fingerprint: 42, Data: []byte("x")},
+	}
+	wire := EncodeRecords(recs)
+	got, err := DecodeRecords(wire)
+	if err != nil {
+		t.Fatalf("DecodeRecords: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Kind != recs[i].Kind || got[i].LSN != recs[i].LSN || got[i].Epoch != recs[i].Epoch ||
+			got[i].Name != recs[i].Name || got[i].Fingerprint != recs[i].Fingerprint ||
+			!bytes.Equal(got[i].Data, recs[i].Data) {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestDecodeRecordRejectsDamage(t *testing.T) {
+	rec := RepRecord{Kind: RecData, LSN: 7, Epoch: 3, Name: "b", Fingerprint: 9, Data: []byte("payload")}
+	good := EncodeRecord(rec)
+
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:10] }},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"flipped payload bit", func(b []byte) []byte { b[repHeaderLen+1] ^= 0x01; return b }},
+		{"flipped crc bit", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }},
+	}
+	for _, c := range cases {
+		b := c.mut(append([]byte(nil), good...))
+		if _, _, err := DecodeRecord(b); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", c.name, err)
+		}
+	}
+}
+
+func TestRepLogAppendReadFrom(t *testing.T) {
+	sim := vfs.NewSim()
+	l, err := OpenRepLogFS(sim, "rep.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	if l.FirstLSN() != 0 || l.LastLSN() != 0 || l.Epoch() != 0 {
+		t.Fatalf("fresh log not empty: first=%d last=%d epoch=%d", l.FirstLSN(), l.LastLSN(), l.Epoch())
+	}
+
+	lsn, err := l.Append("batch-1.graphs", 111, []byte("u1"))
+	if err != nil || lsn != 1 {
+		t.Fatalf("Append #1 = (%d, %v), want (1, nil)", lsn, err)
+	}
+	if l.Epoch() != 1 {
+		t.Fatalf("first commit should open epoch 1, got %d", l.Epoch())
+	}
+	lsn, err = l.Append("batch-2.graphs", 222, []byte("u2"))
+	if err != nil || lsn != 2 {
+		t.Fatalf("Append #2 = (%d, %v), want (2, nil)", lsn, err)
+	}
+
+	// Retry idempotence: re-appending the tail batch is a no-op.
+	lsn, err = l.Append("batch-2.graphs", 222, []byte("u2"))
+	if err != nil || lsn != 2 {
+		t.Fatalf("duplicate Append = (%d, %v), want (2, nil)", lsn, err)
+	}
+	if l.LastLSN() != 2 {
+		t.Fatalf("LastLSN = %d after duplicate append, want 2", l.LastLSN())
+	}
+
+	recs, err := l.ReadFrom(0, 0)
+	if err != nil {
+		t.Fatalf("ReadFrom(0): %v", err)
+	}
+	if len(recs) != 2 || recs[0].LSN != 1 || recs[1].LSN != 2 {
+		t.Fatalf("ReadFrom(0) = %+v", recs)
+	}
+	if recs[0].Fingerprint != 111 || string(recs[1].Data) != "u2" {
+		t.Fatalf("record contents mangled: %+v", recs)
+	}
+	recs, err = l.ReadFrom(1, 0)
+	if err != nil || len(recs) != 1 || recs[0].LSN != 2 {
+		t.Fatalf("ReadFrom(1) = %+v, %v", recs, err)
+	}
+	recs, err = l.ReadFrom(2, 0)
+	if err != nil || recs != nil {
+		t.Fatalf("ReadFrom(tail) = %+v, %v, want nil, nil", recs, err)
+	}
+	recs, err = l.ReadFrom(0, 1)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("ReadFrom(0, max=1) = %+v, %v", recs, err)
+	}
+}
+
+func TestRepLogReopenContinues(t *testing.T) {
+	sim := vfs.NewSim()
+	l, err := OpenRepLogFS(sim, "rep.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("a", 1, []byte("u1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.BumpEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("b", 2, []byte("u2")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, err := OpenRepLogFS(sim, "rep.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if s := l2.Salvage(); s.TailBytes != 0 {
+		t.Fatalf("clean reopen salvaged %d bytes", s.TailBytes)
+	}
+	if l2.FirstLSN() != 1 || l2.LastLSN() != 3 || l2.Epoch() != 2 {
+		t.Fatalf("reopen state: first=%d last=%d epoch=%d, want 1/3/2",
+			l2.FirstLSN(), l2.LastLSN(), l2.Epoch())
+	}
+	lsn, err := l2.Append("c", 3, []byte("u3"))
+	if err != nil || lsn != 4 {
+		t.Fatalf("append after reopen = (%d, %v), want (4, nil)", lsn, err)
+	}
+	recs, err := l2.ReadFrom(0, 0)
+	if err != nil || len(recs) != 4 {
+		t.Fatalf("ReadFrom after reopen: %d records, %v", len(recs), err)
+	}
+	if recs[3].Epoch != 2 {
+		t.Fatalf("post-bump append carries epoch %d, want 2", recs[3].Epoch)
+	}
+}
+
+func TestRepLogSalvagesTornTail(t *testing.T) {
+	sim := vfs.NewSim()
+	l, err := OpenRepLogFS(sim, "rep.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("a", 1, []byte("u1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("b", 2, []byte("u2")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Tear the final record mid-frame, as a crash during append would.
+	data, err := sim.ReadFile("rep.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append([]byte(nil), data[:len(data)-7]...)
+	if err := WriteAtomicFS(sim, "rep.log", func(w io.Writer) error {
+		_, err := w.Write(torn)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenRepLogFS(sim, "rep.log")
+	if err != nil {
+		t.Fatalf("open torn log: %v", err)
+	}
+	defer l2.Close()
+	sal := l2.Salvage()
+	if sal.TailBytes == 0 {
+		t.Fatal("torn tail not salvaged")
+	}
+	if sal.QuarantinePath != "rep.log"+corruptSuffix {
+		t.Fatalf("QuarantinePath = %q", sal.QuarantinePath)
+	}
+	if _, err := sim.ReadFile(sal.QuarantinePath); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if l2.LastLSN() != 1 {
+		t.Fatalf("LastLSN after salvage = %d, want 1", l2.LastLSN())
+	}
+	// The log must accept new appends continuing the valid prefix.
+	lsn, err := l2.Append("c", 3, []byte("u3"))
+	if err != nil || lsn != 2 {
+		t.Fatalf("append after salvage = (%d, %v), want (2, nil)", lsn, err)
+	}
+}
+
+func TestRepLogAppendRecord(t *testing.T) {
+	sim := vfs.NewSim()
+	l, err := OpenRepLogFS(sim, "rep.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Follower bootstrap: seed at the bundle's position, then install
+	// shipped records verbatim.
+	if err := l.Seed(10, 3); err != nil {
+		t.Fatalf("Seed: %v", err)
+	}
+	if err := l.Seed(10, 3); !errors.Is(err, ErrLogSealed) {
+		t.Fatalf("double Seed err = %v, want ErrLogSealed", err)
+	}
+	rec := RepRecord{Kind: RecData, LSN: 11, Epoch: 3, Name: "a", Fingerprint: 5, Data: []byte("u")}
+	if err := l.AppendRecord(rec); err != nil {
+		t.Fatalf("AppendRecord: %v", err)
+	}
+	// Duplicate delivery is ignored.
+	if err := l.AppendRecord(rec); err != nil {
+		t.Fatalf("duplicate AppendRecord: %v", err)
+	}
+	if l.LastLSN() != 11 {
+		t.Fatalf("LastLSN = %d, want 11", l.LastLSN())
+	}
+	// A gap is rejected — the follower must repair via pull first.
+	gap := RepRecord{Kind: RecData, LSN: 13, Epoch: 3, Name: "c"}
+	if err := l.AppendRecord(gap); !errors.Is(err, ErrLogSealed) {
+		t.Fatalf("gap AppendRecord err = %v, want ErrLogSealed", err)
+	}
+	// Epoch regression is rejected (fencing).
+	old := RepRecord{Kind: RecData, LSN: 12, Epoch: 2, Name: "b"}
+	if err := l.AppendRecord(old); !errors.Is(err, ErrLogSealed) {
+		t.Fatalf("epoch-regression AppendRecord err = %v, want ErrLogSealed", err)
+	}
+}
+
+func TestRepLogCompactTo(t *testing.T) {
+	sim := vfs.NewSim()
+	l, err := OpenRepLogFS(sim, "rep.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if _, err := l.Append("batch", uint64(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		// Defeat dedup by alternating names.
+		if _, err := l.Append("other", uint64(i)+100, []byte{byte(i), 0xff}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.LastLSN() != 10 {
+		t.Fatalf("LastLSN = %d, want 10", l.LastLSN())
+	}
+	if err := l.CompactTo(6); err != nil {
+		t.Fatalf("CompactTo: %v", err)
+	}
+	if l.FirstLSN() != 6 || l.LastLSN() != 10 {
+		t.Fatalf("after compact: first=%d last=%d, want 6/10", l.FirstLSN(), l.LastLSN())
+	}
+	if _, err := l.ReadFrom(3, 0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("ReadFrom(3) err = %v, want ErrCompacted", err)
+	}
+	recs, err := l.ReadFrom(6, 0)
+	if err != nil || len(recs) != 4 || recs[0].LSN != 7 {
+		t.Fatalf("ReadFrom(6) = %d records (first %+v), %v", len(recs), recs[0], err)
+	}
+	// Appends continue past the compaction.
+	lsn, err := l.Append("batch", 999, []byte("new"))
+	if err != nil || lsn != 11 {
+		t.Fatalf("append after compact = (%d, %v), want (11, nil)", lsn, err)
+	}
+	l.Close()
+
+	// The compacted log survives reopen with the same boundaries.
+	l2, err := OpenRepLogFS(sim, "rep.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.FirstLSN() != 6 || l2.LastLSN() != 11 {
+		t.Fatalf("reopen after compact: first=%d last=%d, want 6/11", l2.FirstLSN(), l2.LastLSN())
+	}
+}
+
+func TestRepLogWait(t *testing.T) {
+	sim := vfs.NewSim()
+	l, err := OpenRepLogFS(sim, "rep.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append("a", 1, []byte("u")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Already-satisfied wait returns immediately.
+	if !l.Wait(nil, 0) {
+		t.Fatal("Wait(after=0) with LSN 1 present should return true")
+	}
+
+	done := make(chan struct{})
+	got := make(chan bool, 1)
+	go func() { got <- l.Wait(done, 1) }()
+	if _, err := l.Append("b", 2, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if ok := <-got; !ok {
+		t.Fatal("Wait should report new records after append")
+	}
+
+	// Cancellation unblocks a parked waiter.
+	go func() { got <- l.Wait(done, l.LastLSN()) }()
+	close(done)
+	if ok := <-got; ok {
+		t.Fatal("cancelled Wait should return false")
+	}
+}

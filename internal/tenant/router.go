@@ -137,8 +137,8 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "%s (%d tenant(s))\n", worst, len(sts))
 	for _, st := range sts {
-		fmt.Fprintf(w, "%s: %s generation=%d patterns=%d depth=%d staleness=%.3fs poisoned=%d\n",
-			st.ID, st.State, st.Generation, st.Patterns, st.QueueDepth, st.StalenessSeconds, st.Poisoned)
+		fmt.Fprintf(w, "%s: %s generation=%d lsn=%d patterns=%d depth=%d staleness=%.3fs poisoned=%d\n",
+			st.ID, st.State, st.Generation, st.AppliedLSN, st.Patterns, st.QueueDepth, st.StalenessSeconds, st.Poisoned)
 	}
 }
 

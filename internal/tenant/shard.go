@@ -72,9 +72,14 @@ type Shard struct {
 // Status is one shard's health line in /readyz aggregation and the
 // admin API.
 type Status struct {
-	ID               string  `json:"id"`
-	State            string  `json:"state"` // ok | degraded | poisoned | draining
-	Generation       uint64  `json:"generation"`
+	ID         string `json:"id"`
+	State      string `json:"state"` // ok | degraded | poisoned | draining
+	Generation uint64 `json:"generation"`
+	// AppliedLSN is the shard's journal position: the count of batches
+	// the pipeline has applied (each one a journal entry). With the
+	// last-publish Generation it tells an operator how far a degraded
+	// shard is behind straight from the /readyz probe.
+	AppliedLSN       uint64  `json:"appliedLSN"`
 	DBLen            int     `json:"dbLen"`
 	Patterns         int     `json:"patterns"`
 	QueueDepth       int     `json:"queueDepth"`
@@ -312,6 +317,7 @@ func (sh *Shard) Status() Status {
 	st := Status{
 		ID:               sh.ID,
 		Generation:       h.Generation(),
+		AppliedLSN:       pipe.Applied(),
 		QueueDepth:       pipe.Depth(),
 		StalenessSeconds: pipe.Staleness().Seconds(),
 		Poisoned:         len(pipe.Poisoned()),

@@ -274,6 +274,18 @@ func (e *Engine) MaintainContext(ctx context.Context, u graph.Update) (Maintenan
 	return fromReport(rep), err
 }
 
+// ApplyReplicated applies a batch whose pattern maintenance already
+// ran on a replication primary: the database delta and structural
+// upkeep are applied locally, and the supplied post-apply pattern set
+// is installed verbatim instead of re-running swap decisions (which
+// read engine internals that state bundles rebuild rather than
+// restore, and so are not reproducible on a follower). Transactional
+// like MaintainContext: any error rolls the engine back.
+func (e *Engine) ApplyReplicated(ctx context.Context, u graph.Update, patterns []*graph.Graph) (MaintenanceReport, error) {
+	rep, err := e.inner.ApplyReplicated(ctx, u, patterns)
+	return fromReport(rep), err
+}
+
 // ValidateShape checks a batch update's internal consistency — nil or
 // negatively-numbered graphs, duplicate insert or delete IDs — without
 // consulting any database. Serving layers use it to reject malformed
