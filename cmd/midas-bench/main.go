@@ -39,6 +39,27 @@ type jsonFigure struct {
 	Rows   [][]string `json:"rows"`
 }
 
+// emitComparisonJSON writes a comparison-mode result to stdout, or to
+// jsonPath when set (and not "-").
+func emitComparisonJSON(res interface{}, jsonPath string) {
+	out := os.Stdout
+	if jsonPath != "" && jsonPath != "-" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "midas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fmt.Fprintf(os.Stderr, "midas-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	var (
 		figs     = flag.String("fig", "all", "comma-separated figures to run: 9,10,11,12,13,14,15,16,ex1,supmin,gamma,discover,robust or all")
@@ -47,7 +68,9 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
 		jsonPath = flag.String("json", "", `write machine-readable results (tables + per-batch maintenance trace) to this file ("-" = stdout)`)
 		cmpWork  = flag.Int("compare-workers", 0, "instead of figures, replay the maintenance trace sequentially and at this worker count, verify the outputs are identical, and print the timing comparison as JSON")
-		cmpRound = flag.Int("compare-rounds", 3, "trace replays per mode in -compare-workers (restart-and-replay is the memo layer's workload)")
+		cmpRound = flag.Int("compare-rounds", 3, "trace replays per mode in -compare-workers / -compare-index (restart-and-replay is the memo layer's workload)")
+		cmpIndex = flag.Bool("compare-index", false, "instead of figures, replay the maintenance trace with the delta index network disabled and enabled, verify the outputs are identical, and print the timing comparison as JSON")
+		noDelta  = flag.Bool("no-delta-index", false, "disable the incremental index delta network (recompute cover state from scratch each batch); output is byte-identical either way")
 
 		sustained  = flag.Bool("sustained", false, "instead of figures, benchmark concurrent read serving (mutex-serialised vs snapshot pipeline) idle and during a forced major batch, and write the comparison to -sustained-out")
 		susOut     = flag.String("sustained-out", "BENCH_PR6.json", "output file for -sustained results")
@@ -75,6 +98,7 @@ func main() {
 	if *seed != 0 {
 		s.Seed = *seed
 	}
+	s.NoDeltaIndex = *noDelta
 
 	// Sustained serving mode: lock-free snapshot reads vs the old
 	// mutex-serialised architecture, idle and mid-maintenance.
@@ -106,22 +130,22 @@ func main() {
 			os.Exit(1)
 		}
 		res.Scale = *scale
-		out := os.Stdout
-		if *jsonPath != "" && *jsonPath != "-" {
-			f, err := os.Create(*jsonPath)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "midas-bench: %v\n", err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			out = f
-		}
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
+		emitComparisonJSON(res, *jsonPath)
+		return
+	}
+
+	// Index comparison mode: per-batch from-scratch cover recompute vs
+	// the incremental delta network over the same trace, facts
+	// cross-checked before timing is reported. JSON goes to stdout (or
+	// the -json path when set).
+	if *cmpIndex {
+		res, err := experiments.CompareIndex(s, *cmpRound)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "midas-bench: %v\n", err)
 			os.Exit(1)
 		}
+		res.Scale = *scale
+		emitComparisonJSON(res, *jsonPath)
 		return
 	}
 

@@ -43,6 +43,7 @@ func main() {
 		sample    = flag.Int("sample", 200, "scov sample size (0 = exact)")
 		strategy  = flag.String("strategy", "multiscan", "swap strategy: multiscan | random")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "maintenance kernel fan-out width (0 = sequential reference path); results are identical at every setting")
+		noDelta   = flag.Bool("no-delta-index", false, "disable the incremental index delta network (recompute cover state from scratch each batch); results are byte-identical either way")
 		dump      = flag.Bool("patterns", false, "print the maintained pattern set in text format")
 		statePath = flag.String("state", "", "restore engine state from this bundle instead of bootstrapping")
 		savePath  = flag.String("save", "", "write the engine state bundle here before exiting")
@@ -63,6 +64,7 @@ func main() {
 		Strategy:   midas.Strategy(*strategy),
 		Workers:    *workers,
 	}
+	opts.NoDeltaIndex = *noDelta
 
 	var eng *midas.Engine
 	if *statePath != "" {
@@ -86,8 +88,9 @@ func main() {
 		if err != nil {
 			fatal(err.Error())
 		}
-		// The bundle header records the state, not the wall-clock knob.
+		// The bundle header records the state, not the wall-clock knobs.
 		eng.SetWorkers(*workers)
+		eng.SetNoDeltaIndex(*noDelta)
 		fmt.Printf("restored %d graphs, %d patterns in %v\n",
 			eng.DB().Len(), len(eng.Patterns()), eng.BootstrapTime().Round(timeUnit))
 	} else {

@@ -125,6 +125,7 @@ func main() {
 		inflight   = flag.Int("max-inflight", 0, "maximum concurrent engine-bound requests; excess requests get an immediate 503 with Retry-After (0 disables shedding)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: leaks process internals)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "maintenance kernel fan-out width (0 = sequential reference path); results are identical at every setting")
+		noDelta    = flag.Bool("no-delta-index", false, "disable the incremental index delta network (recompute cover state from scratch each batch); results are byte-identical either way")
 
 		replicaDir    = flag.String("replica-dir", "", "replication mode: node state directory (state bundle + replication log); serves /replica/* and journals every committed batch")
 		replicateFrom = flag.String("replicate-from", "", "start as a warm-standby follower of this primary base URL (requires -replica-dir); reads serve locally, writes are fenced with 503 + X-Midas-Primary")
@@ -157,11 +158,12 @@ func main() {
 			backoff:  *backoff,
 			pprofOn:  *pprofOn,
 			engine: midas.Options{
-				Budget:  midas.Budget{MinSize: *minSize, MaxSize: *maxSize, Count: *gamma},
-				SupMin:  *supMin,
-				Epsilon: *epsilon,
-				Seed:    *seed,
-				Workers: *workers,
+				Budget:       midas.Budget{MinSize: *minSize, MaxSize: *maxSize, Count: *gamma},
+				SupMin:       *supMin,
+				Epsilon:      *epsilon,
+				Seed:         *seed,
+				Workers:      *workers,
+				NoDeltaIndex: *noDelta,
 			},
 			conflicts: map[string]bool{
 				"-state": *statePath != "", "-save": *savePath != "", "-watch": *watchDir != "",
@@ -196,11 +198,12 @@ func main() {
 			watchIvl:   *watchIvl,
 			workers:    *workers,
 			engine: midas.Options{
-				Budget:  midas.Budget{MinSize: *minSize, MaxSize: *maxSize, Count: *gamma},
-				SupMin:  *supMin,
-				Epsilon: *epsilon,
-				Seed:    *seed,
-				Workers: *workers,
+				Budget:       midas.Budget{MinSize: *minSize, MaxSize: *maxSize, Count: *gamma},
+				SupMin:       *supMin,
+				Epsilon:      *epsilon,
+				Seed:         *seed,
+				Workers:      *workers,
+				NoDeltaIndex: *noDelta,
 			},
 			conflicts: map[string]bool{
 				"-db": *dbPath != "", "-state": *statePath != "", "-save": *savePath != "",
@@ -219,11 +222,12 @@ func main() {
 	}
 
 	opts := midas.Options{
-		Budget:  midas.Budget{MinSize: *minSize, MaxSize: *maxSize, Count: *gamma},
-		SupMin:  *supMin,
-		Epsilon: *epsilon,
-		Seed:    *seed,
-		Workers: *workers,
+		Budget:       midas.Budget{MinSize: *minSize, MaxSize: *maxSize, Count: *gamma},
+		SupMin:       *supMin,
+		Epsilon:      *epsilon,
+		Seed:         *seed,
+		Workers:      *workers,
+		NoDeltaIndex: *noDelta,
 	}
 
 	var (
@@ -243,8 +247,9 @@ func main() {
 		}
 		switch {
 		case eng != nil:
-			// The bundle header records the state, not the wall-clock knob.
+			// The bundle header records the state, not the wall-clock knobs.
 			eng.SetWorkers(*workers)
+			eng.SetNoDeltaIndex(*noDelta)
 			logger.Infof("restored state: %d graphs, %d patterns", eng.DB().Len(), len(eng.Patterns()))
 		case errors.Is(err, store.ErrCorrupt):
 			logger.Errorf("midas-serve: state bundle unrecoverable, starting degraded: %v", err)

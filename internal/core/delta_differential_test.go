@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/midas-graph/midas/internal/faultinject"
+	"github.com/midas-graph/midas/internal/index"
+	"github.com/midas-graph/midas/internal/index/delta"
+)
+
+// checkDeltaOracle is the from-scratch differential oracle of the delta
+// network: the delta-maintained Indices must be byte-identical to a
+// fresh index.Build over the engine's post-batch database (with the
+// current patterns registered), and the network's materialised cover
+// sets, scov values and exclusive-coverage stats must equal what the
+// from-scratch compute path derives from that fresh index.
+func checkDeltaOracle(t *testing.T, e *Engine, tag string) {
+	t.Helper()
+	if e.dx == nil {
+		t.Fatalf("%s: delta network inactive", tag)
+	}
+	oracle := index.Build(e.set, e.db, nil)
+	for _, p := range e.patterns {
+		oracle.RegisterPattern(p)
+	}
+	if got, want := e.ix.Fingerprint(), oracle.Fingerprint(); !bytes.Equal(got, want) {
+		t.Fatalf("%s: delta-maintained index diverged from from-scratch Build\ngot:\n%s\nwant:\n%s", tag, got, want)
+	}
+	ref := delta.NewNetwork(oracle, e.db, e.patterns, 0)
+	if got, want := e.dx.Fingerprint(), ref.Fingerprint(); !bytes.Equal(got, want) {
+		t.Fatalf("%s: network state diverged from from-scratch rebuild\ngot:\n%s\nwant:\n%s", tag, got, want)
+	}
+
+	// Per-pattern cover sets and scov against the plain index compute
+	// path (exactly what a no-delta engine would run each batch).
+	for _, p := range e.patterns {
+		want := oracle.CoverSet(p, e.db)
+		got, ok := e.dx.Cover(p)
+		if !ok {
+			t.Fatalf("%s: pattern %d missing from the network", tag, p.ID)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: cover set of pattern %d diverged\ngot  %v\nwant %v", tag, p.ID, got, want)
+		}
+		if n := e.db.Len(); n > 0 {
+			if gotScov, wantScov := float64(len(got))/float64(n), oracle.Scov(p, e.db); gotScov != wantScov {
+				t.Fatalf("%s: scov of pattern %d = %v, want %v", tag, p.ID, gotScov, wantScov)
+			}
+		}
+	}
+
+	// Exclusive-coverage node vs the pure per-batch computation.
+	covers, ok := e.dx.Covers(e.patterns)
+	if !ok {
+		t.Fatalf("%s: pattern set not fully registered in the network", tag)
+	}
+	wantExcl, wantUnion := exclusiveStats(covers)
+	gotExcl, gotUnion, ok := e.dx.ExclusiveStats(e.patterns)
+	if !ok {
+		t.Fatalf("%s: ExclusiveStats rejected the registered pattern set", tag)
+	}
+	if !reflect.DeepEqual(gotExcl, wantExcl) {
+		t.Fatalf("%s: exclusive counts diverged\ngot  %v\nwant %v", tag, gotExcl, wantExcl)
+	}
+	if !reflect.DeepEqual(gotUnion, wantUnion) {
+		t.Fatalf("%s: union cover diverged\ngot  %v\nwant %v", tag, gotUnion, wantUnion)
+	}
+}
+
+// runDeltaTrace replays the differential trace at the given seed and
+// worker count, verifying the from-scratch oracle after bootstrap and
+// after every batch (delta mode only), and returns the outcome for
+// cross-mode and cross-worker comparison.
+func runDeltaTrace(t *testing.T, seed int64, workers int, noDelta bool) diffOutcome {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Seed = seed
+	cfg.Epsilon = 0.01
+	cfg.Workers = workers
+	cfg.NoDeltaIndex = noDelta
+	e := NewEngine(testDB(8, 8), cfg)
+	if !noDelta {
+		checkDeltaOracle(t, e, fmt.Sprintf("seed %d workers %d bootstrap", seed, workers))
+	}
+	var out diffOutcome
+	for bi, u := range diffTrace(seed) {
+		rep, err := e.Maintain(u)
+		if err != nil {
+			t.Fatalf("seed %d workers %d batch %d: %v", seed, workers, bi, err)
+		}
+		if !noDelta {
+			checkDeltaOracle(t, e, fmt.Sprintf("seed %d workers %d batch %d", seed, workers, bi))
+		}
+		out.Fingerprints = append(out.Fingerprints, takeFingerprint(e))
+		out.Distances = append(out.Distances, rep.GraphletDistance)
+		out.Major = append(out.Major, rep.Major)
+		out.Swaps = append(out.Swaps, rep.Swaps)
+		out.Candidates = append(out.Candidates, rep.Candidates)
+		out.Scans = append(out.Scans, rep.Scans)
+	}
+	return out
+}
+
+// TestDeltaIndexDifferentialOracle is the headline contract of the
+// delta network: after every batch, the delta-maintained index and
+// cover/exclusive state are byte-identical to a from-scratch rebuild,
+// across seeds × workers ∈ {0,1,2,8}. The whole sweep runs twice in
+// one process — the first pass starts with cold process-wide kernel
+// memos, the second hits them warm — so memo state provably cannot
+// leak into the maintained bytes.
+func TestDeltaIndexDifferentialOracle(t *testing.T) {
+	for _, pass := range []string{"cold", "warm"} {
+		for _, seed := range []int64{1, 2, 3} {
+			want := runDeltaTrace(t, seed, 0, false)
+			for _, w := range differentialWorkers {
+				got := runDeltaTrace(t, seed, w, false)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s pass, seed %d: workers=%d diverged from sequential reference\ngot  %+v\nwant %+v", pass, seed, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaIndexOnOffByteIdentical pins the escape hatch: maintenance
+// decisions must not depend on whether covers come from the network or
+// the per-batch recompute, so NoDeltaIndex replays the same trace to
+// the identical fingerprints and report facts at every worker count.
+func TestDeltaIndexOnOffByteIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, w := range append([]int{0}, differentialWorkers...) {
+			on := runDeltaTrace(t, seed, w, false)
+			off := runDeltaTrace(t, seed, w, true)
+			if !reflect.DeepEqual(on, off) {
+				t.Errorf("seed %d workers %d: delta on/off outcomes diverged\non  %+v\noff %+v", seed, w, on, off)
+			}
+		}
+	}
+}
+
+// TestDeltaNetworkDifferentialAfterRollback arms the failpoints that
+// fire after the network has absorbed the batch's deltas (the index
+// stage and everything downstream). The restored engine must pass the
+// from-scratch oracle — i.e. rollback must rewind the network, not
+// just the matrices — and a retry must land exactly where a crash-free
+// run does, oracle included.
+func TestDeltaNetworkDifferentialAfterRollback(t *testing.T) {
+	for _, stage := range []string{"index", "candidates", "swap", "small"} {
+		t.Run(stage, func(t *testing.T) {
+			defer faultinject.Reset()
+			e, u := rollbackFixture(t)
+			before := takeFingerprint(e)
+			faultinject.Enable("core.maintain." + stage)
+			if _, err := e.Maintain(u); !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("err = %v, want injected fault", err)
+			}
+			faultinject.Reset()
+			if after := takeFingerprint(e); !reflect.DeepEqual(before, after) {
+				t.Fatalf("rollback at %s left the engine mutated", stage)
+			}
+			checkDeltaOracle(t, e, "restored at "+stage)
+			if _, err := e.Maintain(u); err != nil {
+				t.Fatal(err)
+			}
+			checkDeltaOracle(t, e, "retry after "+stage)
+		})
+	}
+}

@@ -70,10 +70,8 @@ func (e *Engine) ApplyReplicated(ctx context.Context, u graph.Update, patterns [
 // installPatterns replaces the canned pattern set with ps, keeping the
 // pattern indices and the ID allocator consistent.
 func (e *Engine) installPatterns(ps []*graph.Graph) {
-	if e.ix != nil {
-		for _, p := range e.patterns {
-			e.ix.UnregisterPattern(p.ID)
-		}
+	for _, p := range e.patterns {
+		e.unregisterPattern(p.ID)
 	}
 	e.patterns = append([]*graph.Graph(nil), ps...)
 	e.nextPatternID = 0
@@ -81,11 +79,12 @@ func (e *Engine) installPatterns(ps []*graph.Graph) {
 		if p.ID >= e.nextPatternID {
 			e.nextPatternID = p.ID + 1
 		}
-		if e.ix != nil {
-			e.ix.RegisterPattern(p)
-		}
+		e.registerPattern(p)
 	}
 	if e.ix != nil {
-		e.ix.SyncFeatures(e.set, e.db, e.patterns)
+		churn := e.ix.SyncFeatures(e.set, e.db, e.patterns)
+		if e.dx != nil {
+			e.dx.SyncFeatures(e.ix, e.db, churn, e.workers())
+		}
 	}
 }

@@ -150,7 +150,7 @@ func (e *Engine) trySwap(i int, pc *graph.Graph, kappa float64) bool {
 
 	// sw1: benefit vs loss on set coverage.
 	covers := e.coverSets()
-	_, union := exclusiveStats(covers)
+	_, union := e.coverageStats()
 	unionWithout := unionExcept(covers, i)
 	loss := len(union) - len(unionWithout) // S_L(p,P,D) numerator
 	candCover := e.metrics.CoverSet(pc)
@@ -185,10 +185,8 @@ func (e *Engine) trySwap(i int, pc *graph.Graph, kappa float64) bool {
 	pc.ID = e.nextPatternID
 	e.nextPatternID++
 	e.patterns[i] = pc
-	if e.ix != nil {
-		e.ix.UnregisterPattern(old.ID)
-		e.ix.RegisterPattern(pc)
-	}
+	e.unregisterPattern(old.ID)
+	e.registerPattern(pc)
 	return true
 }
 
@@ -214,10 +212,8 @@ func (e *Engine) randomSwap(cands []*catapult.Candidate) int {
 		pc.ID = e.nextPatternID
 		e.nextPatternID++
 		e.patterns[i] = pc
-		if e.ix != nil {
-			e.ix.UnregisterPattern(old.ID)
-			e.ix.RegisterPattern(pc)
-		}
+		e.unregisterPattern(old.ID)
+		e.registerPattern(pc)
 		swaps++
 	}
 	return swaps

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/midas-graph/midas/internal/ged"
+	"github.com/midas-graph/midas/internal/index/delta"
+	"github.com/midas-graph/midas/internal/iso"
+)
+
+// CompareIndexResult is the delta-network-vs-rebuild benchmark document
+// (schema "midas-bench-compare-index/1", written by midas-bench
+// -compare-index). Both modes replay the same maintenance trace from a
+// cold process-wide memo cache — one recomputing cover state from
+// scratch each batch (-no-delta-index), one maintaining it
+// incrementally through the delta network — and the deterministic
+// per-batch facts are cross-checked between the modes before any
+// timing is reported, so a speedup from divergent work can never be
+// published.
+type CompareIndexResult struct {
+	Schema  string `json:"schema"`
+	Scale   string `json:"scale"`
+	Seed    int64  `json:"seed"`
+	Workers int    `json:"workers"`
+	Rounds  int    `json:"rounds"`
+	// RebuildSeconds and DeltaSeconds are wall clock for the whole
+	// replay, bootstraps included.
+	RebuildSeconds float64 `json:"rebuildSeconds"`
+	DeltaSeconds   float64 `json:"deltaSeconds"`
+	Speedup        float64 `json:"speedup"`
+	// MaintainSpeedup isolates the Maintain calls (PMT only, no
+	// bootstrap) — the number the delta network exists to move.
+	RebuildMaintainMillis float64 `json:"rebuildMaintainMillis"`
+	DeltaMaintainMillis   float64 `json:"deltaMaintainMillis"`
+	MaintainSpeedup       float64 `json:"maintainSpeedup"`
+	Identical             bool    `json:"identical"`
+	// Telemetry is the delta network's per-node counters accumulated
+	// over the delta-mode replay.
+	Telemetry delta.Stats         `json:"deltaTelemetry"`
+	Batches   []CompareIndexBatch `json:"batches"`
+}
+
+// CompareIndexBatch is one batch of the final round, timed in both
+// modes with the deterministic facts that were verified equal.
+type CompareIndexBatch struct {
+	Batch            string  `json:"batch"`
+	RebuildMillis    float64 `json:"rebuildMillis"`
+	DeltaMillis      float64 `json:"deltaMillis"`
+	GraphletDistance float64 `json:"graphletDistance"`
+	Major            bool    `json:"major"`
+	Swaps            int     `json:"swaps"`
+	Candidates       int     `json:"candidates"`
+	Scans            int     `json:"scans"`
+}
+
+// CompareIndex replays the standard maintenance trace `rounds` times
+// with the delta network disabled (per-batch from-scratch cover
+// recompute) and again with it enabled, each from a cold memo cache,
+// verifying that every deterministic per-batch fact agrees before
+// reporting wall-clock numbers. An error means the byte-identity
+// contract was violated — the numbers are then meaningless and none
+// are returned.
+func CompareIndex(s Scale, rounds int) (CompareIndexResult, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	off, on := s, s
+	off.NoDeltaIndex = true
+	on.NoDeltaIndex = false
+
+	replay := func(sc Scale) ([][]BatchTrace, float64) {
+		iso.ResetMemo()
+		ged.ResetMemo()
+		start := time.Now()
+		traces := make([][]BatchTrace, rounds)
+		for r := range traces {
+			traces[r] = MaintainTrace(sc)
+		}
+		return traces, time.Since(start).Seconds()
+	}
+	offTraces, offSec := replay(off)
+	delta.ResetStats()
+	onTraces, onSec := replay(on)
+
+	res := CompareIndexResult{
+		Schema:         "midas-bench-compare-index/1",
+		Seed:           s.Seed,
+		Workers:        s.Workers,
+		Rounds:         rounds,
+		RebuildSeconds: offSec,
+		DeltaSeconds:   onSec,
+		Telemetry:      delta.Snapshot(),
+	}
+	for r := range offTraces {
+		for i := range offTraces[r] {
+			a, b := offTraces[r][i], onTraces[r][i]
+			if a.GraphletDistance != b.GraphletDistance || a.Major != b.Major ||
+				a.Swaps != b.Swaps || a.Candidates != b.Candidates || a.Scans != b.Scans ||
+				a.Quality != b.Quality {
+				return res, fmt.Errorf("compare-index: round %d batch %s diverged between rebuild and delta modes:\nrebuild %+v\ndelta %+v",
+					r, a.Batch, a, b)
+			}
+			res.RebuildMaintainMillis += a.PMTMillis
+			res.DeltaMaintainMillis += b.PMTMillis
+		}
+	}
+	res.Identical = true
+	if onSec > 0 {
+		res.Speedup = offSec / onSec
+	}
+	if res.DeltaMaintainMillis > 0 {
+		res.MaintainSpeedup = res.RebuildMaintainMillis / res.DeltaMaintainMillis
+	}
+	last := len(offTraces) - 1
+	for i := range offTraces[last] {
+		a, b := offTraces[last][i], onTraces[last][i]
+		res.Batches = append(res.Batches, CompareIndexBatch{
+			Batch:            a.Batch,
+			RebuildMillis:    a.PMTMillis,
+			DeltaMillis:      b.PMTMillis,
+			GraphletDistance: a.GraphletDistance,
+			Major:            a.Major,
+			Swaps:            a.Swaps,
+			Candidates:       a.Candidates,
+			Scans:            a.Scans,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,491 @@
+// Package delta implements incremental maintenance of the MIDAS index
+// consumers as a small discrimination network (after MV4PG's
+// materialized graph views and Beyhl & Giese's generalized
+// discrimination networks): a batch's Δ⁺/Δ⁻ graph set flows through
+//
+//   - feature-count nodes — the per-feature embedding counts of the
+//     TG/EG matrix columns, updated by internal/index only for the
+//     touched graphs (the network observes those updates and probes
+//     only the touched columns),
+//   - a cover-set node — a materialised G_scov(p) per registered
+//     pattern, maintained by add/remove membership deltas instead of
+//     the per-batch from-scratch CoverSet recomputation, backed by a
+//     per-pattern feature profile and a verdict cache of exact
+//     containment checks, and
+//   - an exclusive-coverage node — per-graph covering-pattern counts
+//     feeding the exclusive/union statistics of Definition 5.5 and
+//     Equation 2 without re-unioning every cover set.
+//
+// The determinism contract is strict: after every batch, the
+// materialised state must be byte-identical to what a from-scratch
+// index.Build + CoverSet over the post-batch database produces, at
+// every worker count, warm or cold kernel memo. The differential
+// oracle in internal/core and the package's own fuzz target enforce
+// it. The network therefore never approximates: candidacy uses the
+// exact dominance test of index.CandidatesOf over the live matrices,
+// and verification uses index.Contains — the same budgeted kernel the
+// from-scratch path runs. Verdicts are pure functions of the concrete
+// (pattern, graph) instances, so caching them across batches (and
+// dropping them when a graph ID is removed, since IDs may be reused)
+// preserves byte-identity while skipping almost all repeated VF2 work.
+//
+// Concurrency: verdict computations fan out over the internal/parallel
+// pool; results are applied sequentially in sorted (pattern ID, graph
+// ID) order, so the materialised state is identical at every Workers
+// setting. The network itself is not goroutine-safe — it is owned by
+// the engine's maintenance path, which is single-threaded.
+package delta
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/index"
+	"github.com/midas-graph/midas/internal/parallel"
+)
+
+// patternState is the cover-set node's row for one registered pattern.
+type patternState struct {
+	p *graph.Graph
+	// fct and ife mirror the pattern's TP/EP column — its feature
+	// profile, reconciled against row churn so candidacy never
+	// recounts embeddings of features in the pattern.
+	fct map[string]int
+	ife map[string]int
+	// verdicts caches index.Contains(p, g) per data-graph ID. Entries
+	// are dropped when the graph is removed (IDs may be reused).
+	verdicts map[int]bool
+	// cover is the materialised G_scov(p) over the full database.
+	cover map[int]struct{}
+}
+
+// Network is the delta network over one engine's Indices. It holds no
+// reference to the index, database or tree set: every event receives
+// them explicitly, so cloning the network for snapshot/rollback is a
+// pure map copy and a restored engine re-pairs it with the restored
+// structures.
+type Network struct {
+	byID  map[int]*patternState
+	byPtr map[*graph.Graph]*patternState
+	// owner is the exclusive-coverage node: data-graph ID -> number of
+	// registered patterns whose cover set contains it. union =
+	// {id : owner[id] > 0}; a pattern's exclusive count is the number
+	// of its cover members with owner == 1.
+	owner map[int]int
+}
+
+// NewNetwork builds the network over an index whose patterns are
+// already registered (columns present in TP/EP).
+func NewNetwork(ix *index.Indices, db *graph.Database, patterns []*graph.Graph, workers int) *Network {
+	n := &Network{}
+	n.rebuild(ix, db, patterns, workers)
+	return n
+}
+
+// rebuild discards the candidacy-derived state and recomputes every
+// pattern's profile and cover from the live matrices. Verdict caches
+// are kept — verdicts are pure (pattern, graph) functions, so reuse is
+// byte-neutral.
+func (n *Network) rebuild(ix *index.Indices, db *graph.Database, patterns []*graph.Graph, workers int) {
+	old := n.byPtr
+	n.byID = make(map[int]*patternState, len(patterns))
+	n.byPtr = make(map[*graph.Graph]*patternState, len(patterns))
+	n.owner = make(map[int]int)
+	for _, p := range patterns {
+		var verdicts map[int]bool
+		if st := old[p]; st != nil {
+			verdicts = st.verdicts
+		}
+		n.register(ix, db, p, workers, verdicts)
+	}
+}
+
+// RegisterPattern materialises the cover-set row of a pattern whose
+// TP/EP column ix.RegisterPattern has already populated.
+func (n *Network) RegisterPattern(ix *index.Indices, db *graph.Database, p *graph.Graph, workers int) {
+	n.register(ix, db, p, workers, nil)
+	patternDeltas.Add(1)
+}
+
+func (n *Network) register(ix *index.Indices, db *graph.Database, p *graph.Graph, workers int, verdicts map[int]bool) {
+	st := &patternState{
+		p:        p,
+		fct:      ix.TP.Col(p.ID),
+		ife:      ix.EP.Col(p.ID),
+		verdicts: verdicts,
+		cover:    make(map[int]struct{}),
+	}
+	if st.verdicts == nil {
+		st.verdicts = make(map[int]bool)
+	}
+	n.byID[p.ID] = st
+	n.byPtr[p] = st
+	n.reconcile(ix, db, st, workers)
+}
+
+// UnregisterPattern drops a pattern's row and retracts its cover
+// memberships from the exclusive-coverage node.
+func (n *Network) UnregisterPattern(id int) {
+	st := n.byID[id]
+	if st == nil {
+		return
+	}
+	for gid := range st.cover {
+		n.ownerDec(gid)
+	}
+	coverDeltas.Add(uint64(len(st.cover)))
+	delete(n.byID, id)
+	delete(n.byPtr, st.p)
+	patternDeltas.Add(1)
+}
+
+// AddGraph propagates one Δ⁺ graph: ix.AddGraph(g) has already
+// populated g's TG/EG column, so each registered pattern probes only
+// that column for candidacy and verifies membership exactly. Verdicts
+// fan out over the pool; application runs in sorted pattern-ID order.
+func (n *Network) AddGraph(ix *index.Indices, g *graph.Graph, workers int) {
+	graphDeltas.Add(1)
+	ids := n.sortedIDs()
+	const (
+		notCandidate = iota
+		member
+		nonMember
+	)
+	verdicts := parallel.Map(workers, len(ids), nil, func(i int) int {
+		st := n.byID[ids[i]]
+		rowsTouched.Add(uint64(len(st.fct) + len(st.ife)))
+		if !ix.ColumnDominates(st.fct, st.ife, g.ID) {
+			return notCandidate
+		}
+		verdictsComputed.Add(1)
+		if index.Contains(st.p, g) {
+			return member
+		}
+		return nonMember
+	})
+	for i, id := range ids {
+		st := n.byID[id]
+		switch verdicts[i] {
+		case member:
+			st.verdicts[g.ID] = true
+			st.cover[g.ID] = struct{}{}
+			n.owner[g.ID]++
+			coverDeltas.Add(1)
+		case nonMember:
+			st.verdicts[g.ID] = false
+		}
+	}
+}
+
+// RemoveGraph propagates one Δ⁻ graph: membership and cached verdicts
+// for the ID are dropped from every pattern row (graph IDs may be
+// reused by later insertions, so stale verdicts must not survive).
+func (n *Network) RemoveGraph(id int) {
+	graphDeltas.Add(1)
+	for _, pid := range n.sortedIDs() {
+		st := n.byID[pid]
+		delete(st.verdicts, id)
+		if _, ok := st.cover[id]; ok {
+			delete(st.cover, id)
+			n.ownerDec(id)
+			coverDeltas.Add(1)
+		}
+	}
+}
+
+// SyncFeatures reconciles the cover-set node after index row churn:
+// ix.SyncFeatures has already added/removed the matrix rows and
+// re-counted pattern columns for new features, so each pattern's
+// profile is patched from the churn lists alone, and only patterns
+// whose profile actually changed re-derive their candidate set (new
+// candidates verify through the verdict cache). When the churn
+// replaces at least half of the resulting row set, the network falls
+// back to a deterministic full rebuild — at that point the reconcile
+// would touch nearly every row anyway.
+func (n *Network) SyncFeatures(ix *index.Indices, db *graph.Database, churn index.Churn, workers int) {
+	if churn.Empty() {
+		return
+	}
+	rows := ix.Trie.Len() + len(ix.IFELabels())
+	if 2*churn.Size() >= rows {
+		rebuilds.Add(1)
+		n.rebuild(ix, db, n.patterns(), workers)
+		return
+	}
+	for _, pid := range n.sortedIDs() {
+		st := n.byID[pid]
+		rowsTouched.Add(uint64(churn.Size()))
+		if !patchProfile(ix, st, churn) {
+			continue
+		}
+		reconciles.Add(1)
+		n.reconcile(ix, db, st, workers)
+	}
+}
+
+// patchProfile applies the row churn to one pattern's materialised
+// profile and reports whether the profile changed (in which case its
+// candidate set must be re-derived).
+func patchProfile(ix *index.Indices, st *patternState, churn index.Churn) bool {
+	changed := false
+	for _, key := range churn.RemovedFeatures {
+		if _, ok := st.fct[key]; ok {
+			delete(st.fct, key)
+			changed = true
+		}
+	}
+	for _, key := range churn.AddedFeatures {
+		if c := ix.TP.Get(key, st.p.ID); c > 0 {
+			st.fct[key] = c
+			changed = true
+		}
+	}
+	for _, label := range churn.RemovedIFE {
+		if _, ok := st.ife[label]; ok {
+			delete(st.ife, label)
+			changed = true
+		}
+	}
+	for _, label := range churn.AddedIFE {
+		if c := ix.EP.Get(label, st.p.ID); c > 0 {
+			st.ife[label] = c
+			changed = true
+		}
+	}
+	return changed
+}
+
+// reconcile re-derives one pattern's candidate set from the live
+// matrices and diffs the verified cover against the materialised one,
+// emitting membership deltas to the exclusive-coverage node. Missing
+// verdicts fan out; everything applies in sorted graph-ID order.
+func (n *Network) reconcile(ix *index.Indices, db *graph.Database, st *patternState, workers int) {
+	cands := ix.CandidatesOf(st.fct, st.ife, universe(db))
+	missing := make([]int, 0, len(cands))
+	for _, id := range cands {
+		if _, ok := st.verdicts[id]; !ok {
+			missing = append(missing, id)
+		}
+	}
+	verdictsCached.Add(uint64(len(cands) - len(missing)))
+	verdictsComputed.Add(uint64(len(missing)))
+	computed := parallel.Map(workers, len(missing), nil, func(i int) bool {
+		g := db.Get(missing[i])
+		return g != nil && index.Contains(st.p, g)
+	})
+	for i, id := range missing {
+		st.verdicts[id] = computed[i]
+	}
+	next := make(map[int]struct{}, len(st.cover))
+	for _, id := range cands {
+		if st.verdicts[id] {
+			next[id] = struct{}{}
+		}
+	}
+	for id := range st.cover {
+		if _, ok := next[id]; !ok {
+			n.ownerDec(id)
+			coverDeltas.Add(1)
+		}
+	}
+	for id := range next {
+		if _, ok := st.cover[id]; !ok {
+			n.owner[id]++
+			coverDeltas.Add(1)
+		}
+	}
+	st.cover = next
+}
+
+// Cover returns the materialised full-database cover set of a
+// registered pattern, looked up by the exact graph instance (candidate
+// patterns that were never registered miss). The returned map is live
+// network state: callers must treat it as read-only and must not
+// retain it across maintenance events.
+func (n *Network) Cover(p *graph.Graph) (map[int]struct{}, bool) {
+	st := n.byPtr[p]
+	if st == nil || st.p.ID != p.ID {
+		return nil, false
+	}
+	return st.cover, true
+}
+
+// Covers returns the cover sets of the given patterns in order, or
+// ok=false if any of them is not registered.
+func (n *Network) Covers(patterns []*graph.Graph) ([]map[int]struct{}, bool) {
+	out := make([]map[int]struct{}, len(patterns))
+	for i, p := range patterns {
+		c, ok := n.Cover(p)
+		if !ok {
+			return nil, false
+		}
+		out[i] = c
+	}
+	return out, true
+}
+
+// ExclusiveStats serves, for the given pattern list, each pattern's
+// exclusive cover count |G_scov(p) \ ∪_{p'≠p} G_scov(p')| and the
+// union cover — the inputs of Definition 5.5 and Equation 2 — from the
+// maintained owner counts. ok is false when the list does not exactly
+// match the registered set (the caller then falls back to the pure
+// recomputation); the union map is a fresh copy the caller owns.
+func (n *Network) ExclusiveStats(patterns []*graph.Graph) (exclusive []int, union map[int]struct{}, ok bool) {
+	if len(patterns) != len(n.byID) {
+		return nil, nil, false
+	}
+	states := make([]*patternState, len(patterns))
+	for i, p := range patterns {
+		st := n.byPtr[p]
+		if st == nil || st.p.ID != p.ID {
+			return nil, nil, false
+		}
+		states[i] = st
+	}
+	union = make(map[int]struct{}, len(n.owner))
+	for id := range n.owner {
+		union[id] = struct{}{}
+	}
+	exclusive = make([]int, len(states))
+	for i, st := range states {
+		c := 0
+		for id := range st.cover {
+			if n.owner[id] == 1 {
+				c++
+			}
+		}
+		exclusive[i] = c
+	}
+	return exclusive, union, true
+}
+
+// Clone deep-copies the network for transactional rollback. Pattern
+// graph pointers are shared (the engine never structurally mutates
+// registered patterns); every map is copied.
+func (n *Network) Clone() *Network {
+	c := &Network{
+		byID:  make(map[int]*patternState, len(n.byID)),
+		byPtr: make(map[*graph.Graph]*patternState, len(n.byPtr)),
+		owner: make(map[int]int, len(n.owner)),
+	}
+	for id, st := range n.byID {
+		cs := &patternState{
+			p:        st.p,
+			fct:      make(map[string]int, len(st.fct)),
+			ife:      make(map[string]int, len(st.ife)),
+			verdicts: make(map[int]bool, len(st.verdicts)),
+			cover:    make(map[int]struct{}, len(st.cover)),
+		}
+		for k, v := range st.fct {
+			cs.fct[k] = v
+		}
+		for k, v := range st.ife {
+			cs.ife[k] = v
+		}
+		for k, v := range st.verdicts {
+			cs.verdicts[k] = v
+		}
+		for k := range st.cover {
+			cs.cover[k] = struct{}{}
+		}
+		c.byID[id] = cs
+		c.byPtr[st.p] = cs
+	}
+	for id, v := range n.owner {
+		c.owner[id] = v
+	}
+	return c
+}
+
+// Fingerprint returns a canonical byte serialisation of the
+// materialised state — per-pattern profiles and cover sets plus the
+// owner counts — for the differential oracle and the clone-isolation
+// regression tests.
+func (n *Network) Fingerprint() []byte {
+	var buf bytes.Buffer
+	ids := n.sortedIDs()
+	fmt.Fprintf(&buf, "patterns %d\n", len(ids))
+	for _, id := range ids {
+		st := n.byID[id]
+		fmt.Fprintf(&buf, "p %d fct=%s ife=%s cover=%v\n",
+			id, profileString(st.fct), profileString(st.ife), sortedKeys(st.cover))
+	}
+	owners := make([]int, 0, len(n.owner))
+	for id := range n.owner {
+		owners = append(owners, id)
+	}
+	sort.Ints(owners)
+	fmt.Fprintf(&buf, "owner %d\n", len(owners))
+	for _, id := range owners {
+		fmt.Fprintf(&buf, "o %d %d\n", id, n.owner[id])
+	}
+	return buf.Bytes()
+}
+
+// Len returns the number of registered pattern rows.
+func (n *Network) Len() int { return len(n.byID) }
+
+func (n *Network) sortedIDs() []int {
+	ids := make([]int, 0, len(n.byID))
+	for id := range n.byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// patterns returns the registered patterns in sorted-ID order.
+func (n *Network) patterns() []*graph.Graph {
+	ids := n.sortedIDs()
+	out := make([]*graph.Graph, len(ids))
+	for i, id := range ids {
+		out[i] = n.byID[id].p
+	}
+	return out
+}
+
+func (n *Network) ownerDec(id int) {
+	if n.owner[id] <= 1 {
+		delete(n.owner, id)
+		return
+	}
+	n.owner[id]--
+}
+
+func universe(db *graph.Database) []int {
+	out := make([]int, 0, db.Len())
+	for _, g := range db.Graphs() {
+		out = append(out, g.ID)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func profileString(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			buf.WriteByte(' ')
+		}
+		fmt.Fprintf(&buf, "%q:%d", k, m[k])
+	}
+	buf.WriteByte('}')
+	return buf.String()
+}
+
+func sortedKeys(m map[int]struct{}) []int {
+	out := make([]int, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,331 @@
+package delta
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/midas-graph/midas/graph"
+	"github.com/midas-graph/midas/internal/index"
+	"github.com/midas-graph/midas/internal/iso"
+	"github.com/midas-graph/midas/internal/tree"
+)
+
+// harness drives an index + network through delta maintenance exactly
+// the way the engine's index stage does: database and tree-set first,
+// then per-graph column updates, then feature churn. It is shared by
+// the unit tests, the property tests and FuzzDeltaIndex.
+type harness struct {
+	db       *graph.Database
+	set      *tree.Set
+	ix       *index.Indices
+	dx       *Network
+	patterns []*graph.Graph
+	nextID   int
+	nextPat  int
+}
+
+func newHarness(t testing.TB) *harness {
+	t.Helper()
+	db := graph.DatabaseOf(
+		graph.Path(0, "C", "O", "C"),
+		graph.Path(1, "C", "O", "C"),
+		graph.Path(2, "C", "O", "C", "O"),
+		graph.Star(3, "C", "N", "N", "N"),
+		graph.Star(4, "C", "N", "N", "N"),
+		graph.Path(5, "C", "N"),
+	)
+	set := tree.Mine(db, 0.4, 3)
+	ix := index.Build(set, db, nil)
+	h := &harness{db: db, set: set, ix: ix, nextID: 6, nextPat: 1000}
+	h.dx = NewNetwork(ix, db, nil, 0)
+	h.register(graph.Path(h.allocPat(), "C", "O", "C"))
+	h.register(graph.Star(h.allocPat(), "C", "N", "N"))
+	return h
+}
+
+func (h *harness) allocPat() int {
+	id := h.nextPat
+	h.nextPat++
+	return id
+}
+
+// applyBatch runs one maintenance batch: db/tree-set update, graph
+// column deltas, then feature churn — the engine's index-stage order.
+func (h *harness) applyBatch(t testing.TB, ins []*graph.Graph, del []int) {
+	t.Helper()
+	u := graph.Update{Insert: ins, Delete: del}
+	if err := h.db.Apply(u); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	h.set.Update(h.db, u)
+	for _, id := range del {
+		h.ix.RemoveGraph(id)
+		h.dx.RemoveGraph(id)
+	}
+	for _, g := range ins {
+		h.ix.AddGraph(g)
+		h.dx.AddGraph(h.ix, g, 0)
+	}
+	churn := h.ix.SyncFeatures(h.set, h.db, h.patterns)
+	h.dx.SyncFeatures(h.ix, h.db, churn, 0)
+}
+
+func (h *harness) register(p *graph.Graph) {
+	h.ix.RegisterPattern(p)
+	h.dx.RegisterPattern(h.ix, h.db, p, 0)
+	h.patterns = append(h.patterns, p)
+}
+
+func (h *harness) unregister(id int) {
+	h.ix.UnregisterPattern(id)
+	h.dx.UnregisterPattern(id)
+	kept := h.patterns[:0]
+	for _, p := range h.patterns {
+		if p.ID != id {
+			kept = append(kept, p)
+		}
+	}
+	h.patterns = kept
+}
+
+// checkOracle compares the delta-maintained index and network against a
+// from-scratch Build over the harness's current state.
+func (h *harness) checkOracle(t testing.TB, tag string) {
+	t.Helper()
+	oracle := index.Build(h.set, h.db, nil)
+	for _, p := range h.patterns {
+		oracle.RegisterPattern(p)
+	}
+	if got, want := h.ix.Fingerprint(), oracle.Fingerprint(); !bytes.Equal(got, want) {
+		t.Fatalf("%s: index diverged from from-scratch Build\ngot:\n%s\nwant:\n%s", tag, got, want)
+	}
+	ref := NewNetwork(oracle, h.db, h.patterns, 0)
+	if got, want := h.dx.Fingerprint(), ref.Fingerprint(); !bytes.Equal(got, want) {
+		t.Fatalf("%s: network diverged from from-scratch rebuild\ngot:\n%s\nwant:\n%s", tag, got, want)
+	}
+}
+
+// evolve drives the harness through a fixed churn-heavy history: it
+// promotes C.N to frequent (feature churn both ways), removes early
+// graphs and swaps a pattern — leaving genuinely delta-maintained
+// state for the property tests below.
+func (h *harness) evolve(t testing.TB) {
+	t.Helper()
+	h.applyBatch(t, []*graph.Graph{
+		graph.Path(h.nextID, "C", "N"),
+		graph.Path(h.nextID+1, "C", "N", "C"),
+		graph.Path(h.nextID+2, "C", "N", "C"),
+	}, []int{0})
+	h.nextID += 3
+	h.checkOracle(t, "evolve batch 1")
+	old := h.patterns[0].ID
+	h.unregister(old)
+	h.register(graph.Path(h.allocPat(), "C", "N", "C"))
+	h.checkOracle(t, "evolve swap")
+	h.applyBatch(t, []*graph.Graph{graph.Star(h.nextID, "B", "O", "O", "O")}, []int{1, 2})
+	h.nextID++
+	h.checkOracle(t, "evolve batch 2")
+}
+
+func TestNetworkMatchesOracleThroughMaintenance(t *testing.T) {
+	h := newHarness(t)
+	h.checkOracle(t, "bootstrap")
+	h.evolve(t)
+}
+
+func TestCoverAndExclusiveStats(t *testing.T) {
+	h := newHarness(t)
+	h.evolve(t)
+	for _, p := range h.patterns {
+		got, ok := h.dx.Cover(p)
+		if !ok {
+			t.Fatalf("pattern %d missing", p.ID)
+		}
+		want := h.ix.CoverSet(p, h.db)
+		if len(got) != len(want) {
+			t.Fatalf("cover of %d = %v, want %v", p.ID, got, want)
+		}
+		for id := range want {
+			if _, in := got[id]; !in {
+				t.Fatalf("cover of %d missing graph %d", p.ID, id)
+			}
+		}
+	}
+	excl, union, ok := h.dx.ExclusiveStats(h.patterns)
+	if !ok {
+		t.Fatal("ExclusiveStats rejected the registered set")
+	}
+	// Recompute the pure way.
+	owner := map[int]int{}
+	for _, p := range h.patterns {
+		c, _ := h.dx.Cover(p)
+		for id := range c {
+			owner[id]++
+		}
+	}
+	if len(union) != len(owner) {
+		t.Fatalf("union = %v, want keys of %v", union, owner)
+	}
+	for i, p := range h.patterns {
+		c, _ := h.dx.Cover(p)
+		n := 0
+		for id := range c {
+			if owner[id] == 1 {
+				n++
+			}
+		}
+		if excl[i] != n {
+			t.Fatalf("exclusive[%d] = %d, want %d", i, excl[i], n)
+		}
+	}
+	// A list that does not match the registered set must be rejected,
+	// not silently mis-served.
+	if _, _, ok := h.dx.ExclusiveStats(h.patterns[:1]); ok {
+		t.Fatal("ExclusiveStats accepted a truncated pattern list")
+	}
+	if _, _, ok := h.dx.ExclusiveStats(append([]*graph.Graph(nil), append(h.patterns[:len(h.patterns)-1:len(h.patterns)-1], graph.Path(9999, "C", "O"))...)); ok {
+		t.Fatal("ExclusiveStats accepted a foreign pattern")
+	}
+}
+
+// TestCandidateGraphsSupersetUnderDeltaMaintenance pins the candidacy
+// soundness invariant — CandidateGraphs never dismisses a true match —
+// against a delta-maintained index rather than a freshly built one.
+func TestCandidateGraphsSupersetUnderDeltaMaintenance(t *testing.T) {
+	h := newHarness(t)
+	h.evolve(t)
+	universe := h.db.IDs()
+	f := func(seed int64) bool {
+		p := randomPattern(rand.New(rand.NewSource(seed)))
+		cand := map[int]struct{}{}
+		for _, id := range h.ix.CandidateGraphs(p, universe) {
+			cand[id] = struct{}{}
+		}
+		for _, g := range h.db.Graphs() {
+			if iso.HasSubgraph(p, g, iso.Options{}) {
+				if _, ok := cand[g.ID]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoverSetPruningMatchesBruteForceUnderDeltaMaintenance pins the
+// exactness invariant — index-pruned cover sets equal brute-force
+// subgraph checks — against a delta-maintained index.
+func TestCoverSetPruningMatchesBruteForceUnderDeltaMaintenance(t *testing.T) {
+	h := newHarness(t)
+	h.evolve(t)
+	f := func(seed int64) bool {
+		p := randomPattern(rand.New(rand.NewSource(seed)))
+		cover := h.ix.CoverSet(p, h.db)
+		for _, g := range h.db.Graphs() {
+			truth := iso.HasSubgraph(p, g, iso.Options{})
+			_, got := cover[g.ID]
+			if truth != got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomPattern(r *rand.Rand) *graph.Graph {
+	labels := []string{"C", "O", "N"}
+	n := 2 + r.Intn(4)
+	g := graph.New(999)
+	for i := 0; i < n; i++ {
+		g.AddVertex(labels[r.Intn(len(labels))])
+	}
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, r.Intn(i))
+	}
+	g.SortAdjacency()
+	return g
+}
+
+// TestNetworkCloneIsolation protects the rollback invariant: mutating a
+// clone's delta state (graph deltas, pattern churn, feature churn) must
+// leave the original bit-unchanged, and vice versa.
+func TestNetworkCloneIsolation(t *testing.T) {
+	h := newHarness(t)
+	h.evolve(t)
+	before := h.dx.Fingerprint()
+	clone := h.dx.Clone()
+	if !bytes.Equal(clone.Fingerprint(), before) {
+		t.Fatal("clone does not reproduce the original state")
+	}
+
+	// Mutate the clone through every delta event against a scratch copy
+	// of the index state.
+	scratchSet := h.set.Clone()
+	scratchIx := h.ix.Clone(scratchSet)
+	g := graph.Path(777, "C", "O", "C")
+	scratchIx.AddGraph(g)
+	clone.AddGraph(scratchIx, g, 0)
+	clone.RemoveGraph(3)
+	p := graph.Path(8888, "C", "O")
+	scratchIx.RegisterPattern(p)
+	clone.RegisterPattern(scratchIx, h.db, p, 0)
+	clone.UnregisterPattern(h.patterns[0].ID)
+
+	if got := h.dx.Fingerprint(); !bytes.Equal(got, before) {
+		t.Fatalf("mutating the clone changed the original\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+	// And the original index must be untouched by the scratch mutations.
+	h.checkOracle(t, "after clone mutation")
+
+	// Mutating the original must not leak into the clone either.
+	cloneBefore := clone.Fingerprint()
+	h.applyBatch(t, []*graph.Graph{graph.Path(h.nextID, "C", "O")}, nil)
+	h.nextID++
+	if got := clone.Fingerprint(); !bytes.Equal(got, cloneBefore) {
+		t.Fatal("mutating the original changed the clone")
+	}
+}
+
+func TestTelemetryCountsWork(t *testing.T) {
+	ResetStats()
+	h := newHarness(t)
+	h.evolve(t)
+	s := Snapshot()
+	if s.GraphDeltas == 0 || s.PatternDeltas == 0 || s.CoverDeltas == 0 {
+		t.Fatalf("delta counters did not move: %+v", s)
+	}
+	if s.VerdictsComputed == 0 {
+		t.Fatalf("no verdicts computed: %+v", s)
+	}
+	if s.RowsTouched == 0 {
+		t.Fatalf("no rows touched: %+v", s)
+	}
+}
+
+// TestSyncFeaturesRebuildFallback forces churn large enough to trip the
+// deterministic full-rebuild rule and checks the result still matches
+// the oracle (and is counted).
+func TestSyncFeaturesRebuildFallback(t *testing.T) {
+	ResetStats()
+	h := newHarness(t)
+	// Replace most of the database with a brand-new label family: the
+	// surviving feature set churns almost completely.
+	var ins []*graph.Graph
+	for i := 0; i < 8; i++ {
+		ins = append(ins, graph.Star(h.nextID, "B", "F", "F", "F"))
+		h.nextID++
+	}
+	h.applyBatch(t, ins, []int{0, 1, 2, 3, 4})
+	h.checkOracle(t, "after churn-heavy batch")
+	if Snapshot().Rebuilds == 0 {
+		t.Skip("churn did not trip the rebuild threshold on this fixture")
+	}
+}

@@ -1,0 +1,99 @@
+package delta
+
+import (
+	"testing"
+
+	"github.com/midas-graph/midas/graph"
+)
+
+// FuzzDeltaIndex interprets the input as a sequence of (op, arg) byte
+// pairs driving random interleavings of the five delta events — graph
+// batch insert, batch delete, mixed batch, pattern register and
+// unregister (feature churn rides along with every batch via
+// SyncFeatures) — and after every event compares the delta-maintained
+// index and network byte-for-byte against a from-scratch Build oracle
+// over the same state.
+//
+// Ops are batch-level on purpose: the oracle's Build reads the tree
+// set's current posting lists, so database, tree set and index must
+// move together, exactly as the engine's index stage moves them.
+func FuzzDeltaIndex(f *testing.F) {
+	// One seed per op plus mixed histories; the committed corpus under
+	// testdata/fuzz/FuzzDeltaIndex mirrors these.
+	f.Add([]byte{0, 3})                                     // single insert batch
+	f.Add([]byte{0, 7, 1, 2})                               // insert then delete
+	f.Add([]byte{2, 5, 3, 0, 2, 9})                         // register/unregister churn
+	f.Add([]byte{4, 11, 4, 6, 4, 1})                        // mixed batches
+	f.Add([]byte{0, 250, 2, 13, 4, 9, 1, 4, 3, 1, 0, 17})   // long interleaving
+	f.Add([]byte{2, 1, 2, 2, 2, 3, 1, 0, 1, 1, 1, 2, 1, 3}) // pattern-heavy, delete-heavy
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := newHarness(t)
+		ops := 0
+		for i := 0; i+1 < len(data) && ops < 24; i += 2 {
+			op, arg := int(data[i])%5, int(data[i+1])
+			switch op {
+			case 0: // insert batch
+				h.applyBatch(t, h.fuzzInserts(1+arg%3, arg), nil)
+			case 1: // delete batch
+				if del := h.fuzzDeletes(1+arg%2, arg); len(del) > 0 {
+					h.applyBatch(t, nil, del)
+				}
+			case 2: // register a fresh pattern
+				h.register(fuzzGraph(h.allocPat(), arg))
+			case 3: // unregister one registered pattern
+				if len(h.patterns) > 0 {
+					h.unregister(h.patterns[arg%len(h.patterns)].ID)
+				}
+			case 4: // mixed batch
+				h.applyBatch(t, h.fuzzInserts(1+arg%2, arg+1), h.fuzzDeletes(arg%2, arg))
+			}
+			ops++
+			h.checkOracle(t, "fuzz op")
+		}
+	})
+}
+
+// fuzzInserts builds n fresh graphs whose shape and labels derive from
+// arg.
+func (h *harness) fuzzInserts(n, arg int) []*graph.Graph {
+	out := make([]*graph.Graph, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fuzzGraph(h.nextID, arg+i))
+		h.nextID++
+	}
+	return out
+}
+
+// fuzzDeletes picks up to n live graph IDs deterministically from arg,
+// keeping the database non-empty.
+func (h *harness) fuzzDeletes(n, arg int) []int {
+	ids := append([]int(nil), h.db.IDs()...)
+	sortInts(ids)
+	var out []int
+	for i := 0; i < n && len(ids) > 1; i++ {
+		k := (arg + i) % len(ids)
+		out = append(out, ids[k])
+		ids = append(ids[:k], ids[k+1:]...)
+	}
+	return out
+}
+
+// fuzzGraph derives a small path or star from arg over a fixed label
+// alphabet, so features overlap across ops and churn actually happens.
+func fuzzGraph(id, arg int) *graph.Graph {
+	labels := []string{"C", "O", "N", "B", "H"}
+	l := func(k int) string { return labels[k%len(labels)] }
+	if arg%2 == 0 {
+		return graph.Path(id, l(arg), l(arg/2), l(arg/4))
+	}
+	return graph.Star(id, l(arg), l(arg/2), l(arg/4), l(arg/8))
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package delta
+
+import "sync/atomic"
+
+// Per-node telemetry, process-wide like the iso/ged kernel counters:
+// cheap atomic increments on the maintenance path, snapshotted by
+// benchmarks and the -compare-index report to show how much work the
+// network actually did versus a from-scratch recompute.
+var (
+	graphDeltas      atomic.Uint64 // Δ⁺/Δ⁻ graph events propagated
+	patternDeltas    atomic.Uint64 // pattern register/unregister events
+	coverDeltas      atomic.Uint64 // cover-set membership additions+removals applied
+	rowsTouched      atomic.Uint64 // profile rows probed by candidacy and churn patching
+	verdictsComputed atomic.Uint64 // exact containment checks run
+	verdictsCached   atomic.Uint64 // containment checks answered from the verdict cache
+	reconciles       atomic.Uint64 // patterns whose profile changed under feature churn
+	rebuilds         atomic.Uint64 // full-rebuild fallbacks taken
+)
+
+// Stats is a point-in-time snapshot of the network counters.
+type Stats struct {
+	GraphDeltas      uint64 `json:"graph_deltas"`
+	PatternDeltas    uint64 `json:"pattern_deltas"`
+	CoverDeltas      uint64 `json:"cover_deltas"`
+	RowsTouched      uint64 `json:"rows_touched"`
+	VerdictsComputed uint64 `json:"verdicts_computed"`
+	VerdictsCached   uint64 `json:"verdicts_cached"`
+	Reconciles       uint64 `json:"reconciles"`
+	Rebuilds         uint64 `json:"rebuilds"`
+}
+
+// Snapshot returns the current counter values.
+func Snapshot() Stats {
+	return Stats{
+		GraphDeltas:      graphDeltas.Load(),
+		PatternDeltas:    patternDeltas.Load(),
+		CoverDeltas:      coverDeltas.Load(),
+		RowsTouched:      rowsTouched.Load(),
+		VerdictsComputed: verdictsComputed.Load(),
+		VerdictsCached:   verdictsCached.Load(),
+		Reconciles:       reconciles.Load(),
+		Rebuilds:         rebuilds.Load(),
+	}
+}
+
+// ResetStats zeroes the counters (test isolation).
+func ResetStats() {
+	graphDeltas.Store(0)
+	patternDeltas.Store(0)
+	coverDeltas.Store(0)
+	rowsTouched.Store(0)
+	verdictsComputed.Store(0)
+	verdictsCached.Store(0)
+	reconciles.Store(0)
+	rebuilds.Store(0)
+}

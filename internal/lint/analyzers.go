@@ -14,6 +14,7 @@ func All() []*Analyzer {
 		ErrWrap,
 		FsyncDiscipline,
 		GoroLeak,
+		IndexDelta,
 		LockOrder,
 		LockScope,
 		MapDeterminism,

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// IndexDelta enforces the delta-network ownership contract from PR 10:
+// the FCT/IFE posting matrices (sparse.Matrix) are written only by the
+// index layer itself — AddGraph/RemoveGraph, Register/UnregisterPattern
+// and SyncFeatures — so that the delta network's incremental cover
+// bookkeeping can trust every mutation to arrive as a delta event. A
+// direct Set/Incr/DeleteRow/DeleteCol on a matrix from anywhere else
+// bypasses the delta API: the index and the network silently disagree,
+// and the from-scratch differential oracle is the only thing that will
+// ever notice. The analyzer flags those mutator calls in every package
+// other than sparse (the type's home) and the index packages (the
+// sanctioned writers). Test files are exempt: oracles and fixtures
+// legitimately poke matrices to set up divergence scenarios.
+var IndexDelta = &Analyzer{
+	Name: "indexdelta",
+	Doc:  "sparse.Matrix mutations belong to the index layer: no Set/Incr/DeleteRow/DeleteCol outside sparse or index packages",
+	Run:  runIndexDelta,
+}
+
+// sparseMutators are the Matrix methods that change posting lists.
+var sparseMutators = map[string]bool{
+	"Set":       true,
+	"Incr":      true,
+	"DeleteRow": true,
+	"DeleteCol": true,
+}
+
+func runIndexDelta(pass *Pass) {
+	if isSparsePkgPath(pass.Pkg.ImportPath) || isIndexPkgPath(pass.Pkg.ImportPath) {
+		return
+	}
+	for i, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(i) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !sparseMutators[sel.Sel.Name] {
+				return true
+			}
+			if isSparseMatrixType(pass.TypeOf(sel.X)) {
+				pass.Reportf(call.Pos(),
+					"%s.%s writes a posting matrix outside the index layer; route the mutation through the index delta API (AddGraph/RemoveGraph/RegisterPattern/UnregisterPattern/SyncFeatures) so the delta network sees it",
+					exprText(sel.X), sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+func isSparsePkgPath(path string) bool {
+	return path == "sparse" || strings.HasSuffix(path, "/sparse")
+}
+
+// isIndexPkgPath matches the index package and its subpackages (e.g.
+// index/delta), which together own the posting matrices.
+func isIndexPkgPath(path string) bool {
+	return path == "index" || strings.HasSuffix(path, "/index") ||
+		strings.Contains(path, "/index/")
+}
+
+func isSparseMatrixType(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Matrix" && obj.Pkg() != nil && isSparsePkgPath(obj.Pkg().Path())
+}

@@ -1,0 +1,60 @@
+// Package indexdelta seeds the PR 10 delta-network hygiene findings: a
+// consumer that writes posting matrices directly instead of going
+// through the index delta API, and a delta application whose effect
+// depends on map iteration order.
+package indexdelta
+
+import (
+	"sort"
+
+	"example.com/lintdata/sparse"
+)
+
+// applyDirect bypasses the delta API: every one of these mutators
+// changes a posting list without the delta network hearing about it.
+func applyDirect(tg *sparse.Matrix, feature string, graphID int) {
+	tg.Set(feature, graphID, 1)  // want "writes a posting matrix outside the index layer"
+	tg.Incr(feature, graphID, 2) // want "writes a posting matrix outside the index layer"
+	tg.DeleteRow(feature)        // want "writes a posting matrix outside the index layer"
+	tg.DeleteCol(graphID)        // want "writes a posting matrix outside the index layer"
+	fresh := sparse.New()
+	fresh.Set(feature, graphID, 1) // want "writes a posting matrix outside the index layer"
+	_ = fresh
+}
+
+// coverDeltaOrderBad applies cover-set deltas by collecting the touched
+// graph IDs in map iteration order — the downstream swap scan then
+// visits them in a different order each run.
+func coverDeltaOrderBad(added map[int]struct{}) []int {
+	var ids []int
+	for id := range added {
+		ids = append(ids, id) // want "ids collects values in map iteration order of added"
+	}
+	return ids
+}
+
+// coverDeltaOrderOK is the sanctioned shape: collect, then sort, then
+// apply.
+func coverDeltaOrderOK(added map[int]struct{}) []int {
+	var ids []int
+	for id := range added {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// reads are always fine: profiles and candidacy only Get and Col.
+func readProfile(tp *sparse.Matrix, patternID int) int {
+	total := 0
+	col := tp.Col(patternID)
+	var keys []string
+	for k := range col {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		total += tp.Get(k, patternID)
+	}
+	return total
+}

@@ -1,0 +1,51 @@
+// Package sparse is the golden-test stand-in for the real
+// internal/sparse package: the posting matrix with its mutators. It is
+// the type's home, so indexdelta never flags this package.
+package sparse
+
+// Matrix is a string-row × int-column counting matrix.
+type Matrix struct {
+	rows map[string]map[int]int
+}
+
+// New returns an empty matrix.
+func New() *Matrix {
+	return &Matrix{rows: map[string]map[int]int{}}
+}
+
+// Set writes one cell — a sanctioned mutation here in the type's home.
+func (m *Matrix) Set(row string, col, value int) {
+	if m.rows[row] == nil {
+		m.rows[row] = map[int]int{}
+	}
+	m.rows[row][col] = value
+}
+
+// Incr adjusts one cell by delta.
+func (m *Matrix) Incr(row string, col, delta int) {
+	m.Set(row, col, m.Get(row, col)+delta)
+}
+
+// Get reads one cell.
+func (m *Matrix) Get(row string, col int) int { return m.rows[row][col] }
+
+// DeleteRow drops an entire feature row.
+func (m *Matrix) DeleteRow(row string) { delete(m.rows, row) }
+
+// DeleteCol drops a graph column from every row.
+func (m *Matrix) DeleteCol(col int) {
+	for _, r := range m.rows {
+		delete(r, col)
+	}
+}
+
+// Col returns a copy of one column.
+func (m *Matrix) Col(col int) map[string]int {
+	out := map[string]int{}
+	for row, cells := range m.rows {
+		if v, ok := cells[col]; ok {
+			out[row] = v
+		}
+	}
+	return out
+}

@@ -252,6 +252,7 @@ func (sh *Shard) bootstrapEngine(o *Options) (map[string]string, error) {
 		eng, meta, err = midas.LoadStateMeta(bytes.NewReader(data))
 		if err == nil {
 			eng.SetWorkers(sh.opts.Workers)
+			eng.SetNoDeltaIndex(sh.opts.NoDeltaIndex)
 			sh.engine = eng
 			return meta, nil
 		}

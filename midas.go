@@ -99,6 +99,13 @@ type Options struct {
 	Seed int64
 	// Strategy selects the swap strategy (default multi-scan).
 	Strategy Strategy
+	// NoDeltaIndex disables the incremental index-maintenance network
+	// (internal/index/delta) and recomputes cover sets from scratch
+	// each batch — an escape hatch; results are byte-identical either
+	// way (the differential suite enforces it), only maintain time
+	// differs. Like Workers it describes how state is computed, not
+	// what it is, so state bundles are saved with it normalised off.
+	NoDeltaIndex bool `json:",omitempty"`
 
 	// AlphaDiv, AlphaCog and AlphaLcov optionally tighten the swap
 	// guards (§6.2 "additional requirements by users"): a swap must
@@ -110,16 +117,17 @@ type Options struct {
 
 func (o Options) toCore() core.Config {
 	cfg := core.Config{
-		Budget:     catapult.Budget{MinSize: o.Budget.MinSize, MaxSize: o.Budget.MaxSize, Count: o.Budget.Count},
-		SupMin:     o.SupMin,
-		Epsilon:    o.Epsilon,
-		Kappa:      o.Kappa,
-		Lambda:     o.Lambda,
-		Walks:      o.Walks,
-		SampleSize: o.SampleSize,
-		Workers:    o.Workers,
-		Seed:       o.Seed,
-		Cluster:    cluster.Config{K: o.ClusterK, MaxSize: o.ClusterMaxSize},
+		Budget:       catapult.Budget{MinSize: o.Budget.MinSize, MaxSize: o.Budget.MaxSize, Count: o.Budget.Count},
+		SupMin:       o.SupMin,
+		Epsilon:      o.Epsilon,
+		Kappa:        o.Kappa,
+		Lambda:       o.Lambda,
+		Walks:        o.Walks,
+		SampleSize:   o.SampleSize,
+		Workers:      o.Workers,
+		Seed:         o.Seed,
+		NoDeltaIndex: o.NoDeltaIndex,
+		Cluster:      cluster.Config{K: o.ClusterK, MaxSize: o.ClusterMaxSize},
 	}
 	cfg.AlphaDiv = o.AlphaDiv
 	cfg.AlphaCog = o.AlphaCog
@@ -257,6 +265,13 @@ func (e *Engine) DB() *graph.Database { return e.inner.DB() }
 // state, not the knob, so callers restoring via LoadState apply the
 // desired width with this; outputs are identical at every setting.
 func (e *Engine) SetWorkers(n int) { e.inner.SetWorkers(n) }
+
+// SetNoDeltaIndex toggles the incremental index delta network on a
+// live engine (see Options.NoDeltaIndex). State bundles record the
+// pattern state, not the knob, so callers restoring via LoadState
+// apply the escape hatch with this; outputs are byte-identical either
+// way.
+func (e *Engine) SetNoDeltaIndex(off bool) { e.inner.SetNoDeltaIndex(off) }
 
 // Maintain applies the batch update ΔD (deletions then insertions) and
 // maintains the pattern set per Algorithm 1.

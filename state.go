@@ -63,6 +63,11 @@ func SaveState(w io.Writer, e *Engine, opts Options) error {
 // SaveStateMeta is SaveState with an attached metadata map, persisted
 // in the bundle header and returned by LoadStateMeta.
 func SaveStateMeta(w io.Writer, e *Engine, opts Options, meta map[string]string) error {
+	// The header records the state, not the knobs that merely choose how
+	// it is computed: NoDeltaIndex is normalised off so bundles stay
+	// byte-identical with the delta network on and off (the differential
+	// suite's contract). Restorers re-apply the knob via SetNoDeltaIndex.
+	opts.NoDeltaIndex = false
 	var payload bytes.Buffer
 	if _, err := fmt.Fprintln(&payload, "== database =="); err != nil {
 		return err
